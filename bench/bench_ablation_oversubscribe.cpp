@@ -1,0 +1,90 @@
+/// \file bench_ablation_oversubscribe.cpp
+/// \brief Analogue of the paper's Section V-E (Qthreads vs OpenMP
+///        conflicts). Two runtimes cannot fight here — everything is
+///        OpenMP — but the *mechanism* the paper isolates is threads of
+///        one phase occupying cores the next phase needs. This harness
+///        measures that directly: the Inverse routine (Cholesky solves)
+///        and the Mat-norm routine run back-to-back after a parallel
+///        MTTKRP, with team sizes swept past the hardware core count.
+///        Expected shape: times flat (or improving) up to the core count,
+///        degrading beyond it — the paper's observation that the 36-core
+///        box went bad once Qthreads workers + OpenMP threads exceeded
+///        the cores.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sptd;
+  using namespace sptd::bench;
+
+  Options cli("bench_ablation_oversubscribe",
+              "phase interference under thread oversubscription");
+  add_common_flags(cli, "yelp", "0.01", "5", "1,2,4,8,16,32");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  init_parallel_runtime();
+
+  std::printf("== Ablation: oversubscription (Section V-E analogue) ==\n");
+  std::printf("# hardware threads: %d\n", hardware_threads());
+  SparseTensor x = make_dataset(cli.get_string("preset"),
+                                cli.get_double("scale"),
+                                static_cast<std::uint64_t>(
+                                    cli.get_int("seed")));
+  const auto rank = static_cast<idx_t>(cli.get_int("rank"));
+  const int iters = static_cast<int>(cli.get_int("iters"));
+  const auto factors = make_factors(x, rank, 7);
+  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads());
+  const auto threads = cli.get_int_list("threads-list");
+
+  // Fixed-size inverse problem (rank x rank normal equations over the
+  // largest mode's rows), like one CP-ALS inverse step at rank 35.
+  idx_t max_dim = 0;
+  for (int m = 0; m < x.order(); ++m) {
+    max_dim = std::max(max_dim, x.dim(m));
+  }
+  Rng rng(9);
+  la::Matrix a = la::Matrix::random(static_cast<idx_t>(rank) + 5, rank,
+                                    rng);
+  la::Matrix spd(rank, rank);
+  la::ata(a, spd, 1);
+  for (idx_t i = 0; i < rank; ++i) {
+    spd(i, i) += rank;
+  }
+  const la::Matrix rhs = la::Matrix::random(max_dim, rank, rng);
+
+  std::printf("# per-phase seconds: MTTKRP sweep x%d, then INVERSE x%d, "
+              "then MAT NORM x%d\n", iters, iters, iters);
+  std::printf("%8s %12s %12s %12s\n", "threads", "mttkrp", "inverse",
+              "matnorm");
+  for (const int t : threads) {
+    MttkrpOptions mo;
+    mo.nthreads = t;
+    const double mttkrp_s =
+        time_mttkrp_sweeps(set, factors, rank, mo, iters);
+
+    WallTimer inv;
+    inv.start();
+    for (int i = 0; i < iters; ++i) {
+      la::Matrix m = rhs;
+      la::solve_normal_equations(spd, m, t);
+    }
+    inv.stop();
+
+    la::Matrix norm_target = rhs;
+    std::vector<val_t> lambda(rank);
+    WallTimer nrm;
+    nrm.start();
+    for (int i = 0; i < iters; ++i) {
+      la::normalize_columns(norm_target, lambda, la::MatNorm::kMax, t);
+    }
+    nrm.stop();
+
+    std::printf("%8d %12.4f %12.4f %12.4f\n", t, mttkrp_s, inv.seconds(),
+                nrm.seconds());
+    std::fflush(stdout);
+  }
+  return 0;
+}

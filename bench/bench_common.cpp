@@ -1,0 +1,159 @@
+#include "bench_common.hpp"
+
+namespace sptd::bench {
+
+void add_common_flags(Options& cli, const char* default_preset,
+                      const char* default_scale, const char* default_iters,
+                      const char* default_threads) {
+  cli.add("preset", default_preset,
+          "dataset preset: yelp|rate-beer|beer-advocate|nell-2|netflix");
+  cli.add("scale", default_scale,
+          "preset scale (1.0 = the paper's full-size dataset)");
+  cli.add("rank", "35", "decomposition rank (paper: 35)");
+  cli.add("iters", default_iters,
+          "iterations / mode sweeps per measurement (paper: 20)");
+  cli.add("trials", "1", "trials to average (paper: 10)");
+  cli.add("threads-list", default_threads,
+          "thread counts to sweep (paper: 1,2,4,8,16,32)");
+  cli.add("seed", "42", "generator seed");
+}
+
+SparseTensor make_dataset(const std::string& preset_name, double scale,
+                          std::uint64_t seed) {
+  const DatasetPreset& preset = find_preset(preset_name);
+  const SyntheticConfig cfg = preset.scaled(scale, seed);
+  std::printf("# dataset %s @ scale %g: %s, %llu nnz\n", preset.name.c_str(),
+              scale, format_dims(cfg.dims).c_str(),
+              static_cast<unsigned long long>(cfg.nnz));
+  std::fflush(stdout);
+  return generate_synthetic(cfg);
+}
+
+std::vector<la::Matrix> make_factors(const SparseTensor& t, idx_t rank,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Matrix> factors;
+  factors.reserve(static_cast<std::size_t>(t.order()));
+  for (int m = 0; m < t.order(); ++m) {
+    factors.push_back(la::Matrix::random(t.dim(m), rank, rng));
+  }
+  return factors;
+}
+
+double time_mttkrp_sweeps(const CsfSet& set,
+                          const std::vector<la::Matrix>& factors,
+                          idx_t rank, const MttkrpOptions& opts, int iters,
+                          std::string* strategies) {
+  const int order = set.order();
+  MttkrpWorkspace ws(opts, rank, order);
+  // Pre-size output buffers outside the timed region.
+  std::vector<la::Matrix> outs;
+  for (int m = 0; m < order; ++m) {
+    outs.emplace_back(set.csfs().front().dims()[static_cast<std::size_t>(m)],
+                      rank);
+  }
+  // Warm once (first-touch page faults are not what the paper measures).
+  for (int m = 0; m < order; ++m) {
+    mttkrp(set, factors, m, outs[static_cast<std::size_t>(m)], ws);
+    if (strategies != nullptr) {
+      if (!strategies->empty()) *strategies += ",";
+      *strategies += sync_strategy_name(ws.last_strategy);
+    }
+  }
+  WallTimer timer;
+  timer.start();
+  for (int it = 0; it < iters; ++it) {
+    for (int m = 0; m < order; ++m) {
+      mttkrp(set, factors, m, outs[static_cast<std::size_t>(m)], ws);
+    }
+  }
+  timer.stop();
+  return timer.seconds();
+}
+
+RoutineTimers run_cpals_trials(const SparseTensor& tensor,
+                               const CpalsOptions& opts, int trials) {
+  {
+    // Untimed warm-up: first-touch page faults and allocator growth are
+    // not part of what the paper measures.
+    SparseTensor work = tensor;
+    CpalsOptions warm = opts;
+    warm.max_iterations = 1;
+    (void)cp_als(work, warm);
+  }
+  RoutineTimers total;
+  for (int trial = 0; trial < trials; ++trial) {
+    SparseTensor work = tensor;
+    const CpalsResult r = cp_als(work, opts);
+    total.accumulate(r.timers);
+  }
+  total.scale(1.0 / trials);
+  return total;
+}
+
+std::vector<RoutineTimers> run_impls_fair(
+    const SparseTensor& tensor, const CpalsOptions& base_opts,
+    const std::vector<std::string>& impl_names, int trials) {
+  std::vector<CpalsOptions> opts;
+  for (const auto& name : impl_names) {
+    CpalsOptions o = base_opts;
+    apply_impl_variant(find_impl_variant(name), o);
+    opts.push_back(o);
+  }
+  // Warm every variant (page faults, allocator growth, code paths).
+  for (const auto& o : opts) {
+    SparseTensor work = tensor;
+    CpalsOptions warm = o;
+    warm.max_iterations = 1;
+    (void)cp_als(work, warm);
+  }
+  std::vector<RoutineTimers> totals(impl_names.size());
+  for (int trial = 0; trial < trials; ++trial) {
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+      SparseTensor work = tensor;
+      const CpalsResult r = cp_als(work, opts[i]);
+      totals[i].accumulate(r.timers);
+    }
+  }
+  for (auto& t : totals) {
+    t.scale(1.0 / trials);
+  }
+  return totals;
+}
+
+void print_routine_header(const char* label) {
+  std::printf("%-28s", label);
+  for (int r = 0; r < kNumRoutines; ++r) {
+    std::printf(" %10s", routine_name(static_cast<Routine>(r)));
+  }
+  std::printf("\n");
+}
+
+void print_routine_row(const char* label, const RoutineTimers& timers) {
+  std::printf("%-28s", label);
+  for (int r = 0; r < kNumRoutines; ++r) {
+    std::printf(" %10.4f", timers.seconds(static_cast<Routine>(r)));
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void print_series_header(const std::vector<int>& threads) {
+  std::printf("%-24s", "threads");
+  for (const int t : threads) {
+    std::printf(" %10d", t);
+  }
+  std::printf("\n");
+}
+
+void print_series(const std::string& label, const std::vector<int>& threads,
+                  const std::vector<double>& seconds) {
+  std::printf("%-24s", label.c_str());
+  for (std::size_t i = 0; i < threads.size() && i < seconds.size(); ++i) {
+    std::printf(" %10.4f", seconds[i]);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace sptd::bench

@@ -1,0 +1,73 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared machinery for the table/figure reproduction harnesses.
+///
+/// Every bench binary regenerates one table or figure of the paper. They
+/// share: dataset synthesis from the Table I presets (scaled to laptop
+/// size), timed MTTKRP mode sweeps, full CP-ALS runs with per-routine
+/// breakdowns, and plain-text table printing in the paper's layout.
+///
+/// Common flags (every harness): --scale, --rank, --iters, --trials,
+/// --threads-list, --seed. Paper-scale settings are documented per bench;
+/// defaults finish in seconds on a laptop.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sptd.hpp"
+
+namespace sptd::bench {
+
+/// Registers the flags shared by all harnesses.
+void add_common_flags(Options& cli, const char* default_preset,
+                      const char* default_scale, const char* default_iters,
+                      const char* default_threads);
+
+/// Generates a preset dataset at the requested scale, printing one line
+/// describing it.
+SparseTensor make_dataset(const std::string& preset_name, double scale,
+                          std::uint64_t seed);
+
+/// Deterministic factor matrices for a tensor.
+std::vector<la::Matrix> make_factors(const SparseTensor& t, idx_t rank,
+                                     std::uint64_t seed);
+
+/// Times \p iters full mode sweeps (every mode once per sweep) of the
+/// CSF MTTKRP under the given options; returns total seconds. The
+/// strategy chosen for each mode of the first sweep is appended to
+/// \p strategies when non-null.
+double time_mttkrp_sweeps(const CsfSet& set,
+                          const std::vector<la::Matrix>& factors,
+                          idx_t rank, const MttkrpOptions& opts, int iters,
+                          std::string* strategies = nullptr);
+
+/// Runs CP-ALS \p trials times with the given options on copies of
+/// \p tensor and returns the per-routine timer table averaged over trials.
+RoutineTimers run_cpals_trials(const SparseTensor& tensor,
+                               const CpalsOptions& opts, int trials);
+
+/// Fair comparison of implementation variants: warms every variant once,
+/// then interleaves trials round-robin so all variants face the same
+/// allocator/huge-page state (completing all trials of one variant before
+/// the next systematically favours whichever ran in the younger heap).
+/// Returns one averaged timer table per variant, in input order.
+std::vector<RoutineTimers> run_impls_fair(
+    const SparseTensor& tensor, const CpalsOptions& base_opts,
+    const std::vector<std::string>& impl_names, int trials);
+
+/// Prints the header used by per-routine tables (Figures 5-8, Table III).
+void print_routine_header(const char* label);
+
+/// Prints one row of per-routine seconds.
+void print_routine_row(const char* label, const RoutineTimers& timers);
+
+/// Prints a figure-style series: label then seconds per thread count.
+void print_series(const std::string& label,
+                  const std::vector<int>& threads,
+                  const std::vector<double>& seconds);
+
+/// Prints the series header row ("threads  1  2  4 ...").
+void print_series_header(const std::vector<int>& threads);
+
+}  // namespace sptd::bench

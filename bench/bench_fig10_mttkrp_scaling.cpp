@@ -1,0 +1,14 @@
+/// \file bench_fig10_mttkrp_scaling.cpp
+/// \brief Reproduces **Figure 10** (MTTKRP runtime vs threads, NELL-2):
+///        C vs Chapel-initial vs Chapel-optimized. NELL-2 never needs
+///        locks, so the initial port's gap is pure slice overhead.
+/// Expected shape: chapel-initial ~an order of magnitude slower at every
+/// team size; chapel-optimize within ~4-16% of C (paper: 84-96%).
+/// Paper-scale: --scale 1.0 --threads-list 1,2,4,8,16,32 --iters 20.
+
+#include "bench_figures.hpp"
+
+int main(int argc, char** argv) {
+  return sptd::bench::run_scaling_figure("Figure 10", "nell-2", "0.01",
+                                         argc, argv);
+}

@@ -1,0 +1,16 @@
+/// \file bench_fig2_mttkrp_rowaccess.cpp
+/// \brief Reproduces **Figure 2** (Chapel MTTKRP runtime, matrix access
+///        optimizations, YELP): slice vs 2D-index vs pointer row access.
+///
+/// Expected shape: slice is roughly an order of magnitude slower than
+/// direct indexing (paper: 12x on YELP); pointer edges out 2D indexing
+/// (paper: ~1.26x — smaller here because a C++ optimizer hoists the row
+/// offset that Chapel recomputed).
+/// Paper-scale: --scale 1.0 --threads-list 1,2,4,8,16,32 --iters 20.
+
+#include "bench_figures.hpp"
+
+int main(int argc, char** argv) {
+  return sptd::bench::run_rowaccess_figure("Figure 2", "yelp", "0.01",
+                                           argc, argv);
+}

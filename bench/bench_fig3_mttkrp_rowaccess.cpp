@@ -1,0 +1,12 @@
+/// \file bench_fig3_mttkrp_rowaccess.cpp
+/// \brief Reproduces **Figure 3** (Chapel MTTKRP runtime, matrix access
+///        optimizations, NELL-2): slice vs 2D-index vs pointer row access
+///        on the larger, lock-free dataset (paper: 17x slice -> 2D gain).
+/// Paper-scale: --scale 1.0 --threads-list 1,2,4,8,16,32 --iters 20.
+
+#include "bench_figures.hpp"
+
+int main(int argc, char** argv) {
+  return sptd::bench::run_rowaccess_figure("Figure 3", "nell-2", "0.01",
+                                           argc, argv);
+}

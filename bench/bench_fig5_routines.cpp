@@ -1,0 +1,13 @@
+/// \file bench_fig5_routines.cpp
+/// \brief Reproduces **Figure 5** (per-routine CP-ALS runtimes, YELP,
+///        1 thread): reference C code paths vs the fully optimized port.
+/// Expected shape: near-parity on every routine (paper: Chapel within
+/// ~7% on MTTKRP, ~13% on sort at 1 thread).
+/// Paper-scale: --scale 1.0 --iters 20 --trials 10.
+
+#include "bench_figures.hpp"
+
+int main(int argc, char** argv) {
+  return sptd::bench::run_routines_figure("Figure 5", "yelp", "0.01", "1",
+                                          argc, argv);
+}

@@ -1,0 +1,13 @@
+/// \file bench_fig6_routines.cpp
+/// \brief Reproduces **Figure 6** (per-routine CP-ALS runtimes, NELL-2,
+///        1 thread): reference C code paths vs the fully optimized port.
+/// Expected shape: near-parity (paper: Chapel ~8% slower MTTKRP, ~25%
+/// slower sort at 1 thread).
+/// Paper-scale: --scale 1.0 --iters 20 --trials 10.
+
+#include "bench_figures.hpp"
+
+int main(int argc, char** argv) {
+  return sptd::bench::run_routines_figure("Figure 6", "nell-2", "0.01", "1",
+                                          argc, argv);
+}

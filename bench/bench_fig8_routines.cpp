@@ -1,0 +1,13 @@
+/// \file bench_fig8_routines.cpp
+/// \brief Reproduces **Figure 8** (per-routine CP-ALS runtimes, NELL-2,
+///        32 threads). Default team size is 4 for laptop runs; pass
+///        --threads-list 32 to match the paper.
+/// Expected shape: MTTKRP near-parity; sort gap wider than at 1 thread.
+/// Paper-scale: --scale 1.0 --iters 20 --trials 10 --threads-list 32.
+
+#include "bench_figures.hpp"
+
+int main(int argc, char** argv) {
+  return sptd::bench::run_routines_figure("Figure 8", "nell-2", "0.01", "4",
+                                          argc, argv);
+}

@@ -1,0 +1,14 @@
+/// \file bench_fig9_mttkrp_scaling.cpp
+/// \brief Reproduces **Figure 9** (MTTKRP runtime vs threads, YELP):
+///        C vs Chapel-initial vs Chapel-optimized.
+/// Expected shape: chapel-initial an order of magnitude above the other
+/// two and scaling poorly (sync locks beyond 2 threads); chapel-optimize
+/// tracking C closely (paper: 83-93%).
+/// Paper-scale: --scale 1.0 --threads-list 1,2,4,8,16,32 --iters 20.
+
+#include "bench_figures.hpp"
+
+int main(int argc, char** argv) {
+  return sptd::bench::run_scaling_figure("Figure 9", "yelp", "0.01", argc,
+                                         argv);
+}

@@ -1,0 +1,132 @@
+#include "bench_figures.hpp"
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace sptd::bench {
+
+int run_rowaccess_figure(const char* fig_label, const char* default_preset,
+                         const char* default_scale, int argc, char** argv) {
+  Options cli(fig_label,
+              "MTTKRP runtime under slice / 2D-index / pointer row access "
+              "(paper Figures 2-3)");
+  add_common_flags(cli, default_preset, default_scale, "5", "1,2,4,8");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  init_parallel_runtime();
+
+  std::printf("== %s: MTTKRP row-access ablation ==\n", fig_label);
+  SparseTensor x = make_dataset(cli.get_string("preset"),
+                                cli.get_double("scale"),
+                                static_cast<std::uint64_t>(
+                                    cli.get_int("seed")));
+  const auto rank = static_cast<idx_t>(cli.get_int("rank"));
+  const int iters = static_cast<int>(cli.get_int("iters"));
+  const auto factors = make_factors(x, rank, 7);
+  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads());
+  const auto threads = cli.get_int_list("threads-list");
+
+  std::printf("# seconds for %d MTTKRP mode sweeps (all modes each)\n",
+              iters);
+  print_series_header(threads);
+  for (const auto ra :
+       {RowAccess::kSlice, RowAccess::kIndex2D, RowAccess::kPointer}) {
+    std::vector<double> seconds;
+    std::string strategies;
+    for (const int t : threads) {
+      MttkrpOptions mo;
+      mo.nthreads = t;
+      mo.row_access = ra;
+      mo.lock_kind = LockKind::kAtomic;  // the port's optimized locks
+      std::string* strat = seconds.empty() ? &strategies : nullptr;
+      seconds.push_back(
+          time_mttkrp_sweeps(set, factors, rank, mo, iters, strat));
+    }
+    print_series(row_access_name(ra), threads, seconds);
+  }
+  return 0;
+}
+
+int run_routines_figure(const char* fig_label, const char* default_preset,
+                        const char* default_scale,
+                        const char* default_threads, int argc, char** argv) {
+  Options cli(fig_label,
+              "Per-routine CP-ALS runtimes, reference C vs optimized port "
+              "(paper Figures 5-8)");
+  add_common_flags(cli, default_preset, default_scale, "5",
+                   default_threads);
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  init_parallel_runtime();
+
+  std::printf("== %s: per-routine CP-ALS runtimes ==\n", fig_label);
+  const SparseTensor x = make_dataset(cli.get_string("preset"),
+                                      cli.get_double("scale"),
+                                      static_cast<std::uint64_t>(
+                                          cli.get_int("seed")));
+  const auto threads = cli.get_int_list("threads-list");
+  const int trials = static_cast<int>(cli.get_int("trials"));
+
+  const std::vector<std::string> impls = {"c", "chapel-optimize"};
+  for (const int t : threads) {
+    std::printf("# %d thread(s), %lld CP-ALS iterations, rank %lld\n", t,
+                static_cast<long long>(cli.get_int("iters")),
+                static_cast<long long>(cli.get_int("rank")));
+    print_routine_header("impl");
+    CpalsOptions base;
+    base.rank = static_cast<idx_t>(cli.get_int("rank"));
+    base.max_iterations = static_cast<int>(cli.get_int("iters"));
+    base.tolerance = 0.0;
+    base.nthreads = t;
+    const auto results = run_impls_fair(x, base, impls, trials);
+    for (std::size_t i = 0; i < impls.size(); ++i) {
+      print_routine_row(impls[i].c_str(), results[i]);
+    }
+  }
+  return 0;
+}
+
+int run_scaling_figure(const char* fig_label, const char* default_preset,
+                       const char* default_scale, int argc, char** argv) {
+  Options cli(fig_label,
+              "MTTKRP scaling: C vs Chapel-initial vs Chapel-optimized "
+              "(paper Figures 9-10)");
+  add_common_flags(cli, default_preset, default_scale, "5", "1,2,4,8");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  init_parallel_runtime();
+
+  std::printf("== %s: MTTKRP scaling across implementations ==\n",
+              fig_label);
+  SparseTensor x = make_dataset(cli.get_string("preset"),
+                                cli.get_double("scale"),
+                                static_cast<std::uint64_t>(
+                                    cli.get_int("seed")));
+  const auto rank = static_cast<idx_t>(cli.get_int("rank"));
+  const int iters = static_cast<int>(cli.get_int("iters"));
+  const auto factors = make_factors(x, rank, 7);
+  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads());
+  const auto threads = cli.get_int_list("threads-list");
+
+  std::printf("# seconds for %d MTTKRP mode sweeps (all modes each)\n",
+              iters);
+  print_series_header(threads);
+  for (const auto& variant : impl_variants()) {
+    std::vector<double> seconds;
+    for (const int t : threads) {
+      MttkrpOptions mo;
+      mo.nthreads = t;
+      mo.row_access = variant.row_access;
+      mo.lock_kind = variant.lock_kind;
+      seconds.push_back(time_mttkrp_sweeps(set, factors, rank, mo, iters));
+    }
+    print_series(variant.name, threads, seconds);
+  }
+  return 0;
+}
+
+}  // namespace sptd::bench

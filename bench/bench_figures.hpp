@@ -1,0 +1,26 @@
+#pragma once
+/// \file bench_figures.hpp
+/// \brief Reusable figure runners. The paper repeats three figure shapes
+///        across datasets (row-access ablation, per-routine bars, MTTKRP
+///        scaling); each bench main binds one figure's defaults and calls
+///        the matching runner.
+
+namespace sptd::bench {
+
+/// Figures 2 & 3: MTTKRP runtime for the three row-access policies
+/// (slice / 2D-index / pointer) across a thread sweep.
+int run_rowaccess_figure(const char* fig_label, const char* default_preset,
+                         const char* default_scale, int argc, char** argv);
+
+/// Figures 5-8: per-routine CP-ALS runtimes, reference C paths vs the
+/// optimized port, at one thread count.
+int run_routines_figure(const char* fig_label, const char* default_preset,
+                        const char* default_scale,
+                        const char* default_threads, int argc, char** argv);
+
+/// Figures 9 & 10: MTTKRP runtime of C vs Chapel-initial vs
+/// Chapel-optimized across a thread sweep.
+int run_scaling_figure(const char* fig_label, const char* default_preset,
+                       const char* default_scale, int argc, char** argv);
+
+}  // namespace sptd::bench

@@ -1,0 +1,172 @@
+/// \file bench_kernels_micro.cpp
+/// \brief google-benchmark microbenchmarks for the individual kernels
+///        underlying the paper's routines: syrk (Mat A^TA), Cholesky
+///        solve (Inverse), column normalization (Mat norm), the MTTKRP
+///        inner loop under each row-access policy, sorting, and the lock
+///        acquire/release fast path.
+
+#include <benchmark/benchmark.h>
+
+#include "sptd.hpp"
+
+namespace {
+
+using namespace sptd;
+
+la::Matrix random_matrix(idx_t rows, idx_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return la::Matrix::random(rows, cols, rng);
+}
+
+void BM_Ata(benchmark::State& state) {
+  const auto rows = static_cast<idx_t>(state.range(0));
+  const la::Matrix a = random_matrix(rows, 35, 1);
+  la::Matrix out(35, 35);
+  for (auto _ : state) {
+    la::ata(a, out, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_Ata)->Arg(1000)->Arg(10000);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const auto n = static_cast<idx_t>(state.range(0));
+  la::Matrix a = random_matrix(n + 4, n, 2);
+  la::Matrix spd(n, n);
+  la::ata(a, spd, 1);
+  for (idx_t i = 0; i < n; ++i) {
+    spd(i, i) += n;
+  }
+  la::Matrix rhs = random_matrix(1000, n, 3);
+  for (auto _ : state) {
+    la::Matrix m = rhs;
+    la::solve_normal_equations(spd, m, 1);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(16)->Arg(35);
+
+void BM_NormalizeColumns(benchmark::State& state) {
+  la::Matrix a = random_matrix(static_cast<idx_t>(state.range(0)), 35, 4);
+  std::vector<val_t> lambda(35);
+  const auto which =
+      state.range(1) == 0 ? la::MatNorm::kTwo : la::MatNorm::kMax;
+  for (auto _ : state) {
+    la::normalize_columns(a, lambda, which, 1);
+    benchmark::DoNotOptimize(lambda.data());
+  }
+}
+BENCHMARK(BM_NormalizeColumns)->Args({10000, 0})->Args({10000, 1});
+
+void BM_MttkrpRowAccess(benchmark::State& state) {
+  SparseTensor x = generate_synthetic(
+      {.dims = {300, 200, 400}, .nnz = 100000, .seed = 5,
+       .zipf_exponent = 0.5});
+  const idx_t rank = 35;
+  Rng rng(6);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    factors.push_back(la::Matrix::random(x.dim(m), rank, rng));
+  }
+  const CsfSet set(x, CsfPolicy::kTwoMode, 1);
+  MttkrpOptions mo;
+  mo.nthreads = 1;
+  mo.row_access = static_cast<RowAccess>(state.range(0));
+  MttkrpWorkspace ws(mo, rank, 3);
+  la::Matrix out(x.dim(0), rank);
+  for (auto _ : state) {
+    mttkrp(set, factors, 0, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(row_access_name(mo.row_access));
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_MttkrpRowAccess)
+    ->Arg(static_cast<int>(RowAccess::kSlice))
+    ->Arg(static_cast<int>(RowAccess::kIndex2D))
+    ->Arg(static_cast<int>(RowAccess::kPointer));
+
+void BM_SortVariant(benchmark::State& state) {
+  const SparseTensor base = generate_synthetic(
+      {.dims = {300, 200, 400}, .nnz = 100000, .seed = 7,
+       .zipf_exponent = 0.5});
+  const auto variant = static_cast<SortVariant>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SparseTensor work = base;
+    state.ResumeTiming();
+    sort_tensor(work, 0, 1, variant);
+    benchmark::DoNotOptimize(work.vals().data());
+  }
+  state.SetLabel(sort_variant_name(variant));
+}
+BENCHMARK(BM_SortVariant)
+    ->Arg(static_cast<int>(SortVariant::kInitial))
+    ->Arg(static_cast<int>(SortVariant::kArrayOpt))
+    ->Arg(static_cast<int>(SortVariant::kSlicesOpt))
+    ->Arg(static_cast<int>(SortVariant::kAllOpts));
+
+void BM_LockUncontended(benchmark::State& state) {
+  AnyMutexPool pool(static_cast<LockKind>(state.range(0)));
+  idx_t id = 0;
+  for (auto _ : state) {
+    pool.lock(id);
+    pool.unlock(id);
+    id = (id + 1) & 1023;
+  }
+  state.SetLabel(lock_kind_name(static_cast<LockKind>(state.range(0))));
+}
+BENCHMARK(BM_LockUncontended)
+    ->Arg(static_cast<int>(LockKind::kSync))
+    ->Arg(static_cast<int>(LockKind::kAtomic))
+    ->Arg(static_cast<int>(LockKind::kFifoSync))
+    ->Arg(static_cast<int>(LockKind::kOmp));
+
+void BM_Ttmc(benchmark::State& state) {
+  SparseTensor x = generate_synthetic(
+      {.dims = {300, 200, 400}, .nnz = 100000, .seed = 9});
+  const auto core = static_cast<idx_t>(state.range(0));
+  Rng rng(10);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    factors.push_back(la::Matrix::random(x.dim(m), core, rng));
+  }
+  la::Matrix out(x.dim(0), core * core);
+  for (auto _ : state) {
+    ttmc(x, factors, 0, out, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_Ttmc)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const auto n = static_cast<idx_t>(state.range(0));
+  Rng rng(11);
+  const la::Matrix b = la::Matrix::random(n + 4, n, rng);
+  la::Matrix a(n, n);
+  la::ata(b, a, 1);
+  std::vector<val_t> evals(n);
+  la::Matrix evecs(n, n);
+  for (auto _ : state) {
+    la::symmetric_eigen(a, evals, evecs);
+    benchmark::DoNotOptimize(evals.data());
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_CsfBuild(benchmark::State& state) {
+  const SparseTensor base = generate_synthetic(
+      {.dims = {300, 200, 400}, .nnz = 100000, .seed = 8});
+  for (auto _ : state) {
+    SparseTensor work = base;
+    const CsfSet set(work, CsfPolicy::kTwoMode, 1);
+    benchmark::DoNotOptimize(set.memory_bytes());
+  }
+}
+BENCHMARK(BM_CsfBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

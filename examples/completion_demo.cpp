@@ -1,0 +1,76 @@
+/// \file completion_demo.cpp
+/// \brief Tensor completion on a ratings-style tensor: hold out a fraction
+///        of the observed entries, fit the rest, and predict the holdout.
+///
+///   $ ./completion_demo --rank 8 --holdout 0.2
+///
+/// This is SPLATT's "CP with missing values" use case: unlike plain
+/// CP-ALS — which treats unobserved cells as zeros — completion fits only
+/// the observed entries and can therefore *predict* the held-out ones.
+/// The demo prints both models' holdout RMSE to make the difference
+/// concrete.
+
+#include <cstdio>
+
+#include "sptd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sptd;
+
+  Options cli("completion_demo", "tensor completion vs plain CP-ALS");
+  cli.add("rank", "8", "model rank");
+  cli.add("holdout", "0.2", "fraction of entries held out for testing");
+  cli.add("iters", "30", "max ALS iterations");
+  cli.add("reg", "1e-3", "Tikhonov regularization");
+  cli.add("threads", "0", "worker threads (0 = all)");
+  cli.add("seed", "42", "seed");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  int nthreads = static_cast<int>(cli.get_int("threads"));
+  if (nthreads <= 0) nthreads = hardware_threads();
+
+  // "Ratings" data: a rank-4 user x item x context tensor observed at a
+  // random 4% of cells, plus noise.
+  std::printf("generating a noisy rank-4 ratings tensor ...\n");
+  SparseTensor observed = generate_low_rank({400, 300, 50}, 4,
+                                            /*nnz=*/240000, /*noise=*/0.05,
+                                            seed);
+  auto [train, test] = split_train_test(
+      observed, cli.get_double("holdout"), seed + 1);
+  std::printf("observed %llu entries -> train %llu, holdout %llu\n",
+              static_cast<unsigned long long>(observed.nnz()),
+              static_cast<unsigned long long>(train.nnz()),
+              static_cast<unsigned long long>(test.nnz()));
+
+  // --- Tensor completion (fits observed entries only). ---
+  CompletionOptions copts;
+  copts.rank = static_cast<idx_t>(cli.get_int("rank"));
+  copts.max_iterations = static_cast<int>(cli.get_int("iters"));
+  copts.regularization = cli.get_double("reg");
+  copts.nthreads = nthreads;
+  copts.seed = seed + 2;
+  const CompletionResult completion = complete_tensor(train, &test, copts);
+  std::printf("\ncompletion: %d iterations\n", completion.iterations);
+  std::printf("  train RMSE %.4f | holdout RMSE %.4f\n",
+              completion.train_rmse.back(), completion.val_rmse.back());
+
+  // --- Plain CP-ALS on the zero-filled tensor, for contrast. ---
+  CpalsOptions aopts;
+  aopts.rank = copts.rank;
+  aopts.max_iterations = copts.max_iterations;
+  aopts.nthreads = nthreads;
+  aopts.seed = seed + 2;
+  SparseTensor train_copy = train;
+  const CpalsResult cpals = cp_als(train_copy, aopts);
+  const double cpals_holdout = rmse(test, cpals.model, nthreads);
+  std::printf("plain CP-ALS (zeros assumed): holdout RMSE %.4f\n",
+              cpals_holdout);
+
+  std::printf("\ncompletion beats zero-filled CP on held-out entries by "
+              "%.1fx\n", cpals_holdout /
+                  std::max(1e-12, completion.val_rmse.back()));
+  return 0;
+}

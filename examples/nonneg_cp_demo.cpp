@@ -1,0 +1,72 @@
+/// \file nonneg_cp_demo.cpp
+/// \brief Non-negative CP (SPLATT's constrained CP): decompose a
+///        non-negative tensor with and without the non-negativity
+///        projection and compare interpretability and fit.
+///
+///   $ ./nonneg_cp_demo --rank 6
+
+#include <cstdio>
+
+#include "sptd.hpp"
+
+namespace {
+
+/// Fraction of strictly negative entries across all factors.
+double negative_fraction(const sptd::KruskalModel& model) {
+  std::size_t total = 0;
+  std::size_t negative = 0;
+  for (const auto& f : model.factors) {
+    for (const sptd::val_t v : f.values()) {
+      ++total;
+      if (v < 0.0) ++negative;
+    }
+  }
+  return total ? static_cast<double>(negative) / total : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sptd;
+
+  Options cli("nonneg_cp_demo", "non-negative vs unconstrained CP");
+  cli.add("rank", "6", "decomposition rank");
+  cli.add("iters", "30", "max iterations");
+  cli.add("threads", "0", "worker threads (0 = all)");
+  cli.add("seed", "42", "seed");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  int nthreads = static_cast<int>(cli.get_int("threads"));
+  if (nthreads <= 0) nthreads = hardware_threads();
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // Review-score-style data: all values positive.
+  std::printf("generating a positive-valued sparse tensor ...\n");
+  SparseTensor x = generate_synthetic({.dims = {500, 400, 100},
+                                       .nnz = 200000,
+                                       .seed = seed,
+                                       .zipf_exponent = 0.7,
+                                       .value_lo = 1.0,
+                                       .value_hi = 5.0});
+
+  for (const bool nonneg : {false, true}) {
+    SparseTensor work = x;
+    CpalsOptions opts;
+    opts.rank = static_cast<idx_t>(cli.get_int("rank"));
+    opts.max_iterations = static_cast<int>(cli.get_int("iters"));
+    opts.nthreads = nthreads;
+    opts.seed = seed + 1;
+    opts.nonnegative = nonneg;
+    const CpalsResult r = cp_als(work, opts);
+    std::printf("%-14s fit %.4f after %2d iterations, %.1f%% negative "
+                "factor entries\n",
+                nonneg ? "nonnegative:" : "unconstrained:",
+                r.fit_history.back(), r.iterations,
+                100.0 * negative_fraction(r.model));
+  }
+  std::printf("\nnon-negative factors trade a little fit for parts-based, "
+              "directly interpretable components.\n");
+  return 0;
+}

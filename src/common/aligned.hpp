@@ -1,0 +1,62 @@
+#pragma once
+/// \file aligned.hpp
+/// \brief Cache-line aligned storage helpers.
+///
+/// Hot shared arrays (mutex pools, per-thread accumulators) are padded to
+/// cache-line boundaries to avoid false sharing between OpenMP threads.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace sptd {
+
+/// Size of a destructive-interference-free block. 64 bytes on x86-64.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal aligned allocator for std::vector.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // allocator_traits cannot rebind through the non-type Alignment
+  // parameter automatically; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Alignment));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// Vector whose buffer starts on a cache-line boundary.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// A T padded out to its own cache line — element i of an array of these
+/// never false-shares with element i+1.
+template <typename T>
+struct alignas(kCacheLineBytes) CachePadded {
+  T value{};
+};
+
+}  // namespace sptd

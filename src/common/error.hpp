@@ -1,0 +1,46 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error type and runtime-check macros used across the library.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sptd {
+
+/// Exception thrown by sptd on invalid arguments, malformed files and
+/// violated invariants. Carries a formatted human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "sptd check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace sptd
+
+/// Runtime check that is always on (argument validation, file parsing).
+/// Throws sptd::Error with location info when \p expr is false.
+#define SPTD_CHECK(expr, msg)                                       \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::sptd::detail::throw_error(#expr, __FILE__, __LINE__, msg);  \
+    }                                                               \
+  } while (0)
+
+/// Debug-only invariant check (compiled out in release hot paths).
+#ifndef NDEBUG
+#define SPTD_DCHECK(expr, msg) SPTD_CHECK(expr, msg)
+#else
+#define SPTD_DCHECK(expr, msg) ((void)0)
+#endif

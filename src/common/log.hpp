@@ -1,0 +1,37 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logging to stderr.
+///
+/// Benches and examples print their tables to stdout; diagnostics go through
+/// this logger so they can be silenced (`set_log_level(LogLevel::kError)`).
+
+#include <sstream>
+#include <string>
+
+namespace sptd {
+
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+
+/// Current global log level.
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Logs \p msg at \p level if it passes the global filter.
+inline void log(LogLevel level, const std::string& msg) {
+  if (level >= log_level()) {
+    detail::log_emit(level, msg);
+  }
+}
+
+inline void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+inline void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+inline void log_warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+inline void log_error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace sptd

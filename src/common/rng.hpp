@@ -1,0 +1,73 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic, splittable random number generation.
+///
+/// Everything stochastic in sptd (synthetic tensors, factor-matrix
+/// initialization) flows through these generators so that experiments and
+/// tests are reproducible bit-for-bit from a seed, and so that parallel
+/// generation can hand each thread an independently-seeded stream.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sptd {
+
+/// SplitMix64: tiny, fast seeding/stream-splitting generator
+/// (Steele et al., "Fast splittable pseudorandom number generators").
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+/// Passes BigCrush; 2^256-1 period; trivially seedable from SplitMix64.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds produce identical streams.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// \p bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform index in [0, bound) narrowed to idx_t.
+  idx_t next_index(idx_t bound);
+
+  /// Standard normal via Marsaglia polar method (caches the pair).
+  double next_gaussian();
+
+  /// Returns a generator seeded independently from this one's stream,
+  /// for handing to worker threads.
+  Rng split();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace sptd

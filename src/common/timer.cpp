@@ -1,0 +1,46 @@
+#include "common/timer.hpp"
+
+namespace sptd {
+
+const char* routine_name(Routine r) {
+  switch (r) {
+    case Routine::kMttkrp:  return "MTTKRP";
+    case Routine::kInverse: return "INVERSE";
+    case Routine::kMatAtA:  return "MAT A^TA";
+    case Routine::kMatNorm: return "MAT NORM";
+    case Routine::kFit:     return "CPD FIT";
+    case Routine::kSort:    return "SORT";
+    case Routine::kCount:   break;
+  }
+  return "?";
+}
+
+double RoutineTimers::total_seconds() const {
+  double t = 0.0;
+  for (const auto& w : timers_) {
+    t += w.seconds();
+  }
+  return t;
+}
+
+void RoutineTimers::reset() {
+  for (auto& w : timers_) {
+    w.reset();
+  }
+}
+
+void RoutineTimers::accumulate(const RoutineTimers& other) {
+  for (int i = 0; i < kNumRoutines; ++i) {
+    timers_[i].add_seconds(other.timers_[i].seconds());
+  }
+}
+
+void RoutineTimers::scale(double factor) {
+  for (auto& w : timers_) {
+    const double scaled = w.seconds() * factor;
+    w.reset();
+    w.add_seconds(scaled);
+  }
+}
+
+}  // namespace sptd

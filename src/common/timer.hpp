@@ -1,0 +1,127 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timers and the per-routine timer table used to report
+///        the paper's six CP-ALS routine timings (MTTKRP, Inverse, Mat A^TA,
+///        Mat norm, CPD fit, Sort).
+
+#include <array>
+#include <chrono>
+
+namespace sptd {
+
+/// Accumulating monotonic wall-clock timer.
+class WallTimer {
+ public:
+  /// Starts (or restarts) an interval.
+  void start() {
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  /// Stops the current interval and adds it to the accumulated total.
+  void stop() {
+    if (running_) {
+      total_ += std::chrono::duration<double>(Clock::now() - start_).count();
+      running_ = false;
+    }
+  }
+
+  /// Accumulated seconds across all intervals (including a running one).
+  [[nodiscard]] double seconds() const {
+    double t = total_;
+    if (running_) {
+      t += std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+    return t;
+  }
+
+  /// Adds \p s seconds to the accumulated total directly (used when merging
+  /// or averaging timer tables).
+  void add_seconds(double s) { total_ += s; }
+
+  /// Resets the accumulated total to zero and stops any running interval.
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// The CP-ALS routines whose runtimes the paper reports (Table III,
+/// Figures 5-8). Order matches the paper's column order.
+enum class Routine : int {
+  kMttkrp = 0,
+  kInverse,
+  kMatAtA,
+  kMatNorm,
+  kFit,
+  kSort,
+  kCount  ///< number of routines; not a routine itself
+};
+
+/// Number of timed routines.
+inline constexpr int kNumRoutines = static_cast<int>(Routine::kCount);
+
+/// Human-readable routine name as printed by the bench harnesses
+/// ("MTTKRP", "INVERSE", "MAT A^TA", "MAT NORM", "CPD FIT", "SORT").
+const char* routine_name(Routine r);
+
+/// Accumulating per-routine timer table. CP-ALS and the preprocessing
+/// pipeline record into one of these; benches print it as a table row.
+class RoutineTimers {
+ public:
+  /// Starts timing routine \p r (nestable across different routines,
+  /// not reentrant for the same routine).
+  void start(Routine r) { timers_[index(r)].start(); }
+
+  /// Stops timing routine \p r, accumulating elapsed time.
+  void stop(Routine r) { timers_[index(r)].stop(); }
+
+  /// Accumulated seconds for routine \p r.
+  [[nodiscard]] double seconds(Routine r) const {
+    return timers_[index(r)].seconds();
+  }
+
+  /// Adds externally measured seconds to routine \p r (e.g. sort time
+  /// measured inside CSF construction).
+  void add_seconds(Routine r, double s) { timers_[index(r)].add_seconds(s); }
+
+  /// Sum of all routine timers (approximately the CP-ALS total).
+  [[nodiscard]] double total_seconds() const;
+
+  /// Resets every routine timer.
+  void reset();
+
+  /// Adds another table's per-routine seconds into this one.
+  /// Used to aggregate over trials.
+  void accumulate(const RoutineTimers& other);
+
+  /// Multiplies every accumulated time by \p factor (e.g. 1/trials).
+  void scale(double factor);
+
+ private:
+  static int index(Routine r) { return static_cast<int>(r); }
+  std::array<WallTimer, kNumRoutines> timers_{};
+};
+
+/// RAII guard that times routine \p r for the lifetime of the scope.
+class ScopedRoutineTimer {
+ public:
+  ScopedRoutineTimer(RoutineTimers& table, Routine r) : table_(table), r_(r) {
+    table_.start(r_);
+  }
+  ~ScopedRoutineTimer() { table_.stop(r_); }
+  ScopedRoutineTimer(const ScopedRoutineTimer&) = delete;
+  ScopedRoutineTimer& operator=(const ScopedRoutineTimer&) = delete;
+
+ private:
+  RoutineTimers& table_;
+  Routine r_;
+};
+
+}  // namespace sptd

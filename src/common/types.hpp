@@ -1,0 +1,36 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental index/value types shared by every sptd module.
+///
+/// SPLATT builds with 64-bit indices by default (IDX_TYPEWIDTH=64); we use
+/// 32-bit per-mode slice indices (safe to 4.29G slices per mode, half the
+/// memory traffic in CSF id arrays) and 64-bit nonzero counters/offsets.
+/// Values are IEEE double, matching both SPLATT and the Chapel port.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sptd {
+
+/// Per-mode slice index (a coordinate along one tensor mode).
+using idx_t = std::uint32_t;
+
+/// Nonzero count / offset into nonzero-length arrays.
+using nnz_t = std::uint64_t;
+
+/// Floating-point value type for tensor entries and factor matrices.
+using val_t = double;
+
+/// Maximum representable slice index, used as a sentinel.
+inline constexpr idx_t kIdxMax = std::numeric_limits<idx_t>::max();
+
+/// Maximum supported tensor order. SPLATT's compile-time MAX_NMODES is 8;
+/// we keep the same bound so fixed-size coordinate buffers stay tiny.
+inline constexpr int kMaxOrder = 8;
+
+/// Convenience alias for a list of mode lengths.
+using dims_t = std::vector<idx_t>;
+
+}  // namespace sptd

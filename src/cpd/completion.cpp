@@ -1,0 +1,226 @@
+#include "cpd/completion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/team.hpp"
+#include "sort/sort.hpp"
+
+namespace sptd {
+
+double rmse(const SparseTensor& observed, const KruskalModel& model,
+            int nthreads) {
+  SPTD_CHECK(observed.order() == model.order(), "rmse: order mismatch");
+  if (observed.nnz() == 0) {
+    return 0.0;
+  }
+  const int order = observed.order();
+  const idx_t rank = model.rank();
+  std::vector<double> partials(static_cast<std::size_t>(nthreads), 0.0);
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range r = block_partition(observed.nnz(), nt, tid);
+    double acc = 0.0;
+    for (nnz_t x = r.begin; x < r.end; ++x) {
+      val_t pred = 0;
+      for (idx_t k = 0; k < rank; ++k) {
+        val_t prod = model.lambda[k];
+        for (int m = 0; m < order; ++m) {
+          prod *= model.factors[static_cast<std::size_t>(m)](
+              observed.ind(m)[x], k);
+        }
+        pred += prod;
+      }
+      const double err = static_cast<double>(observed.vals()[x] - pred);
+      acc += err * err;
+    }
+    partials[static_cast<std::size_t>(tid)] = acc;
+  });
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return std::sqrt(total / static_cast<double>(observed.nnz()));
+}
+
+namespace {
+
+/// Observed entries grouped by slice of one mode: a CSR-like view used to
+/// walk "all nonzeros whose mode-m coordinate is i" during the row update.
+struct ModeSlices {
+  SparseTensor sorted;            ///< copy sorted with mode m primary
+  std::vector<nnz_t> slice_ptr;   ///< per-slice extents (dims[m]+1)
+};
+
+ModeSlices build_mode_slices(const SparseTensor& t, int mode, int nthreads) {
+  ModeSlices ms{t, {}};
+  sort_tensor(ms.sorted, mode, nthreads);
+  const idx_t dim = t.dim(mode);
+  ms.slice_ptr.assign(static_cast<std::size_t>(dim) + 1, 0);
+  const auto ind = ms.sorted.ind(mode);
+  for (const idx_t i : ind) {
+    ++ms.slice_ptr[static_cast<std::size_t>(i) + 1];
+  }
+  for (idx_t i = 0; i < dim; ++i) {
+    ms.slice_ptr[static_cast<std::size_t>(i) + 1] +=
+        ms.slice_ptr[static_cast<std::size_t>(i)];
+  }
+  return ms;
+}
+
+/// One ALS pass over mode m: for every row i, assemble and solve
+///   (Σ_{x ∈ slice i} c_x c_x^T + λI) a_i = Σ_{x ∈ slice i} X_x c_x
+/// where c_x is the Hadamard product of the other factors' rows at x.
+void update_mode(const ModeSlices& ms, int mode,
+                 std::vector<la::Matrix>& factors, double regularization,
+                 int nthreads) {
+  const SparseTensor& t = ms.sorted;
+  const int order = t.order();
+  const idx_t rank = factors[0].cols();
+  la::Matrix& target = factors[static_cast<std::size_t>(mode)];
+
+  // Balance slices by observation count.
+  const std::vector<nnz_t> bounds =
+      weighted_partition(ms.slice_ptr, nthreads);
+
+  parallel_region(nthreads, [&](int tid, int) {
+    la::Matrix normal(rank, rank);
+    std::vector<val_t> c(rank), b(rank);
+    const auto s_begin = static_cast<idx_t>(bounds[
+        static_cast<std::size_t>(tid)]);
+    const auto s_end = static_cast<idx_t>(bounds[
+        static_cast<std::size_t>(tid) + 1]);
+    for (idx_t i = s_begin; i < s_end; ++i) {
+      const nnz_t lo = ms.slice_ptr[i];
+      const nnz_t hi = ms.slice_ptr[static_cast<std::size_t>(i) + 1];
+      if (lo == hi) {
+        continue;  // unobserved row keeps its current value
+      }
+      normal.fill(val_t{0});
+      std::fill(b.begin(), b.end(), val_t{0});
+      for (nnz_t x = lo; x < hi; ++x) {
+        // c = Hadamard of the other factors' rows.
+        std::fill(c.begin(), c.end(), val_t{1});
+        for (int m = 0; m < order; ++m) {
+          if (m == mode) continue;
+          const val_t* row =
+              factors[static_cast<std::size_t>(m)].row_ptr(t.ind(m)[x]);
+          for (idx_t r = 0; r < rank; ++r) {
+            c[r] *= row[r];
+          }
+        }
+        const val_t v = t.vals()[x];
+        for (idx_t r = 0; r < rank; ++r) {
+          b[r] += v * c[r];
+          val_t* nrow = normal.row_ptr(r);
+          for (idx_t s = r; s < rank; ++s) {
+            nrow[s] += c[r] * c[s];
+          }
+        }
+      }
+      // Mirror + regularize, then solve via Cholesky.
+      for (idx_t r = 0; r < rank; ++r) {
+        normal(r, r) += static_cast<val_t>(regularization);
+        for (idx_t s = r + 1; s < rank; ++s) {
+          normal(s, r) = normal(r, s);
+        }
+      }
+      la::Matrix rhs(1, rank);
+      for (idx_t r = 0; r < rank; ++r) {
+        rhs(0, r) = b[r];
+      }
+      la::solve_normal_equations(normal, rhs, 1);
+      val_t* out = target.row_ptr(i);
+      for (idx_t r = 0; r < rank; ++r) {
+        out[r] = rhs(0, r);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+CompletionResult complete_tensor(const SparseTensor& train,
+                                 const SparseTensor* validation,
+                                 const CompletionOptions& options) {
+  SPTD_CHECK(train.nnz() > 0, "complete_tensor: empty training set");
+  SPTD_CHECK(options.rank >= 1, "complete_tensor: rank must be >= 1");
+  SPTD_CHECK(options.max_iterations >= 1,
+             "complete_tensor: need >= 1 iteration");
+  SPTD_CHECK(options.nthreads >= 1,
+             "complete_tensor: nthreads must be >= 1");
+  if (validation != nullptr) {
+    SPTD_CHECK(validation->order() == train.order(),
+               "complete_tensor: validation order mismatch");
+  }
+  init_parallel_runtime();
+
+  const int order = train.order();
+  const int nthreads = options.nthreads;
+
+  // Per-mode slice views (three sorted copies for a 3rd-order tensor; the
+  // memory trade is the same one SPLATT's completion code makes).
+  std::vector<ModeSlices> slices;
+  slices.reserve(static_cast<std::size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    slices.push_back(build_mode_slices(train, m, nthreads));
+  }
+
+  CompletionResult result;
+  KruskalModel& model = result.model;
+  model.lambda.assign(options.rank, val_t{1});
+  Rng rng(options.seed);
+  for (int m = 0; m < order; ++m) {
+    // Small random init keeps early predictions near zero, which is the
+    // right prior for sparse ratings-style data.
+    model.factors.push_back(
+        la::Matrix::random(train.dim(m), options.rank, rng));
+    for (val_t& v : model.factors.back().values()) {
+      v *= val_t{0.5};
+    }
+  }
+
+  double best_val = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < options.max_iterations; ++it) {
+    for (int m = 0; m < order; ++m) {
+      update_mode(slices[static_cast<std::size_t>(m)], m, model.factors,
+                  options.regularization, nthreads);
+    }
+    result.train_rmse.push_back(rmse(train, model, nthreads));
+    result.iterations = it + 1;
+    if (validation != nullptr && validation->nnz() > 0) {
+      const double v = rmse(*validation, model, nthreads);
+      result.val_rmse.push_back(v);
+      if (options.tolerance > 0.0 && it > 0 &&
+          v > best_val - options.tolerance) {
+        break;  // validation error stopped improving
+      }
+      best_val = std::min(best_val, v);
+    }
+  }
+  return result;
+}
+
+std::pair<SparseTensor, SparseTensor> split_train_test(
+    const SparseTensor& t, double holdout_fraction, std::uint64_t seed) {
+  SPTD_CHECK(holdout_fraction > 0.0 && holdout_fraction < 1.0,
+             "split_train_test: fraction must be in (0,1)");
+  Rng rng(seed);
+  SparseTensor train(t.dims());
+  SparseTensor test(t.dims());
+  const auto order = static_cast<std::size_t>(t.order());
+  std::array<idx_t, kMaxOrder> c{};
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    for (std::size_t m = 0; m < order; ++m) {
+      c[m] = t.ind(static_cast<int>(m))[x];
+    }
+    auto& dst = (rng.next_double() < holdout_fraction) ? test : train;
+    dst.push_back({c.data(), order}, t.vals()[x]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace sptd

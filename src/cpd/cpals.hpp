@@ -1,0 +1,87 @@
+#pragma once
+/// \file cpals.hpp
+/// \brief CP-ALS (Algorithm 1 of the paper): rank-R canonical polyadic
+///        decomposition of a sparse tensor by alternating least squares,
+///        with the per-routine timing breakdown the paper reports.
+
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "cpd/kruskal.hpp"
+#include "csf/csf.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "sort/sort.hpp"
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// All knobs of a CP-ALS run. Defaults match SPLATT's defaults and the
+/// reference implementation's code paths.
+struct CpalsOptions {
+  idx_t rank = 10;
+  int max_iterations = 50;
+  /// Stop when the fit improves by less than this between iterations.
+  /// Set to 0 to always run max_iterations (the paper runs a fixed 20).
+  double tolerance = 1e-5;
+  std::uint64_t seed = 23;  ///< factor initialization seed
+  int nthreads = 1;
+
+  CsfPolicy csf_policy = CsfPolicy::kTwoMode;
+  SortVariant sort_variant = SortVariant::kAllOpts;
+  RowAccess row_access = RowAccess::kPointer;
+  LockKind lock_kind = LockKind::kOmp;
+  double privatization_threshold = 0.02;
+  bool force_locks = false;
+  bool allow_privatization = true;
+
+  /// Compute the fit every iteration even when tolerance == 0 (the fit is
+  /// one of the paper's timed routines, so the default keeps it on).
+  bool compute_fit = true;
+
+  /// Non-negative CP (SPLATT's constrained CP): after each least-squares
+  /// solve, project the factor onto the non-negative orthant before
+  /// normalization. With non-negative data this yields parts-based,
+  /// interpretable components.
+  bool nonnegative = false;
+};
+
+/// Result of a CP-ALS run.
+struct CpalsResult {
+  KruskalModel model;
+  std::vector<double> fit_history;  ///< fit after each iteration
+  int iterations = 0;               ///< iterations actually performed
+  RoutineTimers timers;             ///< the paper's six routine timings
+  std::uint64_t csf_bytes = 0;      ///< CSF memory footprint
+};
+
+/// Named implementation presets matching the paper's legend entries:
+/// how the reference C code, the initial Chapel port, and the optimized
+/// Chapel port differ in this reproduction.
+struct ImplVariant {
+  std::string name;
+  RowAccess row_access;
+  LockKind lock_kind;
+  SortVariant sort_variant;
+};
+
+/// "c" (pointer/omp/all-opts), "chapel-initial" (slice/sync/initial),
+/// "chapel-optimize" (pointer/atomic/all-opts).
+const std::vector<ImplVariant>& impl_variants();
+
+/// Finds a variant by name; throws sptd::Error if unknown.
+const ImplVariant& find_impl_variant(const std::string& name);
+
+/// Applies a variant's fields onto \p opts.
+void apply_impl_variant(const ImplVariant& variant, CpalsOptions& opts);
+
+/// Runs CP-ALS. \p tensor is re-sorted in place during CSF construction
+/// (the paper's "Sort" routine, charged to the timers).
+CpalsResult cp_als(SparseTensor& tensor, const CpalsOptions& options);
+
+/// Runs CP-ALS on a pre-built CSF set (skips the sort/build; its timers
+/// then cover only the iteration routines).
+CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
+                       const CpalsOptions& options);
+
+}  // namespace sptd

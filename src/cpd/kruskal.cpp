@@ -1,0 +1,85 @@
+#include "cpd/kruskal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/blas.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd {
+
+val_t KruskalModel::value_at(std::span<const idx_t> coords) const {
+  SPTD_DCHECK(static_cast<int>(coords.size()) == order(),
+              "value_at: wrong order");
+  val_t sum = 0;
+  for (idx_t r = 0; r < rank(); ++r) {
+    val_t prod = lambda[r];
+    for (int m = 0; m < order(); ++m) {
+      prod *= factors[static_cast<std::size_t>(m)](coords[m], r);
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+val_t KruskalModel::norm_sq(int nthreads) const {
+  const idx_t r = rank();
+  la::Matrix had(r, r, val_t{1});
+  la::Matrix gram(r, r);
+  for (const auto& f : factors) {
+    la::ata(f, gram, nthreads);
+    la::hadamard_inplace(had, gram);
+  }
+  val_t acc = 0;
+  for (idx_t i = 0; i < r; ++i) {
+    for (idx_t j = 0; j < r; ++j) {
+      acc += lambda[i] * lambda[j] * had(i, j);
+    }
+  }
+  // Guard tiny negative round-off.
+  return acc < val_t{0} ? val_t{0} : acc;
+}
+
+val_t kruskal_inner(const SparseTensor& x, const KruskalModel& model,
+                    int nthreads) {
+  SPTD_CHECK(x.order() == model.order(), "kruskal_inner: order mismatch");
+  std::vector<val_t> partials(static_cast<std::size_t>(nthreads), val_t{0});
+  const int order = x.order();
+  const idx_t rank = model.rank();
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range range = block_partition(x.nnz(), nt, tid);
+    val_t acc = 0;
+    for (nnz_t n = range.begin; n < range.end; ++n) {
+      val_t entry = 0;
+      for (idx_t r = 0; r < rank; ++r) {
+        val_t prod = model.lambda[r];
+        for (int m = 0; m < order; ++m) {
+          prod *= model.factors[static_cast<std::size_t>(m)](
+              x.ind(m)[n], r);
+        }
+        entry += prod;
+      }
+      acc += entry * x.vals()[n];
+    }
+    partials[static_cast<std::size_t>(tid)] = acc;
+  });
+  val_t total = 0;
+  for (const val_t v : partials) total += v;
+  return total;
+}
+
+double KruskalModel::fit_to(const SparseTensor& x, int nthreads) const {
+  const val_t norm_x = x.norm_sq();
+  if (norm_x == val_t{0}) {
+    return 0.0;
+  }
+  const val_t norm_z = norm_sq(nthreads);
+  const val_t inner = kruskal_inner(x, *this, nthreads);
+  val_t residual_sq = norm_x + norm_z - 2 * inner;
+  if (residual_sq < val_t{0}) residual_sq = 0;
+  return 1.0 - std::sqrt(static_cast<double>(residual_sq)) /
+                   std::sqrt(static_cast<double>(norm_x));
+}
+
+}  // namespace sptd

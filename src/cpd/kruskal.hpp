@@ -1,0 +1,45 @@
+#pragma once
+/// \file kruskal.hpp
+/// \brief Kruskal-form tensor model: the output of CP decomposition —
+///        column-normalized factor matrices plus per-component weights λ
+///        (Algorithm 1's return value).
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// Rank-R Kruskal model: X ≈ Σ_r λ_r · a_r^(0) ∘ a_r^(1) ∘ ... (outer
+/// products of factor columns).
+struct KruskalModel {
+  std::vector<val_t> lambda;       ///< component weights (length rank)
+  std::vector<la::Matrix> factors; ///< one I_m x R matrix per mode
+
+  [[nodiscard]] int order() const { return static_cast<int>(factors.size()); }
+  [[nodiscard]] idx_t rank() const {
+    return static_cast<idx_t>(lambda.size());
+  }
+
+  /// Model value at one coordinate: Σ_r λ_r ∏_m A(m)(c_m, r).
+  [[nodiscard]] val_t value_at(std::span<const idx_t> coords) const;
+
+  /// ||Z||_F^2 of the modeled tensor, computed from the factor Gram
+  /// matrices: λ^T (⊙_m A(m)^T A(m)) λ. O(N·I·R^2), never densifies.
+  [[nodiscard]] val_t norm_sq(int nthreads) const;
+
+  /// Relative fit against \p x: 1 - ||X - Z||_F / ||X||_F, using the
+  /// standard sparse identity ||X - Z||^2 = ||X||^2 + ||Z||^2 - 2<X, Z>.
+  /// O(nnz·N·R).
+  [[nodiscard]] double fit_to(const SparseTensor& x, int nthreads) const;
+};
+
+/// <X, Z> between a sparse tensor and a Kruskal model, parallel over
+/// nonzeros.
+val_t kruskal_inner(const SparseTensor& x, const KruskalModel& model,
+                    int nthreads);
+
+}  // namespace sptd

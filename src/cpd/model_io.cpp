@@ -1,0 +1,94 @@
+#include "cpd/model_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sptd {
+
+void write_model(const KruskalModel& model, std::ostream& out) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<val_t>::max_digits10);
+  os << "sptd-kruskal 1\n";
+  os << "order " << model.order() << " rank " << model.rank() << "\n";
+  os << "lambda\n";
+  for (idx_t r = 0; r < model.rank(); ++r) {
+    if (r) os << ' ';
+    os << model.lambda[r];
+  }
+  os << "\n";
+  for (int m = 0; m < model.order(); ++m) {
+    const la::Matrix& f = model.factors[static_cast<std::size_t>(m)];
+    os << "factor " << m << ' ' << f.rows() << ' ' << f.cols() << "\n";
+    for (idx_t i = 0; i < f.rows(); ++i) {
+      const val_t* row = f.row_ptr(i);
+      for (idx_t j = 0; j < f.cols(); ++j) {
+        if (j) os << ' ';
+        os << row[j];
+      }
+      os << "\n";
+    }
+  }
+  out << os.str();
+}
+
+void write_model_file(const KruskalModel& model, const std::string& path) {
+  std::ofstream out(path);
+  SPTD_CHECK(out.good(), "write_model_file: cannot open " + path);
+  write_model(model, out);
+  SPTD_CHECK(out.good(), "write_model_file: write failed for " + path);
+}
+
+KruskalModel read_model(std::istream& in) {
+  std::string token;
+  int version = 0;
+  SPTD_CHECK(static_cast<bool>(in >> token >> version) &&
+                 token == "sptd-kruskal" && version == 1,
+             "read_model: bad header");
+  int order = 0;
+  idx_t rank = 0;
+  std::string order_kw, rank_kw;
+  SPTD_CHECK(static_cast<bool>(in >> order_kw >> order >> rank_kw >> rank) &&
+                 order_kw == "order" && rank_kw == "rank" && order >= 1 &&
+                 order <= kMaxOrder && rank >= 1,
+             "read_model: bad order/rank line");
+
+  KruskalModel model;
+  SPTD_CHECK(static_cast<bool>(in >> token) && token == "lambda",
+             "read_model: missing lambda section");
+  model.lambda.resize(rank);
+  for (idx_t r = 0; r < rank; ++r) {
+    SPTD_CHECK(static_cast<bool>(in >> model.lambda[r]),
+               "read_model: truncated lambda");
+  }
+
+  for (int m = 0; m < order; ++m) {
+    int mode = -1;
+    idx_t rows = 0, cols = 0;
+    SPTD_CHECK(static_cast<bool>(in >> token >> mode >> rows >> cols) &&
+                   token == "factor" && mode == m && rows >= 1 &&
+                   cols == rank,
+               "read_model: bad factor header for mode " +
+                   std::to_string(m));
+    la::Matrix f(rows, cols);
+    for (idx_t i = 0; i < rows; ++i) {
+      val_t* row = f.row_ptr(i);
+      for (idx_t j = 0; j < cols; ++j) {
+        SPTD_CHECK(static_cast<bool>(in >> row[j]),
+                   "read_model: truncated factor " + std::to_string(m));
+      }
+    }
+    model.factors.push_back(std::move(f));
+  }
+  return model;
+}
+
+KruskalModel read_model_file(const std::string& path) {
+  std::ifstream in(path);
+  SPTD_CHECK(in.good(), "read_model_file: cannot open " + path);
+  return read_model(in);
+}
+
+}  // namespace sptd

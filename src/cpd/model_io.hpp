@@ -1,0 +1,35 @@
+#pragma once
+/// \file model_io.hpp
+/// \brief Persistence for Kruskal models — the analogue of SPLATT's
+///        factor-matrix output files, so a decomposition can be computed
+///        once and analyzed elsewhere.
+///
+/// Text format (versioned):
+///   sptd-kruskal 1
+///   order <N> rank <R>
+///   lambda
+///   <R values on one line>
+///   factor <m> <rows> <cols>      (N times)
+///   <rows lines of cols values>
+
+#include <iosfwd>
+#include <string>
+
+#include "cpd/kruskal.hpp"
+
+namespace sptd {
+
+/// Writes a Kruskal model (full double precision).
+void write_model(const KruskalModel& model, std::ostream& out);
+
+/// Writes a Kruskal model to a file path.
+void write_model_file(const KruskalModel& model, const std::string& path);
+
+/// Reads a model written by write_model. Throws sptd::Error on malformed
+/// input.
+KruskalModel read_model(std::istream& in);
+
+/// Reads a model from a file path.
+KruskalModel read_model_file(const std::string& path);
+
+}  // namespace sptd

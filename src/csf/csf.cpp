@@ -1,0 +1,263 @@
+#include "csf/csf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "sort/sort.hpp"
+
+namespace sptd {
+
+CsfTensor::CsfTensor(const SparseTensor& coo, std::vector<int> mode_order)
+    : dims_(coo.dims()), mode_order_(std::move(mode_order)) {
+  const int order = coo.order();
+  SPTD_CHECK(static_cast<int>(mode_order_.size()) == order,
+             "CsfTensor: mode order length mismatch");
+  SPTD_CHECK(order >= 2, "CsfTensor: order must be >= 2");
+  {
+    std::vector<int> check = mode_order_;
+    std::sort(check.begin(), check.end());
+    for (int m = 0; m < order; ++m) {
+      SPTD_CHECK(check[static_cast<std::size_t>(m)] == m,
+                 "CsfTensor: mode order is not a permutation");
+    }
+  }
+  SPTD_DCHECK(is_sorted_perm(coo, mode_order_),
+              "CsfTensor: tensor must be sorted by mode_order");
+
+  const nnz_t nnz = coo.nnz();
+  const auto order_sz = static_cast<std::size_t>(order);
+  fptrs_.resize(order_sz - 1);
+  fids_.resize(order_sz);
+  vals_.assign(coo.vals().begin(), coo.vals().end());
+
+  // Leaf level: one entry per nonzero.
+  const auto leaf_mode = mode_order_[order_sz - 1];
+  fids_[order_sz - 1].assign(coo.ind(leaf_mode).begin(),
+                             coo.ind(leaf_mode).end());
+
+  // Upper levels, leaf-exclusive: a new fiber starts at nonzero x when any
+  // coordinate at this level or above differs from nonzero x-1.
+  // Build top-down so each level's fptr indexes the level below.
+  //
+  // First compute, for every nonzero, the shallowest level at which it
+  // differs from its predecessor (order = no new fiber anywhere).
+  std::vector<int> first_diff(nnz == 0 ? 0 : static_cast<std::size_t>(nnz));
+  if (nnz > 0) {
+    first_diff[0] = 0;
+    for (nnz_t x = 1; x < nnz; ++x) {
+      int lvl = order - 1;  // differs only at leaf (or not at all)
+      for (int l = 0; l < order - 1; ++l) {
+        const auto ind = coo.ind(mode_order_[static_cast<std::size_t>(l)]);
+        if (ind[x] != ind[x - 1]) {
+          lvl = l;
+          break;
+        }
+      }
+      first_diff[x] = lvl;
+    }
+  }
+
+  // Count fibers per level: a fiber starts at level l whenever
+  // first_diff[x] <= l (x = 0 starts a fiber at every level).
+  for (int l = 0; l < order - 1; ++l) {
+    auto& fid = fids_[static_cast<std::size_t>(l)];
+    auto& fp = fptrs_[static_cast<std::size_t>(l)];
+    const auto ind = coo.ind(mode_order_[static_cast<std::size_t>(l)]);
+    fid.clear();
+    fp.clear();
+    fp.push_back(0);
+    nnz_t children = 0;  // fibers seen so far at level l+1
+    for (nnz_t x = 0; x < nnz; ++x) {
+      const bool new_here = first_diff[x] <= l;
+      const bool new_child = first_diff[x] <= l + 1;
+      if (new_here) {
+        if (!fid.empty()) {
+          fp.push_back(children);
+        }
+        fid.push_back(ind[x]);
+      }
+      if (new_child || l + 1 == order - 1) {
+        // At the deepest non-leaf level every nonzero is a child.
+        ++children;
+      }
+    }
+    if (!fid.empty()) {
+      fp.push_back(children);
+    }
+  }
+
+  // Root nnz prefix for thread balancing: compose fptr chains down to the
+  // leaf level.
+  const nnz_t nroots = nfibers(0);
+  root_nnz_prefix_.assign(static_cast<std::size_t>(nroots) + 1, 0);
+  for (nnz_t s = 0; s <= nroots; ++s) {
+    nnz_t f = s;
+    for (int l = 0; l < order - 1; ++l) {
+      f = fptrs_[static_cast<std::size_t>(l)][f];
+    }
+    root_nnz_prefix_[s] = f;
+  }
+  SPTD_CHECK(root_nnz_prefix_.back() == nnz,
+             "CsfTensor: fiber pointers do not cover all nonzeros");
+}
+
+int CsfTensor::level_of_mode(int mode) const {
+  for (int l = 0; l < order(); ++l) {
+    if (mode_order_[static_cast<std::size_t>(l)] == mode) {
+      return l;
+    }
+  }
+  throw Error("level_of_mode: mode not in CSF");
+}
+
+SparseTensor CsfTensor::to_coo() const {
+  SparseTensor out(dims_);
+  out.reserve(nnz());
+  const int n = order();
+  std::array<idx_t, kMaxOrder> coords{};
+
+  // DFS over the forest, materializing coordinates.
+  // walk[l] is the current fiber index at level l.
+  std::vector<nnz_t> walk(static_cast<std::size_t>(n), 0);
+  std::array<idx_t, kMaxOrder> by_level{};
+
+  // Recursive expansion via explicit iteration over leaf positions:
+  // for each leaf x, find its ancestor fiber at each level by advancing
+  // walk pointers (leaves arrive in order, so ancestors only move forward).
+  for (nnz_t x = 0; x < nnz(); ++x) {
+    // Advance ancestors so that x falls inside their child ranges.
+    // Level n-2 fiber must satisfy fptr[n-2][f] <= x < fptr[n-2][f+1];
+    // walk upward from the leaf.
+    nnz_t child = x;
+    for (int l = n - 2; l >= 0; --l) {
+      auto& f = walk[static_cast<std::size_t>(l)];
+      const auto& fp = fptrs_[static_cast<std::size_t>(l)];
+      while (fp[f + 1] <= child) {
+        ++f;
+      }
+      by_level[static_cast<std::size_t>(l)] =
+          fids_[static_cast<std::size_t>(l)][f];
+      child = f;
+    }
+    by_level[static_cast<std::size_t>(n - 1)] =
+        fids_[static_cast<std::size_t>(n - 1)][x];
+    for (int l = 0; l < n; ++l) {
+      coords[static_cast<std::size_t>(mode_order_[
+          static_cast<std::size_t>(l)])] =
+          by_level[static_cast<std::size_t>(l)];
+    }
+    out.push_back({coords.data(), static_cast<std::size_t>(n)}, vals_[x]);
+  }
+  return out;
+}
+
+std::uint64_t CsfTensor::memory_bytes() const {
+  std::uint64_t bytes = vals_.size() * sizeof(val_t);
+  for (const auto& f : fids_) {
+    bytes += f.size() * sizeof(idx_t);
+  }
+  for (const auto& f : fptrs_) {
+    bytes += f.size() * sizeof(nnz_t);
+  }
+  bytes += root_nnz_prefix_.size() * sizeof(nnz_t);
+  return bytes;
+}
+
+CsfPolicy parse_csf_policy(const std::string& name) {
+  if (name == "one") return CsfPolicy::kOneMode;
+  if (name == "two") return CsfPolicy::kTwoMode;
+  if (name == "all") return CsfPolicy::kAllMode;
+  throw Error("unknown CSF policy '" + name + "' (expected one|two|all)");
+}
+
+const char* csf_policy_name(CsfPolicy policy) {
+  switch (policy) {
+    case CsfPolicy::kOneMode: return "one";
+    case CsfPolicy::kTwoMode: return "two";
+    case CsfPolicy::kAllMode: return "all";
+  }
+  return "?";
+}
+
+std::vector<int> csf_mode_order(const dims_t& dims, int root) {
+  const int order = static_cast<int>(dims.size());
+  std::vector<int> modes(static_cast<std::size_t>(order));
+  std::iota(modes.begin(), modes.end(), 0);
+  // Ascending mode length, ties by mode id (stable ordering).
+  std::stable_sort(modes.begin(), modes.end(), [&](int a, int b) {
+    return dims[static_cast<std::size_t>(a)] <
+           dims[static_cast<std::size_t>(b)];
+  });
+  if (root >= 0) {
+    const auto it = std::find(modes.begin(), modes.end(), root);
+    SPTD_CHECK(it != modes.end(), "csf_mode_order: root mode out of range");
+    modes.erase(it);
+    modes.insert(modes.begin(), root);
+  }
+  return modes;
+}
+
+CsfSet::CsfSet(SparseTensor& coo, CsfPolicy policy, int nthreads,
+               double* sort_seconds, SortVariant sort_variant)
+    : policy_(policy) {
+  std::vector<std::vector<int>> orders;
+  const dims_t& dims = coo.dims();
+  switch (policy) {
+    case CsfPolicy::kOneMode:
+      orders.push_back(csf_mode_order(dims, -1));
+      break;
+    case CsfPolicy::kTwoMode: {
+      orders.push_back(csf_mode_order(dims, -1));
+      // Second representation rooted at the *longest* mode.
+      const int longest = static_cast<int>(
+          std::max_element(dims.begin(), dims.end()) - dims.begin());
+      // Skip the duplicate if the tensor has a single distinct length.
+      if (orders.front().front() != longest) {
+        orders.push_back(csf_mode_order(dims, longest));
+      }
+      break;
+    }
+    case CsfPolicy::kAllMode:
+      for (int m = 0; m < coo.order(); ++m) {
+        orders.push_back(csf_mode_order(dims, m));
+      }
+      break;
+  }
+
+  csfs_.reserve(orders.size());
+  for (const auto& ord : orders) {
+    WallTimer sort_timer;
+    sort_timer.start();
+    sort_tensor_perm(coo, ord, nthreads, sort_variant);
+    sort_timer.stop();
+    if (sort_seconds != nullptr) {
+      *sort_seconds += sort_timer.seconds();
+    }
+    csfs_.emplace_back(coo, ord);
+  }
+}
+
+const CsfTensor& CsfSet::csf_for_mode(int mode, int& level) const {
+  // Prefer a representation where the mode is the root; otherwise fall
+  // back to the first (SPLATT dispatch).
+  for (const auto& csf : csfs_) {
+    if (csf.mode_at_level(0) == mode) {
+      level = 0;
+      return csf;
+    }
+  }
+  level = csfs_.front().level_of_mode(mode);
+  return csfs_.front();
+}
+
+std::uint64_t CsfSet::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& csf : csfs_) {
+    bytes += csf.memory_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace sptd

@@ -1,0 +1,145 @@
+#pragma once
+/// \file csf.hpp
+/// \brief Compressed Sparse Fiber (CSF) tensor storage (Smith & Karypis),
+///        the data structure SPLATT's MTTKRP is built on.
+///
+/// A CSF representation is a forest: one tree of coordinates per root-mode
+/// slice, with shared prefixes compressed. Level l stores, fiber-by-fiber,
+/// the coordinate of each fiber in mode `mode_order[l]` (fids) and the
+/// extent of its children at level l+1 (fptr). Leaves align 1:1 with
+/// nonzero values.
+///
+/// SPLATT allocates one, two, or N representations per tensor (trading
+/// memory for always-root MTTKRP kernels); `CsfSet` reproduces those
+/// policies and the per-mode kernel dispatch.
+
+#include <string>
+#include <vector>
+
+#include "sort/sort.hpp"
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// One CSF representation of a tensor.
+class CsfTensor {
+ public:
+  /// Builds a CSF from \p coo, which MUST already be sorted
+  /// lexicographically by \p mode_order (see sort_tensor_perm).
+  /// \p mode_order[0] is the root mode; \p mode_order.back() the leaf.
+  CsfTensor(const SparseTensor& coo, std::vector<int> mode_order);
+
+  /// Number of modes.
+  [[nodiscard]] int order() const {
+    return static_cast<int>(mode_order_.size());
+  }
+
+  /// Mode lengths of the original tensor (original mode numbering).
+  [[nodiscard]] const dims_t& dims() const { return dims_; }
+
+  /// The mode stored at tree level \p level.
+  [[nodiscard]] int mode_at_level(int level) const {
+    return mode_order_[static_cast<std::size_t>(level)];
+  }
+
+  /// The tree level where \p mode lives (0 = root).
+  [[nodiscard]] int level_of_mode(int mode) const;
+
+  /// Full mode order (root first).
+  [[nodiscard]] const std::vector<int>& mode_order() const {
+    return mode_order_;
+  }
+
+  /// Number of nonzeros (== leaf count).
+  [[nodiscard]] nnz_t nnz() const { return vals_.size(); }
+
+  /// Number of fibers at \p level (level order()-1 has nnz() "fibers").
+  [[nodiscard]] nnz_t nfibers(int level) const {
+    return fids_[static_cast<std::size_t>(level)].size();
+  }
+
+  /// Children extent array for \p level (length nfibers(level)+1); the
+  /// children of fiber f at level l are [fptr(l)[f], fptr(l)[f+1]) at
+  /// level l+1. Defined for levels 0 .. order()-2.
+  [[nodiscard]] std::span<const nnz_t> fptr(int level) const {
+    return fptrs_[static_cast<std::size_t>(level)];
+  }
+
+  /// Fiber coordinates at \p level, in mode mode_at_level(level).
+  [[nodiscard]] std::span<const idx_t> fids(int level) const {
+    return fids_[static_cast<std::size_t>(level)];
+  }
+
+  /// Leaf values, aligned with fids(order()-1).
+  [[nodiscard]] std::span<const val_t> vals() const { return vals_; }
+
+  /// Exclusive prefix of nonzeros under each root slice (length
+  /// nfibers(0)+1) — the weights used to balance tree ranges over threads.
+  [[nodiscard]] std::span<const nnz_t> root_nnz_prefix() const {
+    return root_nnz_prefix_;
+  }
+
+  /// Expands back to COO (original mode numbering, sorted order).
+  [[nodiscard]] SparseTensor to_coo() const;
+
+  /// Approximate heap footprint in bytes.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+ private:
+  dims_t dims_;
+  std::vector<int> mode_order_;
+  std::vector<std::vector<nnz_t>> fptrs_;  ///< levels 0..order-2
+  std::vector<std::vector<idx_t>> fids_;   ///< levels 0..order-1
+  std::vector<val_t> vals_;
+  std::vector<nnz_t> root_nnz_prefix_;
+};
+
+/// How many CSF representations to allocate (SPLATT's ALLOC_* options).
+enum class CsfPolicy : int {
+  kOneMode = 0,  ///< one CSF, smallest mode as root
+  kTwoMode,      ///< + one rooted at the largest mode (SPLATT default)
+  kAllMode,      ///< one CSF per mode, every MTTKRP uses a root kernel
+};
+
+/// Parses "one" / "two" / "all".
+CsfPolicy parse_csf_policy(const std::string& name);
+
+/// Name of a policy.
+const char* csf_policy_name(CsfPolicy policy);
+
+/// Root-first mode order for a CSF rooted at \p root: root, then the other
+/// modes sorted by ascending mode length (ties by mode id). With
+/// root == -1, picks the smallest mode as root (SPLATT's default order).
+std::vector<int> csf_mode_order(const dims_t& dims, int root);
+
+/// The set of CSF representations for a tensor under a policy, plus the
+/// per-mode dispatch SPLATT performs.
+class CsfSet {
+ public:
+  /// Sorts \p coo in place per representation and builds the set (its
+  /// nonzero order on return is that of the last representation built).
+  /// \p sort_seconds, if non-null, accumulates time spent sorting (the
+  /// paper's "Sort" routine). \p sort_variant selects the paper's sorting
+  /// implementation variant (Figure 1).
+  CsfSet(SparseTensor& coo, CsfPolicy policy, int nthreads,
+         double* sort_seconds = nullptr,
+         SortVariant sort_variant = SortVariant::kAllOpts);
+
+  [[nodiscard]] CsfPolicy policy() const { return policy_; }
+  [[nodiscard]] int order() const { return csfs_.front().order(); }
+  [[nodiscard]] const std::vector<CsfTensor>& csfs() const { return csfs_; }
+
+  /// The representation SPLATT would use for an MTTKRP producing \p mode,
+  /// and (out-param) the tree level of that mode in it: 0 selects the
+  /// root kernel; order()-1 the leaf kernel; otherwise internal.
+  [[nodiscard]] const CsfTensor& csf_for_mode(int mode, int& level) const;
+
+  /// Total memory across representations.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+ private:
+  CsfPolicy policy_;
+  std::vector<CsfTensor> csfs_;
+};
+
+}  // namespace sptd

@@ -1,0 +1,121 @@
+#include "la/blas.hpp"
+
+#include <vector>
+
+#include "parallel/partition.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd::la {
+
+void ata(const Matrix& a, Matrix& out, int nthreads) {
+  const idx_t rank = a.cols();
+  SPTD_CHECK(out.rows() == rank && out.cols() == rank, "ata: bad out shape");
+  const auto rank_sz = static_cast<std::size_t>(rank);
+
+  // Per-thread upper-triangular accumulators, then reduce + mirror.
+  PrivateBuffers partials(nthreads, static_cast<nnz_t>(rank_sz * rank_sz));
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range rows = block_partition(a.rows(), nt, tid);
+    val_t* acc = partials.buffer(tid).data();
+    for (nnz_t i = rows.begin; i < rows.end; ++i) {
+      const val_t* row = a.row_ptr(static_cast<idx_t>(i));
+      for (idx_t j = 0; j < rank; ++j) {
+        const val_t aij = row[j];
+        val_t* acc_row = acc + static_cast<std::size_t>(j) * rank_sz;
+        for (idx_t k = j; k < rank; ++k) {
+          acc_row[k] += aij * row[k];
+        }
+      }
+    }
+  });
+
+  out.fill(val_t{0});
+  partials.reduce_into(out.values(), nthreads);
+
+  // Mirror the strictly-upper triangle into the lower.
+  for (idx_t j = 0; j < rank; ++j) {
+    for (idx_t k = j + 1; k < rank; ++k) {
+      out(k, j) = out(j, k);
+    }
+  }
+}
+
+void hadamard_inplace(Matrix& out, const Matrix& b) {
+  SPTD_CHECK(out.rows() == b.rows() && out.cols() == b.cols(),
+             "hadamard: shape mismatch");
+  val_t* o = out.data();
+  const val_t* p = b.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    o[i] *= p[i];
+  }
+}
+
+void gram_hadamard(const std::vector<Matrix>& grams, int skip, Matrix& out) {
+  SPTD_CHECK(!grams.empty(), "gram_hadamard: no gram matrices");
+  const idx_t rank = grams.front().rows();
+  SPTD_CHECK(out.rows() == rank && out.cols() == rank,
+             "gram_hadamard: bad out shape");
+  out.fill(val_t{1});
+  for (int n = 0; n < static_cast<int>(grams.size()); ++n) {
+    if (n == skip) continue;
+    hadamard_inplace(out, grams[static_cast<std::size_t>(n)]);
+  }
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
+  SPTD_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  SPTD_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+             "matmul: bad out shape");
+  c.fill(val_t{0});
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    val_t* crow = c.row_ptr(i);
+    const val_t* arow = a.row_ptr(i);
+    for (idx_t k = 0; k < a.cols(); ++k) {
+      const val_t aik = arow[k];
+      const val_t* brow = b.row_ptr(k);
+      for (idx_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
+  SPTD_CHECK(a.rows() == b.rows(), "matmul_at_b: row mismatch");
+  SPTD_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+             "matmul_at_b: bad out shape");
+  c.fill(val_t{0});
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    const val_t* arow = a.row_ptr(i);
+    const val_t* brow = b.row_ptr(i);
+    for (idx_t k = 0; k < a.cols(); ++k) {
+      const val_t aik = arow[k];
+      val_t* crow = c.row_ptr(k);
+      for (idx_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+val_t fro_inner(const Matrix& a, const Matrix& b, int nthreads) {
+  SPTD_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "fro_inner: shape mismatch");
+  std::vector<val_t> partials(static_cast<std::size_t>(nthreads), val_t{0});
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range r = block_partition(a.size(), nt, tid);
+    const val_t* pa = a.data();
+    const val_t* pb = b.data();
+    val_t acc = 0;
+    for (nnz_t i = r.begin; i < r.end; ++i) {
+      acc += pa[i] * pb[i];
+    }
+    partials[static_cast<std::size_t>(tid)] = acc;
+  });
+  val_t total = 0;
+  for (const val_t v : partials) total += v;
+  return total;
+}
+
+}  // namespace sptd::la

@@ -1,0 +1,39 @@
+#pragma once
+/// \file blas.hpp
+/// \brief The small set of BLAS-like kernels CP-ALS needs.
+///
+/// The paper's codes call OpenBLAS syrk for the Gram matrices; we provide
+/// hand-written equivalents (R is small — 35 in the paper — so these are
+/// O(I R^2) streaming kernels that OpenBLAS would not meaningfully beat at
+/// this size). Each kernel takes an explicit thread count because the
+/// benches sweep team sizes.
+
+#include "la/matrix.hpp"
+
+namespace sptd::la {
+
+/// out = A^T * A (cols x cols), the `syrk` the paper's "Mat A^TA" routine
+/// performs on each factor matrix. Parallelized over row blocks with
+/// per-thread accumulators. Only the upper triangle is computed, then
+/// mirrored (matching LAPACK syrk + symmetrization).
+void ata(const Matrix& a, Matrix& out, int nthreads);
+
+/// out ∗= b elementwise (Hadamard). Shapes must match.
+void hadamard_inplace(Matrix& out, const Matrix& b);
+
+/// out = elementwise product of every gram[i] with i != skip.
+/// This is lines 4/7/10 of Algorithm 1: V = ∏_{n≠skip} A(n)^T A(n).
+/// All matrices must be square with identical shape.
+void gram_hadamard(const std::vector<Matrix>& grams, int skip, Matrix& out);
+
+/// c = a * b (general dense, small sizes; used by tests and fit checks).
+void matmul(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// c = a^T * b.
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Sum over all i,j of a(i,j)*b(i,j) — the Frobenius inner product.
+/// Parallelized; used by the CPD fit computation.
+val_t fro_inner(const Matrix& a, const Matrix& b, int nthreads);
+
+}  // namespace sptd::la

@@ -1,0 +1,92 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sptd::la {
+
+void symmetric_eigen(const Matrix& a, std::span<val_t> eigenvalues,
+                     Matrix& eigenvectors) {
+  const idx_t n = a.rows();
+  SPTD_CHECK(a.cols() == n, "symmetric_eigen: matrix must be square");
+  SPTD_CHECK(eigenvalues.size() == n, "symmetric_eigen: eigenvalue size");
+  SPTD_CHECK(eigenvectors.rows() == n && eigenvectors.cols() == n,
+             "symmetric_eigen: eigenvector shape");
+
+  Matrix work = a;
+  eigenvectors = Matrix::identity(n);
+  if (n == 1) {
+    eigenvalues[0] = work(0, 0);
+    return;
+  }
+
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass.
+    val_t off = 0;
+    for (idx_t p = 0; p < n; ++p) {
+      for (idx_t q = p + 1; q < n; ++q) {
+        off += work(p, q) * work(p, q);
+      }
+    }
+    if (off < val_t{1e-26} * std::max(val_t{1}, work.fro_norm_sq())) {
+      break;
+    }
+    for (idx_t p = 0; p < n; ++p) {
+      for (idx_t q = p + 1; q < n; ++q) {
+        const val_t apq = work(p, q);
+        if (apq == val_t{0}) continue;
+        const val_t app = work(p, p);
+        const val_t aqq = work(q, q);
+        // Rotation angle zeroing (p,q).
+        const val_t theta = (aqq - app) / (2 * apq);
+        const val_t t = (theta >= 0 ? val_t{1} : val_t{-1}) /
+                        (std::abs(theta) +
+                         std::sqrt(theta * theta + val_t{1}));
+        const val_t c = val_t{1} / std::sqrt(t * t + val_t{1});
+        const val_t s = t * c;
+        // A <- J^T A J applied to rows/cols p and q.
+        for (idx_t k = 0; k < n; ++k) {
+          const val_t akp = work(k, p);
+          const val_t akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (idx_t k = 0; k < n; ++k) {
+          const val_t apk = work(p, k);
+          const val_t aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (idx_t k = 0; k < n; ++k) {
+          const val_t vkp = eigenvectors(k, p);
+          const val_t vkq = eigenvectors(k, q);
+          eigenvectors(k, p) = c * vkp - s * vkq;
+          eigenvectors(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue, permuting eigenvector columns.
+  std::vector<idx_t> order(n);
+  std::iota(order.begin(), order.end(), idx_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](idx_t x, idx_t y) {
+    return work(x, x) > work(y, y);
+  });
+  Matrix sorted_vectors(n, n);
+  for (idx_t j = 0; j < n; ++j) {
+    eigenvalues[j] = work(order[j], order[j]);
+    for (idx_t i = 0; i < n; ++i) {
+      sorted_vectors(i, j) = eigenvectors(i, order[j]);
+    }
+  }
+  eigenvectors = std::move(sorted_vectors);
+}
+
+}  // namespace sptd::la

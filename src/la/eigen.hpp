@@ -1,0 +1,25 @@
+#pragma once
+/// \file eigen.hpp
+/// \brief Symmetric eigendecomposition (cyclic Jacobi) for the small
+///        Gram matrices HOOI needs.
+///
+/// Tucker/HOOI updates each factor with the leading left singular vectors
+/// of the I_m x K TTMc output, obtained from the eigenvectors of its
+/// K x K Gram matrix (K = prod of the other core dimensions, small).
+/// Jacobi is exact, simple and plenty fast at K <= a few hundred — the
+/// same role LAPACK's syev plays for SPLATT's Tucker code.
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace sptd::la {
+
+/// Eigendecomposition of a symmetric matrix \p a (n x n):
+/// fills \p eigenvalues (descending) and \p eigenvectors (columns match
+/// eigenvalue order). \p a is not modified.
+/// Uses cyclic Jacobi sweeps until off-diagonal mass is ~machine-eps.
+void symmetric_eigen(const Matrix& a, std::span<val_t> eigenvalues,
+                     Matrix& eigenvectors);
+
+}  // namespace sptd::la

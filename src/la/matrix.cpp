@@ -1,0 +1,56 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "parallel/partition.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd::la {
+
+Matrix Matrix::random(idx_t rows, idx_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) {
+    v = rng.next_double();
+  }
+  return m;
+}
+
+Matrix Matrix::identity(idx_t n) {
+  Matrix m(n, n);
+  for (idx_t i = 0; i < n; ++i) {
+    m(i, i) = val_t{1};
+  }
+  return m;
+}
+
+void Matrix::fill(val_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::zero_parallel(int nthreads) {
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range r = block_partition(data_.size(), nt, tid);
+    std::memset(data_.data() + r.begin, 0,
+                static_cast<std::size_t>(r.size()) * sizeof(val_t));
+  });
+}
+
+val_t Matrix::max_abs_diff(const Matrix& other) const {
+  SPTD_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "max_abs_diff: shape mismatch");
+  val_t worst = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+val_t Matrix::fro_norm_sq() const {
+  val_t acc = 0;
+  for (const val_t v : data_) {
+    acc += v * v;
+  }
+  return acc;
+}
+
+}  // namespace sptd::la

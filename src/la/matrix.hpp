@@ -1,0 +1,97 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief Dense row-major matrix used for CP factor matrices and Gram
+///        matrices.
+///
+/// Both SPLATT and the paper's Chapel port store factor matrices densely
+/// with R (rank) columns. SPLATT keeps them as flat 1D arrays in row-major
+/// order and reaches rows by pointer arithmetic; the Chapel port's
+/// row-access policies (slice / 2D index / pointer — Figures 2-3) are
+/// implemented against this same class in mttkrp/row_access.hpp, so the
+/// layout never changes, only the access idiom.
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace sptd::la {
+
+/// Dense row-major matrix of val_t.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all entries \p init.
+  Matrix(idx_t rows, idx_t cols, val_t init = val_t{0})
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, init) {}
+
+  /// Matrix with entries drawn uniformly from [0, 1), like SPLATT's
+  /// mat_rand factor initialization.
+  static Matrix random(idx_t rows, idx_t cols, Rng& rng);
+
+  /// Identity matrix of size n.
+  static Matrix identity(idx_t n);
+
+  [[nodiscard]] idx_t rows() const { return rows_; }
+  [[nodiscard]] idx_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Element access (debug-checked).
+  val_t& operator()(idx_t i, idx_t j) {
+    SPTD_DCHECK(i < rows_ && j < cols_, "Matrix index out of range");
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  val_t operator()(idx_t i, idx_t j) const {
+    SPTD_DCHECK(i < rows_ && j < cols_, "Matrix index out of range");
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  /// Raw pointer to row \p i (the reference implementation's idiom).
+  [[nodiscard]] val_t* row_ptr(idx_t i) {
+    SPTD_DCHECK(i < rows_, "row_ptr out of range");
+    return data_.data() + static_cast<std::size_t>(i) * cols_;
+  }
+  [[nodiscard]] const val_t* row_ptr(idx_t i) const {
+    SPTD_DCHECK(i < rows_, "row_ptr out of range");
+    return data_.data() + static_cast<std::size_t>(i) * cols_;
+  }
+
+  /// Row \p i as a span.
+  [[nodiscard]] std::span<val_t> row(idx_t i) { return {row_ptr(i), cols_}; }
+  [[nodiscard]] std::span<const val_t> row(idx_t i) const {
+    return {row_ptr(i), cols_};
+  }
+
+  /// Whole buffer (row-major).
+  [[nodiscard]] val_t* data() { return data_.data(); }
+  [[nodiscard]] const val_t* data() const { return data_.data(); }
+  [[nodiscard]] std::span<val_t> values() { return data_; }
+  [[nodiscard]] std::span<const val_t> values() const { return data_; }
+
+  /// Sets every entry to \p v.
+  void fill(val_t v);
+
+  /// Sets every entry to zero in parallel (used between MTTKRP calls).
+  void zero_parallel(int nthreads);
+
+  /// Maximum absolute elementwise difference against \p other
+  /// (shapes must match).
+  [[nodiscard]] val_t max_abs_diff(const Matrix& other) const;
+
+  /// Frobenius norm squared.
+  [[nodiscard]] val_t fro_norm_sq() const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  idx_t rows_ = 0;
+  idx_t cols_ = 0;
+  std::vector<val_t> data_;
+};
+
+}  // namespace sptd::la

@@ -1,0 +1,93 @@
+#include "la/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "parallel/partition.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd::la {
+
+void normalize_columns(Matrix& a, std::span<val_t> lambda, MatNorm which,
+                       int nthreads) {
+  const idx_t rank = a.cols();
+  SPTD_CHECK(lambda.size() == rank, "normalize_columns: lambda size");
+
+  // Phase 1: per-thread partial column statistics.
+  PrivateBuffers partials(nthreads, rank);
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range rows = block_partition(a.rows(), nt, tid);
+    val_t* part = partials.buffer(tid).data();
+    for (nnz_t i = rows.begin; i < rows.end; ++i) {
+      const val_t* row = a.row_ptr(static_cast<idx_t>(i));
+      if (which == MatNorm::kTwo) {
+        for (idx_t j = 0; j < rank; ++j) {
+          part[j] += row[j] * row[j];
+        }
+      } else {
+        for (idx_t j = 0; j < rank; ++j) {
+          part[j] = std::max(part[j], std::abs(row[j]));
+        }
+      }
+    }
+  });
+
+  // Phase 2: combine partials into lambda.
+  for (idx_t j = 0; j < rank; ++j) {
+    lambda[j] = val_t{0};
+  }
+  for (int t = 0; t < nthreads; ++t) {
+    const val_t* part = partials.buffer(t).data();
+    for (idx_t j = 0; j < rank; ++j) {
+      lambda[j] = (which == MatNorm::kTwo) ? lambda[j] + part[j]
+                                           : std::max(lambda[j], part[j]);
+    }
+  }
+  for (idx_t j = 0; j < rank; ++j) {
+    if (which == MatNorm::kTwo) {
+      lambda[j] = std::sqrt(lambda[j]);
+    } else {
+      // SPLATT's max-norm clamps at 1 so later iterations only shrink
+      // columns that grew, never inflate small ones.
+      lambda[j] = std::max(lambda[j], val_t{1});
+    }
+    if (lambda[j] == val_t{0}) {
+      lambda[j] = val_t{1};
+    }
+  }
+
+  // Phase 3: scale columns.
+  std::vector<val_t> inv(rank);
+  for (idx_t j = 0; j < rank; ++j) {
+    inv[j] = val_t{1} / lambda[j];
+  }
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range rows = block_partition(a.rows(), nt, tid);
+    for (nnz_t i = rows.begin; i < rows.end; ++i) {
+      val_t* row = a.row_ptr(static_cast<idx_t>(i));
+      for (idx_t j = 0; j < rank; ++j) {
+        row[j] *= inv[j];
+      }
+    }
+  });
+}
+
+void column_two_norms(const Matrix& a, std::span<val_t> out) {
+  SPTD_CHECK(out.size() == a.cols(), "column_two_norms: out size");
+  for (idx_t j = 0; j < a.cols(); ++j) {
+    out[j] = val_t{0};
+  }
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    const val_t* row = a.row_ptr(i);
+    for (idx_t j = 0; j < a.cols(); ++j) {
+      out[j] += row[j] * row[j];
+    }
+  }
+  for (idx_t j = 0; j < a.cols(); ++j) {
+    out[j] = std::sqrt(out[j]);
+  }
+}
+
+}  // namespace sptd::la

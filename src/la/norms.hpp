@@ -1,0 +1,28 @@
+#pragma once
+/// \file norms.hpp
+/// \brief Factor-matrix column normalization — the paper's "Mat norm"
+///        routine (lines 6/9/12 of Algorithm 1).
+///
+/// SPLATT normalizes factor columns with the 2-norm on the first CP-ALS
+/// iteration and the max-norm (largest entry, clamped at >= 1) on later
+/// iterations; the column norms are stored in lambda. We reproduce both.
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace sptd::la {
+
+/// Which column norm to apply.
+enum class MatNorm { kTwo, kMax };
+
+/// Normalizes every column of \p a by the chosen norm, writing the norms to
+/// \p lambda (length a.cols()). Zero-norm columns get lambda 1 and are left
+/// unchanged. Parallelized over row blocks with per-thread partials.
+void normalize_columns(Matrix& a, std::span<val_t> lambda, MatNorm which,
+                       int nthreads);
+
+/// Column 2-norms without modifying the matrix (testing/diagnostics).
+void column_two_norms(const Matrix& a, std::span<val_t> out);
+
+}  // namespace sptd::la

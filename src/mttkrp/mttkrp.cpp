@@ -1,0 +1,660 @@
+#include "mttkrp/mttkrp.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "parallel/partition.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd {
+
+const char* sync_strategy_name(SyncStrategy s) {
+  switch (s) {
+    case SyncStrategy::kNone:      return "none";
+    case SyncStrategy::kLock:      return "lock";
+    case SyncStrategy::kPrivatize: return "privatize";
+    case SyncStrategy::kTile:      return "tile";
+  }
+  return "?";
+}
+
+RowAccess parse_row_access(const std::string& name) {
+  if (name == "slice") return RowAccess::kSlice;
+  if (name == "2d" || name == "index2d") return RowAccess::kIndex2D;
+  if (name == "pointer") return RowAccess::kPointer;
+  throw Error("unknown row access '" + name + "' (expected slice|2d|pointer)");
+}
+
+const char* row_access_name(RowAccess ra) {
+  switch (ra) {
+    case RowAccess::kSlice:   return "slice";
+    case RowAccess::kIndex2D: return "2d";
+    case RowAccess::kPointer: return "pointer";
+  }
+  return "?";
+}
+
+SyncStrategy choose_sync_strategy(const dims_t& dims, int out_mode, int level,
+                                  nnz_t nnz, const MttkrpOptions& opts) {
+  if (level == 0 || opts.nthreads == 1) {
+    return SyncStrategy::kNone;
+  }
+  if (opts.force_locks) {
+    return SyncStrategy::kLock;
+  }
+  // Tiling applies to leaf kernels only: upper levels would need 2-D
+  // tiling to keep both the walk and the writes partitioned.
+  if (opts.use_tiling &&
+      level == static_cast<int>(dims.size()) - 1) {
+    return SyncStrategy::kTile;
+  }
+  if (opts.allow_privatization) {
+    const double replicated =
+        static_cast<double>(dims[static_cast<std::size_t>(out_mode)]) *
+        static_cast<double>(opts.nthreads);
+    if (replicated <= opts.privatization_threshold *
+                          static_cast<double>(nnz)) {
+      return SyncStrategy::kPrivatize;
+    }
+  }
+  return SyncStrategy::kLock;
+}
+
+MttkrpWorkspace::MttkrpWorkspace(const MttkrpOptions& opts, idx_t rank,
+                                 int order)
+    : opts_(opts), rank_(rank), order_(order), pool_(opts.lock_kind) {
+  SPTD_CHECK(opts.nthreads >= 1, "MttkrpWorkspace: nthreads must be >= 1");
+  SPTD_CHECK(rank >= 1, "MttkrpWorkspace: rank must be >= 1");
+  // Slots per thread: path products (order), children sums (order), plus
+  // two scratch rows; each slot padded to a cache line boundary.
+  slot_stride_ = ((static_cast<std::size_t>(rank) * sizeof(val_t) +
+                   kCacheLineBytes - 1) /
+                  kCacheLineBytes) *
+                 kCacheLineBytes / sizeof(val_t);
+  slots_per_thread_ = 2 * static_cast<std::size_t>(order) + 2;
+  accum_storage_.assign(static_cast<std::size_t>(opts.nthreads) *
+                            slots_per_thread_ * slot_stride_,
+                        val_t{0});
+}
+
+val_t* MttkrpWorkspace::accum(int tid, int slot) {
+  SPTD_DCHECK(tid >= 0 && tid < opts_.nthreads, "accum: bad tid");
+  SPTD_DCHECK(slot >= 0 &&
+                  static_cast<std::size_t>(slot) < slots_per_thread_,
+              "accum: bad slot");
+  return accum_storage_.data() +
+         (static_cast<std::size_t>(tid) * slots_per_thread_ +
+          static_cast<std::size_t>(slot)) *
+             slot_stride_;
+}
+
+PrivateBuffers& MttkrpWorkspace::privatized(idx_t rows) {
+  const nnz_t need = static_cast<nnz_t>(rows) * rank_;
+  if (!priv_ || priv_capacity_ < need) {
+    priv_ = std::make_unique<PrivateBuffers>(opts_.nthreads, need);
+    priv_capacity_ = need;
+  }
+  return *priv_;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Output sinks: how a kernel deposits a length-R contribution row.
+// ---------------------------------------------------------------------
+
+/// Unsynchronized write into the real output matrix (root kernel, or any
+/// kernel on one thread).
+template <typename RA>
+struct DirectSink {
+  la::Matrix* out;
+  void add(idx_t row, const val_t* vec, idx_t rank) const {
+    const auto handle = RA::row(*out, row);
+    for (idx_t j = 0; j < rank; ++j) {
+      handle.add(j, vec[j]);
+    }
+  }
+};
+
+/// Mutex-pool-guarded write (the paper's lock study).
+template <typename RA>
+struct LockedSink {
+  la::Matrix* out;
+  AnyMutexPool* pool;
+  void add(idx_t row, const val_t* vec, idx_t rank) const {
+    pool->lock(row);
+    const auto handle = RA::row(*out, row);
+    for (idx_t j = 0; j < rank; ++j) {
+      handle.add(j, vec[j]);
+    }
+    pool->unlock(row);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Kernel context: CSF arrays + factors arranged by tree level.
+// ---------------------------------------------------------------------
+
+struct KernelCtx {
+  const CsfTensor* csf;
+  std::vector<const la::Matrix*> factor_at_level;
+  idx_t rank;
+  MttkrpWorkspace* ws;
+};
+
+/// Slot layout inside the workspace accumulators.
+inline int path_slot(int level) { return level; }
+inline int cs_slot(const KernelCtx& ctx, int level) {
+  return ctx.csf->order() + level;
+}
+inline int extra_slot(const KernelCtx& ctx, int which) {
+  return 2 * ctx.csf->order() + which;
+}
+
+/// Accumulates G(f, l) into dst, where
+///   G(leaf x)    = vals[x] * F_leaf(fids[x], :)
+///   G(fiber f,l) = F_l(fids_l[f], :) ⊙ sum_children G(child, l+1).
+/// This is the "pull up" half of the CSF MTTKRP (Smith & Karypis).
+template <typename RA>
+void accumulate_g(const KernelCtx& ctx, int l, nnz_t f, val_t* dst,
+                  int tid) {
+  const CsfTensor& csf = *ctx.csf;
+  const idx_t rank = ctx.rank;
+  const int order = csf.order();
+  const auto fids = csf.fids(l);
+
+  if (l == order - 1) {
+    // f is a nonzero.
+    const auto row = RA::row(*ctx.factor_at_level[static_cast<std::size_t>(l)],
+                             fids[f]);
+    const val_t v = csf.vals()[f];
+    for (idx_t r = 0; r < rank; ++r) {
+      dst[r] += v * row.get(r);
+    }
+    return;
+  }
+
+  val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
+  std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+  const auto fptr = csf.fptr(l);
+
+  if (l == order - 2) {
+    // Children are nonzeros: fuse the leaf loop (the hot inner loop).
+    const auto leaf_fids = csf.fids(order - 1);
+    const auto vals = csf.vals();
+    const la::Matrix& leaf_factor =
+        *ctx.factor_at_level[static_cast<std::size_t>(order - 1)];
+    for (nnz_t x = fptr[f]; x < fptr[f + 1]; ++x) {
+      const auto row = RA::row(leaf_factor, leaf_fids[x]);
+      const val_t v = vals[x];
+      for (idx_t r = 0; r < rank; ++r) {
+        cs[r] += v * row.get(r);
+      }
+    }
+  } else {
+    for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+      accumulate_g<RA>(ctx, l + 1, c, cs, tid);
+    }
+  }
+
+  const auto row = RA::row(*ctx.factor_at_level[static_cast<std::size_t>(l)],
+                           fids[f]);
+  for (idx_t r = 0; r < rank; ++r) {
+    dst[r] += row.get(r) * cs[r];
+  }
+}
+
+/// Root kernel: out(fids0[s], :) += sum_children G(child, 1). Trees are
+/// partitioned across threads by nonzero weight; no write conflicts.
+template <typename RA, typename Sink>
+void kernel_root(const KernelCtx& ctx, const Sink& sink, int nthreads) {
+  const CsfTensor& csf = *ctx.csf;
+  const idx_t rank = ctx.rank;
+  const auto bounds = weighted_partition(csf.root_nnz_prefix(), nthreads);
+  parallel_region(nthreads, [&](int tid, int) {
+    const auto fids0 = csf.fids(0);
+    const auto fptr0 = csf.fptr(0);
+    val_t* acc = ctx.ws->accum(tid, extra_slot(ctx, 0));
+    for (nnz_t s = bounds[static_cast<std::size_t>(tid)];
+         s < bounds[static_cast<std::size_t>(tid) + 1]; ++s) {
+      std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+      for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+        accumulate_g<RA>(ctx, 1, c, acc, tid);
+      }
+      sink.add(fids0[s], acc, rank);
+    }
+  });
+}
+
+/// Leaf kernel: push path products down, deposit at nonzeros:
+///   out(leaf_fid, :) += val * (F_0 row ⊙ ... ⊙ F_{N-2} row).
+template <typename RA, typename Sink>
+void kernel_leaf(const KernelCtx& ctx, const Sink& sink, int nthreads) {
+  const CsfTensor& csf = *ctx.csf;
+  const idx_t rank = ctx.rank;
+  const int order = csf.order();
+  const auto bounds = weighted_partition(csf.root_nnz_prefix(), nthreads);
+
+  // Recursive descent writing path products into per-level slots.
+  struct Walker {
+    const KernelCtx& ctx;
+    const Sink& sink;
+    int tid;
+
+    void descend(int l, nnz_t f) const {
+      const CsfTensor& csf = *ctx.csf;
+      const idx_t rank = ctx.rank;
+      const int order = csf.order();
+      const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
+      val_t* mine = ctx.ws->accum(tid, path_slot(l));
+      const auto row = RA::row(
+          *ctx.factor_at_level[static_cast<std::size_t>(l)], csf.fids(l)[f]);
+      for (idx_t r = 0; r < rank; ++r) {
+        mine[r] = parent[r] * row.get(r);
+      }
+      const auto fptr = csf.fptr(l);
+      if (l == order - 2) {
+        // Children are the nonzeros: deposit.
+        const auto leaf_fids = csf.fids(order - 1);
+        const auto vals = csf.vals();
+        val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+        for (nnz_t x = fptr[f]; x < fptr[f + 1]; ++x) {
+          const val_t v = vals[x];
+          for (idx_t r = 0; r < rank; ++r) {
+            tmp[r] = v * mine[r];
+          }
+          sink.add(leaf_fids[x], tmp, rank);
+        }
+      } else {
+        for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+          descend(l + 1, c);
+        }
+      }
+    }
+  };
+
+  parallel_region(nthreads, [&](int tid, int) {
+    const auto fids0 = csf.fids(0);
+    const auto fptr0 = csf.fptr(0);
+    const Walker walker{ctx, sink, tid};
+    val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+    for (nnz_t s = bounds[static_cast<std::size_t>(tid)];
+         s < bounds[static_cast<std::size_t>(tid) + 1]; ++s) {
+      const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
+      for (idx_t r = 0; r < rank; ++r) {
+        p0[r] = row.get(r);
+      }
+      if (order == 2) {
+        // Root's children are the nonzeros.
+        const auto leaf_fids = csf.fids(1);
+        const auto vals = csf.vals();
+        val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+        for (nnz_t x = fptr0[s]; x < fptr0[s + 1]; ++x) {
+          const val_t v = vals[x];
+          for (idx_t r = 0; r < rank; ++r) {
+            tmp[r] = v * p0[r];
+          }
+          sink.add(leaf_fids[x], tmp, rank);
+        }
+      } else {
+        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+          walker.descend(1, c);
+        }
+      }
+    }
+  });
+}
+
+/// Tiled leaf kernel (SPLATT's tiling alternative): the leaf-mode index
+/// space is split into per-thread tiles weighted by leaf frequency; every
+/// thread walks the whole forest but deposits only leaves inside its own
+/// tile. Writes are conflict-free (DirectSink); the price is replicated
+/// path-product work at the upper levels.
+template <typename RA>
+void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
+                       int nthreads) {
+  const CsfTensor& csf = *ctx.csf;
+  const idx_t rank = ctx.rank;
+  const int order = csf.order();
+  const int leaf_mode = csf.mode_at_level(order - 1);
+  const idx_t leaf_dim = csf.dims()[static_cast<std::size_t>(leaf_mode)];
+  const auto leaf_fids = csf.fids(order - 1);
+
+  // Tile boundaries balanced by leaf occurrences.
+  std::vector<nnz_t> hist(static_cast<std::size_t>(leaf_dim) + 1, 0);
+  for (const idx_t id : leaf_fids) {
+    ++hist[static_cast<std::size_t>(id) + 1];
+  }
+  for (idx_t i = 0; i < leaf_dim; ++i) {
+    hist[static_cast<std::size_t>(i) + 1] +=
+        hist[static_cast<std::size_t>(i)];
+  }
+  const std::vector<nnz_t> tile_bounds = weighted_partition(hist, nthreads);
+
+  const DirectSink<RA> sink{&out};
+  parallel_region(nthreads, [&](int tid, int) {
+    const auto lo = static_cast<idx_t>(tile_bounds[
+        static_cast<std::size_t>(tid)]);
+    const auto hi = static_cast<idx_t>(tile_bounds[
+        static_cast<std::size_t>(tid) + 1]);
+    if (lo == hi) {
+      return;  // empty tile (more threads than occupied leaf ids)
+    }
+
+    // Deposit the in-tile leaves of the bottom fiber [first, last) whose
+    // path product lives in `path`.
+    const auto vals = csf.vals();
+    val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+    const auto deposit = [&](nnz_t first, nnz_t last, const val_t* path) {
+      // Leaves are sorted within a fiber: narrow to the tile subrange.
+      const auto begin = std::lower_bound(leaf_fids.begin() + first,
+                                          leaf_fids.begin() + last, lo);
+      const auto end = std::lower_bound(begin, leaf_fids.begin() + last,
+                                        hi);
+      for (auto it = begin; it != end; ++it) {
+        const auto x = static_cast<nnz_t>(it - leaf_fids.begin());
+        const val_t v = vals[x];
+        for (idx_t r = 0; r < rank; ++r) {
+          tmp[r] = v * path[r];
+        }
+        sink.add(*it, tmp, rank);
+      }
+    };
+
+    struct Walker {
+      const KernelCtx& ctx;
+      const decltype(deposit)& leaf_fn;
+      int tid;
+
+      void descend(int l, nnz_t f) const {
+        const CsfTensor& csf = *ctx.csf;
+        const idx_t rank = ctx.rank;
+        const int order = csf.order();
+        const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
+        val_t* mine = ctx.ws->accum(tid, path_slot(l));
+        const auto row =
+            RA::row(*ctx.factor_at_level[static_cast<std::size_t>(l)],
+                    csf.fids(l)[f]);
+        for (idx_t r = 0; r < rank; ++r) {
+          mine[r] = parent[r] * row.get(r);
+        }
+        const auto fptr = csf.fptr(l);
+        if (l == order - 2) {
+          leaf_fn(fptr[f], fptr[f + 1], mine);
+        } else {
+          for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+            descend(l + 1, c);
+          }
+        }
+      }
+    };
+
+    const auto fids0 = csf.fids(0);
+    const auto fptr0 = csf.fptr(0);
+    const Walker walker{ctx, deposit, tid};
+    val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+    for (nnz_t s = 0; s < csf.nfibers(0); ++s) {
+      const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
+      for (idx_t r = 0; r < rank; ++r) {
+        p0[r] = row.get(r);
+      }
+      if (order == 2) {
+        deposit(fptr0[s], fptr0[s + 1], p0);
+      } else {
+        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+          walker.descend(1, c);
+        }
+      }
+    }
+  });
+}
+
+/// Internal kernel at level L (0 < L < order-1):
+///   out(fids_L[f], :) += (F_0 ⊙ ... ⊙ F_{L-1} path) ⊙ sum_children G.
+template <typename RA, typename Sink>
+void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
+                     int nthreads) {
+  const CsfTensor& csf = *ctx.csf;
+  const idx_t rank = ctx.rank;
+  const auto bounds = weighted_partition(csf.root_nnz_prefix(), nthreads);
+
+  struct Walker {
+    const KernelCtx& ctx;
+    const Sink& sink;
+    int out_level;
+    int tid;
+
+    void descend(int l, nnz_t f) const {
+      const CsfTensor& csf = *ctx.csf;
+      const idx_t rank = ctx.rank;
+      const int order = csf.order();
+      if (l == out_level) {
+        // Children sum (the pull-up half), excluding F_L itself.
+        val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
+        std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+        const auto fptr = csf.fptr(l);
+        if (l == order - 2) {
+          const auto leaf_fids = csf.fids(order - 1);
+          const auto vals = csf.vals();
+          const la::Matrix& leaf_factor =
+              *ctx.factor_at_level[static_cast<std::size_t>(order - 1)];
+          for (nnz_t x = fptr[f]; x < fptr[f + 1]; ++x) {
+            const auto row = RA::row(leaf_factor, leaf_fids[x]);
+            const val_t v = vals[x];
+            for (idx_t r = 0; r < rank; ++r) {
+              cs[r] += v * row.get(r);
+            }
+          }
+        } else {
+          for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+            accumulate_g<RA>(ctx, l + 1, c, cs, tid);
+          }
+        }
+        const val_t* path = ctx.ws->accum(tid, path_slot(l - 1));
+        val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+        for (idx_t r = 0; r < rank; ++r) {
+          tmp[r] = path[r] * cs[r];
+        }
+        sink.add(csf.fids(l)[f], tmp, rank);
+        return;
+      }
+      // Extend the path product and keep descending.
+      const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
+      val_t* mine = ctx.ws->accum(tid, path_slot(l));
+      const auto row = RA::row(
+          *ctx.factor_at_level[static_cast<std::size_t>(l)], csf.fids(l)[f]);
+      for (idx_t r = 0; r < rank; ++r) {
+        mine[r] = parent[r] * row.get(r);
+      }
+      const auto fptr = csf.fptr(l);
+      for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+        descend(l + 1, c);
+      }
+    }
+  };
+
+  parallel_region(nthreads, [&](int tid, int) {
+    const auto fids0 = csf.fids(0);
+    const auto fptr0 = csf.fptr(0);
+    const Walker walker{ctx, sink, out_level, tid};
+    val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+    for (nnz_t s = bounds[static_cast<std::size_t>(tid)];
+         s < bounds[static_cast<std::size_t>(tid) + 1]; ++s) {
+      const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
+      for (idx_t r = 0; r < rank; ++r) {
+        p0[r] = row.get(r);
+      }
+      for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+        walker.descend(1, c);
+      }
+    }
+  });
+}
+
+/// Runs the level-appropriate kernel with the given sink.
+template <typename RA, typename Sink>
+void run_kernel(const KernelCtx& ctx, const Sink& sink, int out_level,
+                int nthreads) {
+  const int order = ctx.csf->order();
+  if (out_level == 0) {
+    kernel_root<RA>(ctx, sink, nthreads);
+  } else if (out_level == order - 1) {
+    kernel_leaf<RA>(ctx, sink, nthreads);
+  } else {
+    kernel_internal<RA>(ctx, sink, out_level, nthreads);
+  }
+}
+
+/// Strategy dispatch for one row-access policy.
+template <typename RA>
+void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
+                       int out_level, SyncStrategy strategy,
+                       MttkrpWorkspace& ws) {
+  const int nthreads = ws.options().nthreads;
+  switch (strategy) {
+    case SyncStrategy::kNone: {
+      out.zero_parallel(nthreads);
+      run_kernel<RA>(ctx, DirectSink<RA>{&out}, out_level, nthreads);
+      break;
+    }
+    case SyncStrategy::kLock: {
+      out.zero_parallel(nthreads);
+      run_kernel<RA>(ctx, LockedSink<RA>{&out, &ws.pool()}, out_level,
+                     nthreads);
+      break;
+    }
+    case SyncStrategy::kTile: {
+      out.zero_parallel(nthreads);
+      kernel_leaf_tiled<RA>(ctx, out, nthreads);
+      break;
+    }
+    case SyncStrategy::kPrivatize: {
+      const idx_t rows =
+          ctx.csf->dims()[static_cast<std::size_t>(out_mode)];
+      PrivateBuffers& priv = ws.privatized(rows);
+      priv.clear(nthreads);
+      // Each thread's sink points at its own replica. The kernels hand the
+      // sink to every thread, so the sink must resolve per-thread storage
+      // itself.
+      struct ThreadPrivSink {
+        PrivateBuffers* priv;
+        void add(idx_t row, const val_t* vec, idx_t rank) const {
+          val_t* p = priv->buffer(current_thread_id()).data() +
+                     static_cast<std::size_t>(row) * rank;
+          for (idx_t j = 0; j < rank; ++j) {
+            p[j] += vec[j];
+          }
+        }
+      };
+      run_kernel<RA>(ctx, ThreadPrivSink{&priv}, out_level, nthreads);
+      out.zero_parallel(nthreads);
+      priv.reduce_into(
+          {out.data(),
+           static_cast<std::size_t>(rows) * ctx.rank},
+          nthreads);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
+                int mode, la::Matrix& out, MttkrpWorkspace& ws) {
+  const int order = csf.order();
+  SPTD_CHECK(static_cast<int>(factors.size()) == order,
+             "mttkrp_csf: factor count mismatch");
+  const idx_t rank = ws.rank();
+  for (int m = 0; m < order; ++m) {
+    SPTD_CHECK(factors[static_cast<std::size_t>(m)].cols() == rank,
+               "mttkrp_csf: factor rank mismatch");
+    SPTD_CHECK(factors[static_cast<std::size_t>(m)].rows() ==
+                   csf.dims()[static_cast<std::size_t>(m)],
+               "mttkrp_csf: factor rows mismatch");
+  }
+  SPTD_CHECK(out.rows() == csf.dims()[static_cast<std::size_t>(mode)] &&
+                 out.cols() == rank,
+             "mttkrp_csf: bad output shape");
+
+  const int level = csf.level_of_mode(mode);
+  const SyncStrategy strategy = choose_sync_strategy(
+      csf.dims(), mode, level, csf.nnz(), ws.options());
+  ws.last_strategy = strategy;
+
+  KernelCtx ctx;
+  ctx.csf = &csf;
+  ctx.rank = rank;
+  ctx.ws = &ws;
+  ctx.factor_at_level.resize(static_cast<std::size_t>(order));
+  for (int l = 0; l < order; ++l) {
+    ctx.factor_at_level[static_cast<std::size_t>(l)] =
+        &factors[static_cast<std::size_t>(csf.mode_at_level(l))];
+  }
+
+  switch (ws.options().row_access) {
+    case RowAccess::kSlice:
+      dispatch_strategy<SliceAccess>(ctx, out, mode, level, strategy, ws);
+      break;
+    case RowAccess::kIndex2D:
+      dispatch_strategy<Index2DAccess>(ctx, out, mode, level, strategy, ws);
+      break;
+    case RowAccess::kPointer:
+      dispatch_strategy<PointerAccess>(ctx, out, mode, level, strategy, ws);
+      break;
+  }
+}
+
+void mttkrp(const CsfSet& csf_set, const std::vector<la::Matrix>& factors,
+            int mode, la::Matrix& out, MttkrpWorkspace& ws) {
+  int level = 0;
+  const CsfTensor& csf = csf_set.csf_for_mode(mode, level);
+  mttkrp_csf(csf, factors, mode, out, ws);
+}
+
+void mttkrp_coo(const SparseTensor& coo,
+                const std::vector<la::Matrix>& factors, int mode,
+                la::Matrix& out, const MttkrpOptions& opts) {
+  const int order = coo.order();
+  SPTD_CHECK(static_cast<int>(factors.size()) == order,
+             "mttkrp_coo: factor count mismatch");
+  const idx_t rank = factors[0].cols();
+  SPTD_CHECK(out.rows() == coo.dim(mode) && out.cols() == rank,
+             "mttkrp_coo: bad output shape");
+
+  const int nthreads = opts.nthreads;
+  out.zero_parallel(nthreads);
+  AnyMutexPool pool(opts.lock_kind);
+  const auto out_ind = coo.ind(mode);
+
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range r = block_partition(coo.nnz(), nt, tid);
+    std::vector<val_t> tmp(rank);
+    for (nnz_t x = r.begin; x < r.end; ++x) {
+      const val_t v = coo.vals()[x];
+      for (idx_t j = 0; j < rank; ++j) {
+        tmp[j] = v;
+      }
+      for (int m = 0; m < order; ++m) {
+        if (m == mode) continue;
+        const val_t* row =
+            factors[static_cast<std::size_t>(m)].row_ptr(coo.ind(m)[x]);
+        for (idx_t j = 0; j < rank; ++j) {
+          tmp[j] *= row[j];
+        }
+      }
+      const idx_t out_row = out_ind[x];
+      if (nt > 1) {
+        pool.lock(out_row);
+      }
+      val_t* dst = out.row_ptr(out_row);
+      for (idx_t j = 0; j < rank; ++j) {
+        dst[j] += tmp[j];
+      }
+      if (nt > 1) {
+        pool.unlock(out_row);
+      }
+    }
+  });
+}
+
+}  // namespace sptd

@@ -1,0 +1,132 @@
+#pragma once
+/// \file mttkrp.hpp
+/// \brief MTTKRP — the matricized tensor times Khatri-Rao product, the
+///        critical kernel of CP-ALS (lines 5/8/11 of Algorithm 1).
+///
+/// Given a tensor X and factor matrices A(0..N-1), the mode-m MTTKRP is
+///   M(i, r) = sum over nonzeros X(c) with c[m] == i of
+///             X(c) * prod_{n != m} A(n)(c[n], r).
+///
+/// SPLATT evaluates it over CSF trees with three kernels selected by the
+/// output mode's tree level:
+///   * root     — each tree writes a distinct output row: no synchronization
+///   * internal — conflicting writes: mutex pool or privatized buffers
+///   * leaf     — conflicting writes at the deepest level: same choice
+///
+/// The privatize-or-lock decision is SPLATT's heuristic: privatize mode m
+/// iff dims[m] * nthreads <= privatization_threshold * nnz (default 0.02).
+/// This is what makes the paper's YELP runs lock beyond 2 threads while
+/// NELL-2 never locks (Section V-D2).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "csf/csf.hpp"
+#include "la/matrix.hpp"
+#include "mttkrp/row_access.hpp"
+#include "parallel/locks.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sptd {
+
+/// How a kernel synchronizes conflicting output-row writes.
+enum class SyncStrategy : int {
+  kNone = 0,    ///< no conflicts possible (root kernel or 1 thread)
+  kLock,        ///< mutex pool keyed by output row
+  kPrivatize,   ///< per-thread output copies + reduction
+  kTile,        ///< leaf-mode tiling: threads own disjoint output tiles
+};
+
+/// Name for logs/benches: "none" / "lock" / "privatize" / "tile".
+const char* sync_strategy_name(SyncStrategy s);
+
+/// MTTKRP tuning knobs (the paper's studied axes).
+struct MttkrpOptions {
+  int nthreads = 1;
+  RowAccess row_access = RowAccess::kPointer;
+  LockKind lock_kind = LockKind::kOmp;
+  /// SPLATT's privatization threshold: privatize mode m iff
+  /// dims[m] * nthreads <= privatization_threshold * nnz.
+  double privatization_threshold = 0.02;
+  /// Force lock use even where privatization would be chosen (Figure 4
+  /// sweeps lock kinds and needs the locked path exercised).
+  bool force_locks = false;
+  /// Disable privatization AND locks is invalid; disabling privatization
+  /// alone falls back to locks.
+  bool allow_privatization = true;
+  /// SPLATT's tiling alternative (the feature the paper's port omitted):
+  /// for *leaf* kernels, partition the output mode into per-thread tiles;
+  /// each thread re-walks the whole forest but deposits only leaves in
+  /// its tile — lock-free and reduction-free at the cost of replicated
+  /// upper-level work. Takes precedence over locks/privatization where
+  /// applicable (leaf level, >1 thread).
+  bool use_tiling = false;
+};
+
+/// Decides the sync strategy SPLATT would use for an MTTKRP writing
+/// \p out_mode at tree level \p level of a CSF with \p nnz nonzeros.
+SyncStrategy choose_sync_strategy(const dims_t& dims, int out_mode, int level,
+                                  nnz_t nnz, const MttkrpOptions& opts);
+
+/// Reusable scratch for MTTKRP calls: per-thread accumulators, the mutex
+/// pool, and (lazily) privatized output buffers. Thread-count and rank are
+/// fixed at construction; privatized buffers grow to the largest mode used.
+class MttkrpWorkspace {
+ public:
+  MttkrpWorkspace(const MttkrpOptions& opts, idx_t rank, int order);
+
+  [[nodiscard]] const MttkrpOptions& options() const { return opts_; }
+  [[nodiscard]] idx_t rank() const { return rank_; }
+
+  /// Per-thread scratch row (length rank). Slots 0..order-1 hold path
+  /// products, order..2*order-1 children sums, and two extra scratch rows
+  /// follow; kernels address them through the slot helpers in mttkrp.cpp.
+  [[nodiscard]] val_t* accum(int tid, int slot);
+
+  /// The lock pool (constructed with options().lock_kind).
+  [[nodiscard]] AnyMutexPool& pool() { return pool_; }
+
+  /// Privatized output buffers sized for >= rows*rank values per thread;
+  /// reallocated only when a larger mode is requested. Buffers are zeroed
+  /// on each call.
+  PrivateBuffers& privatized(idx_t rows);
+
+  /// The strategy chosen by the most recent mttkrp() call (bench
+  /// introspection).
+  SyncStrategy last_strategy = SyncStrategy::kNone;
+
+ private:
+  MttkrpOptions opts_;
+  idx_t rank_;
+  int order_;
+  std::size_t slot_stride_ = 0;       ///< rank rounded up to a cache line
+  std::size_t slots_per_thread_ = 0;  ///< 2*order + 2
+  std::vector<val_t> accum_storage_;
+  AnyMutexPool pool_;
+  std::unique_ptr<PrivateBuffers> priv_;
+  nnz_t priv_capacity_ = 0;
+};
+
+/// Computes the mode-\p mode MTTKRP over a CSF set into \p out
+/// (dims[mode] x rank). Selects representation, kernel level, and sync
+/// strategy exactly as SPLATT does; applies the workspace's row-access
+/// policy inside the kernels. \p out is zeroed first.
+void mttkrp(const CsfSet& csf_set, const std::vector<la::Matrix>& factors,
+            int mode, la::Matrix& out, MttkrpWorkspace& ws);
+
+/// Single-representation entry point used by tests/benches that want to
+/// exercise a specific kernel level: computes the MTTKRP for \p mode which
+/// must live at some level of \p csf.
+void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
+                int mode, la::Matrix& out, MttkrpWorkspace& ws);
+
+/// Reference COO MTTKRP (no CSF), parallelized over nonzero blocks with a
+/// mutex pool. The correctness oracle for mid-size inputs and the
+/// "no data structure" baseline.
+void mttkrp_coo(const SparseTensor& coo,
+                const std::vector<la::Matrix>& factors, int mode,
+                la::Matrix& out, const MttkrpOptions& opts);
+
+}  // namespace sptd

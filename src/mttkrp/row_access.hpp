@@ -1,0 +1,171 @@
+#pragma once
+/// \file row_access.hpp
+/// \brief The three factor-matrix row-access idioms whose costs the paper
+///        quantifies (Section V-D1, Figures 2-3).
+///
+/// The MTTKRP's inner loops fetch a length-R row of a factor matrix and
+/// multiply/accumulate across it. The Chapel port went through three
+/// implementations:
+///
+///  * **Slice** — `A[i, ..]`-style array views. Chapel materializes a
+///    domain + array descriptor per slice (heap allocation, setup), which
+///    dwarfs the O(R) arithmetic on the row (R = 35). Reproduced with a
+///    real heap-allocated view descriptor (base/extent/stride) and
+///    bounds-checked accesses through it.
+///  * **Index2D** — direct `A[i, j]` indexing: the flat offset `i*R + j`
+///    is recomputed at each access. (An optimizing C++ compiler hoists the
+///    row offset, so the measured Index2D→Pointer gap here is smaller than
+///    Chapel's 1.26x; the Slice→Index2D cliff is the effect that matters.)
+///  * **Pointer** — `c_ptrTo` + pointer arithmetic, the C idiom and the
+///    port's final form.
+///
+/// Kernels are templated on one of these policies; all three compute
+/// identical results (tests assert this).
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "la/matrix.hpp"
+
+namespace sptd {
+
+/// Row-access policy selector (figure legend names: slice, 2d, pointer).
+enum class RowAccess : int { kSlice = 0, kIndex2D, kPointer };
+
+/// Parses "slice" / "2d" / "pointer".
+RowAccess parse_row_access(const std::string& name);
+
+/// Legend name of a policy.
+const char* row_access_name(RowAccess ra);
+
+/// Pointer policy: raw row base pointer, unchecked accesses.
+struct PointerAccess {
+  class Row {
+   public:
+    explicit Row(val_t* p) : p_(p) {}
+    [[nodiscard]] val_t get(idx_t j) const { return p_[j]; }
+    void add(idx_t j, val_t v) const { p_[j] += v; }
+    void set(idx_t j, val_t v) const { p_[j] = v; }
+
+   private:
+    val_t* p_;
+  };
+
+  static Row row(la::Matrix& a, idx_t i) {
+    return Row{a.data() + static_cast<std::size_t>(i) * a.cols()};
+  }
+  static Row row(const la::Matrix& a, idx_t i) {
+    // MTTKRP only writes to the output matrix; const factor rows are read
+    // through the same handle type for simplicity.
+    return Row{const_cast<val_t*>(a.data()) +
+               static_cast<std::size_t>(i) * a.cols()};
+  }
+};
+
+/// 2D-index policy: offset recomputed per access.
+struct Index2DAccess {
+  class Row {
+   public:
+    Row(val_t* base, idx_t i, idx_t cols) : base_(base), i_(i), cols_(cols) {}
+    [[nodiscard]] val_t get(idx_t j) const {
+      return base_[static_cast<std::size_t>(i_) * cols_ + j];
+    }
+    void add(idx_t j, val_t v) const {
+      base_[static_cast<std::size_t>(i_) * cols_ + j] += v;
+    }
+    void set(idx_t j, val_t v) const {
+      base_[static_cast<std::size_t>(i_) * cols_ + j] = v;
+    }
+
+   private:
+    val_t* base_;
+    idx_t i_;
+    idx_t cols_;
+  };
+
+  static Row row(la::Matrix& a, idx_t i) { return Row{a.data(), i, a.cols()}; }
+  static Row row(const la::Matrix& a, idx_t i) {
+    return Row{const_cast<val_t*>(a.data()), i, a.cols()};
+  }
+};
+
+/// Slice policy: every row fetch materializes what Chapel 1.16 built for
+/// an array view — a *domain* object describing the index set and an
+/// *array descriptor* referring to it, both heap-allocated and reference
+/// counted (Chapel arrays/domains are runtime classes; see the Chapel
+/// issue the paper cites on slice overhead). Element accesses go through
+/// the descriptor with a bounds check against the domain and a strided
+/// address computation.
+struct SliceAccess {
+  /// Chapel domain record: the index set {lo..hi by stride} of the view.
+  struct Domain {
+    idx_t lo;
+    idx_t hi;       ///< inclusive upper bound
+    idx_t stride;
+    std::atomic<int> refcount;
+  };
+
+  /// Chapel array-view descriptor: data pointer + owning domain.
+  struct ViewDesc {
+    val_t* base;
+    Domain* dom;
+    std::atomic<int> refcount;
+  };
+
+  class Row {
+   public:
+    explicit Row(ViewDesc* d) : d_(d) {}
+    ~Row() {
+      // View teardown: drop both refcounts, free when last (always here).
+      if (d_->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (d_->dom->refcount.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          delete d_->dom;
+        }
+        delete d_;
+      }
+    }
+    Row(const Row&) = delete;
+    Row& operator=(const Row&) = delete;
+    Row(Row&&) = delete;
+
+    [[nodiscard]] val_t get(idx_t j) const {
+      return d_->base[offset(j)];
+    }
+    void add(idx_t j, val_t v) const { d_->base[offset(j)] += v; }
+    void set(idx_t j, val_t v) const { d_->base[offset(j)] = v; }
+
+   private:
+    [[nodiscard]] std::size_t offset(idx_t j) const {
+      const Domain& dom = *d_->dom;
+      const idx_t idx = dom.lo + j;
+      SPTD_CHECK(idx <= dom.hi, "slice access out of bounds");
+      return static_cast<std::size_t>(idx) * dom.stride;
+    }
+    ViewDesc* d_;
+  };
+
+  static Row make(val_t* base, idx_t cols) {
+    auto* dom = new Domain{0, static_cast<idx_t>(cols - 1), 1, {1}};
+    auto* view = new ViewDesc{base, dom, {1}};
+    // Chapel bumps the domain's refcount when an array is declared over it.
+    dom->refcount.fetch_add(1, std::memory_order_relaxed);
+    view->dom->refcount.fetch_sub(1, std::memory_order_relaxed);
+    return Row{view};
+  }
+
+  static Row row(la::Matrix& a, idx_t i) {
+    return make(a.data() + static_cast<std::size_t>(i) * a.cols(),
+                a.cols());
+  }
+  static Row row(const la::Matrix& a, idx_t i) {
+    return make(const_cast<val_t*>(a.data()) +
+                    static_cast<std::size_t>(i) * a.cols(),
+                a.cols());
+  }
+};
+
+}  // namespace sptd

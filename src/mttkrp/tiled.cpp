@@ -1,0 +1,112 @@
+#include "mttkrp/tiled.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd {
+
+TiledTensor::TiledTensor(const SparseTensor& t, int mode, int ntiles)
+    : mode_(mode), ntiles_(ntiles), tensor_(t.dims()) {
+  SPTD_CHECK(mode >= 0 && mode < t.order(), "TiledTensor: bad mode");
+  SPTD_CHECK(ntiles >= 1, "TiledTensor: ntiles must be >= 1");
+
+  // Histogram of nonzeros per output row, then weight-balanced row
+  // boundaries so each tile owns roughly nnz/ntiles nonzeros.
+  const idx_t dim = t.dim(mode);
+  std::vector<nnz_t> slice_prefix(static_cast<std::size_t>(dim) + 1, 0);
+  for (const idx_t i : t.ind(mode)) {
+    ++slice_prefix[static_cast<std::size_t>(i) + 1];
+  }
+  for (idx_t i = 0; i < dim; ++i) {
+    slice_prefix[static_cast<std::size_t>(i) + 1] +=
+        slice_prefix[static_cast<std::size_t>(i)];
+  }
+  const std::vector<nnz_t> bounds = weighted_partition(slice_prefix, ntiles);
+  row_bounds_.resize(bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    row_bounds_[i] = static_cast<idx_t>(bounds[i]);
+  }
+
+  // Tile id of an output row via binary search over the boundaries.
+  const auto tile_of = [&](idx_t row) {
+    int lo = 0;
+    int hi = ntiles_ - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (row < row_bounds_[static_cast<std::size_t>(mid) + 1]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+
+  // Counting sort of nonzeros into tiles (stable).
+  tile_ptr_.assign(static_cast<std::size_t>(ntiles) + 1, 0);
+  const auto ind = t.ind(mode);
+  std::vector<int> tile_id(t.nnz());
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    const int tile = tile_of(ind[x]);
+    tile_id[x] = tile;
+    ++tile_ptr_[static_cast<std::size_t>(tile) + 1];
+  }
+  for (int tile = 0; tile < ntiles; ++tile) {
+    tile_ptr_[static_cast<std::size_t>(tile) + 1] +=
+        tile_ptr_[static_cast<std::size_t>(tile)];
+  }
+  std::vector<nnz_t> cursor(tile_ptr_.begin(), tile_ptr_.end() - 1);
+  tensor_.resize_nnz(t.nnz());
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    const nnz_t dst = cursor[static_cast<std::size_t>(tile_id[x])]++;
+    for (int m = 0; m < t.order(); ++m) {
+      tensor_.ind(m)[dst] = t.ind(m)[x];
+    }
+    tensor_.vals()[dst] = t.vals()[x];
+  }
+}
+
+void mttkrp_tiled(const TiledTensor& tiled,
+                  const std::vector<la::Matrix>& factors, la::Matrix& out) {
+  const SparseTensor& t = tiled.tensor();
+  const int order = t.order();
+  const int mode = tiled.mode();
+  SPTD_CHECK(static_cast<int>(factors.size()) == order,
+             "mttkrp_tiled: factor count mismatch");
+  const idx_t rank = factors[0].cols();
+  SPTD_CHECK(out.rows() == t.dim(mode) && out.cols() == rank,
+             "mttkrp_tiled: bad output shape");
+
+  const int nthreads = tiled.ntiles();
+  out.zero_parallel(nthreads);
+  const auto out_ind = t.ind(mode);
+
+  parallel_region(nthreads, [&](int tid, int) {
+    const auto [lo, hi] = tiled.tile_extent(tid);
+    std::vector<val_t> tmp(rank);
+    for (nnz_t x = lo; x < hi; ++x) {
+      const val_t v = t.vals()[x];
+      for (idx_t j = 0; j < rank; ++j) {
+        tmp[j] = v;
+      }
+      for (int m = 0; m < order; ++m) {
+        if (m == mode) continue;
+        const val_t* row =
+            factors[static_cast<std::size_t>(m)].row_ptr(t.ind(m)[x]);
+        for (idx_t j = 0; j < rank; ++j) {
+          tmp[j] *= row[j];
+        }
+      }
+      // Rows in this tile are owned exclusively by this thread.
+      val_t* dst = out.row_ptr(out_ind[x]);
+      for (idx_t j = 0; j < rank; ++j) {
+        dst[j] += tmp[j];
+      }
+    }
+  });
+}
+
+}  // namespace sptd

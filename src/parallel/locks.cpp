@@ -1,0 +1,44 @@
+#include "parallel/locks.hpp"
+
+namespace sptd {
+
+LockKind parse_lock_kind(const std::string& name) {
+  if (name == "sync") return LockKind::kSync;
+  if (name == "atomic") return LockKind::kAtomic;
+  if (name == "fifo-sync" || name == "fifo") return LockKind::kFifoSync;
+  if (name == "omp") return LockKind::kOmp;
+  throw Error("unknown lock kind '" + name +
+              "' (expected sync|atomic|fifo-sync|omp)");
+}
+
+const char* lock_kind_name(LockKind kind) {
+  switch (kind) {
+    case LockKind::kSync:     return "sync";
+    case LockKind::kAtomic:   return "atomic";
+    case LockKind::kFifoSync: return "fifo-sync";
+    case LockKind::kOmp:      return "omp";
+  }
+  return "?";
+}
+
+AnyMutexPool::AnyMutexPool(LockKind kind) : kind_(kind) {}
+
+void AnyMutexPool::lock(idx_t id) {
+  switch (kind_) {
+    case LockKind::kSync:     sync_.lock(id); break;
+    case LockKind::kAtomic:   atomic_.lock(id); break;
+    case LockKind::kFifoSync: fifo_.lock(id); break;
+    case LockKind::kOmp:      omp_.lock(id); break;
+  }
+}
+
+void AnyMutexPool::unlock(idx_t id) {
+  switch (kind_) {
+    case LockKind::kSync:     sync_.unlock(id); break;
+    case LockKind::kAtomic:   atomic_.unlock(id); break;
+    case LockKind::kFifoSync: fifo_.unlock(id); break;
+    case LockKind::kOmp:      omp_.unlock(id); break;
+  }
+}
+
+}  // namespace sptd

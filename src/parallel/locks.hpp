@@ -1,0 +1,202 @@
+#pragma once
+/// \file locks.hpp
+/// \brief The mutex-pool implementations studied in the paper (Section IV-A,
+///        Section V-D, Figure 4).
+///
+/// SPLATT guards conflicting MTTKRP row updates with a pool of locks indexed
+/// by row id. The paper's Chapel port tried three implementations whose cost
+/// profiles differ sharply for short critical sections:
+///
+///  * `SyncVarLock` — Chapel `sync` variables under the Qthreads tasking
+///    layer: a contended acquire *parks* the task. We reproduce the
+///    mechanism with a full/empty state protected by std::mutex +
+///    std::condition_variable (OS-parked waiters). Correct, but each
+///    handoff pays a futex round-trip — the paper's pathological case.
+///  * `AtomicSpinLock` — Chapel `atomic bool` with testAndSet() +
+///    chpl_task_yield() (Listing 6). Implemented verbatim with
+///    std::atomic_flag + std::this_thread::yield().
+///  * `FifoSyncLock` — Chapel `sync` under the *fifo* (pthreads) tasking
+///    layer, where sync vars spin rather than sleep; FIFO order is the
+///    distinguishing observable. Implemented as a ticket spin lock.
+///  * `OmpLock` — omp_lock_t, what the reference C SPLATT uses.
+///
+/// All locks satisfy the same Lockable concept (`lock()`/`unlock()`), are
+/// default-constructible, and are cache-line padded inside MutexPool.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <omp.h>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sptd {
+
+/// Which mutex-pool implementation a kernel should use. String forms match
+/// the paper's figure legends: "sync", "atomic", "fifo-sync", "omp".
+enum class LockKind : int { kSync = 0, kAtomic, kFifoSync, kOmp };
+
+/// Parses a LockKind from its legend name. Throws sptd::Error on others.
+LockKind parse_lock_kind(const std::string& name);
+
+/// Legend name for a LockKind.
+const char* lock_kind_name(LockKind kind);
+
+/// Chapel `sync` variable semantics under Qthreads: a bool with full/empty
+/// state; reading requires full (and empties it), writing requires empty
+/// (and fills it). Contended acquires park on a condition variable.
+class SyncVarLock {
+ public:
+  SyncVarLock() = default;
+
+  /// Acquire: read the sync var (wait for full, leave empty).
+  void lock() {
+    std::unique_lock<std::mutex> guard(m_);
+    cv_.wait(guard, [this] { return full_; });
+    full_ = false;
+  }
+
+  /// Release: write the sync var (requires empty, leaves full).
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> guard(m_);
+      full_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool full_ = true;  // pool initializes sync vars to true / "full"
+};
+
+/// Chapel `atomic bool` spin lock, exactly Listing 6 of the paper:
+/// testAndSet() in a loop with a task yield between attempts.
+class AtomicSpinLock {
+ public:
+  AtomicSpinLock() = default;
+
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();  // chpl_task_yield()
+    }
+  }
+
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Sync variables under the fifo tasking layer: spin-wait with FIFO handoff.
+/// Implemented as a classic ticket lock.
+class FifoSyncLock {
+ public:
+  FifoSyncLock() = default;
+
+  void lock() {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    int spins = 0;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      // Mostly spin (the fifo layer's behaviour), but yield occasionally so
+      // oversubscribed teams on small machines cannot livelock waiting for
+      // a descheduled ticket holder.
+      if ((++spins & 63) == 0) {
+        std::this_thread::yield();
+      } else {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  void unlock() {
+    serving_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+/// The reference implementation's lock: omp_lock_t.
+class OmpLock {
+ public:
+  OmpLock() { omp_init_lock(&lock_); }
+  ~OmpLock() { omp_destroy_lock(&lock_); }
+  OmpLock(const OmpLock&) = delete;
+  OmpLock& operator=(const OmpLock&) = delete;
+
+  void lock() { omp_set_lock(&lock_); }
+  void unlock() { omp_unset_lock(&lock_); }
+
+ private:
+  omp_lock_t lock_;
+};
+
+/// Number of locks in a pool. SPLATT uses a fixed pool and hashes row ids
+/// into it; 1024 keeps the pool L2-resident while making collisions rare.
+inline constexpr std::size_t kMutexPoolSize = 1024;
+
+/// Pool of \p kMutexPoolSize cache-padded locks indexed by row id.
+template <typename LockT>
+class MutexPool {
+ public:
+  MutexPool() : locks_(kMutexPoolSize) {}
+
+  /// Acquires the lock guarding row \p id (ids hash by masking).
+  void lock(idx_t id) { locks_[slot(id)].value.lock(); }
+
+  /// Releases the lock guarding row \p id.
+  void unlock(idx_t id) { locks_[slot(id)].value.unlock(); }
+
+  static std::size_t slot(idx_t id) {
+    return static_cast<std::size_t>(id) & (kMutexPoolSize - 1);
+  }
+
+ private:
+  std::vector<CachePadded<LockT>> locks_;
+};
+
+/// Runtime-selected mutex pool. Kernels that need a pool take one of these
+/// and pay a non-virtual branch only at lock/unlock; the paper's lock study
+/// (Figure 4) flips `kind` between runs.
+class AnyMutexPool {
+ public:
+  explicit AnyMutexPool(LockKind kind);
+
+  void lock(idx_t id);
+  void unlock(idx_t id);
+
+  [[nodiscard]] LockKind kind() const { return kind_; }
+
+ private:
+  LockKind kind_;
+  MutexPool<SyncVarLock> sync_;
+  MutexPool<AtomicSpinLock> atomic_;
+  MutexPool<FifoSyncLock> fifo_;
+  MutexPool<OmpLock> omp_;
+};
+
+/// RAII guard over a pool slot.
+template <typename PoolT>
+class PoolGuard {
+ public:
+  PoolGuard(PoolT& pool, idx_t id) : pool_(pool), id_(id) { pool_.lock(id_); }
+  ~PoolGuard() { pool_.unlock(id_); }
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+
+ private:
+  PoolT& pool_;
+  idx_t id_;
+};
+
+}  // namespace sptd

@@ -1,0 +1,82 @@
+#include "parallel/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd {
+
+Range block_partition(nnz_t total, int nparts, int part) {
+  SPTD_CHECK(nparts >= 1, "block_partition: nparts must be >= 1");
+  SPTD_CHECK(part >= 0 && part < nparts, "block_partition: part out of range");
+  const nnz_t base = total / static_cast<nnz_t>(nparts);
+  const nnz_t extra = total % static_cast<nnz_t>(nparts);
+  const auto p = static_cast<nnz_t>(part);
+  const nnz_t begin = p * base + std::min(p, extra);
+  const nnz_t size = base + (p < extra ? 1 : 0);
+  return Range{begin, begin + size};
+}
+
+std::vector<nnz_t> weighted_partition(std::span<const nnz_t> weight_prefix,
+                                      int nparts) {
+  SPTD_CHECK(nparts >= 1, "weighted_partition: nparts must be >= 1");
+  SPTD_CHECK(!weight_prefix.empty(), "weighted_partition: empty prefix");
+  const std::size_t n_items = weight_prefix.size() - 1;
+  const nnz_t total = weight_prefix.back();
+  std::vector<nnz_t> bounds(static_cast<std::size_t>(nparts) + 1);
+  bounds[0] = 0;
+  for (int p = 1; p < nparts; ++p) {
+    // Target cumulative weight for the end of part p-1; round-robin the
+    // remainder so parts stay within one item of ideal.
+    const nnz_t target =
+        (total * static_cast<nnz_t>(p)) / static_cast<nnz_t>(nparts);
+    const auto it = std::lower_bound(weight_prefix.begin(),
+                                     weight_prefix.end(), target);
+    auto idx = static_cast<nnz_t>(it - weight_prefix.begin());
+    if (idx > n_items) idx = n_items;
+    // Keep boundaries monotone even with zero-weight runs.
+    bounds[static_cast<std::size_t>(p)] =
+        std::max(idx, bounds[static_cast<std::size_t>(p) - 1]);
+  }
+  bounds[static_cast<std::size_t>(nparts)] = n_items;
+  return bounds;
+}
+
+void parallel_prefix_sum(std::span<const nnz_t> in, std::span<nnz_t> out,
+                         int nthreads) {
+  SPTD_CHECK(out.size() == in.size(), "prefix sum: size mismatch");
+  const nnz_t n = in.size();
+  if (n == 0) return;
+  if (nthreads <= 1 || n < 4096) {
+    nnz_t acc = 0;
+    for (nnz_t i = 0; i < n; ++i) {
+      out[i] = acc;
+      acc += in[i];
+    }
+    return;
+  }
+  std::vector<nnz_t> part_sums(static_cast<std::size_t>(nthreads) + 1, 0);
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range r = block_partition(n, nt, tid);
+    nnz_t acc = 0;
+    for (nnz_t i = r.begin; i < r.end; ++i) {
+      out[i] = acc;
+      acc += in[i];
+    }
+    part_sums[static_cast<std::size_t>(tid) + 1] = acc;
+  });
+  for (int t = 1; t <= nthreads; ++t) {
+    part_sums[static_cast<std::size_t>(t)] +=
+        part_sums[static_cast<std::size_t>(t) - 1];
+  }
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range r = block_partition(n, nt, tid);
+    const nnz_t offset = part_sums[static_cast<std::size_t>(tid)];
+    for (nnz_t i = r.begin; i < r.end; ++i) {
+      out[i] += offset;
+    }
+  });
+}
+
+}  // namespace sptd

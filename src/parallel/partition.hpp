@@ -1,0 +1,44 @@
+#pragma once
+/// \file partition.hpp
+/// \brief Static work partitioning used by the MTTKRP/sort kernels.
+///
+/// The paper notes (Section IV-B) that Chapel lacks a direct analogue of
+/// `omp for` nested inside `omp parallel`, so the port computes loop bounds
+/// per task manually. These helpers are that manual computation, shared by
+/// both the reference path and the ported path.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sptd {
+
+/// Half-open range [begin, end).
+struct Range {
+  nnz_t begin = 0;
+  nnz_t end = 0;
+  [[nodiscard]] nnz_t size() const { return end - begin; }
+  bool operator==(const Range&) const = default;
+};
+
+/// Contiguous block partition of [0, total) into \p nparts pieces whose
+/// sizes differ by at most one (the first `total % nparts` parts get the
+/// extra element). Exactly OpenMP's `schedule(static)` blocking.
+Range block_partition(nnz_t total, int nparts, int part);
+
+/// Partitions [0, n_items) so every part has approximately equal total
+/// weight, where \p weight_prefix is the exclusive prefix sum of item
+/// weights (length n_items + 1, weight_prefix[0] == 0). Returns nparts+1
+/// boundaries. Used to balance MTTKRP trees by nonzero count, like
+/// SPLATT's csf partitioning.
+std::vector<nnz_t> weighted_partition(std::span<const nnz_t> weight_prefix,
+                                      int nparts);
+
+/// Exclusive prefix sum computed in parallel with \p nthreads workers.
+/// out[0] = 0, out[i] = sum of in[0..i). out may not alias in.
+void parallel_prefix_sum(std::span<const nnz_t> in, std::span<nnz_t> out,
+                         int nthreads);
+
+}  // namespace sptd

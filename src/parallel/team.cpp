@@ -1,0 +1,45 @@
+#include "parallel/team.hpp"
+
+#include <cstdlib>
+
+#include <omp.h>
+
+#include "common/error.hpp"
+
+namespace sptd {
+
+int hardware_threads() { return omp_get_max_threads(); }
+
+void init_parallel_runtime() {
+  // Idle OpenMP workers spin-wait by default (libgomp spins ~300k
+  // iterations before sleeping). On oversubscribed machines the spinning
+  // workers of a finished phase steal cycles from the next one — exactly
+  // the Qthreads/OpenMP interference the paper diagnoses in Section V-E
+  // and mitigates with QT_SPINCOUNT=300. Prefer parked idle workers; a
+  // user-set OMP_WAIT_POLICY wins (overwrite=0). Only effective when
+  // called before the OpenMP runtime initializes, which is why every
+  // entry point calls this first.
+  setenv("OMP_WAIT_POLICY", "passive", /*overwrite=*/0);
+  omp_set_dynamic(0);
+  // Nested parallelism is never used by the kernels; benches sweep team
+  // sizes explicitly. Keeping nesting off avoids accidental explosion when
+  // a parallel_region is entered from a parallel caller.
+  omp_set_max_active_levels(1);
+}
+
+void parallel_region(int nthreads,
+                     const std::function<void(int, int)>& body) {
+  SPTD_CHECK(nthreads >= 1, "parallel_region requires nthreads >= 1");
+  if (nthreads == 1) {
+    body(0, 1);
+    return;
+  }
+#pragma omp parallel num_threads(nthreads)
+  {
+    body(omp_get_thread_num(), omp_get_num_threads());
+  }
+}
+
+int current_thread_id() { return omp_get_thread_num(); }
+
+}  // namespace sptd

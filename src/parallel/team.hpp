@@ -1,0 +1,32 @@
+#pragma once
+/// \file team.hpp
+/// \brief Thin thread-team abstraction over OpenMP.
+///
+/// The paper contrasts Chapel's `coforall tid in 0..numTasks-1` with
+/// OpenMP's `#pragma omp parallel`. Both map onto this helper: a parallel
+/// region of an explicit number of workers, each invoked with (tid, nthreads).
+/// Kernels never touch OpenMP pragmas directly, which keeps the
+/// "tasking layer" swappable and testable.
+
+#include <functional>
+
+namespace sptd {
+
+/// Returns the number of hardware threads OpenMP reports available.
+int hardware_threads();
+
+/// One-time runtime initialization: disables dynamic thread adjustment so
+/// that requested team sizes are honored exactly (needed for the paper's
+/// thread sweeps, which oversubscribe small machines). Safe to call often.
+void init_parallel_runtime();
+
+/// Runs \p body on a team of exactly \p nthreads workers.
+/// body(tid, nthreads) with tid in [0, nthreads). Equivalent to the paper's
+/// `coforall` / `omp parallel num_threads(n)` pair (Listings 1-2).
+void parallel_region(int nthreads,
+                     const std::function<void(int tid, int nthreads)>& body);
+
+/// Current thread id inside a parallel_region (0 outside).
+int current_thread_id();
+
+}  // namespace sptd

@@ -1,0 +1,118 @@
+#include "tensor/dense.hpp"
+
+#include <functional>
+
+namespace sptd {
+
+DenseTensor::DenseTensor(dims_t dims) : dims_(std::move(dims)) {
+  SPTD_CHECK(!dims_.empty(), "DenseTensor: order must be >= 1");
+  std::size_t total = 1;
+  for (const idx_t d : dims_) {
+    SPTD_CHECK(d > 0, "DenseTensor: zero-length mode");
+    total *= d;
+    SPTD_CHECK(total < (std::size_t{1} << 28),
+               "DenseTensor: too large to densify");
+  }
+  data_.assign(total, val_t{0});
+}
+
+DenseTensor DenseTensor::from_coo(const SparseTensor& coo) {
+  DenseTensor out(coo.dims());
+  for (nnz_t x = 0; x < coo.nnz(); ++x) {
+    const auto c = coo.coord(x);
+    out.data_[out.offset({c.data(), static_cast<std::size_t>(coo.order())})] +=
+        coo.vals()[x];
+  }
+  return out;
+}
+
+std::size_t DenseTensor::offset(std::span<const idx_t> coords) const {
+  SPTD_DCHECK(coords.size() == dims_.size(), "offset: wrong order");
+  std::size_t off = 0;
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    SPTD_DCHECK(coords[m] < dims_[m], "offset: index out of range");
+    off = off * dims_[m] + coords[m];
+  }
+  return off;
+}
+
+void DenseTensor::mttkrp(int mode, const std::vector<la::Matrix>& factors,
+                         la::Matrix& out) const {
+  const int n = order();
+  SPTD_CHECK(mode >= 0 && mode < n, "mttkrp: mode out of range");
+  SPTD_CHECK(static_cast<int>(factors.size()) == n, "mttkrp: factor count");
+  const idx_t rank = factors[0].cols();
+  SPTD_CHECK(out.rows() == dims_[static_cast<std::size_t>(mode)] &&
+                 out.cols() == rank,
+             "mttkrp: bad out shape");
+  out.fill(val_t{0});
+
+  std::vector<idx_t> c(static_cast<std::size_t>(n), 0);
+  // Odometer walk over all dense positions.
+  std::size_t off = 0;
+  const std::size_t total = data_.size();
+  while (off < total) {
+    const val_t v = data_[off];
+    if (v != val_t{0}) {
+      for (idx_t r = 0; r < rank; ++r) {
+        val_t prod = v;
+        for (int m = 0; m < n; ++m) {
+          if (m == mode) continue;
+          prod *= factors[static_cast<std::size_t>(m)](
+              c[static_cast<std::size_t>(m)], r);
+        }
+        out(c[static_cast<std::size_t>(mode)], r) += prod;
+      }
+    }
+    // increment odometer
+    ++off;
+    for (int m = n - 1; m >= 0; --m) {
+      auto& cm = c[static_cast<std::size_t>(m)];
+      if (++cm < dims_[static_cast<std::size_t>(m)]) break;
+      cm = 0;
+    }
+  }
+}
+
+DenseTensor DenseTensor::from_kruskal(std::span<const val_t> lambda,
+                                      const std::vector<la::Matrix>& factors) {
+  SPTD_CHECK(!factors.empty(), "from_kruskal: no factors");
+  dims_t dims;
+  for (const auto& f : factors) {
+    dims.push_back(f.rows());
+  }
+  const idx_t rank = factors[0].cols();
+  SPTD_CHECK(lambda.size() == rank, "from_kruskal: lambda size");
+  DenseTensor out(dims);
+  const int n = out.order();
+
+  std::vector<idx_t> c(static_cast<std::size_t>(n), 0);
+  for (std::size_t off = 0; off < out.data_.size(); ++off) {
+    val_t sum = 0;
+    for (idx_t r = 0; r < rank; ++r) {
+      val_t prod = lambda[r];
+      for (int m = 0; m < n; ++m) {
+        prod *= factors[static_cast<std::size_t>(m)](
+            c[static_cast<std::size_t>(m)], r);
+      }
+      sum += prod;
+    }
+    out.data_[off] = sum;
+    for (int m = n - 1; m >= 0; --m) {
+      auto& cm = c[static_cast<std::size_t>(m)];
+      if (++cm < dims[static_cast<std::size_t>(m)]) break;
+      cm = 0;
+    }
+  }
+  return out;
+}
+
+val_t DenseTensor::norm_sq() const {
+  val_t acc = 0;
+  for (const val_t v : data_) {
+    acc += v * v;
+  }
+  return acc;
+}
+
+}  // namespace sptd

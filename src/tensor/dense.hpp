@@ -1,0 +1,59 @@
+#pragma once
+/// \file dense.hpp
+/// \brief Tiny dense tensor, used by tests as the ground-truth oracle for
+///        MTTKRP and CP reconstruction (only sensible for small dims).
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "la/matrix.hpp"
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// Dense tensor with row-major ("last mode fastest") linearization.
+class DenseTensor {
+ public:
+  explicit DenseTensor(dims_t dims);
+
+  /// Densifies a COO tensor (duplicate coordinates accumulate).
+  static DenseTensor from_coo(const SparseTensor& coo);
+
+  [[nodiscard]] int order() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const dims_t& dims() const { return dims_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Linear offset of a coordinate.
+  [[nodiscard]] std::size_t offset(std::span<const idx_t> coords) const;
+
+  val_t& at(std::span<const idx_t> coords) { return data_[offset(coords)]; }
+  [[nodiscard]] val_t at(std::span<const idx_t> coords) const {
+    return data_[offset(coords)];
+  }
+
+  [[nodiscard]] std::span<val_t> values() { return data_; }
+  [[nodiscard]] std::span<const val_t> values() const { return data_; }
+
+  /// Dense reference MTTKRP for mode \p mode: for every nonzero position p,
+  /// out(p[mode], r) += X(p) * prod_{m != mode} factors[m](p[m], r).
+  /// The oracle every sparse kernel is tested against.
+  void mttkrp(int mode, const std::vector<la::Matrix>& factors,
+              la::Matrix& out) const;
+
+  /// Reconstructs a dense tensor from a rank-R Kruskal model
+  /// (lambda, factors).
+  static DenseTensor from_kruskal(std::span<const val_t> lambda,
+                                  const std::vector<la::Matrix>& factors);
+
+  /// Frobenius norm squared.
+  [[nodiscard]] val_t norm_sq() const;
+
+ private:
+  dims_t dims_;
+  std::vector<val_t> data_;
+};
+
+}  // namespace sptd

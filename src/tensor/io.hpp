@@ -1,0 +1,36 @@
+#pragma once
+/// \file io.hpp
+/// \brief Tensor file I/O: FROSTT `.tns` text format and a compact binary
+///        format for fast bench startup.
+///
+/// `.tns` is the format the paper's datasets (YELP, NELL-2, ...) ship in:
+/// one nonzero per line, 1-based indices, value last, `#` comments, no
+/// header. Order and mode lengths are inferred. The binary format is a
+/// straight dump with a magic/version header and is byte-order-native.
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// Reads a FROSTT-style .tns stream. Throws sptd::Error on malformed input.
+SparseTensor read_tns(std::istream& in);
+
+/// Reads a .tns file by path.
+SparseTensor read_tns_file(const std::string& path);
+
+/// Writes .tns (1-based indices, full precision values).
+void write_tns(const SparseTensor& t, std::ostream& out);
+
+/// Writes .tns to a file path.
+void write_tns_file(const SparseTensor& t, const std::string& path);
+
+/// Reads the compact binary format written by write_bin_file.
+SparseTensor read_bin_file(const std::string& path);
+
+/// Writes the compact binary format (magic "SPTDBIN1").
+void write_bin_file(const SparseTensor& t, const std::string& path);
+
+}  // namespace sptd

@@ -1,0 +1,101 @@
+#include "tensor/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sptd {
+
+SparseTensor permute_modes(const SparseTensor& t,
+                           std::span<const int> perm) {
+  const int order = t.order();
+  SPTD_CHECK(static_cast<int>(perm.size()) == order,
+             "permute_modes: permutation length mismatch");
+  {
+    std::vector<int> check(perm.begin(), perm.end());
+    std::sort(check.begin(), check.end());
+    for (int m = 0; m < order; ++m) {
+      SPTD_CHECK(check[static_cast<std::size_t>(m)] == m,
+                 "permute_modes: not a permutation");
+    }
+  }
+  dims_t new_dims(static_cast<std::size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    new_dims[static_cast<std::size_t>(m)] =
+        t.dim(perm[static_cast<std::size_t>(m)]);
+  }
+  SparseTensor out(new_dims);
+  out.resize_nnz(t.nnz());
+  for (int m = 0; m < order; ++m) {
+    const auto src = t.ind(perm[static_cast<std::size_t>(m)]);
+    auto dst = out.ind(m);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  std::copy(t.vals().begin(), t.vals().end(), out.vals().begin());
+  return out;
+}
+
+void relabel(SparseTensor& t,
+             const std::vector<std::vector<idx_t>>& maps) {
+  SPTD_CHECK(static_cast<int>(maps.size()) == t.order(),
+             "relabel: need one map per mode");
+  for (int m = 0; m < t.order(); ++m) {
+    const auto& map = maps[static_cast<std::size_t>(m)];
+    SPTD_CHECK(map.size() == t.dim(m), "relabel: map length mismatch");
+    // Verify the map is a permutation (each target hit exactly once).
+    std::vector<char> seen(map.size(), 0);
+    for (const idx_t v : map) {
+      SPTD_CHECK(v < map.size() && !seen[v],
+                 "relabel: map is not a permutation");
+      seen[v] = 1;
+    }
+    for (idx_t& i : t.ind(m)) {
+      i = map[i];
+    }
+  }
+}
+
+std::vector<idx_t> random_permutation(idx_t n, std::uint64_t seed) {
+  std::vector<idx_t> perm(n);
+  std::iota(perm.begin(), perm.end(), idx_t{0});
+  Rng rng(seed);
+  for (idx_t i = n; i > 1; --i) {
+    const idx_t j = rng.next_index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<idx_t> frequency_order(const SparseTensor& t, int mode) {
+  SPTD_CHECK(mode >= 0 && mode < t.order(), "frequency_order: bad mode");
+  const idx_t dim = t.dim(mode);
+  std::vector<nnz_t> counts(dim, 0);
+  for (const idx_t i : t.ind(mode)) {
+    ++counts[i];
+  }
+  // Slice ids sorted by descending count (stable for determinism).
+  std::vector<idx_t> by_count(dim);
+  std::iota(by_count.begin(), by_count.end(), idx_t{0});
+  std::stable_sort(by_count.begin(), by_count.end(),
+                   [&](idx_t a, idx_t b) { return counts[a] > counts[b]; });
+  // Invert: old id -> rank.
+  std::vector<idx_t> map(dim);
+  for (idx_t rank = 0; rank < dim; ++rank) {
+    map[by_count[rank]] = rank;
+  }
+  return map;
+}
+
+void shuffle_all_modes(SparseTensor& t, std::uint64_t seed) {
+  std::vector<std::vector<idx_t>> maps;
+  maps.reserve(static_cast<std::size_t>(t.order()));
+  Rng rng(seed);
+  for (int m = 0; m < t.order(); ++m) {
+    maps.push_back(random_permutation(t.dim(m), rng.next_u64()));
+  }
+  relabel(t, maps);
+}
+
+}  // namespace sptd

@@ -1,0 +1,39 @@
+#pragma once
+/// \file reorder.hpp
+/// \brief Tensor reordering utilities: mode permutation and slice
+///        relabeling.
+///
+/// SPLATT ships graph/hypergraph-based reorderings that renumber slices to
+/// improve MTTKRP locality; this module provides the mechanism (arbitrary
+/// per-mode relabelings applied consistently) plus two useful policies:
+/// random relabeling (destroys locality — the adversarial baseline for the
+/// locality ablation) and frequency ordering (hot slices first, a cheap
+/// locality heuristic).
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// Returns a tensor whose modes are permuted: new mode m is old mode
+/// \p perm[m]. Nonzero order is unchanged.
+SparseTensor permute_modes(const SparseTensor& t, std::span<const int> perm);
+
+/// Applies per-mode relabelings in place: new index = maps[m][old index].
+/// Every map must be a permutation of [0, dim(m)).
+void relabel(SparseTensor& t,
+             const std::vector<std::vector<idx_t>>& maps);
+
+/// Random permutation of [0, n) (Fisher-Yates, deterministic in seed).
+std::vector<idx_t> random_permutation(idx_t n, std::uint64_t seed);
+
+/// Relabeling that sorts slices of mode \p m by descending nonzero count
+/// (hot slices get small ids, packing them together in the factor
+/// matrices). Returns old->new map.
+std::vector<idx_t> frequency_order(const SparseTensor& t, int mode);
+
+/// Convenience: relabels every mode randomly (locality-adversarial).
+void shuffle_all_modes(SparseTensor& t, std::uint64_t seed);
+
+}  // namespace sptd

@@ -1,0 +1,80 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sptd {
+
+TensorStats compute_stats(const SparseTensor& t) {
+  TensorStats s;
+  s.dims = t.dims();
+  s.nnz = t.nnz();
+
+  double volume = 1.0;
+  for (const idx_t d : s.dims) {
+    volume *= static_cast<double>(d);
+  }
+  s.density = (volume > 0.0) ? static_cast<double>(s.nnz) / volume : 0.0;
+
+  // A .tns line is one ~6-char token per mode plus a value: estimate
+  // 7 bytes per index token and 18 per value (digits + separators).
+  s.tns_bytes = s.nnz * (7ULL * static_cast<std::uint64_t>(t.order()) + 18ULL);
+
+  for (int m = 0; m < t.order(); ++m) {
+    ModeStats ms;
+    ms.dim = t.dim(m);
+    std::vector<nnz_t> counts(ms.dim, 0);
+    for (const idx_t i : t.ind(m)) {
+      ++counts[i];
+    }
+    for (const nnz_t c : counts) {
+      if (c > 0) ++ms.nonempty;
+      ms.max_slice_nnz = std::max(ms.max_slice_nnz, c);
+    }
+    ms.avg_slice_nnz =
+        static_cast<double>(s.nnz) / static_cast<double>(ms.dim);
+    s.modes.push_back(ms);
+  }
+  return s;
+}
+
+std::string format_dims(const dims_t& dims) {
+  auto compact = [](idx_t d) -> std::string {
+    char buf[32];
+    if (d >= 1000000 && d % 100000 == 0) {
+      std::snprintf(buf, sizeof(buf), "%.1fM",
+                    static_cast<double>(d) / 1e6);
+    } else if (d >= 1000) {
+      std::snprintf(buf, sizeof(buf), "%uk",
+                    static_cast<unsigned>(d / 1000));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%u", static_cast<unsigned>(d));
+    }
+    return buf;
+  };
+  std::ostringstream os;
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    if (m) os << " x ";
+    os << compact(dims[m]);
+  }
+  return os.str();
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.0f MB", b / (1ULL << 20));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace sptd

@@ -1,0 +1,40 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Tensor statistics — what Table I of the paper reports per dataset
+///        (dimensions, nonzeros, density, size on disk) plus slice-level
+///        detail used by the generators' tests and DESIGN ablations.
+
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// Per-mode slice statistics.
+struct ModeStats {
+  idx_t dim = 0;           ///< mode length
+  idx_t nonempty = 0;      ///< slices containing at least one nonzero
+  nnz_t max_slice_nnz = 0; ///< heaviest slice
+  double avg_slice_nnz = 0.0;  ///< nnz / dim
+};
+
+/// Whole-tensor statistics.
+struct TensorStats {
+  dims_t dims;
+  nnz_t nnz = 0;
+  double density = 0.0;           ///< nnz / prod(dims)
+  std::uint64_t tns_bytes = 0;    ///< estimated .tns size on disk
+  std::vector<ModeStats> modes;
+};
+
+/// Computes statistics in one pass over the tensor.
+TensorStats compute_stats(const SparseTensor& t);
+
+/// "41k x 11k x 75k"-style dimension string as in Table I.
+std::string format_dims(const dims_t& dims);
+
+/// "240 MB"-style human-readable byte count.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace sptd

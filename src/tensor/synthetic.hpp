@@ -1,0 +1,78 @@
+#pragma once
+/// \file synthetic.hpp
+/// \brief Deterministic synthetic tensor generators and the paper's dataset
+///        presets (Table I).
+///
+/// The paper evaluates on proprietary-ish public datasets (YELP, NELL-2,
+/// ...) that are hundreds of MB to GB. We substitute generators that
+/// reproduce the properties the paper's experiments actually depend on:
+///
+///  * mode lengths and nonzero count (scalable with one knob, preserving
+///    the dims[m]*threads / nnz ratios that drive SPLATT's
+///    lock-vs-privatization decision — the YELP vs NELL-2 distinction),
+///  * skewed slice popularity (Zipf-like, as in real review/NLP data),
+///  * unique coordinates (real tensors deduplicate repeated entries).
+///
+/// Real FROSTT files drop in through tensor/io.hpp at any time.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// Configuration for the synthetic generator.
+struct SyntheticConfig {
+  dims_t dims;                 ///< mode lengths
+  nnz_t nnz = 0;               ///< number of unique nonzeros to generate
+  std::uint64_t seed = 42;     ///< RNG seed (same seed => same tensor)
+  double zipf_exponent = 0.0;  ///< 0 = uniform slices; >0 = skewed
+  double value_lo = 1.0;       ///< uniform value range low
+  double value_hi = 5.0;       ///< uniform value range high (review scores)
+};
+
+/// Generates a tensor with unique coordinates per the config.
+/// Throws if nnz exceeds 50% of the dense volume (rejection would stall).
+SparseTensor generate_synthetic(const SyntheticConfig& config);
+
+/// Generates a noisy rank-\p rank Kruskal tensor on unique random
+/// coordinates: X(c) = sum_r prod_m A(m)[c_m, r] + noise * N(0,1).
+/// Factors are U[0,1). Note: the *sampled* tensor is not itself low rank
+/// (its unsampled entries are zero); use generate_full_low_rank for exact
+/// CP recovery tests.
+SparseTensor generate_low_rank(const dims_t& dims, idx_t rank, nnz_t nnz,
+                               double noise, std::uint64_t seed);
+
+/// Generates a rank-\p rank Kruskal tensor with EVERY coordinate stored
+/// (dense content in sparse format): exactly representable by a rank-R CP
+/// model, so CP-ALS must drive the fit to ~1. Volume must be modest.
+SparseTensor generate_full_low_rank(const dims_t& dims, idx_t rank,
+                                    double noise, std::uint64_t seed);
+
+/// One of the paper's Table I datasets.
+struct DatasetPreset {
+  std::string name;
+  dims_t dims;
+  nnz_t nnz;
+  double zipf_exponent;  ///< skew used when synthesizing this dataset
+
+  /// Returns a config scaled by \p scale: mode lengths and nnz both scale
+  /// linearly (floored at 64 slices / 10k nonzeros), preserving the
+  /// dims[m]*threads <= privThresh*nnz lock-decision ratios at any size.
+  [[nodiscard]] SyntheticConfig scaled(double scale,
+                                       std::uint64_t seed = 42) const;
+
+  /// Density of the full-size dataset (nnz / volume).
+  [[nodiscard]] double density() const;
+};
+
+/// Table I presets: "yelp", "rate-beer", "beer-advocate", "nell-2",
+/// "netflix".
+const std::vector<DatasetPreset>& table1_presets();
+
+/// Looks up a preset by name. Throws sptd::Error if unknown.
+const DatasetPreset& find_preset(const std::string& name);
+
+}  // namespace sptd

@@ -1,0 +1,296 @@
+// Tests for src/csf: construction, structure invariants, COO round trips,
+// allocation policies, dispatch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "csf/csf.hpp"
+#include "sort/sort.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace sptd {
+namespace {
+
+using Entry = std::pair<std::array<idx_t, kMaxOrder>, val_t>;
+
+std::vector<Entry> sorted_entries(const SparseTensor& t) {
+  std::vector<Entry> out;
+  out.reserve(t.nnz());
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    out.emplace_back(t.coord(x), t.vals()[x]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Small hand-checkable tensor:
+///   (0,0,0)=1  (0,0,1)=2  (0,2,1)=3  (1,1,0)=4
+SparseTensor hand_tensor() {
+  SparseTensor t({2, 3, 2});
+  const idx_t c0[] = {0, 0, 0};
+  const idx_t c1[] = {0, 0, 1};
+  const idx_t c2[] = {0, 2, 1};
+  const idx_t c3[] = {1, 1, 0};
+  t.push_back(c0, 1.0);
+  t.push_back(c1, 2.0);
+  t.push_back(c2, 3.0);
+  t.push_back(c3, 4.0);
+  return t;
+}
+
+TEST(CsfModeOrder, AscendingDimsWithRootFirst) {
+  const dims_t dims = {100, 10, 50};
+  EXPECT_EQ(csf_mode_order(dims, -1), (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(csf_mode_order(dims, 0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(csf_mode_order(dims, 2), (std::vector<int>{2, 1, 0}));
+}
+
+TEST(CsfModeOrder, TiesBrokenByModeId) {
+  const dims_t dims = {10, 10, 10};
+  EXPECT_EQ(csf_mode_order(dims, -1), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CsfPolicyParse, RoundTrips) {
+  for (const auto p :
+       {CsfPolicy::kOneMode, CsfPolicy::kTwoMode, CsfPolicy::kAllMode}) {
+    EXPECT_EQ(parse_csf_policy(csf_policy_name(p)), p);
+  }
+  EXPECT_THROW(parse_csf_policy("none"), Error);
+}
+
+TEST(Csf, HandExampleStructure) {
+  SparseTensor t = hand_tensor();
+  const std::vector<int> order = {0, 1, 2};  // natural order
+  sort_tensor_perm(t, order, 1);
+  const CsfTensor csf(t, order);
+
+  // Root level: slices 0 and 1.
+  ASSERT_EQ(csf.nfibers(0), 2u);
+  EXPECT_EQ(csf.fids(0)[0], 0u);
+  EXPECT_EQ(csf.fids(0)[1], 1u);
+
+  // Level 1 fibers: (0,0), (0,2), (1,1).
+  ASSERT_EQ(csf.nfibers(1), 3u);
+  EXPECT_EQ(csf.fids(1)[0], 0u);
+  EXPECT_EQ(csf.fids(1)[1], 2u);
+  EXPECT_EQ(csf.fids(1)[2], 1u);
+  EXPECT_EQ(csf.fptr(0)[0], 0u);
+  EXPECT_EQ(csf.fptr(0)[1], 2u);  // slice 0 owns fibers 0,1
+  EXPECT_EQ(csf.fptr(0)[2], 3u);
+
+  // Leaves: 4 nonzeros; fiber (0,0) holds leaves {0,1}.
+  ASSERT_EQ(csf.nnz(), 4u);
+  EXPECT_EQ(csf.fptr(1)[0], 0u);
+  EXPECT_EQ(csf.fptr(1)[1], 2u);
+  EXPECT_EQ(csf.fptr(1)[2], 3u);
+  EXPECT_EQ(csf.fptr(1)[3], 4u);
+  EXPECT_EQ(csf.fids(2)[0], 0u);
+  EXPECT_EQ(csf.fids(2)[1], 1u);
+  EXPECT_DOUBLE_EQ(csf.vals()[3], 4.0);
+
+  // Root nnz prefix: slice 0 has 3 nonzeros, slice 1 has 1.
+  EXPECT_EQ(csf.root_nnz_prefix()[0], 0u);
+  EXPECT_EQ(csf.root_nnz_prefix()[1], 3u);
+  EXPECT_EQ(csf.root_nnz_prefix()[2], 4u);
+}
+
+TEST(Csf, LevelOfModeInverse) {
+  SparseTensor t = hand_tensor();
+  const std::vector<int> order = {2, 0, 1};
+  sort_tensor_perm(t, order, 1);
+  const CsfTensor csf(t, order);
+  EXPECT_EQ(csf.mode_at_level(0), 2);
+  EXPECT_EQ(csf.level_of_mode(2), 0);
+  EXPECT_EQ(csf.level_of_mode(0), 1);
+  EXPECT_EQ(csf.level_of_mode(1), 2);
+}
+
+TEST(Csf, RejectsBadModeOrder) {
+  SparseTensor t = hand_tensor();
+  sort_tensor(t, 0, 1);
+  EXPECT_THROW(CsfTensor(t, {0, 1}), Error);     // wrong length
+  EXPECT_THROW(CsfTensor(t, {0, 0, 2}), Error);  // not a permutation
+}
+
+// Round-trip sweep over orders, roots, and skew.
+class CsfRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(CsfRoundTripTest, ToCooRecoversTensor) {
+  const auto [order, root, zipf] = GetParam();
+  dims_t dims;
+  std::uint64_t volume = 1;
+  for (int m = 0; m < order; ++m) {
+    dims.push_back(static_cast<idx_t>(20 + 10 * m));
+    volume *= dims.back();
+  }
+  const nnz_t nnz = std::min<nnz_t>(3000, volume / 4);
+  SparseTensor t = generate_synthetic(
+      {.dims = dims, .nnz = nnz, .seed = 90, .zipf_exponent = zipf});
+  const auto expected = sorted_entries(t);
+
+  const auto mode_order = csf_mode_order(dims, root % order);
+  sort_tensor_perm(t, mode_order, 2);
+  const CsfTensor csf(t, mode_order);
+  EXPECT_EQ(csf.nnz(), nnz);
+  const SparseTensor back = csf.to_coo();
+  EXPECT_EQ(sorted_entries(back), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersRootsSkew, CsfRoundTripTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(0, 1),
+                       ::testing::Values(0.0, 0.9)));
+
+TEST(Csf, FiberPointersAreMonotoneAndCover) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {40, 30, 20}, .nnz = 2500, .seed = 91});
+  const auto order = csf_mode_order(t.dims(), -1);
+  sort_tensor_perm(t, order, 1);
+  const CsfTensor csf(t, order);
+  for (int l = 0; l < csf.order() - 1; ++l) {
+    const auto fp = csf.fptr(l);
+    ASSERT_EQ(fp.size(), csf.nfibers(l) + 1);
+    EXPECT_EQ(fp.front(), 0u);
+    for (std::size_t i = 1; i < fp.size(); ++i) {
+      EXPECT_LT(fp[i - 1], fp[i]);  // strictly increasing: no empty fibers
+    }
+    EXPECT_EQ(fp.back(), csf.nfibers(l + 1));
+  }
+}
+
+TEST(Csf, RootFidsAreStrictlyIncreasing) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {50, 20, 20}, .nnz = 1500, .seed = 92});
+  const auto order = csf_mode_order(t.dims(), 0);
+  sort_tensor_perm(t, order, 1);
+  const CsfTensor csf(t, order);
+  const auto fids = csf.fids(0);
+  for (std::size_t i = 1; i < fids.size(); ++i) {
+    EXPECT_LT(fids[i - 1], fids[i]);
+  }
+}
+
+TEST(Csf, MemoryBytesBounded) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {30, 30, 30}, .nnz = 2000, .seed = 93});
+  const auto order = csf_mode_order(t.dims(), -1);
+  sort_tensor_perm(t, order, 1);
+  const CsfTensor csf(t, order);
+  // At least the leaves (vals + fids), at most the fully uncompressed COO
+  // plus pointer overhead.
+  const std::uint64_t lower = 2000 * (sizeof(val_t) + sizeof(idx_t));
+  const std::uint64_t upper =
+      2000 * (sizeof(val_t) + 3 * sizeof(idx_t) + 3 * sizeof(nnz_t)) +
+      (2000 + 64) * sizeof(nnz_t);
+  EXPECT_GE(csf.memory_bytes(), lower);
+  EXPECT_LE(csf.memory_bytes(), upper);
+}
+
+TEST(Csf, CompressionBeatsCooOnDuplicatePrefixes) {
+  // A tensor with few distinct (mode0, mode1) pairs compresses well.
+  SparseTensor t({4, 4, 10000});
+  Rng rng(7);
+  std::set<idx_t> used;
+  for (int k = 0; k < 5000; ++k) {
+    const idx_t c[] = {rng.next_index(4), rng.next_index(4),
+                       rng.next_index(10000)};
+    t.push_back(c, 1.0);
+  }
+  const auto order = csf_mode_order(t.dims(), 0);
+  sort_tensor_perm(t, order, 1);
+  const CsfTensor csf(t, order);
+  const std::uint64_t coo_bytes =
+      t.nnz() * (3 * sizeof(idx_t) + sizeof(val_t));
+  EXPECT_LT(csf.memory_bytes(), coo_bytes);
+}
+
+// ---------------------------------------------------------------- CsfSet
+
+TEST(CsfSet, OneModePolicyBuildsOneRep) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {50, 10, 30}, .nnz = 1000, .seed = 94});
+  const CsfSet set(t, CsfPolicy::kOneMode, 2);
+  EXPECT_EQ(set.csfs().size(), 1u);
+  EXPECT_EQ(set.csfs()[0].mode_at_level(0), 1);  // smallest mode roots
+}
+
+TEST(CsfSet, TwoModePolicyRootsSmallestAndLargest) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {50, 10, 30}, .nnz = 1000, .seed = 95});
+  const CsfSet set(t, CsfPolicy::kTwoMode, 2);
+  ASSERT_EQ(set.csfs().size(), 2u);
+  EXPECT_EQ(set.csfs()[0].mode_at_level(0), 1);  // smallest
+  EXPECT_EQ(set.csfs()[1].mode_at_level(0), 0);  // largest
+}
+
+TEST(CsfSet, AllModePolicyRootsEveryMode) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {50, 10, 30}, .nnz = 1000, .seed = 96});
+  const CsfSet set(t, CsfPolicy::kAllMode, 2);
+  ASSERT_EQ(set.csfs().size(), 3u);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(set.csfs()[static_cast<std::size_t>(m)].mode_at_level(0), m);
+  }
+}
+
+TEST(CsfSet, DispatchPrefersRootRepresentation) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {50, 10, 30}, .nnz = 1000, .seed = 97});
+  const CsfSet set(t, CsfPolicy::kTwoMode, 2);
+  int level = -1;
+  const CsfTensor& for_smallest = set.csf_for_mode(1, level);
+  EXPECT_EQ(level, 0);
+  EXPECT_EQ(for_smallest.mode_at_level(0), 1);
+  const CsfTensor& for_largest = set.csf_for_mode(0, level);
+  EXPECT_EQ(level, 0);
+  EXPECT_EQ(for_largest.mode_at_level(0), 0);
+  // Mode 2 is root of neither: falls back to rep 0 at its level there.
+  const CsfTensor& for_middle = set.csf_for_mode(2, level);
+  EXPECT_EQ(&for_middle, &set.csfs()[0]);
+  EXPECT_GT(level, 0);
+}
+
+TEST(CsfSet, AllModeDispatchAlwaysRoot) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {20, 30, 40}, .nnz = 800, .seed = 98});
+  const CsfSet set(t, CsfPolicy::kAllMode, 1);
+  for (int m = 0; m < 3; ++m) {
+    int level = -1;
+    (void)set.csf_for_mode(m, level);
+    EXPECT_EQ(level, 0) << "mode " << m;
+  }
+}
+
+TEST(CsfSet, EqualDimsTwoModeDedupes) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {25, 25, 25}, .nnz = 700, .seed = 99});
+  const CsfSet set(t, CsfPolicy::kTwoMode, 1);
+  // Smallest and largest coincide: only one representation.
+  EXPECT_EQ(set.csfs().size(), 1u);
+}
+
+TEST(CsfSet, SortTimeReported) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {80, 80, 80}, .nnz = 20000, .seed = 100});
+  double sort_seconds = 0.0;
+  const CsfSet set(t, CsfPolicy::kAllMode, 2, &sort_seconds);
+  EXPECT_GT(sort_seconds, 0.0);
+}
+
+TEST(CsfSet, MemoryBytesSumAcrossReps) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {30, 40, 50}, .nnz = 1200, .seed = 101});
+  SparseTensor t2 = t;
+  const CsfSet one(t, CsfPolicy::kOneMode, 1);
+  const CsfSet all(t2, CsfPolicy::kAllMode, 1);
+  EXPECT_GT(all.memory_bytes(), one.memory_bytes());
+}
+
+}  // namespace
+}  // namespace sptd

@@ -1,0 +1,195 @@
+// Tests for src/dist: simulated medium-grained distributed CP-ALS —
+// numerics vs the shared-memory driver, block partitioning invariants,
+// communication-volume accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "cpd/cpals.hpp"
+#include "dist/dist_cpals.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace sptd {
+namespace {
+
+SparseTensor test_tensor(std::uint64_t seed = 6000) {
+  return generate_synthetic({.dims = {24, 30, 18}, .nnz = 2000,
+                             .seed = seed, .zipf_exponent = 0.5});
+}
+
+TEST(DistGrid, SingleLocaleMatchesSharedMemoryExactly) {
+  // 1x1x1 grid: no partitioning at all; the fit trajectory must be
+  // bitwise identical to the shared-memory driver (same seed, same
+  // accumulation order with one thread).
+  SparseTensor x = test_tensor();
+  DistOptions dopts;
+  dopts.grid = {1, 1, 1};
+  dopts.rank = 4;
+  dopts.max_iterations = 5;
+  dopts.seed = 23;
+  const DistResult dist = dist_cp_als(x, dopts);
+
+  SparseTensor x2 = test_tensor();
+  CpalsOptions sopts;
+  sopts.rank = 4;
+  sopts.max_iterations = 5;
+  sopts.tolerance = 0.0;
+  sopts.seed = 23;
+  sopts.nthreads = 1;
+  const CpalsResult shared = cp_als(x2, sopts);
+
+  ASSERT_EQ(dist.fit_history.size(), shared.fit_history.size());
+  for (std::size_t i = 0; i < dist.fit_history.size(); ++i) {
+    EXPECT_NEAR(dist.fit_history[i], shared.fit_history[i], 1e-12)
+        << "iteration " << i;
+  }
+}
+
+class DistGridShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistGridShapeTest, NumericsMatchSharedMemory) {
+  const auto [g0, g1, g2] = GetParam();
+  SparseTensor x = test_tensor();
+  DistOptions dopts;
+  dopts.grid = {static_cast<idx_t>(g0), static_cast<idx_t>(g1),
+                static_cast<idx_t>(g2)};
+  dopts.rank = 4;
+  dopts.max_iterations = 5;
+  const DistResult dist = dist_cp_als(x, dopts);
+
+  SparseTensor x2 = test_tensor();
+  CpalsOptions sopts;
+  sopts.rank = 4;
+  sopts.max_iterations = 5;
+  sopts.tolerance = 0.0;
+  sopts.seed = dopts.seed;
+  const CpalsResult shared = cp_als(x2, sopts);
+
+  // Partitioning only changes summation order: fits agree to round-off.
+  ASSERT_EQ(dist.fit_history.size(), shared.fit_history.size());
+  EXPECT_NEAR(dist.fit_history.back(), shared.fit_history.back(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistGridShapeTest,
+    ::testing::Values(std::make_tuple(2, 1, 1), std::make_tuple(1, 3, 1),
+                      std::make_tuple(2, 2, 2), std::make_tuple(4, 1, 2),
+                      std::make_tuple(3, 2, 1)));
+
+TEST(Dist, LocaleNnzSumsToTotal) {
+  SparseTensor x = test_tensor();
+  DistOptions opts;
+  opts.grid = {2, 3, 2};
+  opts.rank = 3;
+  opts.max_iterations = 1;
+  const DistResult r = dist_cp_als(x, opts);
+  ASSERT_EQ(r.locale_nnz.size(), 12u);
+  const nnz_t total =
+      std::accumulate(r.locale_nnz.begin(), r.locale_nnz.end(), nnz_t{0});
+  EXPECT_EQ(total, x.nnz());
+}
+
+TEST(Dist, WeightedBlocksBalanceSkewedTensors) {
+  SparseTensor x = generate_synthetic(
+      {.dims = {200, 40, 40}, .nnz = 8000, .seed = 6001,
+       .zipf_exponent = 1.2});
+  DistOptions opts;
+  opts.grid = {4, 1, 1};
+  opts.rank = 2;
+  opts.max_iterations = 1;
+  opts.weighted_blocks = false;
+  const DistResult uniform = dist_cp_als(x, opts);
+  opts.weighted_blocks = true;
+  const DistResult weighted = dist_cp_als(x, opts);
+
+  const auto imbalance = [](const std::vector<nnz_t>& v) {
+    nnz_t mx = 0, total = 0;
+    for (const nnz_t n : v) {
+      mx = std::max(mx, n);
+      total += n;
+    }
+    return static_cast<double>(mx) /
+           (static_cast<double>(total) / static_cast<double>(v.size()));
+  };
+  EXPECT_LT(imbalance(weighted.locale_nnz),
+            imbalance(uniform.locale_nnz));
+}
+
+TEST(Dist, CommVolumeMatchesPrediction) {
+  SparseTensor x = test_tensor();
+  DistOptions opts;
+  opts.grid = {2, 2, 1};
+  opts.rank = 5;
+  opts.max_iterations = 3;
+  const DistResult r = dist_cp_als(x, opts);
+  const CommVolume predicted =
+      predict_comm_volume(x.dims(), opts.grid, opts.rank);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(r.comm.reduce_bytes[static_cast<std::size_t>(m)],
+              predicted.reduce_bytes[static_cast<std::size_t>(m)] * 3);
+    EXPECT_EQ(r.comm.broadcast_bytes[static_cast<std::size_t>(m)],
+              predicted.broadcast_bytes[static_cast<std::size_t>(m)] * 3);
+  }
+}
+
+TEST(Dist, SingleLocaleMovesNoBytes) {
+  SparseTensor x = test_tensor();
+  DistOptions opts;
+  opts.grid = {1, 1, 1};
+  opts.rank = 3;
+  opts.max_iterations = 2;
+  const DistResult r = dist_cp_als(x, opts);
+  EXPECT_EQ(r.comm.total(), 0u);
+}
+
+TEST(Dist, BalancedGridMovesFewerBytesThanFlat) {
+  // The medium-grained paper's central claim: an N-D grid communicates
+  // less than a 1-D decomposition with the same locale count.
+  const dims_t dims = {64, 64, 64};
+  const idx_t rank = 8;
+  const auto flat = predict_comm_volume(dims, {8, 1, 1}, rank);
+  const auto cube = predict_comm_volume(dims, {2, 2, 2}, rank);
+  EXPECT_LT(cube.total(), flat.total());
+}
+
+TEST(Dist, PredictionFormula) {
+  // Hand check: dims {10, 20}, grid {2, 1}, rank 3.
+  // Mode 0: layers of P/p0 = 1 locale -> 0 bytes.
+  // Mode 1: layers of P/p1 = 2 locales -> (2-1)*20*3*8 = 480 bytes each
+  // direction.
+  const auto comm = predict_comm_volume({10, 20}, {2, 1}, 3);
+  EXPECT_EQ(comm.reduce_bytes[0], 0u);
+  EXPECT_EQ(comm.broadcast_bytes[0], 0u);
+  EXPECT_EQ(comm.reduce_bytes[1], 480u);
+  EXPECT_EQ(comm.broadcast_bytes[1], 480u);
+}
+
+TEST(Dist, RejectsBadArguments) {
+  SparseTensor x = test_tensor();
+  DistOptions opts;
+  opts.grid = {2, 2};  // wrong order
+  EXPECT_THROW(dist_cp_als(x, opts), Error);
+  opts.grid = {0, 1, 1};
+  EXPECT_THROW(dist_cp_als(x, opts), Error);
+  opts.grid = {100000, 1, 1};  // more parts than slices
+  EXPECT_THROW(dist_cp_als(x, opts), Error);
+}
+
+TEST(Dist, FitImprovesOverIterations) {
+  SparseTensor x = generate_full_low_rank({12, 12, 12}, 3, 0.0, 6002);
+  DistOptions opts;
+  opts.grid = {2, 2, 2};
+  opts.rank = 3;
+  opts.max_iterations = 30;
+  const DistResult r = dist_cp_als(x, opts);
+  EXPECT_GT(r.fit_history.back(), r.fit_history.front());
+  EXPECT_GT(r.fit_history.back(), 0.95);
+}
+
+}  // namespace
+}  // namespace sptd

@@ -1,0 +1,355 @@
+// Tests for src/la: matrix, BLAS-like kernels, Cholesky, normalization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+
+namespace sptd::la {
+namespace {
+
+constexpr val_t kTol = 1e-10;
+
+Matrix random_matrix(idx_t rows, idx_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::random(rows, cols, rng);
+}
+
+/// Dense SPD matrix A^T A + n*I built from a random A.
+Matrix random_spd(idx_t n, std::uint64_t seed) {
+  const Matrix a = random_matrix(n + 3, n, seed);
+  Matrix spd(n, n);
+  ata(a, spd, 1);
+  for (idx_t i = 0; i < n; ++i) {
+    spd(i, i) += static_cast<val_t>(n);
+  }
+  return spd;
+}
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, ConstructionFillsInitialValue) {
+  Matrix m(3, 4, 2.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (idx_t i = 0; i < 3; ++i) {
+    for (idx_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m(i, j), 2.5);
+    }
+  }
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix m(2, 3);
+  m(1, 2) = 9.0;
+  EXPECT_EQ(m.data()[1 * 3 + 2], 9.0);
+  EXPECT_EQ(m.row_ptr(1)[2], 9.0);
+  EXPECT_EQ(m.row(1)[2], 9.0);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  const Matrix eye = Matrix::identity(4);
+  for (idx_t i = 0; i < 4; ++i) {
+    for (idx_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RandomIsDeterministicInSeed) {
+  EXPECT_EQ(random_matrix(5, 5, 42), random_matrix(5, 5, 42));
+}
+
+TEST(Matrix, RandomEntriesInUnitInterval) {
+  const Matrix m = random_matrix(20, 20, 1);
+  for (const val_t v : m.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Matrix, ZeroParallelClearsAllEntries) {
+  Matrix m(100, 7, 3.0);
+  m.zero_parallel(4);
+  for (const val_t v : m.values()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  b(1, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 3.0);
+}
+
+TEST(Matrix, FroNormSq) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.fro_norm_sq(), 25.0);
+}
+
+// ------------------------------------------------------------------ blas
+
+TEST(Blas, AtaMatchesMatmulAtB) {
+  const Matrix a = random_matrix(50, 8, 3);
+  Matrix via_ata(8, 8);
+  ata(a, via_ata, 1);
+  Matrix via_mm(8, 8);
+  matmul_at_b(a, a, via_mm);
+  EXPECT_LT(via_ata.max_abs_diff(via_mm), kTol);
+}
+
+TEST(Blas, AtaIsSymmetric) {
+  const Matrix a = random_matrix(30, 6, 4);
+  Matrix g(6, 6);
+  ata(a, g, 2);
+  for (idx_t i = 0; i < 6; ++i) {
+    for (idx_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+class AtaThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtaThreadsTest, ThreadCountDoesNotChangeResult) {
+  const Matrix a = random_matrix(1000, 12, 5);
+  Matrix serial(12, 12), parallel(12, 12);
+  ata(a, serial, 1);
+  ata(a, parallel, GetParam());
+  EXPECT_LT(serial.max_abs_diff(parallel), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, AtaThreadsTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(Blas, HadamardMultipliesElementwise) {
+  Matrix a(2, 2, 3.0);
+  Matrix b(2, 2, 0.5);
+  b(0, 1) = 2.0;
+  hadamard_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+}
+
+TEST(Blas, GramHadamardSkipsRequestedMode) {
+  std::vector<Matrix> grams;
+  grams.emplace_back(2, 2, 2.0);
+  grams.emplace_back(2, 2, 3.0);
+  grams.emplace_back(2, 2, 5.0);
+  Matrix out(2, 2);
+  gram_hadamard(grams, 1, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 10.0);  // 2 * 5, skipping the 3
+  gram_hadamard(grams, -1, out);
+  EXPECT_DOUBLE_EQ(out(1, 1), 30.0);  // all three
+}
+
+TEST(Blas, MatmulIdentityIsNoop) {
+  const Matrix a = random_matrix(4, 4, 6);
+  Matrix c(4, 4);
+  matmul(a, Matrix::identity(4), c);
+  EXPECT_LT(a.max_abs_diff(c), kTol);
+}
+
+TEST(Blas, MatmulKnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  val_t av[] = {1, 2, 3, 4, 5, 6};
+  val_t bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Matrix c(2, 2);
+  matmul(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Blas, FroInnerMatchesSerialSum) {
+  const Matrix a = random_matrix(37, 5, 7);
+  const Matrix b = random_matrix(37, 5, 8);
+  val_t expected = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expected += a.data()[i] * b.data()[i];
+  }
+  EXPECT_NEAR(fro_inner(a, b, 4), expected, 1e-9);
+}
+
+// -------------------------------------------------------------- cholesky
+
+TEST(Cholesky, FactorsKnownMatrix) {
+  // [[4, 2], [2, 3]] = L L^T with L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  ASSERT_TRUE(potrf(a));
+  EXPECT_NEAR(a(0, 0), 2.0, kTol);
+  EXPECT_NEAR(a(1, 0), 1.0, kTol);
+  EXPECT_NEAR(a(1, 1), std::sqrt(2.0), kTol);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(potrf(a));
+}
+
+TEST(Cholesky, ReconstructsSpdMatrix) {
+  const Matrix spd = random_spd(10, 11);
+  Matrix f = spd;
+  ASSERT_TRUE(potrf(f));
+  // L L^T must reproduce spd.
+  Matrix l(10, 10);
+  for (idx_t i = 0; i < 10; ++i) {
+    for (idx_t j = 0; j <= i; ++j) {
+      l(i, j) = f(i, j);
+    }
+  }
+  Matrix lt(10, 10);
+  for (idx_t i = 0; i < 10; ++i) {
+    for (idx_t j = 0; j < 10; ++j) {
+      lt(i, j) = l(j, i);
+    }
+  }
+  Matrix rebuilt(10, 10);
+  matmul(l, lt, rebuilt);
+  EXPECT_LT(rebuilt.max_abs_diff(spd), 1e-8);
+}
+
+class PotrsThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PotrsThreadsTest, SolvesRandomSystems) {
+  const idx_t n = 8;
+  const Matrix spd = random_spd(n, 13);
+  const Matrix x_true = random_matrix(40, n, 14);
+  // b = x_true * spd (rows are right-hand sides of V x = b).
+  Matrix b(40, n);
+  matmul(x_true, spd, b);
+  Matrix f = spd;
+  ASSERT_TRUE(potrf(f));
+  potrs(f, b, GetParam());
+  EXPECT_LT(b.max_abs_diff(x_true), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PotrsThreadsTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(Cholesky, SolveNormalEquationsMatchesDirectSolve) {
+  const idx_t n = 6;
+  const Matrix spd = random_spd(n, 15);
+  const Matrix x_true = random_matrix(20, n, 16);
+  Matrix b(20, n);
+  matmul(x_true, spd, b);
+  solve_normal_equations(spd, b, 2);
+  EXPECT_LT(b.max_abs_diff(x_true), 1e-7);
+}
+
+TEST(Cholesky, SolveNormalEquationsRegularizesSingular) {
+  // Rank-deficient V (all-ones outer product); must not throw and must
+  // produce finite output.
+  const idx_t n = 4;
+  Matrix v(n, n, 1.0);
+  Matrix m = random_matrix(10, n, 17);
+  solve_normal_equations(v, m, 1);
+  for (const val_t x : m.values()) {
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(Cholesky, SolveNormalEquationsZeroMatrixRegularizes) {
+  Matrix v(3, 3, 0.0);
+  Matrix m = random_matrix(5, 3, 18);
+  solve_normal_equations(v, m, 1);
+  for (const val_t x : m.values()) {
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+// ----------------------------------------------------------------- norms
+
+TEST(Norms, TwoNormNormalizesColumnsToUnitLength) {
+  Matrix a = random_matrix(50, 6, 19);
+  std::vector<val_t> lambda(6);
+  normalize_columns(a, lambda, MatNorm::kTwo, 2);
+  std::vector<val_t> norms(6);
+  column_two_norms(a, norms);
+  for (idx_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(norms[j], 1.0, 1e-10);
+    EXPECT_GT(lambda[j], 0.0);
+  }
+}
+
+TEST(Norms, TwoNormLambdaTimesColumnRestoresOriginal) {
+  Matrix orig = random_matrix(30, 4, 20);
+  Matrix a = orig;
+  std::vector<val_t> lambda(4);
+  normalize_columns(a, lambda, MatNorm::kTwo, 1);
+  for (idx_t i = 0; i < 30; ++i) {
+    for (idx_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(a(i, j) * lambda[j], orig(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(Norms, MaxNormUsesLargestAbsEntryClampedAtOne) {
+  Matrix a(3, 2, 0.0);
+  a(0, 0) = -4.0;  // column 0 max-abs 4
+  a(1, 0) = 2.0;
+  a(2, 1) = 0.5;   // column 1 max-abs 0.5 -> clamped to 1
+  std::vector<val_t> lambda(2);
+  normalize_columns(a, lambda, MatNorm::kMax, 1);
+  EXPECT_DOUBLE_EQ(lambda[0], 4.0);
+  EXPECT_DOUBLE_EQ(lambda[1], 1.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a(2, 1), 0.5);  // unchanged by clamped lambda
+}
+
+TEST(Norms, ZeroColumnGetsUnitLambdaAndStaysZero) {
+  Matrix a(4, 2, 0.0);
+  a(0, 0) = 3.0;
+  std::vector<val_t> lambda(2);
+  normalize_columns(a, lambda, MatNorm::kTwo, 1);
+  EXPECT_DOUBLE_EQ(lambda[1], 1.0);
+  for (idx_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a(i, 1), 0.0);
+  }
+}
+
+class NormThreadsTest
+    : public ::testing::TestWithParam<std::tuple<int, MatNorm>> {};
+
+TEST_P(NormThreadsTest, ThreadCountDoesNotChangeResult) {
+  const auto [nthreads, which] = GetParam();
+  Matrix serial = random_matrix(500, 9, 21);
+  Matrix parallel = serial;
+  std::vector<val_t> lambda_s(9), lambda_p(9);
+  normalize_columns(serial, lambda_s, which, 1);
+  normalize_columns(parallel, lambda_p, which, nthreads);
+  EXPECT_LT(serial.max_abs_diff(parallel), 1e-12);
+  for (idx_t j = 0; j < 9; ++j) {
+    EXPECT_NEAR(lambda_s[j], lambda_p[j], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndNorms, NormThreadsTest,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(MatNorm::kTwo, MatNorm::kMax)));
+
+}  // namespace
+}  // namespace sptd::la

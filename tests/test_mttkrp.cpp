@@ -1,0 +1,423 @@
+// Tests for src/mttkrp: every kernel level x row-access policy x sync
+// strategy must match the dense oracle exactly (up to fp round-off).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "csf/csf.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "sort/sort.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace sptd {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct Fixture {
+  SparseTensor coo;
+  DenseTensor dense;
+  std::vector<la::Matrix> factors;
+  idx_t rank;
+
+  Fixture(dims_t dims, nnz_t nnz, idx_t rank_, std::uint64_t seed)
+      : coo(generate_synthetic(
+            {.dims = dims, .nnz = nnz, .seed = seed, .zipf_exponent = 0.5})),
+        dense(DenseTensor::from_coo(coo)),
+        rank(rank_) {
+    Rng rng(seed + 1);
+    for (const idx_t d : dims) {
+      factors.push_back(la::Matrix::random(d, rank, rng));
+    }
+  }
+
+  la::Matrix oracle(int mode) const {
+    la::Matrix out(coo.dim(mode), rank);
+    dense.mttkrp(mode, factors, out);
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ parse/misc
+
+TEST(RowAccessParse, RoundTrips) {
+  for (const auto ra :
+       {RowAccess::kSlice, RowAccess::kIndex2D, RowAccess::kPointer}) {
+    EXPECT_EQ(parse_row_access(row_access_name(ra)), ra);
+  }
+  EXPECT_EQ(parse_row_access("index2d"), RowAccess::kIndex2D);
+  EXPECT_THROW(parse_row_access("bogus"), Error);
+}
+
+TEST(SyncStrategyNames, AreStable) {
+  EXPECT_STREQ(sync_strategy_name(SyncStrategy::kNone), "none");
+  EXPECT_STREQ(sync_strategy_name(SyncStrategy::kLock), "lock");
+  EXPECT_STREQ(sync_strategy_name(SyncStrategy::kPrivatize), "privatize");
+}
+
+// -------------------------------------------- privatization heuristic
+
+TEST(ChooseSync, RootLevelNeverSynchronizes) {
+  MttkrpOptions opts;
+  opts.nthreads = 32;
+  EXPECT_EQ(choose_sync_strategy({100, 100, 100}, 0, /*level=*/0, 1000, opts),
+            SyncStrategy::kNone);
+}
+
+TEST(ChooseSync, SingleThreadNeverSynchronizes) {
+  MttkrpOptions opts;
+  opts.nthreads = 1;
+  EXPECT_EQ(choose_sync_strategy({100, 100, 100}, 1, /*level=*/1, 1000, opts),
+            SyncStrategy::kNone);
+}
+
+TEST(ChooseSync, YelpShapeLocksBeyondTwoThreads) {
+  // The paper's YELP behaviour (Section V-D2): privatized at <= 2 threads,
+  // locks beyond. Mode 0 (41k) is the non-root mode of the TwoMode set.
+  const dims_t yelp = {41000, 11000, 75000};
+  const nnz_t nnz = 8000000;
+  MttkrpOptions opts;
+  opts.nthreads = 2;
+  EXPECT_EQ(choose_sync_strategy(yelp, 0, 1, nnz, opts),
+            SyncStrategy::kPrivatize);
+  opts.nthreads = 4;
+  EXPECT_EQ(choose_sync_strategy(yelp, 0, 1, nnz, opts),
+            SyncStrategy::kLock);
+  opts.nthreads = 32;
+  EXPECT_EQ(choose_sync_strategy(yelp, 0, 1, nnz, opts),
+            SyncStrategy::kLock);
+}
+
+TEST(ChooseSync, Nell2ShapeNeverLocks) {
+  // NELL-2 privatizes at every thread count the paper tested (1-32).
+  const dims_t nell2 = {12000, 9000, 29000};
+  const nnz_t nnz = 77000000;
+  MttkrpOptions opts;
+  for (const int t : {2, 4, 8, 16, 32}) {
+    opts.nthreads = t;
+    EXPECT_EQ(choose_sync_strategy(nell2, 0, 1, nnz, opts),
+              SyncStrategy::kPrivatize)
+        << t << " threads";
+  }
+}
+
+TEST(ChooseSync, ForceLocksOverridesPrivatization) {
+  MttkrpOptions opts;
+  opts.nthreads = 4;
+  opts.force_locks = true;
+  EXPECT_EQ(choose_sync_strategy({10, 10, 10}, 0, 1, 1000000, opts),
+            SyncStrategy::kLock);
+}
+
+TEST(ChooseSync, DisallowedPrivatizationFallsBackToLocks) {
+  MttkrpOptions opts;
+  opts.nthreads = 4;
+  opts.allow_privatization = false;
+  EXPECT_EQ(choose_sync_strategy({10, 10, 10}, 0, 1, 1000000, opts),
+            SyncStrategy::kLock);
+}
+
+// --------------------------------------------------------- COO baseline
+
+class CooMttkrpTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(CooMttkrpTest, MatchesDenseOracle) {
+  const auto [mode, nthreads] = GetParam();
+  const Fixture fx({12, 9, 14}, 300, 7, 200);
+  la::Matrix out(fx.coo.dim(mode), fx.rank);
+  MttkrpOptions opts;
+  opts.nthreads = nthreads;
+  mttkrp_coo(fx.coo, fx.factors, mode, out, opts);
+  EXPECT_LT(out.max_abs_diff(fx.oracle(mode)), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModesThreads, CooMttkrpTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 4)));
+
+// --------------------------------------------------- CSF kernel sweep
+
+struct CsfCase {
+  int root;        ///< which mode roots the CSF (fixes the kernel level)
+  int out_mode;    ///< MTTKRP output mode
+  RowAccess ra;
+  int nthreads;
+  bool force_locks;
+  LockKind lock;
+};
+
+std::string case_name(const ::testing::TestParamInfo<CsfCase>& info) {
+  const CsfCase& c = info.param;
+  std::string n = "root" + std::to_string(c.root) + "_out" +
+                  std::to_string(c.out_mode) + "_" +
+                  row_access_name(c.ra) + "_t" + std::to_string(c.nthreads) +
+                  (c.force_locks ? "_lock_" : "_auto_") +
+                  lock_kind_name(c.lock);
+  for (auto& ch : n) {
+    if (ch == '-') ch = '_';
+  }
+  return n;
+}
+
+class CsfMttkrpTest : public ::testing::TestWithParam<CsfCase> {};
+
+TEST_P(CsfMttkrpTest, MatchesDenseOracle) {
+  const CsfCase& c = GetParam();
+  Fixture fx({13, 9, 11}, 350, 6, 300);
+
+  const auto mode_order = csf_mode_order(fx.coo.dims(), c.root);
+  SparseTensor sorted = fx.coo;
+  sort_tensor_perm(sorted, mode_order, 2);
+  const CsfTensor csf(sorted, mode_order);
+
+  MttkrpOptions opts;
+  opts.nthreads = c.nthreads;
+  opts.row_access = c.ra;
+  opts.force_locks = c.force_locks;
+  opts.lock_kind = c.lock;
+  MttkrpWorkspace ws(opts, fx.rank, 3);
+
+  la::Matrix out(fx.coo.dim(c.out_mode), fx.rank);
+  mttkrp_csf(csf, fx.factors, c.out_mode, out, ws);
+  EXPECT_LT(out.max_abs_diff(fx.oracle(c.out_mode)), kTol)
+      << "strategy " << sync_strategy_name(ws.last_strategy);
+}
+
+std::vector<CsfCase> csf_cases() {
+  std::vector<CsfCase> cases;
+  for (int root = 0; root < 3; ++root) {
+    for (int out_mode = 0; out_mode < 3; ++out_mode) {
+      for (const auto ra :
+           {RowAccess::kSlice, RowAccess::kIndex2D, RowAccess::kPointer}) {
+        // 1-thread direct + 4-thread auto (privatize) + 4-thread locked.
+        cases.push_back({root, out_mode, ra, 1, false, LockKind::kOmp});
+        cases.push_back({root, out_mode, ra, 4, false, LockKind::kOmp});
+        cases.push_back({root, out_mode, ra, 4, true, LockKind::kAtomic});
+      }
+    }
+  }
+  // Lock-kind coverage on a conflicting (non-root) kernel.
+  for (const auto lk : {LockKind::kSync, LockKind::kFifoSync}) {
+    cases.push_back({0, 2, RowAccess::kPointer, 4, true, lk});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelSweep, CsfMttkrpTest,
+                         ::testing::ValuesIn(csf_cases()), case_name);
+
+// ------------------------------------------------- higher-order kernels
+
+class HigherOrderTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HigherOrderTest, MatchesDenseOracle) {
+  const auto [order, out_mode, nthreads] = GetParam();
+  dims_t dims;
+  std::uint64_t volume = 1;
+  for (int m = 0; m < order; ++m) {
+    dims.push_back(static_cast<idx_t>(8 + 2 * m));
+    volume *= dims.back();
+  }
+  const nnz_t nnz = std::min<nnz_t>(200, volume / 4);
+  Fixture fx(dims, nnz, 4, 400 + static_cast<std::uint64_t>(order));
+  const int mode = out_mode % order;
+
+  // Root the CSF at a mode that puts the output mode at an internal level
+  // when possible (root at (mode+1) % order).
+  const auto mode_order = csf_mode_order(dims, (mode + 1) % order);
+  SparseTensor sorted = fx.coo;
+  sort_tensor_perm(sorted, mode_order, 1);
+  const CsfTensor csf(sorted, mode_order);
+
+  MttkrpOptions opts;
+  opts.nthreads = nthreads;
+  MttkrpWorkspace ws(opts, fx.rank, order);
+  la::Matrix out(fx.coo.dim(mode), fx.rank);
+  mttkrp_csf(csf, fx.factors, mode, out, ws);
+  EXPECT_LT(out.max_abs_diff(fx.oracle(mode)), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersModes, HigherOrderTest,
+    ::testing::Combine(::testing::Values(2, 4, 5, 6),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 4)));
+
+// ------------------------------------------------------------- CsfSet
+
+class CsfSetMttkrpTest
+    : public ::testing::TestWithParam<std::tuple<CsfPolicy, int>> {};
+
+TEST_P(CsfSetMttkrpTest, EveryModeMatchesOracle) {
+  const auto [policy, nthreads] = GetParam();
+  Fixture fx({16, 8, 12}, 400, 5, 500);
+  SparseTensor work = fx.coo;
+  const CsfSet set(work, policy, nthreads);
+
+  MttkrpOptions opts;
+  opts.nthreads = nthreads;
+  MttkrpWorkspace ws(opts, fx.rank, 3);
+  for (int mode = 0; mode < 3; ++mode) {
+    la::Matrix out(fx.coo.dim(mode), fx.rank);
+    mttkrp(set, fx.factors, mode, out, ws);
+    EXPECT_LT(out.max_abs_diff(fx.oracle(mode)), kTol)
+        << "policy " << csf_policy_name(policy) << " mode " << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesThreads, CsfSetMttkrpTest,
+    ::testing::Combine(::testing::Values(CsfPolicy::kOneMode,
+                                         CsfPolicy::kTwoMode,
+                                         CsfPolicy::kAllMode),
+                       ::testing::Values(1, 4)));
+
+// --------------------------------------------------------- workspace
+
+TEST(Workspace, ReusedAcrossModesAndSizes) {
+  Fixture fx({30, 6, 18}, 500, 4, 600);
+  SparseTensor work = fx.coo;
+  const CsfSet set(work, CsfPolicy::kOneMode, 2);
+  MttkrpOptions opts;
+  opts.nthreads = 2;
+  // Force the privatized path for non-root modes: generous threshold.
+  opts.privatization_threshold = 1e9;
+  MttkrpWorkspace ws(opts, fx.rank, 3);
+  // Run modes in both directions so the privatized buffer shrinks and
+  // grows; results must stay correct.
+  for (const int mode : {0, 1, 2, 2, 1, 0}) {
+    la::Matrix out(fx.coo.dim(mode), fx.rank);
+    mttkrp(set, fx.factors, mode, out, ws);
+    EXPECT_LT(out.max_abs_diff(fx.oracle(mode)), kTol) << "mode " << mode;
+  }
+}
+
+TEST(Workspace, LastStrategyReportsDecision) {
+  Fixture fx({10, 11, 12}, 300, 4, 700);
+  SparseTensor work = fx.coo;
+  const CsfSet set(work, CsfPolicy::kOneMode, 4);
+  MttkrpOptions opts;
+  opts.nthreads = 4;
+  opts.force_locks = true;
+  MttkrpWorkspace ws(opts, fx.rank, 3);
+  // Mode 2 (largest) sits at the leaf of the smallest-root OneMode rep.
+  la::Matrix out(fx.coo.dim(2), fx.rank);
+  int level = 0;
+  const CsfTensor& csf = set.csf_for_mode(2, level);
+  ASSERT_GT(level, 0);
+  mttkrp_csf(csf, fx.factors, 2, out, ws);
+  EXPECT_EQ(ws.last_strategy, SyncStrategy::kLock);
+}
+
+TEST(Mttkrp, RejectsWrongShapes) {
+  Fixture fx({8, 8, 8}, 100, 3, 800);
+  SparseTensor work = fx.coo;
+  const CsfSet set(work, CsfPolicy::kOneMode, 1);
+  MttkrpOptions opts;
+  MttkrpWorkspace ws(opts, fx.rank, 3);
+  la::Matrix bad_rows(7, fx.rank);
+  EXPECT_THROW(mttkrp(set, fx.factors, 0, bad_rows, ws), Error);
+  la::Matrix bad_cols(8, fx.rank + 1);
+  EXPECT_THROW(mttkrp(set, fx.factors, 0, bad_cols, ws), Error);
+}
+
+class CsfTiledLeafTest
+    : public ::testing::TestWithParam<std::tuple<RowAccess, int>> {};
+
+TEST_P(CsfTiledLeafTest, MatchesDenseOracle) {
+  const auto [ra, nthreads] = GetParam();
+  Fixture fx({13, 9, 24}, 400, 6, 1000);
+
+  // Root the CSF so the largest mode sits at the leaf.
+  const auto mode_order = csf_mode_order(fx.coo.dims(), -1);
+  const int leaf_mode = mode_order.back();
+  SparseTensor sorted = fx.coo;
+  sort_tensor_perm(sorted, mode_order, 2);
+  const CsfTensor csf(sorted, mode_order);
+  ASSERT_EQ(csf.level_of_mode(leaf_mode), 2);
+
+  MttkrpOptions opts;
+  opts.nthreads = nthreads;
+  opts.row_access = ra;
+  opts.use_tiling = true;
+  MttkrpWorkspace ws(opts, fx.rank, 3);
+  la::Matrix out(fx.coo.dim(leaf_mode), fx.rank);
+  mttkrp_csf(csf, fx.factors, leaf_mode, out, ws);
+  if (nthreads > 1) {
+    EXPECT_EQ(ws.last_strategy, SyncStrategy::kTile);
+  }
+  EXPECT_LT(out.max_abs_diff(fx.oracle(leaf_mode)), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesThreads, CsfTiledLeafTest,
+    ::testing::Combine(::testing::Values(RowAccess::kPointer,
+                                         RowAccess::kSlice),
+                       ::testing::Values(1, 2, 4, 16)));
+
+TEST(CsfTiledLeaf, TilingIgnoredOnInternalLevels) {
+  Fixture fx({10, 14, 12}, 300, 4, 1100);
+  SparseTensor sorted = fx.coo;
+  // Root at mode 2 puts mode 1 at an internal level.
+  const auto mode_order = csf_mode_order(fx.coo.dims(), 2);
+  sort_tensor_perm(sorted, mode_order, 1);
+  const CsfTensor csf(sorted, mode_order);
+  const int internal_mode = csf.mode_at_level(1);
+
+  MttkrpOptions opts;
+  opts.nthreads = 4;
+  opts.use_tiling = true;
+  MttkrpWorkspace ws(opts, fx.rank, 3);
+  la::Matrix out(fx.coo.dim(internal_mode), fx.rank);
+  mttkrp_csf(csf, fx.factors, internal_mode, out, ws);
+  EXPECT_NE(ws.last_strategy, SyncStrategy::kTile);
+  EXPECT_LT(out.max_abs_diff(fx.oracle(internal_mode)), kTol);
+}
+
+TEST(CsfTiledLeaf, HigherOrderTensor) {
+  Fixture fx({8, 7, 9, 11}, 250, 4, 1200);
+  const auto mode_order = csf_mode_order(fx.coo.dims(), -1);
+  const int leaf_mode = mode_order.back();
+  SparseTensor sorted = fx.coo;
+  sort_tensor_perm(sorted, mode_order, 1);
+  const CsfTensor csf(sorted, mode_order);
+
+  MttkrpOptions opts;
+  opts.nthreads = 3;
+  opts.use_tiling = true;
+  MttkrpWorkspace ws(opts, fx.rank, 4);
+  la::Matrix out(fx.coo.dim(leaf_mode), fx.rank);
+  mttkrp_csf(csf, fx.factors, leaf_mode, out, ws);
+  EXPECT_EQ(ws.last_strategy, SyncStrategy::kTile);
+  EXPECT_LT(out.max_abs_diff(fx.oracle(leaf_mode)), kTol);
+}
+
+TEST(Mttkrp, PoliciesProduceBitwiseIdenticalResults) {
+  // The three row-access policies perform the same arithmetic in the same
+  // order; single-threaded results must be bitwise identical.
+  Fixture fx({14, 10, 12}, 350, 6, 900);
+  SparseTensor work = fx.coo;
+  const CsfSet set(work, CsfPolicy::kTwoMode, 1);
+  std::vector<la::Matrix> results;
+  for (const auto ra :
+       {RowAccess::kPointer, RowAccess::kIndex2D, RowAccess::kSlice}) {
+    MttkrpOptions opts;
+    opts.nthreads = 1;
+    opts.row_access = ra;
+    MttkrpWorkspace ws(opts, fx.rank, 3);
+    la::Matrix out(fx.coo.dim(1), fx.rank);
+    mttkrp(set, fx.factors, 1, out, ws);
+    results.push_back(std::move(out));
+  }
+  EXPECT_EQ(results[0].max_abs_diff(results[1]), 0.0);
+  EXPECT_EQ(results[0].max_abs_diff(results[2]), 0.0);
+}
+
+}  // namespace
+}  // namespace sptd

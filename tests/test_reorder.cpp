@@ -1,0 +1,173 @@
+// Tests for src/tensor/reorder: mode permutation and slice relabeling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/reorder.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace sptd {
+namespace {
+
+TEST(PermuteModes, SwapsDimsAndIndices) {
+  SparseTensor t({4, 6, 8});
+  const idx_t c[] = {1, 3, 5};
+  t.push_back(c, 2.0);
+  const int perm[] = {2, 0, 1};
+  const SparseTensor p = permute_modes(t, perm);
+  EXPECT_EQ(p.dims(), (dims_t{8, 4, 6}));
+  EXPECT_EQ(p.ind(0)[0], 5u);
+  EXPECT_EQ(p.ind(1)[0], 1u);
+  EXPECT_EQ(p.ind(2)[0], 3u);
+  EXPECT_EQ(p.vals()[0], 2.0);
+}
+
+TEST(PermuteModes, IdentityIsNoop) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {10, 12, 14}, .nnz = 200, .seed = 5000});
+  const int perm[] = {0, 1, 2};
+  const SparseTensor p = permute_modes(t, perm);
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    EXPECT_EQ(p.coord(x), t.coord(x));
+  }
+}
+
+TEST(PermuteModes, DoublePermutationRoundTrips) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {10, 12, 14, 16}, .nnz = 300, .seed = 5001});
+  const int fwd[] = {3, 1, 0, 2};
+  // inverse of fwd: position of m in fwd
+  int inv[4];
+  for (int m = 0; m < 4; ++m) {
+    for (int j = 0; j < 4; ++j) {
+      if (fwd[j] == m) inv[m] = j;
+    }
+  }
+  const SparseTensor back = permute_modes(permute_modes(t, fwd), inv);
+  ASSERT_EQ(back.dims(), t.dims());
+  for (nnz_t x = 0; x < t.nnz(); ++x) {
+    EXPECT_EQ(back.coord(x), t.coord(x));
+  }
+}
+
+TEST(PermuteModes, RejectsNonPermutation) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {5, 5}, .nnz = 8, .seed = 5002});
+  const int bad[] = {0, 0};
+  EXPECT_THROW(permute_modes(t, bad), Error);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  const auto p = random_permutation(100, 7);
+  std::set<idx_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RandomPermutation, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(random_permutation(50, 1), random_permutation(50, 1));
+  EXPECT_NE(random_permutation(50, 1), random_permutation(50, 2));
+}
+
+TEST(Relabel, AppliesMapsPerMode) {
+  SparseTensor t({3, 3});
+  const idx_t c[] = {0, 2};
+  t.push_back(c, 1.0);
+  std::vector<std::vector<idx_t>> maps = {{2, 1, 0}, {1, 2, 0}};
+  relabel(t, maps);
+  EXPECT_EQ(t.ind(0)[0], 2u);
+  EXPECT_EQ(t.ind(1)[0], 0u);
+}
+
+TEST(Relabel, RejectsNonPermutationMap) {
+  SparseTensor t({3, 3});
+  const idx_t c[] = {0, 0};
+  t.push_back(c, 1.0);
+  std::vector<std::vector<idx_t>> maps = {{0, 0, 1}, {0, 1, 2}};
+  EXPECT_THROW(relabel(t, maps), Error);
+}
+
+TEST(Relabel, PreservesValuesAndCounts) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {20, 30, 40}, .nnz = 500, .seed = 5003});
+  const val_t norm_before = t.norm_sq();
+  shuffle_all_modes(t, 99);
+  EXPECT_EQ(t.nnz(), 500u);
+  EXPECT_EQ(t.norm_sq(), norm_before);
+  t.validate();
+}
+
+TEST(FrequencyOrder, HotSlicesGetSmallIds) {
+  SparseTensor t({5, 10});
+  // Slice 3 of mode 0 has 4 nonzeros, slice 1 has 2, slice 0 has 1.
+  for (int k = 0; k < 4; ++k) {
+    const idx_t c[] = {3, static_cast<idx_t>(k)};
+    t.push_back(c, 1.0);
+  }
+  for (int k = 0; k < 2; ++k) {
+    const idx_t c[] = {1, static_cast<idx_t>(k)};
+    t.push_back(c, 1.0);
+  }
+  const idx_t c0[] = {0, 0};
+  t.push_back(c0, 1.0);
+  const auto map = frequency_order(t, 0);
+  EXPECT_EQ(map[3], 0u);  // hottest
+  EXPECT_EQ(map[1], 1u);
+  EXPECT_EQ(map[0], 2u);
+}
+
+TEST(FrequencyOrder, ProducesValidRelabeling) {
+  SparseTensor t = generate_synthetic(
+      {.dims = {50, 60, 70}, .nnz = 2000, .seed = 5004,
+       .zipf_exponent = 0.9});
+  std::vector<std::vector<idx_t>> maps;
+  for (int m = 0; m < 3; ++m) {
+    maps.push_back(frequency_order(t, m));
+  }
+  const val_t norm_before = t.norm_sq();
+  relabel(t, maps);  // throws if any map is not a permutation
+  EXPECT_EQ(t.norm_sq(), norm_before);
+  // After frequency ordering, slice 0 of each mode is the heaviest.
+  for (int m = 0; m < 3; ++m) {
+    std::vector<nnz_t> counts(t.dim(m), 0);
+    for (const idx_t i : t.ind(m)) {
+      ++counts[i];
+    }
+    EXPECT_EQ(*std::max_element(counts.begin(), counts.end()), counts[0]);
+  }
+}
+
+TEST(Reorder, RelabelingDoesNotChangeTensorContent) {
+  // Relabeled tensor densified with inverse maps equals the original.
+  SparseTensor t = generate_synthetic(
+      {.dims = {8, 9, 10}, .nnz = 150, .seed = 5005});
+  const DenseTensor before = DenseTensor::from_coo(t);
+  std::vector<std::vector<idx_t>> maps;
+  Rng rng(6);
+  for (int m = 0; m < 3; ++m) {
+    maps.push_back(random_permutation(t.dim(m), rng.next_u64()));
+  }
+  SparseTensor shuffled = t;
+  relabel(shuffled, maps);
+  // Undo via inverse maps.
+  std::vector<std::vector<idx_t>> inv(3);
+  for (int m = 0; m < 3; ++m) {
+    inv[static_cast<std::size_t>(m)].resize(t.dim(m));
+    for (idx_t i = 0; i < t.dim(m); ++i) {
+      inv[static_cast<std::size_t>(m)]
+         [maps[static_cast<std::size_t>(m)][i]] = i;
+    }
+  }
+  relabel(shuffled, inv);
+  const DenseTensor after = DenseTensor::from_coo(shuffled);
+  for (std::size_t i = 0; i < before.values().size(); ++i) {
+    EXPECT_EQ(before.values()[i], after.values()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sptd

@@ -1,0 +1,152 @@
+// Tests for src/mttkrp/tiled: tile structure invariants and lock-free
+// MTTKRP correctness against the dense oracle.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "mttkrp/tiled.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace sptd {
+namespace {
+
+TEST(TiledTensor, TilesPartitionNonzeros) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {50, 40, 30}, .nnz = 4000, .seed = 4000});
+  const TiledTensor tiled(t, 0, 4);
+  nnz_t covered = 0;
+  nnz_t prev_end = 0;
+  for (int tile = 0; tile < 4; ++tile) {
+    const auto [lo, hi] = tiled.tile_extent(tile);
+    EXPECT_EQ(lo, prev_end);
+    prev_end = hi;
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, t.nnz());
+}
+
+TEST(TiledTensor, EveryNonzeroInsideItsTileRowRange) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {64, 32, 32}, .nnz = 3000, .seed = 4001,
+       .zipf_exponent = 0.8});
+  const TiledTensor tiled(t, 0, 4);
+  const auto& bounds = tiled.row_bounds();
+  for (int tile = 0; tile < 4; ++tile) {
+    const auto [lo, hi] = tiled.tile_extent(tile);
+    for (nnz_t x = lo; x < hi; ++x) {
+      const idx_t row = tiled.tensor().ind(0)[x];
+      EXPECT_GE(row, bounds[static_cast<std::size_t>(tile)]);
+      EXPECT_LT(row, bounds[static_cast<std::size_t>(tile) + 1]);
+    }
+  }
+}
+
+TEST(TiledTensor, WeightBalancedOnSkewedData) {
+  // With heavy slice skew, equal-row tiling would put almost everything
+  // in one tile; weighted tiling must keep the largest tile bounded.
+  const SparseTensor t = generate_synthetic(
+      {.dims = {1000, 50, 50}, .nnz = 20000, .seed = 4002,
+       .zipf_exponent = 1.0});
+  const TiledTensor tiled(t, 0, 4);
+  nnz_t largest = 0;
+  for (int tile = 0; tile < 4; ++tile) {
+    const auto [lo, hi] = tiled.tile_extent(tile);
+    largest = std::max(largest, hi - lo);
+  }
+  // A single slice can exceed the ideal share; allow 2x plus the heaviest
+  // slice, but reject catastrophic imbalance.
+  EXPECT_LT(largest, t.nnz());
+  EXPECT_GT(largest, 0u);
+}
+
+TEST(TiledTensor, PreservesEntries) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {20, 20, 20}, .nnz = 1500, .seed = 4003});
+  const TiledTensor tiled(t, 1, 3);
+  // Values multiset preserved: compare sums and sum of squares.
+  val_t sum_orig = 0, sum_tiled = 0;
+  for (const val_t v : t.vals()) sum_orig += v;
+  for (const val_t v : tiled.tensor().vals()) sum_tiled += v;
+  EXPECT_NEAR(sum_orig, sum_tiled, 1e-9);
+  EXPECT_NEAR(t.norm_sq(), tiled.tensor().norm_sq(), 1e-9);
+}
+
+TEST(TiledTensor, RejectsBadArguments) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {10, 10}, .nnz = 25, .seed = 4004});
+  EXPECT_THROW(TiledTensor(t, 2, 2), Error);
+  EXPECT_THROW(TiledTensor(t, 0, 0), Error);
+}
+
+class TiledMttkrpTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TiledMttkrpTest, MatchesDenseOracle) {
+  const auto [mode, ntiles] = GetParam();
+  const SparseTensor t = generate_synthetic(
+      {.dims = {14, 11, 9}, .nnz = 350, .seed = 4005,
+       .zipf_exponent = 0.5});
+  const DenseTensor dense = DenseTensor::from_coo(t);
+  Rng rng(5);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    factors.push_back(la::Matrix::random(t.dim(m), 6, rng));
+  }
+  la::Matrix expected(t.dim(mode), 6);
+  dense.mttkrp(mode, factors, expected);
+
+  const TiledTensor tiled(t, mode, ntiles);
+  la::Matrix out(t.dim(mode), 6);
+  mttkrp_tiled(tiled, factors, out);
+  EXPECT_LT(out.max_abs_diff(expected), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModesTiles, TiledMttkrpTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+TEST(TiledMttkrp, AgreesWithCooMttkrp) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {60, 50, 40}, .nnz = 6000, .seed = 4006,
+       .zipf_exponent = 0.7});
+  Rng rng(6);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    factors.push_back(la::Matrix::random(t.dim(m), 8, rng));
+  }
+  for (int mode = 0; mode < 3; ++mode) {
+    la::Matrix via_coo(t.dim(mode), 8);
+    MttkrpOptions mo;
+    mo.nthreads = 2;
+    mttkrp_coo(t, factors, mode, via_coo, mo);
+
+    const TiledTensor tiled(t, mode, 4);
+    la::Matrix via_tiled(t.dim(mode), 8);
+    mttkrp_tiled(tiled, factors, via_tiled);
+    EXPECT_LT(via_tiled.max_abs_diff(via_coo), 1e-9) << "mode " << mode;
+  }
+}
+
+TEST(TiledMttkrp, MoreTilesThanRows) {
+  const SparseTensor t = generate_synthetic(
+      {.dims = {3, 30, 30}, .nnz = 400, .seed = 4007});
+  const TiledTensor tiled(t, 0, 8);  // 8 tiles over 3 rows: 5 empty tiles
+  Rng rng(7);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    factors.push_back(la::Matrix::random(t.dim(m), 4, rng));
+  }
+  const DenseTensor dense = DenseTensor::from_coo(t);
+  la::Matrix expected(t.dim(0), 4);
+  dense.mttkrp(0, factors, expected);
+  la::Matrix out(t.dim(0), 4);
+  mttkrp_tiled(tiled, factors, out);
+  EXPECT_LT(out.max_abs_diff(expected), 1e-9);
+}
+
+}  // namespace
+}  // namespace sptd

@@ -1,0 +1,320 @@
+/// \file sptd_cli.cpp
+/// \brief The `sptd` command-line tool — the analogue of the `splatt`
+///        executable that SPLATT ships. Subcommands:
+///
+///   sptd stats <tensor.tns|.bin>          tensor statistics (Table I row)
+///   sptd convert <in> <out>               .tns <-> .bin by extension
+///   sptd generate <out.tns> [--preset ... --scale ...]
+///   sptd cpd <tensor> [--rank ... --iters ... --threads ... --impl ...]
+///   sptd complete <tensor> [--rank ... --holdout ...]
+///   sptd reorder <in> <out> [--policy random|frequency]
+///
+/// Every subcommand takes --help.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sptd.hpp"
+
+namespace {
+
+using namespace sptd;
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+SparseTensor load(const std::string& path) {
+  if (ends_with(path, ".bin")) {
+    return read_bin_file(path);
+  }
+  return read_tns_file(path);
+}
+
+void store(const SparseTensor& t, const std::string& path) {
+  if (ends_with(path, ".bin")) {
+    write_bin_file(t, path);
+  } else {
+    write_tns_file(t, path);
+  }
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  Options cli("sptd stats", "print tensor statistics");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(!cli.positional().empty(), "stats: need a tensor file");
+  const SparseTensor t = load(cli.positional().front());
+  const TensorStats s = compute_stats(t);
+  std::printf("file:      %s\n", cli.positional().front().c_str());
+  std::printf("order:     %d\n", t.order());
+  std::printf("dims:      %s\n", format_dims(s.dims).c_str());
+  std::printf("nnz:       %llu\n",
+              static_cast<unsigned long long>(s.nnz));
+  std::printf("density:   %.3e\n", s.density);
+  std::printf("tns size:  ~%s\n", format_bytes(s.tns_bytes).c_str());
+  for (std::size_t m = 0; m < s.modes.size(); ++m) {
+    const ModeStats& ms = s.modes[m];
+    std::printf("mode %zu:    dim %u, nonempty %u, max slice %llu, "
+                "avg slice %.1f\n",
+                m, static_cast<unsigned>(ms.dim),
+                static_cast<unsigned>(ms.nonempty),
+                static_cast<unsigned long long>(ms.max_slice_nnz),
+                ms.avg_slice_nnz);
+  }
+  return 0;
+}
+
+int cmd_validate(int argc, const char* const* argv) {
+  Options cli("sptd validate",
+              "check a tensor file for structural problems");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(!cli.positional().empty(), "validate: need a tensor file");
+  const SparseTensor t = load(cli.positional().front());
+  t.validate();  // throws on out-of-range indices / non-finite values
+
+  // Duplicate coordinates (legal but usually an upstream bug).
+  SparseTensor sorted = t;
+  sort_tensor(sorted, 0, hardware_threads());
+  nnz_t duplicates = 0;
+  const std::vector<int> perm = sort_mode_order(sorted.order(), 0);
+  for (nnz_t x = 1; x < sorted.nnz(); ++x) {
+    bool same = true;
+    for (const int m : perm) {
+      if (sorted.ind(m)[x] != sorted.ind(m)[x - 1]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) ++duplicates;
+  }
+  // Empty slices inflate dims and distort the lock heuristic.
+  nnz_t empty_slices = 0;
+  const TensorStats s = compute_stats(t);
+  for (const auto& ms : s.modes) {
+    empty_slices += ms.dim - ms.nonempty;
+  }
+  std::printf("ok: %llu nonzeros, %d modes\n",
+              static_cast<unsigned long long>(t.nnz()), t.order());
+  std::printf("duplicate coordinates: %llu%s\n",
+              static_cast<unsigned long long>(duplicates),
+              duplicates ? "  (consider deduplicating)" : "");
+  std::printf("empty slices: %llu%s\n",
+              static_cast<unsigned long long>(empty_slices),
+              empty_slices ? "  (consider `sptd reorder` or remove-empty)"
+                           : "");
+  return 0;
+}
+
+int cmd_convert(int argc, const char* const* argv) {
+  Options cli("sptd convert", "convert between .tns and .bin");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(cli.positional().size() == 2,
+             "convert: need <input> <output>");
+  const SparseTensor t = load(cli.positional()[0]);
+  store(t, cli.positional()[1]);
+  std::printf("wrote %llu nonzeros to %s\n",
+              static_cast<unsigned long long>(t.nnz()),
+              cli.positional()[1].c_str());
+  return 0;
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  Options cli("sptd generate", "synthesize a dataset-preset tensor");
+  cli.add("preset", "yelp", "Table I preset");
+  cli.add("scale", "0.01", "preset scale");
+  cli.add("seed", "42", "generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(!cli.positional().empty(), "generate: need an output file");
+  const auto cfg = find_preset(cli.get_string("preset"))
+                       .scaled(cli.get_double("scale"),
+                               static_cast<std::uint64_t>(
+                                   cli.get_int("seed")));
+  const SparseTensor t = generate_synthetic(cfg);
+  store(t, cli.positional().front());
+  std::printf("generated %s at scale %g -> %s (%llu nnz)\n",
+              cli.get_string("preset").c_str(), cli.get_double("scale"),
+              cli.positional().front().c_str(),
+              static_cast<unsigned long long>(t.nnz()));
+  return 0;
+}
+
+int cmd_cpd(int argc, const char* const* argv) {
+  Options cli("sptd cpd", "CP-ALS decomposition");
+  cli.add("rank", "35", "decomposition rank");
+  cli.add("iters", "20", "max iterations");
+  cli.add("tolerance", "1e-5", "stopping tolerance");
+  cli.add("threads", "0", "threads (0 = all)");
+  cli.add("impl", "c", "c|chapel-initial|chapel-optimize");
+  cli.add("csf", "two", "CSF policy one|two|all");
+  cli.add("seed", "23", "init seed");
+  cli.add("output", "", "write the Kruskal model to this path");
+  cli.add_flag("nonneg", "non-negative CP");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(!cli.positional().empty(), "cpd: need a tensor file");
+  SparseTensor t = load(cli.positional().front());
+
+  CpalsOptions opts;
+  opts.rank = static_cast<idx_t>(cli.get_int("rank"));
+  opts.max_iterations = static_cast<int>(cli.get_int("iters"));
+  opts.tolerance = cli.get_double("tolerance");
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  opts.nthreads = static_cast<int>(cli.get_int("threads"));
+  if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
+  opts.csf_policy = parse_csf_policy(cli.get_string("csf"));
+  opts.nonnegative = cli.get_bool("nonneg");
+  apply_impl_variant(find_impl_variant(cli.get_string("impl")), opts);
+
+  const CpalsResult r = cp_als(t, opts);
+  std::printf("fit %.6f after %d iterations\n", r.fit_history.back(),
+              r.iterations);
+  for (int i = 0; i < kNumRoutines; ++i) {
+    const auto routine = static_cast<Routine>(i);
+    std::printf("  %-9s %8.4f s\n", routine_name(routine),
+                r.timers.seconds(routine));
+  }
+  if (const std::string out = cli.get_string("output"); !out.empty()) {
+    write_model_file(r.model, out);
+    std::printf("model written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_tucker(int argc, const char* const* argv) {
+  Options cli("sptd tucker", "Tucker decomposition (HOOI)");
+  cli.add("core", "8x8x8", "core dimensions, e.g. 8x8x8");
+  cli.add("iters", "50", "max iterations");
+  cli.add("tolerance", "1e-5", "stopping tolerance");
+  cli.add("threads", "0", "threads (0 = all)");
+  cli.add("seed", "17", "init seed");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(!cli.positional().empty(), "tucker: need a tensor file");
+  const SparseTensor t = load(cli.positional().front());
+
+  TuckerOptions opts;
+  {
+    const std::string s = cli.get_string("core");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t x = s.find('x', pos);
+      if (x == std::string::npos) x = s.size();
+      opts.core_dims.push_back(
+          static_cast<idx_t>(std::stoul(s.substr(pos, x - pos))));
+      pos = x + 1;
+    }
+  }
+  opts.max_iterations = static_cast<int>(cli.get_int("iters"));
+  opts.tolerance = cli.get_double("tolerance");
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  opts.nthreads = static_cast<int>(cli.get_int("threads"));
+  if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
+
+  const TuckerResult r = tucker_hooi(t, opts);
+  std::printf("fit %.6f after %d iterations (core %s)\n",
+              r.fit_history.back(), r.iterations,
+              cli.get_string("core").c_str());
+  return 0;
+}
+
+int cmd_complete(int argc, const char* const* argv) {
+  Options cli("sptd complete", "tensor completion (missing values)");
+  cli.add("rank", "10", "model rank");
+  cli.add("iters", "30", "max iterations");
+  cli.add("holdout", "0.2", "fraction held out for validation");
+  cli.add("reg", "1e-2", "regularization");
+  cli.add("threads", "0", "threads (0 = all)");
+  cli.add("seed", "23", "seed");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(!cli.positional().empty(), "complete: need a tensor file");
+  const SparseTensor t = load(cli.positional().front());
+  const auto [train, test] = split_train_test(
+      t, cli.get_double("holdout"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  CompletionOptions opts;
+  opts.rank = static_cast<idx_t>(cli.get_int("rank"));
+  opts.max_iterations = static_cast<int>(cli.get_int("iters"));
+  opts.regularization = cli.get_double("reg");
+  opts.nthreads = static_cast<int>(cli.get_int("threads"));
+  if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
+  const CompletionResult r = complete_tensor(train, &test, opts);
+  std::printf("train RMSE %.4f, holdout RMSE %.4f after %d iterations\n",
+              r.train_rmse.back(), r.val_rmse.back(), r.iterations);
+  return 0;
+}
+
+int cmd_reorder(int argc, const char* const* argv) {
+  Options cli("sptd reorder", "relabel tensor slices");
+  cli.add("policy", "frequency", "random|frequency");
+  cli.add("seed", "42", "seed for the random policy");
+  if (!cli.parse(argc, argv)) return 0;
+  SPTD_CHECK(cli.positional().size() == 2,
+             "reorder: need <input> <output>");
+  SparseTensor t = load(cli.positional()[0]);
+  const std::string policy = cli.get_string("policy");
+  if (policy == "random") {
+    shuffle_all_modes(t, static_cast<std::uint64_t>(cli.get_int("seed")));
+  } else if (policy == "frequency") {
+    std::vector<std::vector<idx_t>> maps;
+    for (int m = 0; m < t.order(); ++m) {
+      maps.push_back(frequency_order(t, m));
+    }
+    relabel(t, maps);
+  } else {
+    throw Error("reorder: unknown policy '" + policy + "'");
+  }
+  store(t, cli.positional()[1]);
+  std::printf("reordered (%s) -> %s\n", policy.c_str(),
+              cli.positional()[1].c_str());
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: sptd <command> [options]\n"
+      "commands:\n"
+      "  stats     print tensor statistics\n"
+      "  validate  check a tensor file for structural problems\n"
+      "  convert   convert between .tns and .bin\n"
+      "  generate  synthesize a Table I preset tensor\n"
+      "  cpd       CP-ALS decomposition\n"
+      "  tucker    Tucker decomposition (HOOI)\n"
+      "  complete  tensor completion with a validation holdout\n"
+      "  reorder   relabel tensor slices (random | frequency)\n"
+      "each command accepts --help\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  // Shift argv so each handler sees its own program name + options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (cmd == "stats") return cmd_stats(sub_argc, sub_argv);
+    if (cmd == "validate") return cmd_validate(sub_argc, sub_argv);
+    if (cmd == "convert") return cmd_convert(sub_argc, sub_argv);
+    if (cmd == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (cmd == "cpd") return cmd_cpd(sub_argc, sub_argv);
+    if (cmd == "tucker") return cmd_tucker(sub_argc, sub_argv);
+    if (cmd == "complete") return cmd_complete(sub_argc, sub_argv);
+    if (cmd == "reorder") return cmd_reorder(sub_argc, sub_argv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      usage();
+      return 0;
+    }
+    std::fprintf(stderr, "sptd: unknown command '%s'\n", cmd.c_str());
+    usage();
+    return 1;
+  } catch (const sptd::Error& e) {
+    std::fprintf(stderr, "sptd %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
