@@ -42,12 +42,19 @@ int main(int argc, char** argv) {
     const CsfSet set(work, policy, nthreads);
     MttkrpOptions mo;
     mo.nthreads = nthreads;
+    mo.schedule = schedule_flag(cli);
     std::string strategies;
     const double secs =
         time_mttkrp_sweeps(set, factors, rank, mo, iters, &strategies);
     std::printf("%-8s %12.4f %14s  [%s]\n", csf_policy_name(policy), secs,
                 format_bytes(set.memory_bytes()).c_str(),
                 strategies.c_str());
+    emit_json_record(cli, "ablation_csf",
+                     bench::JsonRecord()
+                         .field("csf", csf_policy_name(policy))
+                         .field("threads", std::int64_t{nthreads})
+                         .field("strategies", strategies)
+                         .field("seconds", secs));
   }
   return 0;
 }

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     opts.grid = grid;
     opts.rank = rank;
     opts.max_iterations = iters;
+    opts.schedule = schedule_flag(cli);
     const DistResult r = dist_cp_als(x, opts);
     nnz_t max_nnz = 0;
     for (const nnz_t n : r.locale_nnz) {
@@ -58,6 +59,12 @@ int main(int argc, char** argv) {
                     static_cast<double>(x.nnz()),
                 r.fit_history.back());
     std::fflush(stdout);
+    emit_json_record(cli, "ablation_distgrid",
+                     bench::JsonRecord()
+                         .field("grid", label)
+                         .field("comm_bytes",
+                                static_cast<std::int64_t>(r.comm.total()))
+                         .field("fit", r.fit_history.back()));
   }
   return 0;
 }

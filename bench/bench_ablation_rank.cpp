@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
       MttkrpOptions mo;
       mo.nthreads = nthreads;
       mo.row_access = ra;
+      mo.schedule = schedule_flag(cli);
       secs[which++] = time_mttkrp_sweeps(set, factors, rank, mo, iters);
     }
     std::printf("%8u %12.4f %12.4f %12.2fx\n", static_cast<unsigned>(rank),

@@ -93,7 +93,9 @@ int main(int argc, char** argv) {
       std::printf("  %-16s %10.4f s\n", "coo+locks", s);
     }
     {
-      const TiledTensor tiled(x, mode, nthreads);
+      // --schedule static gives the uniform-row-range tile baseline;
+      // weighted (default) balances tiles by nonzero count.
+      const TiledTensor tiled(x, mode, nthreads, schedule_flag(cli));
       const double s = time_reps(iters, [&] {
         mttkrp_tiled(tiled, factors, out);
       });
@@ -106,6 +108,7 @@ int main(int argc, char** argv) {
       for (const bool privatize : {false, true}) {
         MttkrpOptions mo;
         mo.nthreads = nthreads;
+        mo.schedule = schedule_flag(cli);
         mo.force_locks = !privatize;
         mo.privatization_threshold = privatize ? 1e18 : 0.0;
         MttkrpWorkspace ws(mo, rank, x.order());
@@ -123,6 +126,7 @@ int main(int argc, char** argv) {
       if (level == rep.order() - 1) {
         MttkrpOptions mo;
         mo.nthreads = nthreads;
+        mo.schedule = schedule_flag(cli);
         mo.use_tiling = true;
         MttkrpWorkspace ws(mo, rank, x.order());
         const double s = time_reps(iters, [&] {

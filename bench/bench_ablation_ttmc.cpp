@@ -34,6 +34,10 @@ int main(int argc, char** argv) {
   sort_tensor_perm(sorted, mode_order, nthreads);
   const CsfTensor csf(sorted, mode_order);
   const int root = csf.mode_at_level(0);
+  // Root-slice schedule built once and reused by every repetition, the
+  // same shape tucker_hooi uses.
+  const SliceSchedule slices(schedule_flag(cli), csf.nfibers(0),
+                             csf.root_nnz_prefix(), nthreads);
 
   std::printf("# root mode %d, %d thread(s), %d repetitions\n", root,
               nthreads, iters);
@@ -60,17 +64,22 @@ int main(int argc, char** argv) {
     }
     coo_t.stop();
 
-    ttmc_csf(csf, factors, out, nthreads);  // warm
+    ttmc_csf(csf, factors, out, nthreads, &slices);  // warm
     WallTimer csf_t;
     csf_t.start();
     for (int i = 0; i < iters; ++i) {
-      ttmc_csf(csf, factors, out, nthreads);
+      ttmc_csf(csf, factors, out, nthreads, &slices);
     }
     csf_t.stop();
 
     std::printf("%8d %12.4f %12.4f %10.2fx\n", core, coo_t.seconds(),
                 csf_t.seconds(), coo_t.seconds() / csf_t.seconds());
     std::fflush(stdout);
+    emit_json_record(cli, "ablation_ttmc",
+                     bench::JsonRecord()
+                         .field("core", std::int64_t{core})
+                         .field("coo_seconds", coo_t.seconds())
+                         .field("csf_seconds", csf_t.seconds()));
   }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
+
 namespace sptd::bench {
 
 void add_common_flags(Options& cli, const char* default_preset,
@@ -16,6 +18,96 @@ void add_common_flags(Options& cli, const char* default_preset,
   cli.add("threads-list", default_threads,
           "thread counts to sweep (paper: 1,2,4,8,16,32)");
   cli.add("seed", "42", "generator seed");
+  cli.add("schedule", "weighted",
+          "slice scheduling policy: static|weighted|dynamic");
+  cli.add("json", "",
+          "append one JSON record per measurement to this file");
+}
+
+SchedulePolicy schedule_flag(const Options& cli) {
+  return parse_schedule_policy(cli.get_string("schedule"));
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonRecord& JsonRecord::field(const std::string& key,
+                              const std::string& value) {
+  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+JsonRecord& JsonRecord::field(const std::string& key, const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonRecord& JsonRecord::field(const std::string& key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonRecord& JsonRecord::field(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonRecord& JsonRecord::append(const JsonRecord& other) {
+  fields_.insert(fields_.end(), other.fields_.begin(), other.fields_.end());
+  return *this;
+}
+
+std::string JsonRecord::to_line() const {
+  std::string line = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) line += ",";
+    line += "\"" + json_escape(fields_[i].first) + "\":" +
+            fields_[i].second;
+  }
+  line += "}\n";
+  return line;
+}
+
+void emit_json_record(const Options& cli, const char* bench,
+                      JsonRecord record) {
+  const std::string path = cli.get_string("json");
+  if (path.empty()) {
+    return;
+  }
+  JsonRecord full;
+  full.field("bench", bench)
+      .field("preset", cli.get_string("preset"))
+      .field("scale", cli.get_double("scale"))
+      .field("schedule", cli.get_string("schedule"))
+      .append(record);
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot append to %s\n", path.c_str());
+    return;
+  }
+  std::fputs(full.to_line().c_str(), f);
+  std::fclose(f);
 }
 
 SparseTensor make_dataset(const std::string& preset_name, double scale,
@@ -45,7 +137,10 @@ double time_mttkrp_sweeps(const CsfSet& set,
                           idx_t rank, const MttkrpOptions& opts, int iters,
                           std::string* strategies) {
   const int order = set.order();
-  MttkrpWorkspace ws(opts, rank, order);
+  // Plan construction (partitioning, strategy choice, workspace sizing)
+  // happens once here, outside the timed region — the same shape as the
+  // CP-ALS driver.
+  MttkrpPlan plan(set, rank, opts);
   // Pre-size output buffers outside the timed region.
   std::vector<la::Matrix> outs;
   for (int m = 0; m < order; ++m) {
@@ -54,17 +149,17 @@ double time_mttkrp_sweeps(const CsfSet& set,
   }
   // Warm once (first-touch page faults are not what the paper measures).
   for (int m = 0; m < order; ++m) {
-    mttkrp(set, factors, m, outs[static_cast<std::size_t>(m)], ws);
+    plan.execute(factors, m, outs[static_cast<std::size_t>(m)]);
     if (strategies != nullptr) {
       if (!strategies->empty()) *strategies += ",";
-      *strategies += sync_strategy_name(ws.last_strategy);
+      *strategies += sync_strategy_name(plan.mode_plan(m).strategy);
     }
   }
   WallTimer timer;
   timer.start();
   for (int it = 0; it < iters; ++it) {
     for (int m = 0; m < order; ++m) {
-      mttkrp(set, factors, m, outs[static_cast<std::size_t>(m)], ws);
+      plan.execute(factors, m, outs[static_cast<std::size_t>(m)]);
     }
   }
   timer.stop();

@@ -19,10 +19,41 @@
 
 namespace sptd::bench {
 
-/// Registers the flags shared by all harnesses.
+/// Registers the flags shared by all harnesses. Besides the sweep knobs
+/// this includes --schedule (slice scheduling policy for the kernels under
+/// test) and --json (append one JSON record per measurement to a file, so
+/// BENCH_*.json trajectories can compare runs/policies offline).
 void add_common_flags(Options& cli, const char* default_preset,
                       const char* default_scale, const char* default_iters,
                       const char* default_threads);
+
+/// The --schedule flag, parsed.
+SchedulePolicy schedule_flag(const Options& cli);
+
+/// One measurement record for the --json sink: insertion-ordered key/value
+/// pairs serialized as a single JSON object per line (JSON Lines). Every
+/// record automatically carries the bench name, preset, scale, and
+/// schedule fields from the CLI flags.
+class JsonRecord {
+ public:
+  JsonRecord& field(const std::string& key, const std::string& value);
+  JsonRecord& field(const std::string& key, const char* value);
+  JsonRecord& field(const std::string& key, double value);
+  JsonRecord& field(const std::string& key, std::int64_t value);
+
+  /// Splices another record's fields after this one's.
+  JsonRecord& append(const JsonRecord& other);
+
+  [[nodiscard]] std::string to_line() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Appends \p record to the file named by --json (no-op when the flag is
+/// empty), prefixed with the standard bench/preset/scale/schedule fields.
+void emit_json_record(const Options& cli, const char* bench,
+                      JsonRecord record);
 
 /// Generates a preset dataset at the requested scale, printing one line
 /// describing it.

@@ -54,7 +54,13 @@ int main(int argc, char** argv) {
       mo.row_access = RowAccess::kPointer;
       mo.lock_kind = kind;
       mo.force_locks = true;
+      mo.schedule = schedule_flag(cli);
       seconds.push_back(time_mttkrp_sweeps(set, factors, rank, mo, iters));
+      emit_json_record(cli, "Figure 4",
+                       bench::JsonRecord()
+                           .field("lock", lock_kind_name(kind))
+                           .field("threads", std::int64_t{t})
+                           .field("seconds", seconds.back()));
     }
     print_series(lock_kind_name(kind), threads, seconds);
   }

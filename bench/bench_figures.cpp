@@ -40,9 +40,15 @@ int run_rowaccess_figure(const char* fig_label, const char* default_preset,
       mo.nthreads = t;
       mo.row_access = ra;
       mo.lock_kind = LockKind::kAtomic;  // the port's optimized locks
+      mo.schedule = schedule_flag(cli);
       std::string* strat = seconds.empty() ? &strategies : nullptr;
       seconds.push_back(
           time_mttkrp_sweeps(set, factors, rank, mo, iters, strat));
+      emit_json_record(cli, fig_label,
+                       JsonRecord()
+                           .field("row_access", row_access_name(ra))
+                           .field("threads", std::int64_t{t})
+                           .field("seconds", seconds.back()));
     }
     print_series(row_access_name(ra), threads, seconds);
   }
@@ -81,9 +87,18 @@ int run_routines_figure(const char* fig_label, const char* default_preset,
     base.max_iterations = static_cast<int>(cli.get_int("iters"));
     base.tolerance = 0.0;
     base.nthreads = t;
+    base.schedule = schedule_flag(cli);
     const auto results = run_impls_fair(x, base, impls, trials);
     for (std::size_t i = 0; i < impls.size(); ++i) {
       print_routine_row(impls[i].c_str(), results[i]);
+      JsonRecord rec;
+      rec.field("impl", impls[i]).field("threads", std::int64_t{t});
+      for (int r = 0; r < kNumRoutines; ++r) {
+        rec.field(routine_name(static_cast<Routine>(r)),
+                  results[i].seconds(static_cast<Routine>(r)));
+      }
+      rec.field("total_seconds", results[i].total_seconds());
+      emit_json_record(cli, fig_label, rec);
     }
   }
   return 0;
@@ -122,7 +137,13 @@ int run_scaling_figure(const char* fig_label, const char* default_preset,
       mo.nthreads = t;
       mo.row_access = variant.row_access;
       mo.lock_kind = variant.lock_kind;
+      mo.schedule = schedule_flag(cli);
       seconds.push_back(time_mttkrp_sweeps(set, factors, rank, mo, iters));
+      emit_json_record(cli, fig_label,
+                       JsonRecord()
+                           .field("impl", variant.name)
+                           .field("threads", std::int64_t{t})
+                           .field("seconds", seconds.back()));
     }
     print_series(variant.name, threads, seconds);
   }

@@ -50,24 +50,24 @@ namespace {
 
 /// Observed entries grouped by slice of one mode: a CSR-like view used to
 /// walk "all nonzeros whose mode-m coordinate is i" during the row update.
+/// The slice schedule — which rows each thread updates — is part of the
+/// view: it depends only on the (static) observation pattern, so it is
+/// built once here and reused by every iteration's update_mode pass.
 struct ModeSlices {
   SparseTensor sorted;            ///< copy sorted with mode m primary
   std::vector<nnz_t> slice_ptr;   ///< per-slice extents (dims[m]+1)
+  SliceSchedule schedule;         ///< row distribution over the team
 };
 
-ModeSlices build_mode_slices(const SparseTensor& t, int mode, int nthreads) {
-  ModeSlices ms{t, {}};
-  sort_tensor(ms.sorted, mode, nthreads);
+ModeSlices build_mode_slices(const SparseTensor& t, int mode,
+                             const CompletionOptions& options) {
+  ModeSlices ms{t, {}, {}};
+  sort_tensor(ms.sorted, mode, options.nthreads);
   const idx_t dim = t.dim(mode);
-  ms.slice_ptr.assign(static_cast<std::size_t>(dim) + 1, 0);
-  const auto ind = ms.sorted.ind(mode);
-  for (const idx_t i : ind) {
-    ++ms.slice_ptr[static_cast<std::size_t>(i) + 1];
-  }
-  for (idx_t i = 0; i < dim; ++i) {
-    ms.slice_ptr[static_cast<std::size_t>(i) + 1] +=
-        ms.slice_ptr[static_cast<std::size_t>(i)];
-  }
+  ms.slice_ptr = slice_nnz_prefix(ms.sorted.ind(mode), dim);
+  // Balance slices by observation count (weighted policy) or row count.
+  ms.schedule = SliceSchedule(options.schedule, dim, ms.slice_ptr,
+                              options.nthreads);
   return ms;
 }
 
@@ -82,22 +82,16 @@ void update_mode(const ModeSlices& ms, int mode,
   const idx_t rank = factors[0].cols();
   la::Matrix& target = factors[static_cast<std::size_t>(mode)];
 
-  // Balance slices by observation count.
-  const std::vector<nnz_t> bounds =
-      weighted_partition(ms.slice_ptr, nthreads);
-
+  ms.schedule.reset();
   parallel_region(nthreads, [&](int tid, int) {
     la::Matrix normal(rank, rank);
     std::vector<val_t> c(rank), b(rank);
-    const auto s_begin = static_cast<idx_t>(bounds[
-        static_cast<std::size_t>(tid)]);
-    const auto s_end = static_cast<idx_t>(bounds[
-        static_cast<std::size_t>(tid) + 1]);
-    for (idx_t i = s_begin; i < s_end; ++i) {
+
+    const auto update_row = [&](idx_t i) {
       const nnz_t lo = ms.slice_ptr[i];
       const nnz_t hi = ms.slice_ptr[static_cast<std::size_t>(i) + 1];
       if (lo == hi) {
-        continue;  // unobserved row keeps its current value
+        return;  // unobserved row keeps its current value
       }
       normal.fill(val_t{0});
       std::fill(b.begin(), b.end(), val_t{0});
@@ -137,7 +131,13 @@ void update_mode(const ModeSlices& ms, int mode,
       for (idx_t r = 0; r < rank; ++r) {
         out[r] = rhs(0, r);
       }
-    }
+    };
+
+    ms.schedule.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+      for (nnz_t i = begin; i < end; ++i) {
+        update_row(static_cast<idx_t>(i));
+      }
+    });
   });
 }
 
@@ -166,7 +166,7 @@ CompletionResult complete_tensor(const SparseTensor& train,
   std::vector<ModeSlices> slices;
   slices.reserve(static_cast<std::size_t>(order));
   for (int m = 0; m < order; ++m) {
-    slices.push_back(build_mode_slices(train, m, nthreads));
+    slices.push_back(build_mode_slices(train, m, options));
   }
 
   CompletionResult result;

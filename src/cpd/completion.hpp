@@ -20,6 +20,7 @@
 
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
+#include "parallel/schedule.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
@@ -36,6 +37,9 @@ struct CompletionOptions {
   double tolerance = 1e-4;
   std::uint64_t seed = 31;
   int nthreads = 1;
+  /// Slice scheduling for the per-mode row updates; the schedules are
+  /// built once per mode and reused across all iterations.
+  SchedulePolicy schedule = SchedulePolicy::kWeighted;
 };
 
 /// Result of a completion run.

@@ -8,6 +8,7 @@
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "la/norms.hpp"
+#include "mttkrp/plan.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/team.hpp"
 
@@ -43,7 +44,7 @@ void apply_impl_variant(const ImplVariant& variant, CpalsOptions& opts) {
   opts.sort_variant = variant.sort_variant;
 }
 
-namespace {
+namespace detail {
 
 /// <X, Z> via the MTTKRP identity: Σ_r λ_r Σ_i M(i,r)·A(i,r), where M is
 /// the final mode's MTTKRP output (computed against the other updated
@@ -94,7 +95,7 @@ val_t model_norm_sq(const std::vector<la::Matrix>& grams,
   return acc < val_t{0} ? val_t{0} : acc;
 }
 
-}  // namespace
+}  // namespace detail
 
 CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
                        const CpalsOptions& options) {
@@ -138,10 +139,14 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
   mopts.nthreads = nthreads;
   mopts.row_access = options.row_access;
   mopts.lock_kind = options.lock_kind;
+  mopts.schedule = options.schedule;
   mopts.privatization_threshold = options.privatization_threshold;
   mopts.force_locks = options.force_locks;
   mopts.allow_privatization = options.allow_privatization;
-  MttkrpWorkspace ws(mopts, rank, order);
+  // All scheduling decisions — representation/level per mode, sync
+  // strategy, slice bounds, tile boundaries, reduction buffers — are
+  // frozen here; the iteration loop below is pure execution.
+  MttkrpPlan plan(csf_set, rank, mopts);
 
   la::Matrix v(rank, rank);
   la::Matrix fit_m;  // last mode's MTTKRP output, kept for the fit
@@ -155,7 +160,7 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
       // M = X_(m) (A_{N-1} ⊙ ... ⊙ A_{m+1} ⊙ A_{m-1} ⊙ ... ) — MTTKRP.
       la::Matrix out_view(m_dim, rank);
       timers.start(Routine::kMttkrp);
-      mttkrp(csf_set, model.factors, m, out_view, ws);
+      plan.execute(model.factors, m, out_view);
       timers.stop(Routine::kMttkrp);
 
       // The fit consumes the final mode's MTTKRP result; keep a copy
@@ -209,10 +214,10 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
     if (options.compute_fit) {
       timers.start(Routine::kFit);
       const int last = order - 1;
-      const val_t inner = fit_inner_product(
+      const val_t inner = detail::fit_inner_product(
           fit_m, model.factors[static_cast<std::size_t>(last)],
           model.lambda, nthreads);
-      const val_t norm_z = model_norm_sq(grams, model.lambda);
+      const val_t norm_z = detail::model_norm_sq(grams, model.lambda);
       val_t residual_sq = tensor_norm_sq + norm_z - 2 * inner;
       if (residual_sq < val_t{0}) residual_sq = 0;
       const double fit =

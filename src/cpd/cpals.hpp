@@ -31,6 +31,8 @@ struct CpalsOptions {
   SortVariant sort_variant = SortVariant::kAllOpts;
   RowAccess row_access = RowAccess::kPointer;
   LockKind lock_kind = LockKind::kOmp;
+  /// Slice scheduling policy for the MTTKRP execution plan.
+  SchedulePolicy schedule = SchedulePolicy::kWeighted;
   double privatization_threshold = 0.02;
   bool force_locks = false;
   bool allow_privatization = true;
@@ -83,5 +85,17 @@ CpalsResult cp_als(SparseTensor& tensor, const CpalsOptions& options);
 /// then cover only the iteration routines).
 CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
                        const CpalsOptions& options);
+
+namespace detail {
+
+/// Fit helpers shared with the simulated distributed driver
+/// (dist/dist_cpals.cpp), which must reproduce the shared-memory fit with
+/// bit-identical arithmetic.
+val_t fit_inner_product(const la::Matrix& mttkrp_out, const la::Matrix& a,
+                        std::span<const val_t> lambda, int nthreads);
+val_t model_norm_sq(const std::vector<la::Matrix>& grams,
+                    std::span<const val_t> lambda);
+
+}  // namespace detail
 
 }  // namespace sptd

@@ -1,0 +1,82 @@
+#pragma once
+/// \file dist_cpals.hpp
+/// \brief Simulated medium-grained distributed CP-ALS — the paper's stated
+///        future work (Section VI), runnable on one machine.
+///
+/// SPLATT's medium-grained distributed algorithm (Smith & Karypis, IPDPS
+/// 2016) lays an N-dimensional grid of "locales" over the tensor: locale
+/// (g_0, ..., g_{N-1}) owns the nonzeros whose mode-m coordinates fall in
+/// the g_m-th block of mode m. A mode-m MTTKRP then needs communication
+/// only within mode-m "layers" (locales sharing g_m): each layer reduces
+/// its partial MTTKRP rows and broadcasts the updated factor rows back.
+///
+/// This module *simulates* that algorithm on shared memory: the tensor is
+/// really partitioned per locale (each with its own CSF set and execution
+/// plan), partial MTTKRPs are really summed in locale order, and every
+/// inter-locale transfer the real algorithm would make is accounted in
+/// bytes — so grid-shape trade-offs (the 1-D vs N-D volume gap) are
+/// measurable without a cluster. The mathematics is unchanged: fits match
+/// the shared-memory driver exactly for one locale and to reduction-order
+/// round-off for any grid.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpd/kruskal.hpp"
+#include "parallel/schedule.hpp"
+#include "tensor/coo.hpp"
+
+namespace sptd {
+
+/// Knobs of a simulated distributed run.
+struct DistOptions {
+  /// Locale grid, one extent per tensor mode (e.g. {2, 2, 2} = 8 locales).
+  dims_t grid;
+  idx_t rank = 10;
+  int max_iterations = 10;
+  std::uint64_t seed = 23;  ///< factor initialization seed (as CP-ALS)
+  /// Balance block boundaries by slice nonzero counts instead of equal
+  /// index ranges (the same weighted-vs-uniform choice as tiling).
+  bool weighted_blocks = true;
+  /// Slice scheduling inside each locale's MTTKRP plan.
+  SchedulePolicy schedule = SchedulePolicy::kWeighted;
+};
+
+/// Per-mode communication volume of one CP-ALS iteration, in bytes, both
+/// collective directions (partial-MTTKRP reduce, factor-row broadcast).
+struct CommVolume {
+  std::vector<std::uint64_t> reduce_bytes;     ///< one entry per mode
+  std::vector<std::uint64_t> broadcast_bytes;  ///< one entry per mode
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t b : reduce_bytes) acc += b;
+    for (const std::uint64_t b : broadcast_bytes) acc += b;
+    return acc;
+  }
+};
+
+/// Result of a simulated distributed run.
+struct DistResult {
+  KruskalModel model;
+  std::vector<double> fit_history;  ///< fit after each iteration
+  int iterations = 0;
+  std::vector<nnz_t> locale_nnz;    ///< nonzeros owned per locale
+  CommVolume comm;                  ///< total bytes over all iterations
+};
+
+/// Bytes one CP-ALS iteration moves under the medium-grained algorithm:
+/// for mode m, every layer of P/grid[m] locales all-reduces dims[m]*rank
+/// partial rows and broadcasts the updated rows back, i.e.
+/// (P/grid[m] - 1) * dims[m] * rank * sizeof(val_t) bytes per direction
+/// (zero when the layer is a single locale).
+CommVolume predict_comm_volume(const dims_t& dims, const dims_t& grid,
+                               idx_t rank);
+
+/// Runs CP-ALS over a locale grid. \p opts.grid must have one extent per
+/// mode, each in [1, dims[m]]. Runs exactly max_iterations iterations;
+/// the fit trajectory matches cp_als (1 thread, same seed) up to partial-
+/// sum reduction order — bitwise for a single locale.
+DistResult dist_cp_als(const SparseTensor& x, const DistOptions& opts);
+
+}  // namespace sptd

@@ -1,12 +1,21 @@
 #include "mttkrp/mttkrp.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "parallel/partition.hpp"
 #include "parallel/team.hpp"
 
 namespace sptd {
+
+namespace {
+std::atomic<std::uint64_t> g_choose_sync_strategy_calls{0};
+}  // namespace
+
+std::uint64_t choose_sync_strategy_calls() {
+  return g_choose_sync_strategy_calls.load(std::memory_order_relaxed);
+}
 
 const char* sync_strategy_name(SyncStrategy s) {
   switch (s) {
@@ -36,6 +45,7 @@ const char* row_access_name(RowAccess ra) {
 
 SyncStrategy choose_sync_strategy(const dims_t& dims, int out_mode, int level,
                                   nnz_t nnz, const MttkrpOptions& opts) {
+  g_choose_sync_strategy_calls.fetch_add(1, std::memory_order_relaxed);
   if (level == 0 || opts.nthreads == 1) {
     return SyncStrategy::kNone;
   }
@@ -205,35 +215,37 @@ void accumulate_g(const KernelCtx& ctx, int l, nnz_t f, val_t* dst,
 }
 
 /// Root kernel: out(fids0[s], :) += sum_children G(child, 1). Trees are
-/// partitioned across threads by nonzero weight; no write conflicts.
+/// distributed across threads by the precomputed slice schedule; no write
+/// conflicts.
 template <typename RA, typename Sink>
-void kernel_root(const KernelCtx& ctx, const Sink& sink, int nthreads) {
+void kernel_root(const KernelCtx& ctx, const Sink& sink,
+                 const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
-  const auto bounds = weighted_partition(csf.root_nnz_prefix(), nthreads);
   parallel_region(nthreads, [&](int tid, int) {
     const auto fids0 = csf.fids(0);
     const auto fptr0 = csf.fptr(0);
     val_t* acc = ctx.ws->accum(tid, extra_slot(ctx, 0));
-    for (nnz_t s = bounds[static_cast<std::size_t>(tid)];
-         s < bounds[static_cast<std::size_t>(tid) + 1]; ++s) {
-      std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
-      for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
-        accumulate_g<RA>(ctx, 1, c, acc, tid);
+    slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+      for (nnz_t s = begin; s < end; ++s) {
+        std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+          accumulate_g<RA>(ctx, 1, c, acc, tid);
+        }
+        sink.add(fids0[s], acc, rank);
       }
-      sink.add(fids0[s], acc, rank);
-    }
+    });
   });
 }
 
 /// Leaf kernel: push path products down, deposit at nonzeros:
 ///   out(leaf_fid, :) += val * (F_0 row ⊙ ... ⊙ F_{N-2} row).
 template <typename RA, typename Sink>
-void kernel_leaf(const KernelCtx& ctx, const Sink& sink, int nthreads) {
+void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
+                 const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
-  const auto bounds = weighted_partition(csf.root_nnz_prefix(), nthreads);
 
   // Recursive descent writing path products into per-level slots.
   struct Walker {
@@ -278,30 +290,31 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink, int nthreads) {
     const auto fptr0 = csf.fptr(0);
     const Walker walker{ctx, sink, tid};
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
-    for (nnz_t s = bounds[static_cast<std::size_t>(tid)];
-         s < bounds[static_cast<std::size_t>(tid) + 1]; ++s) {
-      const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
-      for (idx_t r = 0; r < rank; ++r) {
-        p0[r] = row.get(r);
-      }
-      if (order == 2) {
-        // Root's children are the nonzeros.
-        const auto leaf_fids = csf.fids(1);
-        const auto vals = csf.vals();
-        val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
-        for (nnz_t x = fptr0[s]; x < fptr0[s + 1]; ++x) {
-          const val_t v = vals[x];
-          for (idx_t r = 0; r < rank; ++r) {
-            tmp[r] = v * p0[r];
+    slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+      for (nnz_t s = begin; s < end; ++s) {
+        const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
+        for (idx_t r = 0; r < rank; ++r) {
+          p0[r] = row.get(r);
+        }
+        if (order == 2) {
+          // Root's children are the nonzeros.
+          const auto leaf_fids = csf.fids(1);
+          const auto vals = csf.vals();
+          val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+          for (nnz_t x = fptr0[s]; x < fptr0[s + 1]; ++x) {
+            const val_t v = vals[x];
+            for (idx_t r = 0; r < rank; ++r) {
+              tmp[r] = v * p0[r];
+            }
+            sink.add(leaf_fids[x], tmp, rank);
           }
-          sink.add(leaf_fids[x], tmp, rank);
-        }
-      } else {
-        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
-          walker.descend(1, c);
+        } else {
+          for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+            walker.descend(1, c);
+          }
         }
       }
-    }
+    });
   });
 }
 
@@ -312,24 +325,11 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink, int nthreads) {
 /// path-product work at the upper levels.
 template <typename RA>
 void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
-                       int nthreads) {
+                       std::span<const nnz_t> tile_bounds, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
-  const int leaf_mode = csf.mode_at_level(order - 1);
-  const idx_t leaf_dim = csf.dims()[static_cast<std::size_t>(leaf_mode)];
   const auto leaf_fids = csf.fids(order - 1);
-
-  // Tile boundaries balanced by leaf occurrences.
-  std::vector<nnz_t> hist(static_cast<std::size_t>(leaf_dim) + 1, 0);
-  for (const idx_t id : leaf_fids) {
-    ++hist[static_cast<std::size_t>(id) + 1];
-  }
-  for (idx_t i = 0; i < leaf_dim; ++i) {
-    hist[static_cast<std::size_t>(i) + 1] +=
-        hist[static_cast<std::size_t>(i)];
-  }
-  const std::vector<nnz_t> tile_bounds = weighted_partition(hist, nthreads);
 
   const DirectSink<RA> sink{&out};
   parallel_region(nthreads, [&](int tid, int) {
@@ -413,10 +413,9 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
 ///   out(fids_L[f], :) += (F_0 ⊙ ... ⊙ F_{L-1} path) ⊙ sum_children G.
 template <typename RA, typename Sink>
 void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
-                     int nthreads) {
+                     const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
-  const auto bounds = weighted_partition(csf.root_nnz_prefix(), nthreads);
 
   struct Walker {
     const KernelCtx& ctx;
@@ -478,30 +477,31 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
     const auto fptr0 = csf.fptr(0);
     const Walker walker{ctx, sink, out_level, tid};
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
-    for (nnz_t s = bounds[static_cast<std::size_t>(tid)];
-         s < bounds[static_cast<std::size_t>(tid) + 1]; ++s) {
-      const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
-      for (idx_t r = 0; r < rank; ++r) {
-        p0[r] = row.get(r);
+    slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+      for (nnz_t s = begin; s < end; ++s) {
+        const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
+        for (idx_t r = 0; r < rank; ++r) {
+          p0[r] = row.get(r);
+        }
+        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+          walker.descend(1, c);
+        }
       }
-      for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
-        walker.descend(1, c);
-      }
-    }
+    });
   });
 }
 
 /// Runs the level-appropriate kernel with the given sink.
 template <typename RA, typename Sink>
 void run_kernel(const KernelCtx& ctx, const Sink& sink, int out_level,
-                int nthreads) {
+                const SliceSchedule& slices, int nthreads) {
   const int order = ctx.csf->order();
   if (out_level == 0) {
-    kernel_root<RA>(ctx, sink, nthreads);
+    kernel_root<RA>(ctx, sink, slices, nthreads);
   } else if (out_level == order - 1) {
-    kernel_leaf<RA>(ctx, sink, nthreads);
+    kernel_leaf<RA>(ctx, sink, slices, nthreads);
   } else {
-    kernel_internal<RA>(ctx, sink, out_level, nthreads);
+    kernel_internal<RA>(ctx, sink, out_level, slices, nthreads);
   }
 }
 
@@ -509,23 +509,25 @@ void run_kernel(const KernelCtx& ctx, const Sink& sink, int out_level,
 template <typename RA>
 void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
                        int out_level, SyncStrategy strategy,
+                       const SliceSchedule& slices,
+                       std::span<const nnz_t> tile_bounds,
                        MttkrpWorkspace& ws) {
   const int nthreads = ws.options().nthreads;
   switch (strategy) {
     case SyncStrategy::kNone: {
       out.zero_parallel(nthreads);
-      run_kernel<RA>(ctx, DirectSink<RA>{&out}, out_level, nthreads);
+      run_kernel<RA>(ctx, DirectSink<RA>{&out}, out_level, slices, nthreads);
       break;
     }
     case SyncStrategy::kLock: {
       out.zero_parallel(nthreads);
       run_kernel<RA>(ctx, LockedSink<RA>{&out, &ws.pool()}, out_level,
-                     nthreads);
+                     slices, nthreads);
       break;
     }
     case SyncStrategy::kTile: {
       out.zero_parallel(nthreads);
-      kernel_leaf_tiled<RA>(ctx, out, nthreads);
+      kernel_leaf_tiled<RA>(ctx, out, tile_bounds, nthreads);
       break;
     }
     case SyncStrategy::kPrivatize: {
@@ -546,7 +548,8 @@ void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
           }
         }
       };
-      run_kernel<RA>(ctx, ThreadPrivSink{&priv}, out_level, nthreads);
+      run_kernel<RA>(ctx, ThreadPrivSink{&priv}, out_level, slices,
+                     nthreads);
       out.zero_parallel(nthreads);
       priv.reduce_into(
           {out.data(),
@@ -559,8 +562,21 @@ void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
 
 }  // namespace
 
-void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
-                int mode, la::Matrix& out, MttkrpWorkspace& ws) {
+std::vector<nnz_t> leaf_tile_bounds(const CsfTensor& csf, int nthreads) {
+  const int order = csf.order();
+  const int leaf_mode = csf.mode_at_level(order - 1);
+  const idx_t leaf_dim = csf.dims()[static_cast<std::size_t>(leaf_mode)];
+  // Tile boundaries balanced by leaf occurrences.
+  return weighted_partition(
+      slice_nnz_prefix(csf.fids(order - 1), leaf_dim), nthreads);
+}
+
+void mttkrp_csf_exec(const CsfTensor& csf,
+                     const std::vector<la::Matrix>& factors, int mode,
+                     int level, SyncStrategy strategy,
+                     const SliceSchedule& slices,
+                     std::span<const nnz_t> tile_bounds, la::Matrix& out,
+                     MttkrpWorkspace& ws) {
   const int order = csf.order();
   SPTD_CHECK(static_cast<int>(factors.size()) == order,
              "mttkrp_csf: factor count mismatch");
@@ -575,11 +591,13 @@ void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
   SPTD_CHECK(out.rows() == csf.dims()[static_cast<std::size_t>(mode)] &&
                  out.cols() == rank,
              "mttkrp_csf: bad output shape");
+  SPTD_CHECK(strategy != SyncStrategy::kTile ||
+                 tile_bounds.size() ==
+                     static_cast<std::size_t>(ws.options().nthreads) + 1,
+             "mttkrp_csf: tile bounds missing for the tiled strategy");
 
-  const int level = csf.level_of_mode(mode);
-  const SyncStrategy strategy = choose_sync_strategy(
-      csf.dims(), mode, level, csf.nnz(), ws.options());
   ws.last_strategy = strategy;
+  slices.reset();  // rewind the dynamic cursor for this kernel launch
 
   KernelCtx ctx;
   ctx.csf = &csf;
@@ -593,15 +611,34 @@ void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
 
   switch (ws.options().row_access) {
     case RowAccess::kSlice:
-      dispatch_strategy<SliceAccess>(ctx, out, mode, level, strategy, ws);
+      dispatch_strategy<SliceAccess>(ctx, out, mode, level, strategy,
+                                     slices, tile_bounds, ws);
       break;
     case RowAccess::kIndex2D:
-      dispatch_strategy<Index2DAccess>(ctx, out, mode, level, strategy, ws);
+      dispatch_strategy<Index2DAccess>(ctx, out, mode, level, strategy,
+                                       slices, tile_bounds, ws);
       break;
     case RowAccess::kPointer:
-      dispatch_strategy<PointerAccess>(ctx, out, mode, level, strategy, ws);
+      dispatch_strategy<PointerAccess>(ctx, out, mode, level, strategy,
+                                       slices, tile_bounds, ws);
       break;
   }
+}
+
+void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
+                int mode, la::Matrix& out, MttkrpWorkspace& ws) {
+  const MttkrpOptions& opts = ws.options();
+  const int level = csf.level_of_mode(mode);
+  const SyncStrategy strategy = choose_sync_strategy(
+      csf.dims(), mode, level, csf.nnz(), opts);
+  const SliceSchedule slices(opts.schedule, csf.nfibers(0),
+                             csf.root_nnz_prefix(), opts.nthreads);
+  std::vector<nnz_t> tiles;
+  if (strategy == SyncStrategy::kTile) {
+    tiles = leaf_tile_bounds(csf, opts.nthreads);
+  }
+  mttkrp_csf_exec(csf, factors, mode, level, strategy, slices, tiles, out,
+                  ws);
 }
 
 void mttkrp(const CsfSet& csf_set, const std::vector<la::Matrix>& factors,

@@ -28,6 +28,7 @@
 #include "mttkrp/row_access.hpp"
 #include "parallel/locks.hpp"
 #include "parallel/reduce.hpp"
+#include "parallel/schedule.hpp"
 
 namespace sptd {
 
@@ -47,6 +48,9 @@ struct MttkrpOptions {
   int nthreads = 1;
   RowAccess row_access = RowAccess::kPointer;
   LockKind lock_kind = LockKind::kOmp;
+  /// How kernel slice loops are distributed over the team (the tasking
+  /// axis the paper studies); weighted is SPLATT's nnz-balanced blocking.
+  SchedulePolicy schedule = SchedulePolicy::kWeighted;
   /// SPLATT's privatization threshold: privatize mode m iff
   /// dims[m] * nthreads <= privatization_threshold * nnz.
   double privatization_threshold = 0.02;
@@ -69,6 +73,16 @@ struct MttkrpOptions {
 /// \p out_mode at tree level \p level of a CSF with \p nnz nonzeros.
 SyncStrategy choose_sync_strategy(const dims_t& dims, int out_mode, int level,
                                   nnz_t nnz, const MttkrpOptions& opts);
+
+/// Process-wide count of choose_sync_strategy() calls (monotonic). Like
+/// weighted_partition_calls(): strategy choice is plan-construction work,
+/// and tests assert the ALS hot loop performs none of it.
+std::uint64_t choose_sync_strategy_calls();
+
+/// Output-row tile boundaries for the tiled leaf kernel: a leaf-occurrence
+/// weighted partition of the leaf mode's index space (nthreads+1 bounds).
+/// Plan-construction work; cached by MttkrpPlan for the kTile strategy.
+std::vector<nnz_t> leaf_tile_bounds(const CsfTensor& csf, int nthreads);
 
 /// Reusable scratch for MTTKRP calls: per-thread accumulators, the mutex
 /// pool, and (lazily) privatized output buffers. Thread-count and rank are
@@ -118,9 +132,22 @@ void mttkrp(const CsfSet& csf_set, const std::vector<la::Matrix>& factors,
 
 /// Single-representation entry point used by tests/benches that want to
 /// exercise a specific kernel level: computes the MTTKRP for \p mode which
-/// must live at some level of \p csf.
+/// must live at some level of \p csf. Re-derives level, sync strategy, and
+/// slice schedule on every call — the planless path; hot loops build an
+/// MttkrpPlan (mttkrp/plan.hpp) instead.
 void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
                 int mode, la::Matrix& out, MttkrpWorkspace& ws);
+
+/// Pure-execution entry point: every decision (kernel level, sync
+/// strategy, slice schedule, tile boundaries) is precomputed by the
+/// caller. This is what MttkrpPlan::execute dispatches to; \p tile_bounds
+/// is consulted only by the kTile strategy.
+void mttkrp_csf_exec(const CsfTensor& csf,
+                     const std::vector<la::Matrix>& factors, int mode,
+                     int level, SyncStrategy strategy,
+                     const SliceSchedule& slices,
+                     std::span<const nnz_t> tile_bounds, la::Matrix& out,
+                     MttkrpWorkspace& ws);
 
 /// Reference COO MTTKRP (no CSF), parallelized over nonzero blocks with a
 /// mutex pool. The correctness oracle for mid-size inputs and the

@@ -1,0 +1,67 @@
+#pragma once
+/// \file plan.hpp
+/// \brief Cached MTTKRP execution plans: decide once, execute many.
+///
+/// The seed re-derived every scheduling decision — which CSF representation
+/// serves a mode, which kernel level, lock vs privatize vs tile, and the
+/// nnz-weighted loop bounds — inside every mttkrp() call, i.e. order x
+/// iterations times per CP-ALS run. An MttkrpPlan hoists all of it to one
+/// construction pass per (CsfSet, options, rank) triple, mirroring how
+/// SPLATT precomputes per-CSF execution metadata and reuses it across the
+/// ALS sweep. execute() is pure execution: the hot loop performs zero
+/// weighted_partition() or choose_sync_strategy() calls (asserted by
+/// tests/test_schedule.cpp via the planning counters).
+///
+/// The plan also owns the MttkrpWorkspace, with privatized reduction
+/// buffers pre-sized for the largest privatized mode, so no allocation
+/// happens mid-loop either.
+
+#include <vector>
+
+#include "csf/csf.hpp"
+#include "la/matrix.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "parallel/schedule.hpp"
+
+namespace sptd {
+
+/// One CsfSet's MTTKRP decisions, frozen. The CsfSet must outlive the
+/// plan; factor shapes are validated on every execute().
+class MttkrpPlan {
+ public:
+  /// Per-output-mode decisions.
+  struct ModePlan {
+    const CsfTensor* csf = nullptr;   ///< representation serving this mode
+    int level = 0;                    ///< the mode's tree level in it
+    SyncStrategy strategy = SyncStrategy::kNone;
+    SliceSchedule slices;             ///< root-slice distribution
+    std::vector<nnz_t> tile_bounds;   ///< kTile only: output-row tiles
+  };
+
+  MttkrpPlan(const CsfSet& set, idx_t rank, const MttkrpOptions& opts);
+
+  /// Computes the mode-\p mode MTTKRP into \p out (dims[mode] x rank)
+  /// using the cached decisions. Semantically identical to mttkrp() with
+  /// the construction-time options.
+  void execute(const std::vector<la::Matrix>& factors, int mode,
+               la::Matrix& out);
+
+  [[nodiscard]] const MttkrpOptions& options() const {
+    return ws_.options();
+  }
+  [[nodiscard]] idx_t rank() const { return ws_.rank(); }
+  [[nodiscard]] int order() const { return static_cast<int>(modes_.size()); }
+  [[nodiscard]] MttkrpWorkspace& workspace() { return ws_; }
+
+  /// Introspection for benches/tests: the frozen decisions for one mode.
+  [[nodiscard]] const ModePlan& mode_plan(int mode) const {
+    return modes_[static_cast<std::size_t>(mode)];
+  }
+
+ private:
+  const CsfSet* set_;
+  MttkrpWorkspace ws_;
+  std::vector<ModePlan> modes_;
+};
+
+}  // namespace sptd

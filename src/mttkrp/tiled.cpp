@@ -8,23 +8,22 @@
 
 namespace sptd {
 
-TiledTensor::TiledTensor(const SparseTensor& t, int mode, int ntiles)
+TiledTensor::TiledTensor(const SparseTensor& t, int mode, int ntiles,
+                         SchedulePolicy policy)
     : mode_(mode), ntiles_(ntiles), tensor_(t.dims()) {
   SPTD_CHECK(mode >= 0 && mode < t.order(), "TiledTensor: bad mode");
   SPTD_CHECK(ntiles >= 1, "TiledTensor: ntiles must be >= 1");
 
   // Histogram of nonzeros per output row, then weight-balanced row
-  // boundaries so each tile owns roughly nnz/ntiles nonzeros.
+  // boundaries so each tile owns roughly nnz/ntiles nonzeros (static
+  // policy: equal row ranges regardless of occupancy).
   const idx_t dim = t.dim(mode);
-  std::vector<nnz_t> slice_prefix(static_cast<std::size_t>(dim) + 1, 0);
-  for (const idx_t i : t.ind(mode)) {
-    ++slice_prefix[static_cast<std::size_t>(i) + 1];
-  }
-  for (idx_t i = 0; i < dim; ++i) {
-    slice_prefix[static_cast<std::size_t>(i) + 1] +=
-        slice_prefix[static_cast<std::size_t>(i)];
-  }
-  const std::vector<nnz_t> bounds = weighted_partition(slice_prefix, ntiles);
+  const std::vector<nnz_t> slice_prefix = slice_nnz_prefix(t.ind(mode), dim);
+  const SliceSchedule tiles(
+      policy == SchedulePolicy::kStatic ? SchedulePolicy::kStatic
+                                        : SchedulePolicy::kWeighted,
+      dim, slice_prefix, ntiles);
+  const auto bounds = tiles.bounds();
   row_bounds_.resize(bounds.size());
   for (std::size_t i = 0; i < bounds.size(); ++i) {
     row_bounds_[i] = static_cast<idx_t>(bounds[i]);

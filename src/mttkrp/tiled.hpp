@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "parallel/schedule.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
@@ -28,10 +29,14 @@ namespace sptd {
 class TiledTensor {
  public:
   /// Buckets \p t's nonzeros by mode-\p mode row blocks into \p ntiles
-  /// tiles. Tile boundaries are balanced by *nonzero count* (weighted
-  /// partition over slice histograms), not by equal row ranges, which
-  /// keeps skewed tensors usable.
-  TiledTensor(const SparseTensor& t, int mode, int ntiles);
+  /// tiles. Under the default (weighted) policy tile boundaries are
+  /// balanced by *nonzero count* (weighted partition over slice
+  /// histograms), which keeps skewed tensors usable; the static policy
+  /// uses equal row ranges (the ablation's "uniform tiles" baseline).
+  /// Tiling is a fixed ownership structure, so the dynamic policy is
+  /// treated as weighted.
+  TiledTensor(const SparseTensor& t, int mode, int ntiles,
+              SchedulePolicy policy = SchedulePolicy::kWeighted);
 
   [[nodiscard]] int mode() const { return mode_; }
   [[nodiscard]] int ntiles() const { return ntiles_; }

@@ -1,11 +1,20 @@
 #include "parallel/partition.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.hpp"
 #include "parallel/team.hpp"
 
 namespace sptd {
+
+namespace {
+std::atomic<std::uint64_t> g_weighted_partition_calls{0};
+}  // namespace
+
+std::uint64_t weighted_partition_calls() {
+  return g_weighted_partition_calls.load(std::memory_order_relaxed);
+}
 
 Range block_partition(nnz_t total, int nparts, int part) {
   SPTD_CHECK(nparts >= 1, "block_partition: nparts must be >= 1");
@@ -20,6 +29,7 @@ Range block_partition(nnz_t total, int nparts, int part) {
 
 std::vector<nnz_t> weighted_partition(std::span<const nnz_t> weight_prefix,
                                       int nparts) {
+  g_weighted_partition_calls.fetch_add(1, std::memory_order_relaxed);
   SPTD_CHECK(nparts >= 1, "weighted_partition: nparts must be >= 1");
   SPTD_CHECK(!weight_prefix.empty(), "weighted_partition: empty prefix");
   const std::size_t n_items = weight_prefix.size() - 1;
@@ -41,6 +51,19 @@ std::vector<nnz_t> weighted_partition(std::span<const nnz_t> weight_prefix,
   }
   bounds[static_cast<std::size_t>(nparts)] = n_items;
   return bounds;
+}
+
+std::vector<nnz_t> slice_nnz_prefix(std::span<const idx_t> ids, idx_t dim) {
+  std::vector<nnz_t> prefix(static_cast<std::size_t>(dim) + 1, 0);
+  for (const idx_t id : ids) {
+    SPTD_DCHECK(id < dim, "slice_nnz_prefix: id out of range");
+    ++prefix[static_cast<std::size_t>(id) + 1];
+  }
+  for (idx_t i = 0; i < dim; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] +=
+        prefix[static_cast<std::size_t>(i)];
+  }
+  return prefix;
 }
 
 void parallel_prefix_sum(std::span<const nnz_t> in, std::span<nnz_t> out,

@@ -36,6 +36,17 @@ Range block_partition(nnz_t total, int nparts, int part);
 std::vector<nnz_t> weighted_partition(std::span<const nnz_t> weight_prefix,
                                       int nparts);
 
+/// Process-wide count of weighted_partition() calls (monotonic, relaxed).
+/// Partitioning is plan-construction work: tests assert hot loops perform
+/// none of it after their execution plan is built.
+std::uint64_t weighted_partition_calls();
+
+/// Per-slice occurrence prefix of an index array: out[i] = number of
+/// entries of \p ids with value < i, length \p dim + 1. This is the
+/// weight_prefix every slice-balanced partition (tiling, completion row
+/// updates, distributed blocks) feeds to weighted_partition.
+std::vector<nnz_t> slice_nnz_prefix(std::span<const idx_t> ids, idx_t dim);
+
 /// Exclusive prefix sum computed in parallel with \p nthreads workers.
 /// out[0] = 0, out[i] = sum of in[0..i). out may not alias in.
 void parallel_prefix_sum(std::span<const nnz_t> in, std::span<nnz_t> out,

@@ -1,0 +1,67 @@
+#include "parallel/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sptd {
+
+SchedulePolicy parse_schedule_policy(const std::string& name) {
+  if (name == "static") return SchedulePolicy::kStatic;
+  if (name == "weighted") return SchedulePolicy::kWeighted;
+  if (name == "dynamic") return SchedulePolicy::kDynamic;
+  throw Error("unknown schedule policy '" + name +
+              "' (expected static|weighted|dynamic)");
+}
+
+const char* schedule_policy_name(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kStatic:   return "static";
+    case SchedulePolicy::kWeighted: return "weighted";
+    case SchedulePolicy::kDynamic:  return "dynamic";
+  }
+  return "?";
+}
+
+SliceSchedule::SliceSchedule(SchedulePolicy policy, nnz_t total,
+                             std::span<const nnz_t> weight_prefix,
+                             int nthreads)
+    : policy_(policy), total_(total) {
+  SPTD_CHECK(nthreads >= 1, "SliceSchedule: nthreads must be >= 1");
+  if (policy_ == SchedulePolicy::kWeighted && weight_prefix.empty()) {
+    policy_ = SchedulePolicy::kStatic;  // no weights to balance by
+  }
+  switch (policy_) {
+    case SchedulePolicy::kStatic: {
+      bounds_.resize(static_cast<std::size_t>(nthreads) + 1);
+      for (int t = 0; t < nthreads; ++t) {
+        bounds_[static_cast<std::size_t>(t)] =
+            block_partition(total, nthreads, t).begin;
+      }
+      bounds_[static_cast<std::size_t>(nthreads)] = total;
+      break;
+    }
+    case SchedulePolicy::kWeighted: {
+      SPTD_CHECK(weight_prefix.size() == total + 1,
+                 "SliceSchedule: weight prefix length != total + 1");
+      bounds_ = weighted_partition(weight_prefix, nthreads);
+      break;
+    }
+    case SchedulePolicy::kDynamic: {
+      // Chunks sized for ~16 claims per thread: coarse enough that the
+      // shared cursor stays off the critical path, fine enough to smooth
+      // slice-weight skew.
+      chunk_ = std::max<nnz_t>(
+          1, total / (static_cast<nnz_t>(nthreads) * 16));
+      break;
+    }
+  }
+}
+
+ParallelContext::ParallelContext(int nthreads, SchedulePolicy policy)
+    : nthreads_(nthreads), policy_(policy) {
+  SPTD_CHECK(nthreads >= 1, "ParallelContext: nthreads must be >= 1");
+  init_parallel_runtime();
+}
+
+}  // namespace sptd

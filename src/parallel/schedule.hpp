@@ -1,0 +1,165 @@
+#pragma once
+/// \file schedule.hpp
+/// \brief Pluggable slice-scheduling policies and the parallel context.
+///
+/// The paper's central finding is that the *tasking layer* — how loop
+/// iterations map onto workers — dominates sparse MTTKRP performance. The
+/// seed re-derived that mapping (a `weighted_partition` over the CSF root
+/// prefix) inside every kernel call. This module separates the decision
+/// from the execution: a `SchedulePolicy` names the mapping, a
+/// `SliceSchedule` is the mapping computed once, and kernels merely walk
+/// the ranges it hands them. `MttkrpPlan` (mttkrp/plan.hpp) caches one
+/// `SliceSchedule` per mode so the CP-ALS hot loop performs zero
+/// partitioning work.
+///
+/// Policies:
+///  * static   — contiguous blocks of equal slice *count* (OpenMP
+///               `schedule(static)`; Chapel's default `forall` split).
+///  * weighted — contiguous blocks of equal *nonzero* weight, SPLATT's
+///               balancing (the seed's only behaviour, still the default).
+///  * dynamic  — fixed-size chunks claimed from a shared cursor at run
+///               time (OpenMP `schedule(dynamic)`); the only policy whose
+///               thread→slice assignment is decided per call.
+
+#include <atomic>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/team.hpp"
+
+namespace sptd {
+
+/// How a kernel's outer slice loop is distributed over the team.
+enum class SchedulePolicy : int {
+  kStatic = 0,  ///< equal slice counts per thread
+  kWeighted,    ///< equal nonzero weight per thread (SPLATT)
+  kDynamic,     ///< chunks claimed from a shared cursor
+};
+
+/// Parses "static" / "weighted" / "dynamic"; throws sptd::Error otherwise.
+SchedulePolicy parse_schedule_policy(const std::string& name);
+
+/// Flag/log name of a policy.
+const char* schedule_policy_name(SchedulePolicy policy);
+
+/// One precomputed distribution of [0, total) slices over a fixed team.
+///
+/// Static and weighted schedules are nthreads+1 boundaries fixed at
+/// construction; dynamic schedules carry a chunk size and an atomic cursor
+/// that must be reset() before each parallel region that consumes them.
+/// Construction is the only place partitioning work happens — for_ranges()
+/// on the hot path is a bounds lookup or a fetch_add.
+class SliceSchedule {
+ public:
+  SliceSchedule() = default;
+
+  /// Builds the schedule for \p total slices on \p nthreads workers.
+  /// \p weight_prefix (exclusive prefix sum, length total+1) is consulted
+  /// only by the weighted policy; passing an empty span degrades weighted
+  /// to static.
+  SliceSchedule(SchedulePolicy policy, nnz_t total,
+                std::span<const nnz_t> weight_prefix, int nthreads);
+
+  // The atomic cursor is not copyable; schedules move.
+  SliceSchedule(SliceSchedule&& other) noexcept { *this = std::move(other); }
+  SliceSchedule& operator=(SliceSchedule&& other) noexcept {
+    policy_ = other.policy_;
+    total_ = other.total_;
+    chunk_ = other.chunk_;
+    bounds_ = std::move(other.bounds_);
+    cursor_.store(other.cursor_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] SchedulePolicy policy() const { return policy_; }
+  [[nodiscard]] nnz_t total() const { return total_; }
+  [[nodiscard]] nnz_t chunk() const { return chunk_; }
+
+  /// Per-thread boundaries (nthreads+1) for static/weighted; empty for
+  /// dynamic.
+  [[nodiscard]] std::span<const nnz_t> bounds() const { return bounds_; }
+
+  /// Rewinds the dynamic cursor. Must be called (from serial code) before
+  /// every parallel region that consumes a dynamic schedule; a no-op for
+  /// the precomputed policies.
+  void reset() const {
+    cursor_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Invokes fn(begin, end) for every contiguous slice range assigned to
+  /// \p tid. Static/weighted: exactly one range. Dynamic: repeated chunk
+  /// claims until the cursor runs dry.
+  template <typename Fn>
+  void for_ranges(int tid, Fn&& fn) const {
+    if (policy_ != SchedulePolicy::kDynamic) {
+      const nnz_t begin = bounds_[static_cast<std::size_t>(tid)];
+      const nnz_t end = bounds_[static_cast<std::size_t>(tid) + 1];
+      if (begin < end) {
+        fn(begin, end);
+      }
+      return;
+    }
+    for (;;) {
+      const nnz_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (begin >= total_) {
+        return;
+      }
+      fn(begin, begin + chunk_ < total_ ? begin + chunk_ : total_);
+    }
+  }
+
+ private:
+  SchedulePolicy policy_ = SchedulePolicy::kStatic;
+  nnz_t total_ = 0;
+  nnz_t chunk_ = 1;
+  std::vector<nnz_t> bounds_;
+  mutable std::atomic<nnz_t> cursor_{0};
+};
+
+/// The execution side of the plan layer: a fixed team size plus the
+/// scheduling policy its schedules are built with.
+///
+/// OpenMP keeps its worker pool alive between regions, so "owning" the
+/// team means pinning its size and runtime settings once (dynamic-threads
+/// off, nesting off, passive idle) instead of re-negotiating them per
+/// kernel call; every region this context launches reuses those workers.
+class ParallelContext {
+ public:
+  explicit ParallelContext(int nthreads,
+                           SchedulePolicy policy = SchedulePolicy::kWeighted);
+
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+  [[nodiscard]] SchedulePolicy policy() const { return policy_; }
+
+  /// Builds a schedule of [0, total) under this context's policy.
+  [[nodiscard]] SliceSchedule make_schedule(
+      nnz_t total, std::span<const nnz_t> weight_prefix = {}) const {
+    return SliceSchedule(policy_, total, weight_prefix, nthreads_);
+  }
+
+  /// Runs \p body(tid, nthreads) on the team (non-owning dispatch).
+  template <typename F>
+  void run(F&& body) const {
+    parallel_region(nthreads_, body);
+  }
+
+  /// Runs \p fn(begin, end, tid) over every range of \p schedule.
+  template <typename Fn>
+  void run_scheduled(const SliceSchedule& schedule, Fn&& fn) const {
+    schedule.reset();
+    parallel_region(nthreads_, [&](int tid, int) {
+      schedule.for_ranges(
+          tid, [&](nnz_t begin, nnz_t end) { fn(begin, end, tid); });
+    });
+  }
+
+ private:
+  int nthreads_;
+  SchedulePolicy policy_;
+};
+
+}  // namespace sptd

@@ -29,6 +29,12 @@ void init_parallel_runtime() {
 
 void parallel_region(int nthreads,
                      const std::function<void(int, int)>& body) {
+  detail::parallel_region_ref(nthreads, detail::TeamBodyRef(body));
+}
+
+namespace detail {
+
+void parallel_region_ref(int nthreads, TeamBodyRef body) {
   SPTD_CHECK(nthreads >= 1, "parallel_region requires nthreads >= 1");
   if (nthreads == 1) {
     body(0, 1);
@@ -39,6 +45,8 @@ void parallel_region(int nthreads,
     body(omp_get_thread_num(), omp_get_num_threads());
   }
 }
+
+}  // namespace detail
 
 int current_thread_id() { return omp_get_thread_num(); }
 

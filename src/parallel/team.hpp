@@ -8,6 +8,7 @@
 /// Kernels never touch OpenMP pragmas directly, which keeps the
 /// "tasking layer" swappable and testable.
 
+#include <concepts>
 #include <functional>
 
 namespace sptd {
@@ -23,8 +24,50 @@ void init_parallel_runtime();
 /// Runs \p body on a team of exactly \p nthreads workers.
 /// body(tid, nthreads) with tid in [0, nthreads). Equivalent to the paper's
 /// `coforall` / `omp parallel num_threads(n)` pair (Listings 1-2).
+///
+/// Cold-path form: type-erases through std::function (one allocation per
+/// call for capturing lambdas). Hot loops use the template overload below,
+/// which dispatches through a non-owning reference instead.
 void parallel_region(int nthreads,
                      const std::function<void(int tid, int nthreads)>& body);
+
+namespace detail {
+
+/// Non-owning reference to a (tid, nthreads) callable: a raw pointer plus
+/// an invoke thunk, so dispatching a capturing lambda into the team never
+/// allocates. The referenced callable must outlive the region (trivially
+/// true — parallel_region blocks until every worker returns).
+class TeamBodyRef {
+ public:
+  template <typename F>
+    requires(!std::same_as<std::remove_cvref_t<F>, TeamBodyRef>)
+  TeamBodyRef(F& body)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&body))),
+        invoke_([](void* obj, int tid, int nthreads) {
+          (*static_cast<F*>(obj))(tid, nthreads);
+        }) {}
+
+  void operator()(int tid, int nthreads) const {
+    invoke_(obj_, tid, nthreads);
+  }
+
+ private:
+  void* obj_;
+  void (*invoke_)(void*, int, int);
+};
+
+/// Out-of-line launcher keeping the OpenMP pragma in team.cpp.
+void parallel_region_ref(int nthreads, TeamBodyRef body);
+
+}  // namespace detail
+
+/// Hot-path overload: any callable, dispatched without owning type erasure.
+/// Exact-match std::function arguments still select the overload above.
+template <typename F>
+void parallel_region(int nthreads, F&& body) {
+  detail::TeamBodyRef ref(body);
+  detail::parallel_region_ref(nthreads, ref);
+}
 
 /// Current thread id inside a parallel_region (0 outside).
 int current_thread_id();

@@ -26,6 +26,7 @@
 #include "cpd/model_io.hpp"
 #include "csf/csf.hpp"
 #include "dist/dist_cpals.hpp"
+#include "mttkrp/plan.hpp"
 #include "mttkrp/tiled.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
@@ -33,6 +34,7 @@
 #include "la/matrix.hpp"
 #include "la/norms.hpp"
 #include "mttkrp/mttkrp.hpp"
+#include "parallel/schedule.hpp"
 #include "parallel/team.hpp"
 #include "sort/sort.hpp"
 #include "tensor/coo.hpp"

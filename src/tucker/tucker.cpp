@@ -110,7 +110,7 @@ std::size_t ttmc_column(const dims_t& core_dims, int skip,
 
 void ttmc_csf(const CsfTensor& csf,
               const std::vector<la::Matrix>& factors, la::Matrix& out,
-              int nthreads) {
+              int nthreads, const SliceSchedule* slices) {
   const int order = csf.order();
   const int root_mode = csf.mode_at_level(0);
   SPTD_CHECK(static_cast<int>(factors.size()) == order,
@@ -156,7 +156,15 @@ void ttmc_csf(const CsfTensor& csf,
   }
 
   out.zero_parallel(nthreads);
-  const auto bounds = weighted_partition(csf.root_nnz_prefix(), nthreads);
+  // Planless callers re-derive the weighted blocking; tucker_hooi passes
+  // the schedule it built once per mode.
+  SliceSchedule local;
+  if (slices == nullptr) {
+    local = SliceSchedule(SchedulePolicy::kWeighted, csf.nfibers(0),
+                          csf.root_nnz_prefix(), nthreads);
+    slices = &local;
+  }
+  slices->reset();
 
   parallel_region(nthreads, [&](int tid, int) {
     // Per-level accumulation buffers (tree-order kron of levels > l).
@@ -217,17 +225,18 @@ void ttmc_csf(const CsfTensor& csf,
     const auto fids0 = csf.fids(0);
     const auto fptr0 = csf.fptr(0);
     std::vector<val_t> root_vec(k);
-    for (nnz_t s = bounds[static_cast<std::size_t>(tid)];
-         s < bounds[static_cast<std::size_t>(tid) + 1]; ++s) {
-      std::fill(root_vec.begin(), root_vec.end(), val_t{0});
-      for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
-        puller.pull(1, c, root_vec.data());
+    slices->for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+      for (nnz_t s = begin; s < end; ++s) {
+        std::fill(root_vec.begin(), root_vec.end(), val_t{0});
+        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+          puller.pull(1, c, root_vec.data());
+        }
+        val_t* dst = out.row_ptr(fids0[s]);
+        for (std::size_t t = 0; t < k; ++t) {
+          dst[canon[t]] += root_vec[t];
+        }
       }
-      val_t* dst = out.row_ptr(fids0[s]);
-      for (std::size_t t = 0; t < k; ++t) {
-        dst[canon[t]] += root_vec[t];
-      }
-    }
+    });
   });
 }
 
@@ -325,12 +334,23 @@ TuckerResult tucker_hooi(const SparseTensor& x,
   const val_t norm_x = x.norm_sq();
 
   // All-mode CSF set: every mode's TTMc runs as a root kernel with
-  // prefix sharing (SPLATT's Tucker formulation).
+  // prefix sharing (SPLATT's Tucker formulation). The per-mode slice
+  // schedules are the TTMc execution plan — built once here, reused by
+  // every HOOI iteration.
   std::unique_ptr<CsfSet> csf_set;
+  std::vector<SliceSchedule> ttmc_schedules;
   if (options.use_csf) {
     SparseTensor sorted = x;
     csf_set = std::make_unique<CsfSet>(sorted, CsfPolicy::kAllMode,
                                        nthreads);
+    ttmc_schedules.resize(static_cast<std::size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      int level = 0;
+      const CsfTensor& rep = csf_set->csf_for_mode(m, level);
+      ttmc_schedules[static_cast<std::size_t>(m)] =
+          SliceSchedule(options.schedule, rep.nfibers(0),
+                        rep.root_nnz_prefix(), nthreads);
+    }
   }
 
   TuckerResult result;
@@ -361,7 +381,8 @@ TuckerResult tucker_hooi(const SparseTensor& x,
         int level = 0;
         const CsfTensor& rep = csf_set->csf_for_mode(m, level);
         SPTD_DCHECK(level == 0, "AllMode set must dispatch a root rep");
-        ttmc_csf(rep, model.factors, w, nthreads);
+        ttmc_csf(rep, model.factors, w, nthreads,
+                 &ttmc_schedules[static_cast<std::size_t>(m)]);
       } else {
         ttmc(x, model.factors, m, w, nthreads);
       }

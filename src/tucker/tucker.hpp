@@ -21,6 +21,7 @@
 #include "common/types.hpp"
 #include "csf/csf.hpp"
 #include "la/matrix.hpp"
+#include "parallel/schedule.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
@@ -54,6 +55,9 @@ struct TuckerOptions {
   /// times faster through prefix sharing) instead of flat COO. Both
   /// paths produce identical results; tests exercise both.
   bool use_csf = true;
+  /// Slice scheduling for the CSF TTMc kernels; one schedule per mode is
+  /// built before the HOOI loop and reused across all iterations.
+  SchedulePolicy schedule = SchedulePolicy::kWeighted;
 };
 
 /// HOOI result.
@@ -83,9 +87,11 @@ TuckerResult tucker_hooi(const SparseTensor& x,
 /// once instead of once per nonzero. Output columns use the same
 /// canonical layout as ttmc() (mode 0 fastest); results are identical.
 /// \p factors are indexed by original mode id; out must be
-/// dims[root] x prod_{n != root} cols.
+/// dims[root] x prod_{n != root} cols. \p slices, when given, is a
+/// prebuilt root-slice schedule (tucker_hooi builds one per mode before
+/// the HOOI loop); null re-derives SPLATT's weighted blocking per call.
 void ttmc_csf(const CsfTensor& csf,
               const std::vector<la::Matrix>& factors, la::Matrix& out,
-              int nthreads);
+              int nthreads, const SliceSchedule* slices = nullptr);
 
 }  // namespace sptd

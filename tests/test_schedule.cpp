@@ -1,0 +1,361 @@
+// Tests for the execution-plan layer: SchedulePolicy / SliceSchedule
+// partition invariants, ParallelContext dispatch, MttkrpPlan vs the
+// planless path, and the "hot loop does zero planning" guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "cpd/cpals.hpp"
+#include "csf/csf.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "mttkrp/plan.hpp"
+#include "parallel/partition.hpp"
+#include "parallel/schedule.hpp"
+#include "parallel/team.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace sptd {
+namespace {
+
+constexpr SchedulePolicy kAllPolicies[] = {
+    SchedulePolicy::kStatic, SchedulePolicy::kWeighted,
+    SchedulePolicy::kDynamic};
+
+std::vector<nnz_t> uniform_prefix(nnz_t total) {
+  std::vector<nnz_t> prefix(static_cast<std::size_t>(total) + 1);
+  std::iota(prefix.begin(), prefix.end(), nnz_t{0});
+  return prefix;
+}
+
+/// Skewed weights: item i weighs 1 + (i % 17 == 0 ? 50 : 0).
+std::vector<nnz_t> skewed_prefix(nnz_t total) {
+  std::vector<nnz_t> prefix(static_cast<std::size_t>(total) + 1, 0);
+  for (nnz_t i = 0; i < total; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + 1 + (i % 17 == 0 ? 50 : 0);
+  }
+  return prefix;
+}
+
+/// Runs the schedule on a real team and records how often each slice was
+/// visited; every policy must cover [0, total) exactly once.
+void expect_exact_coverage(const SliceSchedule& sched, nnz_t total,
+                           int nthreads) {
+  std::vector<std::atomic<int>> visits(static_cast<std::size_t>(total));
+  sched.reset();
+  parallel_region(nthreads, [&](int tid, int) {
+    sched.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+      ASSERT_LE(begin, end);
+      ASSERT_LE(end, total);
+      for (nnz_t s = begin; s < end; ++s) {
+        visits[static_cast<std::size_t>(s)].fetch_add(1);
+      }
+    });
+  });
+  for (nnz_t s = 0; s < total; ++s) {
+    EXPECT_EQ(visits[static_cast<std::size_t>(s)].load(), 1)
+        << "slice " << s;
+  }
+}
+
+// ------------------------------------------------------------ parse/name
+
+TEST(SchedulePolicy, ParseRoundTrips) {
+  for (const SchedulePolicy p : kAllPolicies) {
+    EXPECT_EQ(parse_schedule_policy(schedule_policy_name(p)), p);
+  }
+  EXPECT_THROW(parse_schedule_policy("guided"), Error);
+}
+
+// ----------------------------------------------------- partition shapes
+
+TEST(SliceSchedule, StaticBoundsCoverDisjointly) {
+  for (const nnz_t total : {0ULL, 1ULL, 7ULL, 100ULL, 10007ULL}) {
+    for (const int threads : {1, 2, 3, 8, 32}) {
+      const SliceSchedule sched(SchedulePolicy::kStatic, total, {}, threads);
+      const auto bounds = sched.bounds();
+      ASSERT_EQ(bounds.size(), static_cast<std::size_t>(threads) + 1);
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), total);
+      for (int t = 0; t < threads; ++t) {
+        EXPECT_LE(bounds[static_cast<std::size_t>(t)],
+                  bounds[static_cast<std::size_t>(t) + 1]);
+        // Equal split: sizes differ by at most one.
+        const nnz_t size = bounds[static_cast<std::size_t>(t) + 1] -
+                           bounds[static_cast<std::size_t>(t)];
+        EXPECT_LE(size, total / static_cast<nnz_t>(threads) + 1);
+      }
+    }
+  }
+}
+
+TEST(SliceSchedule, WeightedBoundsBalanceSkewedWeights) {
+  const nnz_t total = 500;
+  const auto prefix = skewed_prefix(total);
+  const nnz_t weight_total = prefix.back();
+  for (const int threads : {2, 4, 8}) {
+    const SliceSchedule sched(SchedulePolicy::kWeighted, total, prefix,
+                              threads);
+    const auto bounds = sched.bounds();
+    ASSERT_EQ(bounds.size(), static_cast<std::size_t>(threads) + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), total);
+    // Every part's weight stays within one max item of the ideal share.
+    const nnz_t ideal = weight_total / static_cast<nnz_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      const nnz_t w = prefix[static_cast<std::size_t>(
+                          bounds[static_cast<std::size_t>(t) + 1])] -
+                      prefix[static_cast<std::size_t>(
+                          bounds[static_cast<std::size_t>(t)])];
+      EXPECT_LE(w, ideal + 51) << "part " << t;
+    }
+  }
+}
+
+TEST(SliceSchedule, WeightedWithoutWeightsDegradesToStatic) {
+  const SliceSchedule sched(SchedulePolicy::kWeighted, 10, {}, 4);
+  EXPECT_EQ(sched.policy(), SchedulePolicy::kStatic);
+  EXPECT_EQ(sched.bounds().size(), 5u);
+}
+
+// ------------------------------------------------------------- coverage
+
+TEST(SliceSchedule, EveryPolicyCoversEachSliceExactlyOnce) {
+  init_parallel_runtime();
+  for (const SchedulePolicy policy : kAllPolicies) {
+    for (const nnz_t total : {0ULL, 1ULL, 5ULL, 1000ULL}) {
+      for (const int threads : {1, 4, 16}) {  // 16 oversubscribes this box
+        const auto prefix = uniform_prefix(total);
+        const SliceSchedule sched(policy, total, prefix, threads);
+        expect_exact_coverage(sched, total, threads);
+      }
+    }
+  }
+}
+
+TEST(SliceSchedule, DynamicReusableAfterReset) {
+  const nnz_t total = 64;
+  const SliceSchedule sched(SchedulePolicy::kDynamic, total, {}, 4);
+  // Two consecutive consumptions must each see the whole range.
+  expect_exact_coverage(sched, total, 4);
+  expect_exact_coverage(sched, total, 4);
+}
+
+TEST(SliceSchedule, MoreThreadsThanSlices) {
+  for (const SchedulePolicy policy : kAllPolicies) {
+    const SliceSchedule sched(policy, 3, uniform_prefix(3), 8);
+    expect_exact_coverage(sched, 3, 8);
+  }
+}
+
+// ----------------------------------------------------- parallel context
+
+TEST(ParallelContext, RunScheduledVisitsEveryIndex) {
+  const ParallelContext ctx(4, SchedulePolicy::kDynamic);
+  const SliceSchedule sched = ctx.make_schedule(257);
+  std::vector<std::atomic<int>> visits(257);
+  ctx.run_scheduled(sched, [&](nnz_t begin, nnz_t end, int tid) {
+    ASSERT_GE(tid, 0);
+    ASSERT_LT(tid, 4);
+    for (nnz_t s = begin; s < end; ++s) {
+      visits[static_cast<std::size_t>(s)].fetch_add(1);
+    }
+  });
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(Team, TemplateOverloadRunsWithoutFunctionWrapper) {
+  // The hot-path overload dispatches a mutable capturing lambda through a
+  // non-owning reference; the captured state must be visible afterwards.
+  std::atomic<int> sum{0};
+  int witnessed_threads = 0;
+  auto body = [&](int tid, int nt) {
+    witnessed_threads = nt;
+    sum.fetch_add(tid + 1);
+  };
+  parallel_region(3, body);
+  EXPECT_EQ(witnessed_threads, 3);
+  EXPECT_EQ(sum.load(), 1 + 2 + 3);
+}
+
+// ------------------------------------------------------- plan numerics
+
+SparseTensor plan_tensor(std::uint64_t seed = 7100) {
+  return generate_synthetic({.dims = {10, 30, 40}, .nnz = 2000,
+                             .seed = seed, .zipf_exponent = 0.8});
+}
+
+std::vector<la::Matrix> plan_factors(const SparseTensor& t, idx_t rank) {
+  Rng rng(901);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < t.order(); ++m) {
+    factors.push_back(la::Matrix::random(t.dim(m), rank, rng));
+  }
+  return factors;
+}
+
+/// Compares the planned MTTKRP against the planless path for every mode.
+/// Strategies with a fixed thread->output assignment (none, privatize,
+/// tile under static/weighted schedules) must match BITWISE; the lock
+/// strategy and dynamic scheduling only fix the per-row term sets, not
+/// their accumulation order, so those match to round-off.
+void expect_plan_matches_planless(const CsfSet& set,
+                                  const MttkrpOptions& opts, idx_t rank) {
+  const SparseTensor probe = plan_tensor();
+  const auto factors = plan_factors(probe, rank);
+  MttkrpPlan plan(set, rank, opts);
+  MttkrpWorkspace ws(opts, rank, set.order());
+  for (int m = 0; m < set.order(); ++m) {
+    const idx_t dim = set.csfs().front().dims()[static_cast<std::size_t>(m)];
+    la::Matrix planned(dim, rank);
+    la::Matrix planless(dim, rank);
+    plan.execute(factors, m, planned);
+    mttkrp(set, factors, m, planless, ws);
+    EXPECT_EQ(plan.mode_plan(m).strategy, ws.last_strategy) << "mode " << m;
+
+    const bool deterministic =
+        plan.mode_plan(m).strategy != SyncStrategy::kLock &&
+        opts.schedule != SchedulePolicy::kDynamic;
+    const auto a = planned.values();
+    const auto b = planless.values();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (deterministic) {
+        ASSERT_EQ(a[i], b[i]) << "mode " << m << " element " << i;
+      } else {
+        ASSERT_NEAR(a[i], b[i], 1e-9 * (1.0 + std::abs(b[i])))
+            << "mode " << m << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(MttkrpPlan, MatchesPlanlessAcrossStrategiesAndPolicies) {
+  init_parallel_runtime();
+  SparseTensor x = plan_tensor();
+  CsfSet set(x, CsfPolicy::kTwoMode, 2);
+  const idx_t rank = 5;
+
+  for (const SchedulePolicy policy : kAllPolicies) {
+    for (const int threads : {1, 4}) {
+      // Default heuristic (locks on this shape), forced locks, forced
+      // privatization, and disabled privatization.
+      MttkrpOptions base;
+      base.nthreads = threads;
+      base.schedule = policy;
+      expect_plan_matches_planless(set, base, rank);
+
+      MttkrpOptions locks = base;
+      locks.force_locks = true;
+      expect_plan_matches_planless(set, locks, rank);
+
+      MttkrpOptions priv = base;
+      priv.privatization_threshold = 1e9;  // privatize every non-root mode
+      expect_plan_matches_planless(set, priv, rank);
+
+      MttkrpOptions nopriv = base;
+      nopriv.allow_privatization = false;
+      expect_plan_matches_planless(set, nopriv, rank);
+    }
+  }
+}
+
+TEST(MttkrpPlan, MatchesPlanlessWithTiling) {
+  init_parallel_runtime();
+  SparseTensor x = plan_tensor();
+  // One-mode policy: the non-root modes dispatch to internal/leaf kernels
+  // of the single representation, so use_tiling reaches the leaf path.
+  CsfSet set(x, CsfPolicy::kOneMode, 2);
+  MttkrpOptions opts;
+  opts.nthreads = 4;
+  opts.use_tiling = true;
+  expect_plan_matches_planless(set, opts, 5);
+  bool tiled = false;
+  MttkrpPlan plan(set, 5, opts);
+  for (int m = 0; m < set.order(); ++m) {
+    tiled |= plan.mode_plan(m).strategy == SyncStrategy::kTile;
+  }
+  EXPECT_TRUE(tiled) << "tiling never engaged; test shape is wrong";
+}
+
+// ------------------------------------------------- zero planning in loop
+
+TEST(MttkrpPlan, HotLoopPerformsZeroPlanningCalls) {
+  init_parallel_runtime();
+  SparseTensor x = plan_tensor();
+  CsfSet set(x, CsfPolicy::kTwoMode, 2);
+  MttkrpOptions opts;
+  opts.nthreads = 4;
+  const idx_t rank = 5;
+  const auto factors = plan_factors(x, rank);
+  MttkrpPlan plan(set, rank, opts);
+
+  const std::uint64_t partitions_before = weighted_partition_calls();
+  const std::uint64_t choices_before = choose_sync_strategy_calls();
+  la::Matrix out;
+  for (int it = 0; it < 3; ++it) {
+    for (int m = 0; m < set.order(); ++m) {
+      out = la::Matrix(set.csfs().front().dims()[static_cast<std::size_t>(m)],
+                       rank);
+      plan.execute(factors, m, out);
+    }
+  }
+  EXPECT_EQ(weighted_partition_calls(), partitions_before);
+  EXPECT_EQ(choose_sync_strategy_calls(), choices_before);
+}
+
+TEST(CpalsPlan, PlanningCostIndependentOfIterationCount) {
+  // End-to-end: the CP-ALS driver plans once up front, so the number of
+  // planning calls must not grow with the iteration count.
+  init_parallel_runtime();
+  const auto planning_delta = [](int iterations) {
+    SparseTensor x = plan_tensor();
+    const val_t norm_sq = x.norm_sq();
+    CsfSet set(x, CsfPolicy::kTwoMode, 2);
+    CpalsOptions opts;
+    opts.rank = 4;
+    opts.nthreads = 2;
+    opts.max_iterations = iterations;
+    opts.tolerance = 0.0;
+    const std::uint64_t p0 = weighted_partition_calls();
+    const std::uint64_t c0 = choose_sync_strategy_calls();
+    (void)cp_als_csf(set, norm_sq, opts);
+    return std::pair{weighted_partition_calls() - p0,
+                     choose_sync_strategy_calls() - c0};
+  };
+  const auto [p1, c1] = planning_delta(1);
+  const auto [p8, c8] = planning_delta(8);
+  EXPECT_EQ(p1, p8);
+  EXPECT_EQ(c1, c8);
+}
+
+// --------------------------------------------------- end-to-end numerics
+
+TEST(CpalsPlan, SchedulePoliciesAgreeOnFit) {
+  init_parallel_runtime();
+  std::vector<double> fits;
+  for (const SchedulePolicy policy : kAllPolicies) {
+    SparseTensor x = plan_tensor();
+    CpalsOptions opts;
+    opts.rank = 4;
+    opts.nthreads = 4;
+    opts.max_iterations = 5;
+    opts.tolerance = 0.0;
+    opts.schedule = policy;
+    const CpalsResult r = cp_als(x, opts);
+    ASSERT_EQ(r.fit_history.size(), 5u);
+    fits.push_back(r.fit_history.back());
+  }
+  EXPECT_NEAR(fits[0], fits[1], 1e-8);
+  EXPECT_NEAR(fits[0], fits[2], 1e-8);
+}
+
+}  // namespace
+}  // namespace sptd

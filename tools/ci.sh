@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a bench smoke run, exiting nonzero on any failure.
+#
+#   tools/ci.sh [build-dir]
+#
+# Mirrors ROADMAP.md's tier-1 command (configure, build, ctest) and then
+# exercises one figure harness end to end — including the --schedule and
+# --json plumbing — on a tensor small enough to finish in seconds.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build (-j$JOBS) =="
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "== bench smoke: bench_fig5_routines =="
+SMOKE_JSON="$BUILD_DIR/bench_smoke.json"
+rm -f "$SMOKE_JSON"
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
+  --schedule weighted --json "$SMOKE_JSON"
+
+# The smoke run must have produced one JSON record per (impl, threads).
+RECORDS="$(wc -l < "$SMOKE_JSON")"
+if [ "$RECORDS" -lt 4 ]; then
+  echo "ci: expected >= 4 bench JSON records, got $RECORDS" >&2
+  exit 1
+fi
+echo "== ok ($RECORDS bench records) =="

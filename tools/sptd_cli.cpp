@@ -148,6 +148,8 @@ int cmd_cpd(int argc, const char* const* argv) {
   cli.add("threads", "0", "threads (0 = all)");
   cli.add("impl", "c", "c|chapel-initial|chapel-optimize");
   cli.add("csf", "two", "CSF policy one|two|all");
+  cli.add("schedule", "weighted",
+          "slice scheduling policy static|weighted|dynamic");
   cli.add("seed", "23", "init seed");
   cli.add("output", "", "write the Kruskal model to this path");
   cli.add_flag("nonneg", "non-negative CP");
@@ -163,6 +165,7 @@ int cmd_cpd(int argc, const char* const* argv) {
   opts.nthreads = static_cast<int>(cli.get_int("threads"));
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
   opts.csf_policy = parse_csf_policy(cli.get_string("csf"));
+  opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
   opts.nonnegative = cli.get_bool("nonneg");
   apply_impl_variant(find_impl_variant(cli.get_string("impl")), opts);
 
@@ -187,6 +190,8 @@ int cmd_tucker(int argc, const char* const* argv) {
   cli.add("iters", "50", "max iterations");
   cli.add("tolerance", "1e-5", "stopping tolerance");
   cli.add("threads", "0", "threads (0 = all)");
+  cli.add("schedule", "weighted",
+          "slice scheduling policy static|weighted|dynamic");
   cli.add("seed", "17", "init seed");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "tucker: need a tensor file");
@@ -209,6 +214,7 @@ int cmd_tucker(int argc, const char* const* argv) {
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opts.nthreads = static_cast<int>(cli.get_int("threads"));
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
+  opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
 
   const TuckerResult r = tucker_hooi(t, opts);
   std::printf("fit %.6f after %d iterations (core %s)\n",
@@ -224,6 +230,8 @@ int cmd_complete(int argc, const char* const* argv) {
   cli.add("holdout", "0.2", "fraction held out for validation");
   cli.add("reg", "1e-2", "regularization");
   cli.add("threads", "0", "threads (0 = all)");
+  cli.add("schedule", "weighted",
+          "slice scheduling policy static|weighted|dynamic");
   cli.add("seed", "23", "seed");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "complete: need a tensor file");
@@ -238,6 +246,7 @@ int cmd_complete(int argc, const char* const* argv) {
   opts.regularization = cli.get_double("reg");
   opts.nthreads = static_cast<int>(cli.get_int("threads"));
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
+  opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
   const CompletionResult r = complete_tensor(train, &test, opts);
   std::printf("train RMSE %.4f, holdout RMSE %.4f after %d iterations\n",
               r.train_rmse.back(), r.val_rmse.back(), r.iterations);
