@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     const CsfSet set(work, policy, nthreads);
     MttkrpOptions mo;
     mo.nthreads = nthreads;
-    mo.schedule = schedule_flag(cli);
+    apply_kernel_flags(cli, mo);
     std::string strategies;
     const double secs =
         time_mttkrp_sweeps(set, factors, rank, mo, iters, &strategies);

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   for (const int t : threads) {
     MttkrpOptions mo;
     mo.nthreads = t;
-    mo.schedule = schedule_flag(cli);
+    apply_kernel_flags(cli, mo);
     const double mttkrp_s =
         time_mttkrp_sweeps(set, factors, rank, mo, iters);
 

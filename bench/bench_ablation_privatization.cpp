@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     for (const int t : threads) {
       MttkrpOptions mo;
       mo.nthreads = t;
-      mo.schedule = schedule_flag(cli);
+      apply_kernel_flags(cli, mo);
       mo.force_locks = cfg.force_locks;
       mo.privatization_threshold = cfg.threshold;
       std::string* strat =

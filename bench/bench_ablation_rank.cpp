@@ -43,8 +43,14 @@ int main(int argc, char** argv) {
     for (const auto ra : {RowAccess::kPointer, RowAccess::kSlice}) {
       MttkrpOptions mo;
       mo.nthreads = nthreads;
+      apply_kernel_flags(cli, mo);
       mo.row_access = ra;
-      mo.schedule = schedule_flag(cli);
+      // This ablation isolates the row-access idiom: rank specialization
+      // would otherwise accelerate only the pointer column at ranks with
+      // a fixed-width kernel and misattribute the gap to the idiom.
+      // Measure the specialization win with --kernels A/B on the figure
+      // harnesses instead.
+      mo.use_fixed_kernels = false;
       secs[which++] = time_mttkrp_sweeps(set, factors, rank, mo, iters);
     }
     std::printf("%8u %12.4f %12.4f %12.2fx\n", static_cast<unsigned>(rank),

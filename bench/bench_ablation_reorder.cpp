@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     const CsfSet set(t, CsfPolicy::kTwoMode, nthreads);
     MttkrpOptions mo;
     mo.nthreads = nthreads;
-    mo.schedule = schedule_flag(cli);
+    apply_kernel_flags(cli, mo);
     const double secs = time_mttkrp_sweeps(set, factors, rank, mo, iters);
     std::printf("  %-10s %10.4f s\n", labels[which], secs);
     emit_json_record(cli, "ablation_reorder",

@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
       for (const bool privatize : {false, true}) {
         MttkrpOptions mo;
         mo.nthreads = nthreads;
-        mo.schedule = schedule_flag(cli);
+        apply_kernel_flags(cli, mo);
         mo.force_locks = !privatize;
         mo.privatization_threshold = privatize ? 1e18 : 0.0;
         MttkrpWorkspace ws(mo, rank, x.order());
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
       if (level == rep.order() - 1) {
         MttkrpOptions mo;
         mo.nthreads = nthreads;
-        mo.schedule = schedule_flag(cli);
+        apply_kernel_flags(cli, mo);
         mo.use_tiling = true;
         MttkrpWorkspace ws(mo, rank, x.order());
         const double s = time_reps(iters, [&] {

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   // Root-slice schedule built once and reused by every repetition, the
   // same shape tucker_hooi uses.
   const SliceSchedule slices(schedule_flag(cli), csf.nfibers(0),
-                             csf.root_nnz_prefix(), nthreads);
+                             csf.root_nnz_prefix(), nthreads,
+                             static_cast<nnz_t>(cli.get_int("chunk")));
 
   std::printf("# root mode %d, %d thread(s), %d repetitions\n", root,
               nthreads, iters);

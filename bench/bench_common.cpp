@@ -20,12 +20,50 @@ void add_common_flags(Options& cli, const char* default_preset,
   cli.add("seed", "42", "generator seed");
   cli.add("schedule", "weighted",
           "slice scheduling policy: static|weighted|dynamic");
+  cli.add("chunk", "16",
+          "dynamic-schedule chunk target (cursor claims per thread)");
+  cli.add("kernels", "fixed",
+          "inner-loop variant: fixed (rank-specialized SIMD) | generic");
   cli.add("json", "",
           "append one JSON record per measurement to this file");
 }
 
 SchedulePolicy schedule_flag(const Options& cli) {
   return parse_schedule_policy(cli.get_string("schedule"));
+}
+
+namespace {
+
+bool fixed_kernels_flag(const Options& cli) {
+  const std::string k = cli.get_string("kernels");
+  if (k == "fixed") return true;
+  if (k == "generic") return false;
+  throw Error("unknown --kernels value '" + k +
+              "' (expected fixed|generic)");
+}
+
+}  // namespace
+
+namespace {
+
+int chunk_flag(const Options& cli) {
+  const auto chunk = cli.get_int("chunk");
+  SPTD_CHECK(chunk >= 1, "--chunk must be >= 1 (claims per thread)");
+  return static_cast<int>(chunk);
+}
+
+}  // namespace
+
+void apply_kernel_flags(const Options& cli, MttkrpOptions& opts) {
+  opts.schedule = schedule_flag(cli);
+  opts.chunk_target = chunk_flag(cli);
+  opts.use_fixed_kernels = fixed_kernels_flag(cli);
+}
+
+void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
+  opts.schedule = schedule_flag(cli);
+  opts.chunk_target = chunk_flag(cli);
+  opts.use_fixed_kernels = fixed_kernels_flag(cli);
 }
 
 namespace {
@@ -78,6 +116,13 @@ JsonRecord& JsonRecord::append(const JsonRecord& other) {
   return *this;
 }
 
+bool JsonRecord::has(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
 std::string JsonRecord::to_line() const {
   std::string line = "{";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
@@ -99,8 +144,20 @@ void emit_json_record(const Options& cli, const char* bench,
   full.field("bench", bench)
       .field("preset", cli.get_string("preset"))
       .field("scale", cli.get_double("scale"))
+      .field("rank", cli.get_int("rank"))
       .field("schedule", cli.get_string("schedule"))
-      .append(record);
+      .field("chunk", cli.get_int("chunk"))
+      .field("kernels", cli.get_string("kernels"));
+  if (!record.has("kernel_width")) {
+    // The width the flags select under pointer row access; row-access
+    // sweeps set a per-record width instead.
+    MttkrpOptions probe;
+    apply_kernel_flags(cli, probe);
+    full.field("kernel_width",
+               static_cast<std::int64_t>(selected_kernel_width(
+                   static_cast<idx_t>(cli.get_int("rank")), probe)));
+  }
+  full.append(record);
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot append to %s\n", path.c_str());

@@ -21,14 +21,24 @@ namespace sptd::bench {
 
 /// Registers the flags shared by all harnesses. Besides the sweep knobs
 /// this includes --schedule (slice scheduling policy for the kernels under
-/// test) and --json (append one JSON record per measurement to a file, so
-/// BENCH_*.json trajectories can compare runs/policies offline).
+/// test), --chunk (dynamic-schedule claims-per-thread target), --kernels
+/// (fixed = rank-specialized SIMD inner loops where available, generic =
+/// force the runtime-rank loops) and --json (append one JSON record per
+/// measurement to a file, so BENCH_*.json trajectories can compare
+/// runs/policies offline).
 void add_common_flags(Options& cli, const char* default_preset,
                       const char* default_scale, const char* default_iters,
                       const char* default_threads);
 
 /// The --schedule flag, parsed.
 SchedulePolicy schedule_flag(const Options& cli);
+
+/// Applies the common kernel/schedule flags (--schedule, --chunk,
+/// --kernels) onto MTTKRP options.
+void apply_kernel_flags(const Options& cli, MttkrpOptions& opts);
+
+/// Applies the same flags onto CP-ALS options.
+void apply_kernel_flags(const Options& cli, CpalsOptions& opts);
 
 /// One measurement record for the --json sink: insertion-ordered key/value
 /// pairs serialized as a single JSON object per line (JSON Lines). Every
@@ -44,6 +54,9 @@ class JsonRecord {
   /// Splices another record's fields after this one's.
   JsonRecord& append(const JsonRecord& other);
 
+  /// True if a field with this key has been set.
+  [[nodiscard]] bool has(const std::string& key) const;
+
   [[nodiscard]] std::string to_line() const;
 
  private:
@@ -51,7 +64,12 @@ class JsonRecord {
 };
 
 /// Appends \p record to the file named by --json (no-op when the flag is
-/// empty), prefixed with the standard bench/preset/scale/schedule fields.
+/// empty), prefixed with the standard bench/preset/scale/schedule/chunk/
+/// kernels fields. Every record also carries the selected kernel_width
+/// (0 = generic loops): benches whose record already set one — e.g. the
+/// row-access ablations, where the width depends on the swept policy —
+/// keep theirs, otherwise the width the --rank/--kernels flags select
+/// under pointer access is added.
 void emit_json_record(const Options& cli, const char* bench,
                       JsonRecord record);
 

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       mo.row_access = RowAccess::kPointer;
       mo.lock_kind = kind;
       mo.force_locks = true;
-      mo.schedule = schedule_flag(cli);
+      apply_kernel_flags(cli, mo);
       seconds.push_back(time_mttkrp_sweeps(set, factors, rank, mo, iters));
       emit_json_record(cli, "Figure 4",
                        bench::JsonRecord()

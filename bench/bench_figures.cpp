@@ -38,15 +38,22 @@ int run_rowaccess_figure(const char* fig_label, const char* default_preset,
     for (const int t : threads) {
       MttkrpOptions mo;
       mo.nthreads = t;
-      mo.row_access = ra;
       mo.lock_kind = LockKind::kAtomic;  // the port's optimized locks
-      mo.schedule = schedule_flag(cli);
+      apply_kernel_flags(cli, mo);
+      mo.row_access = ra;
+      // Figures 2-3 compare row-access idioms; keep the arithmetic
+      // identical across the series so the gap is the idiom's cost
+      // (kernel_width below records that the generic loops ran).
+      mo.use_fixed_kernels = false;
       std::string* strat = seconds.empty() ? &strategies : nullptr;
       seconds.push_back(
           time_mttkrp_sweeps(set, factors, rank, mo, iters, strat));
       emit_json_record(cli, fig_label,
                        JsonRecord()
                            .field("row_access", row_access_name(ra))
+                           .field("kernel_width",
+                                  static_cast<std::int64_t>(
+                                      selected_kernel_width(rank, mo)))
                            .field("threads", std::int64_t{t})
                            .field("seconds", seconds.back()));
     }
@@ -87,7 +94,7 @@ int run_routines_figure(const char* fig_label, const char* default_preset,
     base.max_iterations = static_cast<int>(cli.get_int("iters"));
     base.tolerance = 0.0;
     base.nthreads = t;
-    base.schedule = schedule_flag(cli);
+    apply_kernel_flags(cli, base);
     const auto results = run_impls_fair(x, base, impls, trials);
     for (std::size_t i = 0; i < impls.size(); ++i) {
       print_routine_row(impls[i].c_str(), results[i]);
@@ -135,13 +142,16 @@ int run_scaling_figure(const char* fig_label, const char* default_preset,
     for (const int t : threads) {
       MttkrpOptions mo;
       mo.nthreads = t;
-      mo.row_access = variant.row_access;
       mo.lock_kind = variant.lock_kind;
-      mo.schedule = schedule_flag(cli);
+      apply_kernel_flags(cli, mo);
+      mo.row_access = variant.row_access;
       seconds.push_back(time_mttkrp_sweeps(set, factors, rank, mo, iters));
       emit_json_record(cli, fig_label,
                        JsonRecord()
                            .field("impl", variant.name)
+                           .field("kernel_width",
+                                  static_cast<std::int64_t>(
+                                      selected_kernel_width(rank, mo)))
                            .field("threads", std::int64_t{t})
                            .field("seconds", seconds.back()));
     }

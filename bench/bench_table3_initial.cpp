@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       base.max_iterations = static_cast<int>(cli.get_int("iters"));
       base.tolerance = 0.0;
       base.nthreads = t;
-      base.schedule = schedule_flag(cli);
+      apply_kernel_flags(cli, base);
       const auto results = run_impls_fair(x, base, impls, trials);
       for (std::size_t i = 0; i < impls.size(); ++i) {
         print_routine_row(impls[i].c_str(), results[i]);

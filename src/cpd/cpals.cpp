@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
+#include "la/kernels.hpp"
 #include "la/norms.hpp"
 #include "mttkrp/plan.hpp"
 #include "parallel/partition.hpp"
@@ -50,25 +51,27 @@ namespace detail {
 /// the final mode's MTTKRP output (computed against the other updated
 /// factors) and A the updated, normalized final factor.
 val_t fit_inner_product(const la::Matrix& mttkrp_out, const la::Matrix& a,
-                        std::span<const val_t> lambda, int nthreads) {
+                        std::span<const val_t> lambda, int nthreads,
+                        PrivateBuffers& partials) {
   const idx_t rank = a.cols();
-  std::vector<val_t> col_sums(rank, val_t{0});
-  // Column-wise Frobenius products, parallel over rows.
-  std::vector<std::vector<val_t>> partials(
-      static_cast<std::size_t>(nthreads));
+  SPTD_CHECK(partials.nthreads() >= nthreads &&
+                 partials.length() >= static_cast<nnz_t>(rank),
+             "fit_inner_product: scratch too small");
+  // Column-wise Frobenius products, parallel over rows; the per-thread
+  // partial rows live in caller-owned scratch reused across iterations.
+  partials.clear(nthreads);
   parallel_region(nthreads, [&](int tid, int nt) {
-    auto& part = partials[static_cast<std::size_t>(tid)];
-    part.assign(rank, val_t{0});
+    val_t* part = partials.buffer(tid).data();
     const Range rows = block_partition(a.rows(), nt, tid);
     for (nnz_t i = rows.begin; i < rows.end; ++i) {
       const val_t* mrow = mttkrp_out.row_ptr(static_cast<idx_t>(i));
       const val_t* arow = a.row_ptr(static_cast<idx_t>(i));
-      for (idx_t r = 0; r < rank; ++r) {
-        part[r] += mrow[r] * arow[r];
-      }
+      la::kern::hadamard_accum(part, mrow, arow, rank);
     }
   });
-  for (const auto& part : partials) {
+  std::vector<val_t> col_sums(rank, val_t{0});
+  for (int t = 0; t < nthreads; ++t) {
+    const val_t* part = partials.buffer(t).data();
     for (idx_t r = 0; r < rank; ++r) {
       col_sums[r] += part[r];
     }
@@ -140,9 +143,11 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
   mopts.row_access = options.row_access;
   mopts.lock_kind = options.lock_kind;
   mopts.schedule = options.schedule;
+  mopts.chunk_target = options.chunk_target;
   mopts.privatization_threshold = options.privatization_threshold;
   mopts.force_locks = options.force_locks;
   mopts.allow_privatization = options.allow_privatization;
+  mopts.use_fixed_kernels = options.use_fixed_kernels;
   // All scheduling decisions — representation/level per mode, sync
   // strategy, slice bounds, tile boundaries, reduction buffers — are
   // frozen here; the iteration loop below is pure execution.
@@ -150,6 +155,9 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
 
   la::Matrix v(rank, rank);
   la::Matrix fit_m;  // last mode's MTTKRP output, kept for the fit
+  // Per-thread fit scratch, allocated once for the whole run (the fit is
+  // computed every iteration; its reduction buffers must not be).
+  PrivateBuffers fit_partials(nthreads, static_cast<nnz_t>(rank));
   double prev_fit = 0.0;
 
   for (int it = 0; it < options.max_iterations; ++it) {
@@ -216,7 +224,7 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
       const int last = order - 1;
       const val_t inner = detail::fit_inner_product(
           fit_m, model.factors[static_cast<std::size_t>(last)],
-          model.lambda, nthreads);
+          model.lambda, nthreads, fit_partials);
       const val_t norm_z = detail::model_norm_sq(grams, model.lambda);
       val_t residual_sq = tensor_norm_sq + norm_z - 2 * inner;
       if (residual_sq < val_t{0}) residual_sq = 0;

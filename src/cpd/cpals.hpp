@@ -33,9 +33,14 @@ struct CpalsOptions {
   LockKind lock_kind = LockKind::kOmp;
   /// Slice scheduling policy for the MTTKRP execution plan.
   SchedulePolicy schedule = SchedulePolicy::kWeighted;
+  /// Dynamic-schedule claims-per-thread target (MttkrpOptions::chunk_target).
+  int chunk_target = 16;
   double privatization_threshold = 0.02;
   bool force_locks = false;
   bool allow_privatization = true;
+  /// Rank-specialized SIMD kernels (MttkrpOptions::use_fixed_kernels);
+  /// disable to benchmark the generic runtime-rank loops.
+  bool use_fixed_kernels = true;
 
   /// Compute the fit every iteration even when tolerance == 0 (the fit is
   /// one of the paper's timed routines, so the default keeps it on).
@@ -90,9 +95,12 @@ namespace detail {
 
 /// Fit helpers shared with the simulated distributed driver
 /// (dist/dist_cpals.cpp), which must reproduce the shared-memory fit with
-/// bit-identical arithmetic.
+/// bit-identical arithmetic. \p partials is caller-owned scratch of at
+/// least rank values per thread, allocated once per ALS run instead of
+/// per iteration; only the first rank values of each buffer are used.
 val_t fit_inner_product(const la::Matrix& mttkrp_out, const la::Matrix& a,
-                        std::span<const val_t> lambda, int nthreads);
+                        std::span<const val_t> lambda, int nthreads,
+                        PrivateBuffers& partials);
 val_t model_norm_sq(const std::vector<la::Matrix>& grams,
                     std::span<const val_t> lambda);
 

@@ -178,6 +178,7 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
 
   la::Matrix v(rank, rank);
   la::Matrix fit_m;  // last mode's assembled MTTKRP, kept for the fit
+  PrivateBuffers fit_partials(1, static_cast<nnz_t>(rank));
   for (int it = 0; it < options.max_iterations; ++it) {
     for (int m = 0; m < order; ++m) {
       const idx_t m_dim = dims[static_cast<std::size_t>(m)];
@@ -193,10 +194,11 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
         for (std::size_t l = 0; l < nlocales; ++l) {
           if (!plans[l]) continue;
           plans[l]->execute(model.factors, m, partial);
+          // Same shape implies the same padded stride; padding lanes are
+          // zero, so summing the physical buffers is the logical sum.
           val_t* dst = out_view.data();
           const val_t* src = partial.data();
-          const std::size_t n =
-              static_cast<std::size_t>(m_dim) * rank;
+          const std::size_t n = out_view.size();
           for (std::size_t i = 0; i < n; ++i) {
             dst[i] += src[i];
           }
@@ -222,7 +224,7 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
 
     const val_t inner = detail::fit_inner_product(
         fit_m, model.factors[static_cast<std::size_t>(order - 1)],
-        model.lambda, 1);
+        model.lambda, 1, fit_partials);
     const val_t norm_z = detail::model_norm_sq(grams, model.lambda);
     val_t residual_sq = tensor_norm_sq + norm_z - 2 * inner;
     if (residual_sq < val_t{0}) residual_sq = 0;

@@ -1,39 +1,74 @@
 #include "la/blas.hpp"
 
+#include <cstring>
 #include <vector>
 
+#include "la/kernels.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/team.hpp"
 
 namespace sptd::la {
 
+namespace {
+
+/// dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j] — the fused 4-row
+/// axpy panel the register-blocked Gram/matmul loops are built from. Four
+/// accumulating streams share one pass over dst, so the store traffic of
+/// four plain axpy calls collapses into one.
+inline void axpy4(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x0,
+                  const val_t* SPTD_RESTRICT x1,
+                  const val_t* SPTD_RESTRICT x2,
+                  const val_t* SPTD_RESTRICT x3, val_t a0, val_t a1,
+                  val_t a2, val_t a3, idx_t begin, idx_t n) {
+#pragma omp simd
+  for (idx_t j = begin; j < n; ++j) {
+    dst[j] += a0 * x0[j] + a1 * x1[j] + a2 * x2[j] + a3 * x3[j];
+  }
+}
+
+}  // namespace
+
 void ata(const Matrix& a, Matrix& out, int nthreads) {
   const idx_t rank = a.cols();
   SPTD_CHECK(out.rows() == rank && out.cols() == rank, "ata: bad out shape");
   const auto rank_sz = static_cast<std::size_t>(rank);
 
-  // Per-thread upper-triangular accumulators, then reduce + mirror.
+  // Per-thread upper-triangular accumulators (compact rank x rank), filled
+  // by 4-row panels so each pass over the accumulator retires four rows of
+  // A, then reduce + mirror.
   PrivateBuffers partials(nthreads, static_cast<nnz_t>(rank_sz * rank_sz));
   parallel_region(nthreads, [&](int tid, int nt) {
     const Range rows = block_partition(a.rows(), nt, tid);
     val_t* acc = partials.buffer(tid).data();
-    for (nnz_t i = rows.begin; i < rows.end; ++i) {
-      const val_t* row = a.row_ptr(static_cast<idx_t>(i));
+    nnz_t i = rows.begin;
+    for (; i + 4 <= rows.end; i += 4) {
+      const val_t* SPTD_RESTRICT r0 = a.row_ptr(static_cast<idx_t>(i));
+      const val_t* SPTD_RESTRICT r1 = a.row_ptr(static_cast<idx_t>(i + 1));
+      const val_t* SPTD_RESTRICT r2 = a.row_ptr(static_cast<idx_t>(i + 2));
+      const val_t* SPTD_RESTRICT r3 = a.row_ptr(static_cast<idx_t>(i + 3));
       for (idx_t j = 0; j < rank; ++j) {
-        const val_t aij = row[j];
-        val_t* acc_row = acc + static_cast<std::size_t>(j) * rank_sz;
-        for (idx_t k = j; k < rank; ++k) {
-          acc_row[k] += aij * row[k];
-        }
+        axpy4(acc + static_cast<std::size_t>(j) * rank_sz, r0, r1, r2, r3,
+              r0[j], r1[j], r2[j], r3[j], j, rank);
+      }
+    }
+    for (; i < rows.end; ++i) {
+      const val_t* SPTD_RESTRICT row = a.row_ptr(static_cast<idx_t>(i));
+      for (idx_t j = 0; j < rank; ++j) {
+        kern::axpy(acc + static_cast<std::size_t>(j) * rank_sz + j, row + j,
+                   row[j], rank - j);
       }
     }
   });
 
-  out.fill(val_t{0});
-  partials.reduce_into(out.values(), nthreads);
-
-  // Mirror the strictly-upper triangle into the lower.
+  // Reduce the compact accumulators, then scatter rows into the (padded)
+  // output and mirror the strictly-upper triangle into the lower.
+  std::vector<val_t> reduced(rank_sz * rank_sz, val_t{0});
+  partials.reduce_into(reduced, nthreads);
+  for (idx_t j = 0; j < rank; ++j) {
+    std::memcpy(out.row_ptr(j), reduced.data() + static_cast<std::size_t>(j) * rank_sz,
+                rank_sz * sizeof(val_t));
+  }
   for (idx_t j = 0; j < rank; ++j) {
     for (idx_t k = j + 1; k < rank; ++k) {
       out(k, j) = out(j, k);
@@ -44,9 +79,13 @@ void ata(const Matrix& a, Matrix& out, int nthreads) {
 void hadamard_inplace(Matrix& out, const Matrix& b) {
   SPTD_CHECK(out.rows() == b.rows() && out.cols() == b.cols(),
              "hadamard: shape mismatch");
-  val_t* o = out.data();
-  const val_t* p = b.data();
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  // Same shape means same leading dimension; padding lanes are zero on
+  // both sides, so the physical buffers multiply elementwise.
+  val_t* SPTD_RESTRICT o = out.data();
+  const val_t* SPTD_RESTRICT p = b.data();
+  const std::size_t n = out.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
     o[i] *= p[i];
   }
 }
@@ -68,15 +107,20 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
   SPTD_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
              "matmul: bad out shape");
   c.fill(val_t{0});
+  const idx_t n = b.cols();
+  // 4xR-panel register blocking over the k (inner) dimension: each pass
+  // over c's row absorbs four rows of B.
   for (idx_t i = 0; i < a.rows(); ++i) {
-    val_t* crow = c.row_ptr(i);
-    const val_t* arow = a.row_ptr(i);
-    for (idx_t k = 0; k < a.cols(); ++k) {
-      const val_t aik = arow[k];
-      const val_t* brow = b.row_ptr(k);
-      for (idx_t j = 0; j < b.cols(); ++j) {
-        crow[j] += aik * brow[j];
-      }
+    val_t* SPTD_RESTRICT crow = c.row_ptr(i);
+    const val_t* SPTD_RESTRICT arow = a.row_ptr(i);
+    idx_t k = 0;
+    for (; k + 4 <= a.cols(); k += 4) {
+      axpy4(crow, b.row_ptr(k), b.row_ptr(k + 1), b.row_ptr(k + 2),
+            b.row_ptr(k + 3), arow[k], arow[k + 1], arow[k + 2],
+            arow[k + 3], 0, n);
+    }
+    for (; k < a.cols(); ++k) {
+      kern::axpy(crow, b.row_ptr(k), arow[k], n);
     }
   }
 }
@@ -86,15 +130,25 @@ void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
   SPTD_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
              "matmul_at_b: bad out shape");
   c.fill(val_t{0});
-  for (idx_t i = 0; i < a.rows(); ++i) {
-    const val_t* arow = a.row_ptr(i);
-    const val_t* brow = b.row_ptr(i);
+  const idx_t n = b.cols();
+  // 4xR-panel register blocking over the shared row dimension: each pass
+  // over c retires four rows of A and B.
+  idx_t i = 0;
+  for (; i + 4 <= a.rows(); i += 4) {
+    const val_t* SPTD_RESTRICT a0 = a.row_ptr(i);
+    const val_t* SPTD_RESTRICT a1 = a.row_ptr(i + 1);
+    const val_t* SPTD_RESTRICT a2 = a.row_ptr(i + 2);
+    const val_t* SPTD_RESTRICT a3 = a.row_ptr(i + 3);
     for (idx_t k = 0; k < a.cols(); ++k) {
-      const val_t aik = arow[k];
-      val_t* crow = c.row_ptr(k);
-      for (idx_t j = 0; j < b.cols(); ++j) {
-        crow[j] += aik * brow[j];
-      }
+      axpy4(c.row_ptr(k), b.row_ptr(i), b.row_ptr(i + 1), b.row_ptr(i + 2),
+            b.row_ptr(i + 3), a0[k], a1[k], a2[k], a3[k], 0, n);
+    }
+  }
+  for (; i < a.rows(); ++i) {
+    const val_t* SPTD_RESTRICT arow = a.row_ptr(i);
+    const val_t* SPTD_RESTRICT brow = b.row_ptr(i);
+    for (idx_t k = 0; k < a.cols(); ++k) {
+      kern::axpy(c.row_ptr(k), brow, arow[k], n);
     }
   }
 }
@@ -102,12 +156,15 @@ void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
 val_t fro_inner(const Matrix& a, const Matrix& b, int nthreads) {
   SPTD_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
              "fro_inner: shape mismatch");
+  // Identical shapes share a leading dimension and zero padding, so the
+  // physical buffers' inner product equals the logical one.
   std::vector<val_t> partials(static_cast<std::size_t>(nthreads), val_t{0});
   parallel_region(nthreads, [&](int tid, int nt) {
     const Range r = block_partition(a.size(), nt, tid);
-    const val_t* pa = a.data();
-    const val_t* pb = b.data();
+    const val_t* SPTD_RESTRICT pa = a.data();
+    const val_t* SPTD_RESTRICT pb = b.data();
     val_t acc = 0;
+#pragma omp simd reduction(+ : acc)
     for (nnz_t i = r.begin; i < r.end; ++i) {
       acc += pa[i] * pb[i];
     }

@@ -1,0 +1,364 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief Rank-specialized SIMD primitives for every length-R inner loop.
+///
+/// The MTTKRP, Gram, and fit kernels all reduce to a handful of length-R
+/// vector operations (R = decomposition rank, 35 in the paper). Run with a
+/// runtime trip count over arbitrary pointers the compiler must assume
+/// aliasing and cannot unroll, so the hot loops execute scalar adds. This
+/// header provides the same operations three ways:
+///
+///  * generic runtime-length loops (`axpy`, `hadamard_accum`, ...) over
+///    `restrict`-qualified pointers — the fallback for any rank;
+///  * compile-time-width instantiations (`axpy_r<R>`, `hadamard_accum_r<R>`,
+///    `dot_r<R>`, `scale_r<R>`, ...) for R in {4, 8, 16, 32, 64}, which the
+///    compiler fully unrolls and vectorizes;
+///  * `fixed_width_for(rank)` — the dispatch map from a runtime rank to the
+///    specialized width (0 = no specialization, use the generic loops).
+///
+/// Alignment contract: every pointer handed to a `_r<R>` primitive is
+/// 64-byte aligned. `la::Matrix` pads its leading dimension to a cache
+/// line (`padded_cols`) and allocates through `AlignedAllocator`, and the
+/// MTTKRP workspace rounds its per-thread slots the same way, so factor
+/// rows, output rows, and accumulator rows all satisfy the contract. The
+/// primitives encode it with `std::assume_aligned`, which is undefined
+/// behaviour on unaligned input — callers that cannot guarantee alignment
+/// must use the generic loops.
+
+#include <memory>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPTD_RESTRICT __restrict__
+#else
+#define SPTD_RESTRICT
+#endif
+
+namespace sptd::la::kern {
+
+/// val_t lanes per cache line (8 doubles on x86-64).
+inline constexpr idx_t kValsPerLine =
+    static_cast<idx_t>(kCacheLineBytes / sizeof(val_t));
+
+/// Leading dimension for a row-major matrix with \p cols logical columns:
+/// the smallest cache-line multiple >= cols, so consecutive rows never
+/// share a line and every row base is 64-byte aligned.
+constexpr idx_t padded_cols(idx_t cols) {
+  return ((cols + kValsPerLine - 1) / kValsPerLine) * kValsPerLine;
+}
+
+/// The specialized widths instantiated below. A runtime rank maps to the
+/// compile-time kernel of exactly its width, or to 0 (generic fallback).
+constexpr idx_t fixed_width_for(idx_t rank) {
+  switch (rank) {
+    case 4:
+    case 8:
+    case 16:
+    case 32:
+    case 64:
+      return rank;
+    default:
+      return 0;
+  }
+}
+
+namespace detail {
+template <typename T>
+inline T* assume_line_aligned(T* p) {
+  return std::assume_aligned<kCacheLineBytes>(p);
+}
+}  // namespace detail
+
+/// Nonzeros to run ahead of the gather loops with software prefetch: the
+/// factor-row gathers are the latency chain of every CSF kernel (rows are
+/// random, typically L2-resident), and the nonzero range of a slice is
+/// contiguous, so the upcoming rows' indices are always at hand.
+inline constexpr nnz_t kGatherPrefetch = 8;
+
+// ---------------------------------------------------------------------
+// Generic runtime-length primitives (any rank, any alignment).
+// ---------------------------------------------------------------------
+
+/// dst[i] += a * x[i]
+inline void axpy(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                 val_t a, idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    dst[i] += a * x[i];
+  }
+}
+
+/// dst[i] += a[i] * b[i]
+inline void hadamard_accum(val_t* SPTD_RESTRICT dst,
+                           const val_t* SPTD_RESTRICT a,
+                           const val_t* SPTD_RESTRICT b, idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    dst[i] += a[i] * b[i];
+  }
+}
+
+/// sum over i of a[i] * b[i]
+inline val_t dot(const val_t* SPTD_RESTRICT a, const val_t* SPTD_RESTRICT b,
+                 idx_t n) {
+  val_t acc = 0;
+  for (idx_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+/// dst[i] = a * x[i]
+inline void scale(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                  val_t a, idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    dst[i] = a * x[i];
+  }
+}
+
+/// dst[i] = a[i] * b[i]
+inline void mul(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT a,
+                const val_t* SPTD_RESTRICT b, idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    dst[i] = a[i] * b[i];
+  }
+}
+
+/// dst[i] += x[i]
+inline void add(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    dst[i] += x[i];
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fixed-width primitives (compile-time trip count, 64-byte aligned).
+// ---------------------------------------------------------------------
+
+/// dst[i] += a * x[i], i < R
+template <idx_t R>
+inline void axpy_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                   val_t a) {
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] += a * s[i];
+  }
+}
+
+/// dst[i] += a[i] * b[i], i < R
+template <idx_t R>
+inline void hadamard_accum_r(val_t* SPTD_RESTRICT dst,
+                             const val_t* SPTD_RESTRICT a,
+                             const val_t* SPTD_RESTRICT b) {
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+  const val_t* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] += pa[i] * pb[i];
+  }
+}
+
+/// sum over i < R of a[i] * b[i]
+template <idx_t R>
+inline val_t dot_r(const val_t* SPTD_RESTRICT a,
+                   const val_t* SPTD_RESTRICT b) {
+  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+  const val_t* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
+  val_t acc = 0;
+#pragma omp simd reduction(+ : acc)
+  for (idx_t i = 0; i < R; ++i) {
+    acc += pa[i] * pb[i];
+  }
+  return acc;
+}
+
+/// dst[i] = a * x[i], i < R
+template <idx_t R>
+inline void scale_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                    val_t a) {
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] = a * s[i];
+  }
+}
+
+/// dst[i] = a[i] * b[i], i < R
+template <idx_t R>
+inline void mul_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT a,
+                  const val_t* SPTD_RESTRICT b) {
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+  const val_t* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] = pa[i] * pb[i];
+  }
+}
+
+/// dst[i] += x[i], i < R
+template <idx_t R>
+inline void add_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x) {
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] += s[i];
+  }
+}
+
+/// The fused order-2 leaf loop of the CSF MTTKRP with the whole fiber
+/// visible to the compiler: cs[r] += vals[x] * F(fids[x], r) for x in
+/// [begin, end). With a compile-time R the accumulator row stays in
+/// registers across the fiber — this is the single hottest loop of CP-ALS.
+template <idx_t R>
+inline void fiber_accum_r(val_t* SPTD_RESTRICT cs,
+                          const val_t* SPTD_RESTRICT vals,
+                          const idx_t* SPTD_RESTRICT fids,
+                          nnz_t begin, nnz_t end,
+                          const val_t* SPTD_RESTRICT factor, idx_t ld) {
+  val_t* SPTD_RESTRICT acc = detail::assume_line_aligned(cs);
+  for (nnz_t x = begin; x < end; ++x) {
+    const val_t v = vals[x];
+    const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+        factor + static_cast<std::size_t>(fids[x]) * ld);
+#pragma omp simd
+    for (idx_t i = 0; i < R; ++i) {
+      acc[i] += v * row[i];
+    }
+  }
+}
+
+/// Fused bottom-fiber pull-up with Hadamard deposit:
+///   dst[i] += fl[i] * sum over x in [begin, end) of vals[x]*F(fids[x], i).
+/// The fiber sum lives in a register block instead of a scratch row, so
+/// short fibers (the common case in the paper's datasets) pay no
+/// memset / store / reload round trip.
+/// \p prefetch_horizon bounds how far past `end` the fids array may be
+/// read for software prefetch: callers walking a contiguous nonzero range
+/// (a whole slice) pass the range's end so gathers run ahead across fiber
+/// boundaries; fiber-local callers pass `end`.
+template <idx_t R>
+inline void fiber_pullup_hadamard_r(val_t* SPTD_RESTRICT dst,
+                                    const val_t* SPTD_RESTRICT fl,
+                                    const val_t* SPTD_RESTRICT vals,
+                                    const idx_t* SPTD_RESTRICT fids,
+                                    nnz_t begin, nnz_t end,
+                                    const val_t* SPTD_RESTRICT factor,
+                                    idx_t ld, nnz_t prefetch_horizon) {
+  alignas(kCacheLineBytes) val_t acc[R] = {};
+  for (nnz_t x = begin; x < end; ++x) {
+    if (x + kGatherPrefetch < prefetch_horizon) {
+      __builtin_prefetch(
+          factor +
+              static_cast<std::size_t>(fids[x + kGatherPrefetch]) * ld,
+          0, 3);
+    }
+    const val_t v = vals[x];
+    const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+        factor + static_cast<std::size_t>(fids[x]) * ld);
+#pragma omp simd
+    for (idx_t i = 0; i < R; ++i) {
+      acc[i] += v * row[i];
+    }
+  }
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT f = detail::assume_line_aligned(fl);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] += f[i] * acc[i];
+  }
+}
+
+/// Fused third-order root slice: for every child fiber c in [c0, c1),
+///   acc[i] += F1(fids1[c], i) * sum_x vals[x]*F2(leaf_fids[x], i),
+/// with BOTH accumulators register-blocked — the slice accumulator never
+/// round-trips through memory between fibers (slices average hundreds of
+/// fibers on the paper's tensors, so this is the root kernel's whole
+/// inner phase).
+template <idx_t R>
+inline void root_slice3_r(val_t* SPTD_RESTRICT dst,
+                          const idx_t* SPTD_RESTRICT fids1,
+                          const val_t* SPTD_RESTRICT vals,
+                          const idx_t* SPTD_RESTRICT leaf_fids,
+                          const nnz_t* SPTD_RESTRICT fptr1,
+                          nnz_t c0, nnz_t c1,
+                          const val_t* SPTD_RESTRICT f1, idx_t ld1,
+                          const val_t* SPTD_RESTRICT f2, idx_t ld2) {
+  alignas(kCacheLineBytes) val_t acc[R] = {};
+  // Prefetch horizon: the slice's nonzeros are contiguous in
+  // [fptr1[c0], fptr1[c1]), so rows up to the slice end can be fetched
+  // ahead regardless of fiber boundaries.
+  const nnz_t x_end = fptr1[c1];
+  for (nnz_t c = c0; c < c1; ++c) {
+    alignas(kCacheLineBytes) val_t fiber[R] = {};
+    for (nnz_t x = fptr1[c]; x < fptr1[c + 1]; ++x) {
+      if (x + kGatherPrefetch < x_end) {
+        __builtin_prefetch(
+            f2 + static_cast<std::size_t>(leaf_fids[x + kGatherPrefetch]) *
+                     ld2,
+            0, 3);
+      }
+      const val_t v = vals[x];
+      const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+          f2 + static_cast<std::size_t>(leaf_fids[x]) * ld2);
+#pragma omp simd
+      for (idx_t i = 0; i < R; ++i) {
+        fiber[i] += v * row[i];
+      }
+    }
+    const val_t* SPTD_RESTRICT row1 = detail::assume_line_aligned(
+        f1 + static_cast<std::size_t>(fids1[c]) * ld1);
+#pragma omp simd
+    for (idx_t i = 0; i < R; ++i) {
+      acc[i] += row1[i] * fiber[i];
+    }
+  }
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] = acc[i];
+  }
+}
+
+/// Fused bottom-fiber pull-up with path multiply:
+///   dst[i] = path[i] * sum over x in [begin, end) of vals[x]*F(fids[x], i).
+/// The internal kernel's leaf case, register-blocked like the above.
+template <idx_t R>
+inline void fiber_pullup_mul_r(val_t* SPTD_RESTRICT dst,
+                               const val_t* SPTD_RESTRICT path,
+                               const val_t* SPTD_RESTRICT vals,
+                               const idx_t* SPTD_RESTRICT fids,
+                               nnz_t begin, nnz_t end,
+                               const val_t* SPTD_RESTRICT factor,
+                               idx_t ld, nnz_t prefetch_horizon) {
+  alignas(kCacheLineBytes) val_t acc[R] = {};
+  for (nnz_t x = begin; x < end; ++x) {
+    if (x + kGatherPrefetch < prefetch_horizon) {
+      __builtin_prefetch(
+          factor +
+              static_cast<std::size_t>(fids[x + kGatherPrefetch]) * ld,
+          0, 3);
+    }
+    const val_t v = vals[x];
+    const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+        factor + static_cast<std::size_t>(fids[x]) * ld);
+#pragma omp simd
+    for (idx_t i = 0; i < R; ++i) {
+      acc[i] += v * row[i];
+    }
+  }
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT p = detail::assume_line_aligned(path);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] = p[i] * acc[i];
+  }
+}
+
+}  // namespace sptd::la::kern

@@ -11,8 +11,13 @@ namespace sptd::la {
 
 Matrix Matrix::random(idx_t rows, idx_t cols, Rng& rng) {
   Matrix m(rows, cols);
-  for (auto& v : m.data_) {
-    v = rng.next_double();
+  // Draw logical entries only, row-major, so the RNG stream is identical
+  // to an unpadded layout and padding lanes stay zero.
+  for (idx_t i = 0; i < rows; ++i) {
+    val_t* row = m.row_ptr(i);
+    for (idx_t j = 0; j < cols; ++j) {
+      row[j] = rng.next_double();
+    }
   }
   return m;
 }
@@ -25,7 +30,12 @@ Matrix Matrix::identity(idx_t n) {
   return m;
 }
 
-void Matrix::fill(val_t v) { std::fill(data_.begin(), data_.end(), v); }
+void Matrix::fill(val_t v) {
+  for (idx_t i = 0; i < rows_; ++i) {
+    val_t* row = row_ptr(i);
+    std::fill(row, row + cols_, v);
+  }
+}
 
 void Matrix::zero_parallel(int nthreads) {
   parallel_region(nthreads, [&](int tid, int nt) {
@@ -39,16 +49,23 @@ val_t Matrix::max_abs_diff(const Matrix& other) const {
   SPTD_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
              "max_abs_diff: shape mismatch");
   val_t worst = 0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  for (idx_t i = 0; i < rows_; ++i) {
+    const val_t* a = row_ptr(i);
+    const val_t* b = other.row_ptr(i);
+    for (idx_t j = 0; j < cols_; ++j) {
+      worst = std::max(worst, std::abs(a[j] - b[j]));
+    }
   }
   return worst;
 }
 
 val_t Matrix::fro_norm_sq() const {
   val_t acc = 0;
-  for (const val_t v : data_) {
-    acc += v * v;
+  for (idx_t i = 0; i < rows_; ++i) {
+    const val_t* row = row_ptr(i);
+    for (idx_t j = 0; j < cols_; ++j) {
+      acc += row[j] * row[j];
+    }
   }
   return acc;
 }

@@ -9,26 +9,42 @@
 /// row-access policies (slice / 2D index / pointer — Figures 2-3) are
 /// implemented against this same class in mttkrp/row_access.hpp, so the
 /// layout never changes, only the access idiom.
+///
+/// Storage is 64-byte aligned and the leading dimension is padded to a
+/// cache line (`ld() = kern::padded_cols(cols())`), so every row starts on
+/// a cache-line boundary — the alignment contract the rank-specialized
+/// kernels in la/kernels.hpp rely on. Padding lanes (columns cols()..ld())
+/// are always zero: the constructor zeroes them, fill()/random() write
+/// only the logical columns, and every library kernel writes rows through
+/// row_ptr()/operator(). Flat whole-buffer operations (values(), size())
+/// therefore see deterministic zeros in the padding.
 
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "la/kernels.hpp"
 
 namespace sptd::la {
 
-/// Dense row-major matrix of val_t.
+/// Dense row-major matrix of val_t with a cache-line-padded leading
+/// dimension.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
   Matrix() = default;
 
-  /// rows x cols matrix, all entries \p init.
+  /// rows x cols matrix, all entries \p init (padding lanes stay zero).
   Matrix(idx_t rows, idx_t cols, val_t init = val_t{0})
-      : rows_(rows), cols_(cols),
-        data_(static_cast<std::size_t>(rows) * cols, init) {}
+      : rows_(rows), cols_(cols), ld_(kern::padded_cols(cols)),
+        data_(static_cast<std::size_t>(rows) * ld_, val_t{0}) {
+    if (init != val_t{0}) {
+      fill(init);
+    }
+  }
 
   /// Matrix with entries drawn uniformly from [0, 1), like SPLATT's
   /// mat_rand factor initialization.
@@ -39,41 +55,48 @@ class Matrix {
 
   [[nodiscard]] idx_t rows() const { return rows_; }
   [[nodiscard]] idx_t cols() const { return cols_; }
+  /// Leading dimension: distance in values between consecutive row bases.
+  /// A cache-line multiple >= cols(); equal to cols() only when the rank
+  /// is itself a multiple of 8.
+  [[nodiscard]] idx_t ld() const { return ld_; }
+  /// Physical buffer length (rows * ld), padding included.
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
   /// Element access (debug-checked).
   val_t& operator()(idx_t i, idx_t j) {
     SPTD_DCHECK(i < rows_ && j < cols_, "Matrix index out of range");
-    return data_[static_cast<std::size_t>(i) * cols_ + j];
+    return data_[static_cast<std::size_t>(i) * ld_ + j];
   }
   val_t operator()(idx_t i, idx_t j) const {
     SPTD_DCHECK(i < rows_ && j < cols_, "Matrix index out of range");
-    return data_[static_cast<std::size_t>(i) * cols_ + j];
+    return data_[static_cast<std::size_t>(i) * ld_ + j];
   }
 
   /// Raw pointer to row \p i (the reference implementation's idiom).
+  /// Always 64-byte aligned.
   [[nodiscard]] val_t* row_ptr(idx_t i) {
     SPTD_DCHECK(i < rows_, "row_ptr out of range");
-    return data_.data() + static_cast<std::size_t>(i) * cols_;
+    return data_.data() + static_cast<std::size_t>(i) * ld_;
   }
   [[nodiscard]] const val_t* row_ptr(idx_t i) const {
     SPTD_DCHECK(i < rows_, "row_ptr out of range");
-    return data_.data() + static_cast<std::size_t>(i) * cols_;
+    return data_.data() + static_cast<std::size_t>(i) * ld_;
   }
 
-  /// Row \p i as a span.
+  /// Row \p i as a span over the logical columns.
   [[nodiscard]] std::span<val_t> row(idx_t i) { return {row_ptr(i), cols_}; }
   [[nodiscard]] std::span<const val_t> row(idx_t i) const {
     return {row_ptr(i), cols_};
   }
 
-  /// Whole buffer (row-major).
+  /// Whole physical buffer (row-major with stride ld(); padding lanes are
+  /// zero).
   [[nodiscard]] val_t* data() { return data_.data(); }
   [[nodiscard]] const val_t* data() const { return data_.data(); }
   [[nodiscard]] std::span<val_t> values() { return data_; }
   [[nodiscard]] std::span<const val_t> values() const { return data_; }
 
-  /// Sets every entry to \p v.
+  /// Sets every logical entry to \p v (padding lanes stay zero).
   void fill(val_t v);
 
   /// Sets every entry to zero in parallel (used between MTTKRP calls).
@@ -91,7 +114,8 @@ class Matrix {
  private:
   idx_t rows_ = 0;
   idx_t cols_ = 0;
-  std::vector<val_t> data_;
+  idx_t ld_ = 0;
+  aligned_vector<val_t> data_;
 };
 
 }  // namespace sptd::la

@@ -43,6 +43,13 @@ const char* row_access_name(RowAccess ra) {
   return "?";
 }
 
+idx_t selected_kernel_width(idx_t rank, const MttkrpOptions& opts) {
+  if (!opts.use_fixed_kernels || opts.row_access != RowAccess::kPointer) {
+    return 0;
+  }
+  return la::kern::fixed_width_for(rank);
+}
+
 SyncStrategy choose_sync_strategy(const dims_t& dims, int out_mode, int level,
                                   nnz_t nnz, const MttkrpOptions& opts) {
   g_choose_sync_strategy_calls.fetch_add(1, std::memory_order_relaxed);
@@ -75,12 +82,15 @@ MttkrpWorkspace::MttkrpWorkspace(const MttkrpOptions& opts, idx_t rank,
     : opts_(opts), rank_(rank), order_(order), pool_(opts.lock_kind) {
   SPTD_CHECK(opts.nthreads >= 1, "MttkrpWorkspace: nthreads must be >= 1");
   SPTD_CHECK(rank >= 1, "MttkrpWorkspace: rank must be >= 1");
+  // Checked here, before the unsigned cast at the SliceSchedule call
+  // sites, so a negative value cannot wrap into a huge chunk target.
+  SPTD_CHECK(opts.chunk_target >= 1,
+             "MttkrpWorkspace: chunk_target must be >= 1");
   // Slots per thread: path products (order), children sums (order), plus
-  // two scratch rows; each slot padded to a cache line boundary.
-  slot_stride_ = ((static_cast<std::size_t>(rank) * sizeof(val_t) +
-                   kCacheLineBytes - 1) /
-                  kCacheLineBytes) *
-                 kCacheLineBytes / sizeof(val_t);
+  // two scratch rows; each slot padded to a cache line boundary. The
+  // storage itself is cache-line aligned, so every slot satisfies the
+  // fixed-width kernels' alignment contract.
+  slot_stride_ = static_cast<std::size_t>(la::kern::padded_cols(rank));
   slots_per_thread_ = 2 * static_cast<std::size_t>(order) + 2;
   accum_storage_.assign(static_cast<std::size_t>(opts.nthreads) *
                             slots_per_thread_ * slot_stride_,
@@ -99,7 +109,9 @@ val_t* MttkrpWorkspace::accum(int tid, int slot) {
 }
 
 PrivateBuffers& MttkrpWorkspace::privatized(idx_t rows) {
-  const nnz_t need = static_cast<nnz_t>(rows) * rank_;
+  // Rows are laid out at the padded rank stride so replicated rows share
+  // the output matrix's leading dimension (and its alignment).
+  const nnz_t need = static_cast<nnz_t>(rows) * rank_stride();
   if (!priv_ || priv_capacity_ < need) {
     priv_ = std::make_unique<PrivateBuffers>(opts_.nthreads, need);
     priv_capacity_ = need;
@@ -110,34 +122,435 @@ PrivateBuffers& MttkrpWorkspace::privatized(idx_t rows) {
 namespace {
 
 // ---------------------------------------------------------------------
+// Kernel bundles: the arithmetic of every length-R inner loop.
+//
+// The CSF kernels below are templated on a bundle K instead of a raw
+// row-access policy. GenericKern<RA> reproduces the per-element semantics
+// of the paper's three row-access idioms (slice / 2d / pointer) with a
+// runtime trip count — the ablation benches depend on those access costs
+// staying visible. FixedKern<R> is the optimized path: pointer access,
+// compile-time trip count, restrict + 64-byte-aligned primitives from
+// la/kernels.hpp. selected_kernel_width() decides which bundle runs.
+// ---------------------------------------------------------------------
+
+/// Runtime-rank bundle over a row-access policy's handles.
+template <typename RA>
+struct GenericKern {
+  static constexpr idx_t kWidth = 0;
+
+  /// cs[r] += v * f(i, r)
+  static void leaf_accum(val_t* cs, const la::Matrix& f, idx_t i, val_t v,
+                         idx_t rank) {
+    const auto row = RA::row(f, i);
+    for (idx_t r = 0; r < rank; ++r) {
+      cs[r] += v * row.get(r);
+    }
+  }
+
+  /// cs += sum over x in [begin, end) of vals[x] * F(fids[x], :)
+  static void fiber_accum(val_t* cs, std::span<const val_t> vals,
+                          std::span<const idx_t> fids, nnz_t begin,
+                          nnz_t end, const la::Matrix& f, idx_t rank) {
+    for (nnz_t x = begin; x < end; ++x) {
+      leaf_accum(cs, f, fids[x], vals[x], rank);
+    }
+  }
+
+  /// dst[r] += f(i, r) * cs[r]
+  static void hadamard_accum_row(val_t* dst, const la::Matrix& f, idx_t i,
+                                 const val_t* cs, idx_t rank) {
+    const auto row = RA::row(f, i);
+    for (idx_t r = 0; r < rank; ++r) {
+      dst[r] += row.get(r) * cs[r];
+    }
+  }
+
+  /// mine[r] = parent[r] * f(i, r)
+  static void path_mul(val_t* mine, const val_t* parent, const la::Matrix& f,
+                       idx_t i, idx_t rank) {
+    const auto row = RA::row(f, i);
+    for (idx_t r = 0; r < rank; ++r) {
+      mine[r] = parent[r] * row.get(r);
+    }
+  }
+
+  /// p0[r] = f(i, r)
+  static void path_load(val_t* p0, const la::Matrix& f, idx_t i,
+                        idx_t rank) {
+    const auto row = RA::row(f, i);
+    for (idx_t r = 0; r < rank; ++r) {
+      p0[r] = row.get(r);
+    }
+  }
+
+  /// dst[r] = v * src[r]
+  static void scale(val_t* dst, val_t v, const val_t* src, idx_t rank) {
+    for (idx_t r = 0; r < rank; ++r) {
+      dst[r] = v * src[r];
+    }
+  }
+
+  /// dst[r] = a[r] * b[r]
+  static void mul(val_t* dst, const val_t* a, const val_t* b, idx_t rank) {
+    for (idx_t r = 0; r < rank; ++r) {
+      dst[r] = a[r] * b[r];
+    }
+  }
+
+  /// out(i, :) += vec — the sink deposit, through the RA handle so the
+  /// access idiom under study is charged on writes too.
+  static void row_add(la::Matrix& out, idx_t i, const val_t* vec,
+                      idx_t rank) {
+    const auto handle = RA::row(out, i);
+    for (idx_t r = 0; r < rank; ++r) {
+      handle.add(r, vec[r]);
+    }
+  }
+
+  /// dst[r] += vec[r] (privatized deposit; raw rows, no RA handle).
+  static void vec_add(val_t* dst, const val_t* vec, idx_t rank) {
+    for (idx_t r = 0; r < rank; ++r) {
+      dst[r] += vec[r];
+    }
+  }
+
+  /// dst += fl(i, :) ⊙ (sum of the bottom fiber [begin, end)) — the seed
+  /// sequence: zero the scratch row, accumulate the fiber into it,
+  /// multiply-accumulate into dst.
+  static void pullup_hadamard(val_t* dst, const la::Matrix& fl, idx_t i,
+                              std::span<const val_t> vals,
+                              std::span<const idx_t> fids, nnz_t begin,
+                              nnz_t end, const la::Matrix& leaf, val_t* cs,
+                              idx_t rank) {
+    std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+    fiber_accum(cs, vals, fids, begin, end, leaf, rank);
+    hadamard_accum_row(dst, fl, i, cs, rank);
+  }
+
+  /// dst = path ⊙ (sum of the bottom fiber [begin, end)) — the internal
+  /// kernel's leaf case, seed sequence.
+  static void pullup_mul(val_t* dst, const val_t* path,
+                         std::span<const val_t> vals,
+                         std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                         const la::Matrix& leaf, val_t* cs, idx_t rank) {
+    std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+    fiber_accum(cs, vals, fids, begin, end, leaf, rank);
+    mul(dst, path, cs, rank);
+  }
+
+  /// out(i, :) += v * vec — through the scratch row then the RA handle
+  /// (the seed's two-pass deposit, kept as the ablation baseline).
+  static void deposit_scaled(la::Matrix& out, idx_t i, val_t v,
+                             const val_t* vec, val_t* tmp, idx_t rank) {
+    scale(tmp, v, vec, rank);
+    row_add(out, i, tmp, rank);
+  }
+
+  /// dst[r] += v * vec[r] into a raw (privatized) row, seed sequence.
+  static void vec_deposit_scaled(val_t* dst, val_t v, const val_t* vec,
+                                 val_t* tmp, idx_t rank) {
+    scale(tmp, v, vec, rank);
+    vec_add(dst, tmp, rank);
+  }
+
+  /// fiber[r] = sum of the bottom fiber [begin, end) — the internal
+  /// kernel's pull-up half, seed sequence (zero + accumulate in memory).
+  static void fiber_sum(val_t* fiber, std::span<const val_t> vals,
+                        std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                        const la::Matrix& leaf, idx_t rank) {
+    std::memset(fiber, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+    fiber_accum(fiber, vals, fids, begin, end, leaf, rank);
+  }
+
+  /// out(i, :) += a ⊙ b — through the scratch row then the RA handle
+  /// (seed sequence).
+  static void deposit_mul(la::Matrix& out, idx_t i, const val_t* a,
+                          const val_t* b, val_t* tmp, idx_t rank) {
+    mul(tmp, a, b, rank);
+    row_add(out, i, tmp, rank);
+  }
+
+  /// dst[r] += a[r] * b[r] into a raw (privatized) row, seed sequence.
+  static void vec_deposit_mul(val_t* dst, const val_t* a, const val_t* b,
+                              val_t* tmp, idx_t rank) {
+    mul(tmp, a, b, rank);
+    vec_add(dst, tmp, rank);
+  }
+
+  /// One third-order internal-kernel fiber: sum the bottom fiber into the
+  /// scratch row, multiply by the path, deposit through the sink — the
+  /// seed sequence.
+  template <typename Sink>
+  static void internal_fiber3(const Sink& sink, idx_t out_row,
+                              const val_t* path,
+                              std::span<const val_t> vals,
+                              std::span<const idx_t> fids, nnz_t begin,
+                              nnz_t end, nnz_t /*prefetch_horizon*/,
+                              const la::Matrix& leaf, val_t* cs,
+                              val_t* tmp, idx_t rank) {
+    fiber_sum(cs, vals, fids, begin, end, leaf, rank);
+    sink.add_mul(out_row, path, cs, tmp, rank);
+  }
+
+  /// Output-row prefetch ahead of a deposit loop: a no-op on the seed
+  /// path (the baseline stays untouched).
+  template <typename Sink>
+  static void sink_prefetch(const Sink&, idx_t) {}
+
+  /// One third-order root slice into the acc row: seed sequence, one
+  /// pull-up per child fiber with the accumulator in memory.
+  static void root_slice3(val_t* acc, const CsfTensor& csf,
+                          const la::Matrix& f1, const la::Matrix& f2,
+                          nnz_t c0, nnz_t c1, val_t* cs, idx_t rank) {
+    std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+    const auto fids1 = csf.fids(1);
+    const auto leaf_fids = csf.fids(2);
+    const auto vals = csf.vals();
+    const auto fptr1 = csf.fptr(1);
+    for (nnz_t c = c0; c < c1; ++c) {
+      pullup_hadamard(acc, f1, fids1[c], vals, leaf_fids, fptr1[c],
+                      fptr1[c + 1], f2, cs, rank);
+    }
+  }
+};
+
+/// Compile-time-rank bundle: pointer row access over the aligned padded
+/// layout, dispatching to the la::kern fixed-width primitives.
+template <idx_t R>
+struct FixedKern {
+  static constexpr idx_t kWidth = R;
+
+  static void leaf_accum(val_t* cs, const la::Matrix& f, idx_t i, val_t v,
+                         idx_t) {
+    la::kern::axpy_r<R>(cs, f.row_ptr(i), v);
+  }
+
+  static void fiber_accum(val_t* cs, std::span<const val_t> vals,
+                          std::span<const idx_t> fids, nnz_t begin,
+                          nnz_t end, const la::Matrix& f, idx_t) {
+    la::kern::fiber_accum_r<R>(cs, vals.data(), fids.data(), begin, end,
+                               f.data(), f.ld());
+  }
+
+  static void hadamard_accum_row(val_t* dst, const la::Matrix& f, idx_t i,
+                                 const val_t* cs, idx_t) {
+    la::kern::hadamard_accum_r<R>(dst, f.row_ptr(i), cs);
+  }
+
+  static void path_mul(val_t* mine, const val_t* parent, const la::Matrix& f,
+                       idx_t i, idx_t) {
+    la::kern::mul_r<R>(mine, parent, f.row_ptr(i));
+  }
+
+  static void path_load(val_t* p0, const la::Matrix& f, idx_t i, idx_t) {
+    std::memcpy(p0, f.row_ptr(i), R * sizeof(val_t));
+  }
+
+  static void scale(val_t* dst, val_t v, const val_t* src, idx_t) {
+    la::kern::scale_r<R>(dst, src, v);
+  }
+
+  static void mul(val_t* dst, const val_t* a, const val_t* b, idx_t) {
+    la::kern::mul_r<R>(dst, a, b);
+  }
+
+  static void row_add(la::Matrix& out, idx_t i, const val_t* vec, idx_t) {
+    la::kern::add_r<R>(out.row_ptr(i), vec);
+  }
+
+  static void vec_add(val_t* dst, const val_t* vec, idx_t) {
+    la::kern::add_r<R>(dst, vec);
+  }
+
+  static void pullup_hadamard(val_t* dst, const la::Matrix& fl, idx_t i,
+                              std::span<const val_t> vals,
+                              std::span<const idx_t> fids, nnz_t begin,
+                              nnz_t end, const la::Matrix& leaf, val_t*,
+                              idx_t) {
+    la::kern::fiber_pullup_hadamard_r<R>(dst, fl.row_ptr(i), vals.data(),
+                                         fids.data(), begin, end,
+                                         leaf.data(), leaf.ld(), end);
+  }
+
+  static void pullup_mul(val_t* dst, const val_t* path,
+                         std::span<const val_t> vals,
+                         std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                         const la::Matrix& leaf, val_t*, idx_t) {
+    la::kern::fiber_pullup_mul_r<R>(dst, path, vals.data(), fids.data(),
+                                    begin, end, leaf.data(), leaf.ld(),
+                                    end);
+  }
+
+  /// Fused deposit: no scratch-row round trip.
+  static void deposit_scaled(la::Matrix& out, idx_t i, val_t v,
+                             const val_t* vec, val_t*, idx_t) {
+    la::kern::axpy_r<R>(out.row_ptr(i), vec, v);
+  }
+
+  static void vec_deposit_scaled(val_t* dst, val_t v, const val_t* vec,
+                                 val_t*, idx_t) {
+    la::kern::axpy_r<R>(dst, vec, v);
+  }
+
+  static void fiber_sum(val_t* fiber, std::span<const val_t> vals,
+                        std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                        const la::Matrix& leaf, idx_t) {
+    std::memset(fiber, 0, R * sizeof(val_t));
+    la::kern::fiber_accum_r<R>(fiber, vals.data(), fids.data(), begin, end,
+                               leaf.data(), leaf.ld());
+  }
+
+  /// Fused deposit: out(i, :) += a ⊙ b, no scratch-row round trip.
+  static void deposit_mul(la::Matrix& out, idx_t i, const val_t* a,
+                          const val_t* b, val_t*, idx_t) {
+    la::kern::hadamard_accum_r<R>(out.row_ptr(i), a, b);
+  }
+
+  static void vec_deposit_mul(val_t* dst, const val_t* a, const val_t* b,
+                              val_t*, idx_t) {
+    la::kern::hadamard_accum_r<R>(dst, a, b);
+  }
+
+  /// Fused third-order internal fiber: the fiber sum stays in registers
+  /// and lands directly on the (sink-resolved) output row — no scratch
+  /// traffic at all.
+  template <typename Sink>
+  static void internal_fiber3(const Sink& sink, idx_t out_row,
+                              const val_t* path,
+                              std::span<const val_t> vals,
+                              std::span<const idx_t> fids, nnz_t begin,
+                              nnz_t end, nnz_t prefetch_horizon,
+                              const la::Matrix& leaf, val_t* cs,
+                              val_t* /*tmp*/, idx_t rank) {
+    if constexpr (requires { sink.with_row(out_row, [](val_t*) {}); }) {
+      // Unsynchronized destination: fuse the fiber sum straight into the
+      // output row, no scratch traffic.
+      sink.with_row(out_row, [&](val_t* dst) {
+        la::kern::fiber_pullup_hadamard_r<R>(dst, path, vals.data(),
+                                             fids.data(), begin, end,
+                                             leaf.data(), leaf.ld(),
+                                             prefetch_horizon);
+      });
+    } else {
+      // Locked destination: compute outside the critical section and
+      // hand the sink a finished row (keeps the lock hold time at the
+      // seed's length-R add).
+      la::kern::fiber_pullup_mul_r<R>(cs, path, vals.data(), fids.data(),
+                                      begin, end, leaf.data(), leaf.ld(),
+                                      prefetch_horizon);
+      sink.add(out_row, cs, rank);
+    }
+  }
+
+  /// Prefetch the sink's destination row for an upcoming deposit.
+  template <typename Sink>
+  static void sink_prefetch(const Sink& sink, idx_t row) {
+    sink.prefetch(row);
+  }
+
+  /// Fully register-blocked third-order root slice.
+  static void root_slice3(val_t* acc, const CsfTensor& csf,
+                          const la::Matrix& f1, const la::Matrix& f2,
+                          nnz_t c0, nnz_t c1, val_t*, idx_t) {
+    la::kern::root_slice3_r<R>(acc, csf.fids(1).data(), csf.vals().data(),
+                               csf.fids(2).data(), csf.fptr(1).data(), c0,
+                               c1, f1.data(), f1.ld(), f2.data(), f2.ld());
+  }
+};
+
+// ---------------------------------------------------------------------
 // Output sinks: how a kernel deposits a length-R contribution row.
 // ---------------------------------------------------------------------
 
 /// Unsynchronized write into the real output matrix (root kernel, or any
 /// kernel on one thread).
-template <typename RA>
+template <typename K>
 struct DirectSink {
   la::Matrix* out;
   void add(idx_t row, const val_t* vec, idx_t rank) const {
-    const auto handle = RA::row(*out, row);
-    for (idx_t j = 0; j < rank; ++j) {
-      handle.add(j, vec[j]);
-    }
+    K::row_add(*out, row, vec, rank);
+  }
+  void add_scaled(idx_t row, val_t v, const val_t* vec, val_t* tmp,
+                  idx_t rank) const {
+    K::deposit_scaled(*out, row, v, vec, tmp, rank);
+  }
+  void add_mul(idx_t row, const val_t* a, const val_t* b, val_t* tmp,
+               idx_t rank) const {
+    K::deposit_mul(*out, row, a, b, tmp, rank);
+  }
+  /// Runs fn(dst) on output row \p row under this sink's synchronization
+  /// (none here). dst is the raw 64-byte-aligned row base.
+  template <typename Fn>
+  void with_row(idx_t row, Fn&& fn) const {
+    fn(out->row_ptr(row));
+  }
+  /// Hints an upcoming deposit to row \p row (write intent).
+  void prefetch(idx_t row) const {
+    __builtin_prefetch(out->row_ptr(row), 1, 3);
   }
 };
 
 /// Mutex-pool-guarded write (the paper's lock study).
-template <typename RA>
+template <typename K>
 struct LockedSink {
   la::Matrix* out;
   AnyMutexPool* pool;
   void add(idx_t row, const val_t* vec, idx_t rank) const {
     pool->lock(row);
-    const auto handle = RA::row(*out, row);
-    for (idx_t j = 0; j < rank; ++j) {
-      handle.add(j, vec[j]);
-    }
+    K::row_add(*out, row, vec, rank);
     pool->unlock(row);
+  }
+  // The fused deposits compute into the scratch row OUTSIDE the lock so
+  // the critical section stays the seed's length-R add — the paper's
+  // lock study measures deposit cost, not upstream arithmetic. For the
+  // same reason this sink does not expose with_row (which would drag the
+  // caller's whole computation into the critical section).
+  void add_scaled(idx_t row, val_t v, const val_t* vec, val_t* tmp,
+                  idx_t rank) const {
+    K::scale(tmp, v, vec, rank);
+    add(row, tmp, rank);
+  }
+  void add_mul(idx_t row, const val_t* a, const val_t* b, val_t* tmp,
+               idx_t rank) const {
+    K::mul(tmp, a, b, rank);
+    add(row, tmp, rank);
+  }
+  void prefetch(idx_t row) const {
+    __builtin_prefetch(out->row_ptr(row), 1, 3);
+  }
+};
+
+/// Per-thread privatized replica write: each thread's sink resolves its
+/// own buffer, laid out at the output's padded stride. The kernels hand
+/// one sink to every thread, so resolution happens per call.
+template <typename K>
+struct ThreadPrivSink {
+  PrivateBuffers* priv;
+  idx_t stride;
+  void add(idx_t row, const val_t* vec, idx_t rank) const {
+    K::vec_add(resolve(row), vec, rank);
+  }
+  void add_scaled(idx_t row, val_t v, const val_t* vec, val_t* tmp,
+                  idx_t rank) const {
+    K::vec_deposit_scaled(resolve(row), v, vec, tmp, rank);
+  }
+  void add_mul(idx_t row, const val_t* a, const val_t* b, val_t* tmp,
+               idx_t rank) const {
+    K::vec_deposit_mul(resolve(row), a, b, tmp, rank);
+  }
+  template <typename Fn>
+  void with_row(idx_t row, Fn&& fn) const {
+    fn(resolve(row));
+  }
+  /// No-op: resolving the replica costs a TLS lookup per call, and the
+  /// thread's own recently-written rows are usually cache-resident
+  /// anyway — a prefetch here is all overhead.
+  void prefetch(idx_t) const {}
+
+ private:
+  val_t* resolve(idx_t row) const {
+    return priv->buffer(current_thread_id()).data() +
+           static_cast<std::size_t>(row) * stride;
   }
 };
 
@@ -165,7 +578,7 @@ inline int extra_slot(const KernelCtx& ctx, int which) {
 ///   G(leaf x)    = vals[x] * F_leaf(fids[x], :)
 ///   G(fiber f,l) = F_l(fids_l[f], :) ⊙ sum_children G(child, l+1).
 /// This is the "pull up" half of the CSF MTTKRP (Smith & Karypis).
-template <typename RA>
+template <typename K>
 void accumulate_g(const KernelCtx& ctx, int l, nnz_t f, val_t* dst,
                   int tid) {
   const CsfTensor& csf = *ctx.csf;
@@ -175,53 +588,67 @@ void accumulate_g(const KernelCtx& ctx, int l, nnz_t f, val_t* dst,
 
   if (l == order - 1) {
     // f is a nonzero.
-    const auto row = RA::row(*ctx.factor_at_level[static_cast<std::size_t>(l)],
-                             fids[f]);
-    const val_t v = csf.vals()[f];
-    for (idx_t r = 0; r < rank; ++r) {
-      dst[r] += v * row.get(r);
-    }
+    K::leaf_accum(dst, *ctx.factor_at_level[static_cast<std::size_t>(l)],
+                  fids[f], csf.vals()[f], rank);
     return;
   }
 
-  val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
-  std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
   const auto fptr = csf.fptr(l);
+  val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
 
   if (l == order - 2) {
-    // Children are nonzeros: fuse the leaf loop (the hot inner loop).
-    const auto leaf_fids = csf.fids(order - 1);
-    const auto vals = csf.vals();
-    const la::Matrix& leaf_factor =
-        *ctx.factor_at_level[static_cast<std::size_t>(order - 1)];
-    for (nnz_t x = fptr[f]; x < fptr[f + 1]; ++x) {
-      const auto row = RA::row(leaf_factor, leaf_fids[x]);
-      const val_t v = vals[x];
-      for (idx_t r = 0; r < rank; ++r) {
-        cs[r] += v * row.get(r);
-      }
-    }
-  } else {
-    for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
-      accumulate_g<RA>(ctx, l + 1, c, cs, tid);
-    }
+    // Children are nonzeros: fuse the leaf loop (the hot inner loop) with
+    // the Hadamard deposit; the fixed-width path keeps the fiber sum in
+    // registers and never touches the cs scratch row.
+    K::pullup_hadamard(dst, *ctx.factor_at_level[static_cast<std::size_t>(l)],
+                       fids[f], csf.vals(), csf.fids(order - 1), fptr[f],
+                       fptr[f + 1],
+                       *ctx.factor_at_level[static_cast<std::size_t>(order - 1)],
+                       cs, rank);
+    return;
   }
 
-  const auto row = RA::row(*ctx.factor_at_level[static_cast<std::size_t>(l)],
-                           fids[f]);
-  for (idx_t r = 0; r < rank; ++r) {
-    dst[r] += row.get(r) * cs[r];
+  std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+  for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+    accumulate_g<K>(ctx, l + 1, c, cs, tid);
   }
+  K::hadamard_accum_row(dst,
+                        *ctx.factor_at_level[static_cast<std::size_t>(l)],
+                        fids[f], cs, rank);
 }
 
 /// Root kernel: out(fids0[s], :) += sum_children G(child, 1). Trees are
 /// distributed across threads by the precomputed slice schedule; no write
 /// conflicts.
-template <typename RA, typename Sink>
+template <typename K, typename Sink>
 void kernel_root(const KernelCtx& ctx, const Sink& sink,
                  const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
+  const int order = csf.order();
+
+  if (order == 3) {
+    // Dedicated third-order kernel (the paper's datasets are all 3-mode,
+    // like SPLATT's specialized 3-mode code path): non-recursive, with
+    // the CSF arrays and factors hoisted out of the per-fiber work.
+    parallel_region(nthreads, [&](int tid, int) {
+      const auto fids0 = csf.fids(0);
+      const auto fptr0 = csf.fptr(0);
+      const la::Matrix& f1 = *ctx.factor_at_level[1];
+      const la::Matrix& f2 = *ctx.factor_at_level[2];
+      val_t* acc = ctx.ws->accum(tid, extra_slot(ctx, 0));
+      val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, 1));
+      slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+        for (nnz_t s = begin; s < end; ++s) {
+          K::root_slice3(acc, csf, f1, f2, fptr0[s], fptr0[s + 1], cs,
+                         rank);
+          sink.add(fids0[s], acc, rank);
+        }
+      });
+    });
+    return;
+  }
+
   parallel_region(nthreads, [&](int tid, int) {
     const auto fids0 = csf.fids(0);
     const auto fptr0 = csf.fptr(0);
@@ -230,7 +657,7 @@ void kernel_root(const KernelCtx& ctx, const Sink& sink,
       for (nnz_t s = begin; s < end; ++s) {
         std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
         for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
-          accumulate_g<RA>(ctx, 1, c, acc, tid);
+          accumulate_g<K>(ctx, 1, c, acc, tid);
         }
         sink.add(fids0[s], acc, rank);
       }
@@ -240,12 +667,49 @@ void kernel_root(const KernelCtx& ctx, const Sink& sink,
 
 /// Leaf kernel: push path products down, deposit at nonzeros:
 ///   out(leaf_fid, :) += val * (F_0 row ⊙ ... ⊙ F_{N-2} row).
-template <typename RA, typename Sink>
+template <typename K, typename Sink>
 void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
                  const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
+
+  if (order == 3) {
+    // Dedicated third-order kernel: push the two-level path product down
+    // and deposit per nonzero, no recursion.
+    parallel_region(nthreads, [&](int tid, int) {
+      const auto fids0 = csf.fids(0);
+      const auto fids1 = csf.fids(1);
+      const auto leaf_fids = csf.fids(2);
+      const auto fptr0 = csf.fptr(0);
+      const auto fptr1 = csf.fptr(1);
+      const auto vals = csf.vals();
+      const la::Matrix& f0 = *ctx.factor_at_level[0];
+      const la::Matrix& f1 = *ctx.factor_at_level[1];
+      val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+      val_t* mine = ctx.ws->accum(tid, path_slot(1));
+      val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+      slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+        for (nnz_t s = begin; s < end; ++s) {
+          K::path_load(p0, f0, fids0[s], rank);
+          // The slice's nonzeros are contiguous: run output-row
+          // prefetches ahead of the deposits (no-op on the seed path).
+          const nnz_t x_horizon = fptr1[fptr0[s + 1]];
+          for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+            K::path_mul(mine, p0, f1, fids1[c], rank);
+            for (nnz_t x = fptr1[c]; x < fptr1[c + 1]; ++x) {
+              if (x + la::kern::kGatherPrefetch < x_horizon) {
+                K::sink_prefetch(
+                    sink, leaf_fids[x + la::kern::kGatherPrefetch]);
+              }
+              sink.add_scaled(leaf_fids[x], vals[x], mine, tmp, rank);
+            }
+          }
+        }
+      });
+    });
+    return;
+  }
 
   // Recursive descent writing path products into per-level slots.
   struct Walker {
@@ -259,11 +723,9 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
       const int order = csf.order();
       const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
       val_t* mine = ctx.ws->accum(tid, path_slot(l));
-      const auto row = RA::row(
-          *ctx.factor_at_level[static_cast<std::size_t>(l)], csf.fids(l)[f]);
-      for (idx_t r = 0; r < rank; ++r) {
-        mine[r] = parent[r] * row.get(r);
-      }
+      K::path_mul(mine, parent,
+                  *ctx.factor_at_level[static_cast<std::size_t>(l)],
+                  csf.fids(l)[f], rank);
       const auto fptr = csf.fptr(l);
       if (l == order - 2) {
         // Children are the nonzeros: deposit.
@@ -271,11 +733,7 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
         const auto vals = csf.vals();
         val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
         for (nnz_t x = fptr[f]; x < fptr[f + 1]; ++x) {
-          const val_t v = vals[x];
-          for (idx_t r = 0; r < rank; ++r) {
-            tmp[r] = v * mine[r];
-          }
-          sink.add(leaf_fids[x], tmp, rank);
+          sink.add_scaled(leaf_fids[x], vals[x], mine, tmp, rank);
         }
       } else {
         for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
@@ -292,21 +750,14 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
       for (nnz_t s = begin; s < end; ++s) {
-        const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
-        for (idx_t r = 0; r < rank; ++r) {
-          p0[r] = row.get(r);
-        }
+        K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
         if (order == 2) {
           // Root's children are the nonzeros.
           const auto leaf_fids = csf.fids(1);
           const auto vals = csf.vals();
           val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
           for (nnz_t x = fptr0[s]; x < fptr0[s + 1]; ++x) {
-            const val_t v = vals[x];
-            for (idx_t r = 0; r < rank; ++r) {
-              tmp[r] = v * p0[r];
-            }
-            sink.add(leaf_fids[x], tmp, rank);
+            sink.add_scaled(leaf_fids[x], vals[x], p0, tmp, rank);
           }
         } else {
           for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
@@ -323,7 +774,7 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
 /// thread walks the whole forest but deposits only leaves inside its own
 /// tile. Writes are conflict-free (DirectSink); the price is replicated
 /// path-product work at the upper levels.
-template <typename RA>
+template <typename K>
 void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
                        std::span<const nnz_t> tile_bounds, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
@@ -331,7 +782,7 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
   const int order = csf.order();
   const auto leaf_fids = csf.fids(order - 1);
 
-  const DirectSink<RA> sink{&out};
+  const DirectSink<K> sink{&out};
   parallel_region(nthreads, [&](int tid, int) {
     const auto lo = static_cast<idx_t>(tile_bounds[
         static_cast<std::size_t>(tid)]);
@@ -353,11 +804,7 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
                                         hi);
       for (auto it = begin; it != end; ++it) {
         const auto x = static_cast<nnz_t>(it - leaf_fids.begin());
-        const val_t v = vals[x];
-        for (idx_t r = 0; r < rank; ++r) {
-          tmp[r] = v * path[r];
-        }
-        sink.add(*it, tmp, rank);
+        sink.add_scaled(*it, vals[x], path, tmp, rank);
       }
     };
 
@@ -372,12 +819,9 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
         const int order = csf.order();
         const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
         val_t* mine = ctx.ws->accum(tid, path_slot(l));
-        const auto row =
-            RA::row(*ctx.factor_at_level[static_cast<std::size_t>(l)],
-                    csf.fids(l)[f]);
-        for (idx_t r = 0; r < rank; ++r) {
-          mine[r] = parent[r] * row.get(r);
-        }
+        K::path_mul(mine, parent,
+                    *ctx.factor_at_level[static_cast<std::size_t>(l)],
+                    csf.fids(l)[f], rank);
         const auto fptr = csf.fptr(l);
         if (l == order - 2) {
           leaf_fn(fptr[f], fptr[f + 1], mine);
@@ -394,10 +838,7 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
     const Walker walker{ctx, deposit, tid};
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
     for (nnz_t s = 0; s < csf.nfibers(0); ++s) {
-      const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
-      for (idx_t r = 0; r < rank; ++r) {
-        p0[r] = row.get(r);
-      }
+      K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
       if (order == 2) {
         deposit(fptr0[s], fptr0[s + 1], p0);
       } else {
@@ -411,11 +852,41 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
 
 /// Internal kernel at level L (0 < L < order-1):
 ///   out(fids_L[f], :) += (F_0 ⊙ ... ⊙ F_{L-1} path) ⊙ sum_children G.
-template <typename RA, typename Sink>
+template <typename K, typename Sink>
 void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
                      const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
+
+  if (csf.order() == 3) {
+    // Dedicated third-order kernel (out_level is necessarily 1): root row
+    // times bottom-fiber sum, deposited per level-1 fiber, no recursion.
+    parallel_region(nthreads, [&](int tid, int) {
+      const auto fids0 = csf.fids(0);
+      const auto fids1 = csf.fids(1);
+      const auto leaf_fids = csf.fids(2);
+      const auto fptr0 = csf.fptr(0);
+      const auto fptr1 = csf.fptr(1);
+      const auto vals = csf.vals();
+      const la::Matrix& f0 = *ctx.factor_at_level[0];
+      const la::Matrix& f2 = *ctx.factor_at_level[2];
+      val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+      val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+      val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, 1));
+      slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+        for (nnz_t s = begin; s < end; ++s) {
+          K::path_load(p0, f0, fids0[s], rank);
+          const nnz_t x_horizon = fptr1[fptr0[s + 1]];
+          for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+            K::internal_fiber3(sink, fids1[c], p0, vals, leaf_fids,
+                               fptr1[c], fptr1[c + 1], x_horizon, f2, cs,
+                               tmp, rank);
+          }
+        }
+      });
+    });
+    return;
+  }
 
   struct Walker {
     const KernelCtx& ctx;
@@ -429,30 +900,23 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
       const int order = csf.order();
       if (l == out_level) {
         // Children sum (the pull-up half), excluding F_L itself.
-        val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
-        std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
         const auto fptr = csf.fptr(l);
-        if (l == order - 2) {
-          const auto leaf_fids = csf.fids(order - 1);
-          const auto vals = csf.vals();
-          const la::Matrix& leaf_factor =
-              *ctx.factor_at_level[static_cast<std::size_t>(order - 1)];
-          for (nnz_t x = fptr[f]; x < fptr[f + 1]; ++x) {
-            const auto row = RA::row(leaf_factor, leaf_fids[x]);
-            const val_t v = vals[x];
-            for (idx_t r = 0; r < rank; ++r) {
-              cs[r] += v * row.get(r);
-            }
-          }
-        } else {
-          for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
-            accumulate_g<RA>(ctx, l + 1, c, cs, tid);
-          }
-        }
         const val_t* path = ctx.ws->accum(tid, path_slot(l - 1));
         val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
-        for (idx_t r = 0; r < rank; ++r) {
-          tmp[r] = path[r] * cs[r];
+        val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
+        if (l == order - 2) {
+          K::pullup_mul(
+              tmp, path, csf.vals(), csf.fids(order - 1), fptr[f],
+              fptr[f + 1],
+              *ctx.factor_at_level[static_cast<std::size_t>(order - 1)],
+              cs, rank);
+        } else {
+          std::memset(cs, 0,
+                      static_cast<std::size_t>(rank) * sizeof(val_t));
+          for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+            accumulate_g<K>(ctx, l + 1, c, cs, tid);
+          }
+          K::mul(tmp, path, cs, rank);
         }
         sink.add(csf.fids(l)[f], tmp, rank);
         return;
@@ -460,11 +924,9 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
       // Extend the path product and keep descending.
       const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
       val_t* mine = ctx.ws->accum(tid, path_slot(l));
-      const auto row = RA::row(
-          *ctx.factor_at_level[static_cast<std::size_t>(l)], csf.fids(l)[f]);
-      for (idx_t r = 0; r < rank; ++r) {
-        mine[r] = parent[r] * row.get(r);
-      }
+      K::path_mul(mine, parent,
+                  *ctx.factor_at_level[static_cast<std::size_t>(l)],
+                  csf.fids(l)[f], rank);
       const auto fptr = csf.fptr(l);
       for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
         descend(l + 1, c);
@@ -479,10 +941,7 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
       for (nnz_t s = begin; s < end; ++s) {
-        const auto row = RA::row(*ctx.factor_at_level[0], fids0[s]);
-        for (idx_t r = 0; r < rank; ++r) {
-          p0[r] = row.get(r);
-        }
+        K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
         for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
           walker.descend(1, c);
         }
@@ -492,21 +951,21 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
 }
 
 /// Runs the level-appropriate kernel with the given sink.
-template <typename RA, typename Sink>
+template <typename K, typename Sink>
 void run_kernel(const KernelCtx& ctx, const Sink& sink, int out_level,
                 const SliceSchedule& slices, int nthreads) {
   const int order = ctx.csf->order();
   if (out_level == 0) {
-    kernel_root<RA>(ctx, sink, slices, nthreads);
+    kernel_root<K>(ctx, sink, slices, nthreads);
   } else if (out_level == order - 1) {
-    kernel_leaf<RA>(ctx, sink, slices, nthreads);
+    kernel_leaf<K>(ctx, sink, slices, nthreads);
   } else {
-    kernel_internal<RA>(ctx, sink, out_level, slices, nthreads);
+    kernel_internal<K>(ctx, sink, out_level, slices, nthreads);
   }
 }
 
-/// Strategy dispatch for one row-access policy.
-template <typename RA>
+/// Strategy dispatch for one kernel bundle.
+template <typename K>
 void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
                        int out_level, SyncStrategy strategy,
                        const SliceSchedule& slices,
@@ -516,18 +975,18 @@ void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
   switch (strategy) {
     case SyncStrategy::kNone: {
       out.zero_parallel(nthreads);
-      run_kernel<RA>(ctx, DirectSink<RA>{&out}, out_level, slices, nthreads);
+      run_kernel<K>(ctx, DirectSink<K>{&out}, out_level, slices, nthreads);
       break;
     }
     case SyncStrategy::kLock: {
       out.zero_parallel(nthreads);
-      run_kernel<RA>(ctx, LockedSink<RA>{&out, &ws.pool()}, out_level,
-                     slices, nthreads);
+      run_kernel<K>(ctx, LockedSink<K>{&out, &ws.pool()}, out_level,
+                    slices, nthreads);
       break;
     }
     case SyncStrategy::kTile: {
       out.zero_parallel(nthreads);
-      kernel_leaf_tiled<RA>(ctx, out, tile_bounds, nthreads);
+      kernel_leaf_tiled<K>(ctx, out, tile_bounds, nthreads);
       break;
     }
     case SyncStrategy::kPrivatize: {
@@ -535,25 +994,14 @@ void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
           ctx.csf->dims()[static_cast<std::size_t>(out_mode)];
       PrivateBuffers& priv = ws.privatized(rows);
       priv.clear(nthreads);
-      // Each thread's sink points at its own replica. The kernels hand the
-      // sink to every thread, so the sink must resolve per-thread storage
-      // itself.
-      struct ThreadPrivSink {
-        PrivateBuffers* priv;
-        void add(idx_t row, const val_t* vec, idx_t rank) const {
-          val_t* p = priv->buffer(current_thread_id()).data() +
-                     static_cast<std::size_t>(row) * rank;
-          for (idx_t j = 0; j < rank; ++j) {
-            p[j] += vec[j];
-          }
-        }
-      };
-      run_kernel<RA>(ctx, ThreadPrivSink{&priv}, out_level, slices,
-                     nthreads);
+      run_kernel<K>(ctx, ThreadPrivSink<K>{&priv, ws.rank_stride()},
+                    out_level, slices, nthreads);
       out.zero_parallel(nthreads);
+      SPTD_DCHECK(out.ld() == ws.rank_stride(),
+                  "privatize: output stride mismatch");
       priv.reduce_into(
           {out.data(),
-           static_cast<std::size_t>(rows) * ctx.rank},
+           static_cast<std::size_t>(rows) * out.ld()},
           nthreads);
       break;
     }
@@ -575,8 +1023,8 @@ void mttkrp_csf_exec(const CsfTensor& csf,
                      const std::vector<la::Matrix>& factors, int mode,
                      int level, SyncStrategy strategy,
                      const SliceSchedule& slices,
-                     std::span<const nnz_t> tile_bounds, la::Matrix& out,
-                     MttkrpWorkspace& ws) {
+                     std::span<const nnz_t> tile_bounds, idx_t kernel_width,
+                     la::Matrix& out, MttkrpWorkspace& ws) {
   const int order = csf.order();
   SPTD_CHECK(static_cast<int>(factors.size()) == order,
              "mttkrp_csf: factor count mismatch");
@@ -595,6 +1043,8 @@ void mttkrp_csf_exec(const CsfTensor& csf,
                  tile_bounds.size() ==
                      static_cast<std::size_t>(ws.options().nthreads) + 1,
              "mttkrp_csf: tile bounds missing for the tiled strategy");
+  SPTD_CHECK(kernel_width == 0 || kernel_width == rank,
+             "mttkrp_csf: kernel width must be 0 or the rank");
 
   ws.last_strategy = strategy;
   slices.reset();  // rewind the dynamic cursor for this kernel launch
@@ -611,16 +1061,44 @@ void mttkrp_csf_exec(const CsfTensor& csf,
 
   switch (ws.options().row_access) {
     case RowAccess::kSlice:
-      dispatch_strategy<SliceAccess>(ctx, out, mode, level, strategy,
-                                     slices, tile_bounds, ws);
+      dispatch_strategy<GenericKern<SliceAccess>>(ctx, out, mode, level,
+                                                  strategy, slices,
+                                                  tile_bounds, ws);
       break;
     case RowAccess::kIndex2D:
-      dispatch_strategy<Index2DAccess>(ctx, out, mode, level, strategy,
-                                       slices, tile_bounds, ws);
+      dispatch_strategy<GenericKern<Index2DAccess>>(ctx, out, mode, level,
+                                                    strategy, slices,
+                                                    tile_bounds, ws);
       break;
     case RowAccess::kPointer:
-      dispatch_strategy<PointerAccess>(ctx, out, mode, level, strategy,
-                                       slices, tile_bounds, ws);
+      switch (kernel_width) {
+        case 4:
+          dispatch_strategy<FixedKern<4>>(ctx, out, mode, level, strategy,
+                                          slices, tile_bounds, ws);
+          break;
+        case 8:
+          dispatch_strategy<FixedKern<8>>(ctx, out, mode, level, strategy,
+                                          slices, tile_bounds, ws);
+          break;
+        case 16:
+          dispatch_strategy<FixedKern<16>>(ctx, out, mode, level, strategy,
+                                           slices, tile_bounds, ws);
+          break;
+        case 32:
+          dispatch_strategy<FixedKern<32>>(ctx, out, mode, level, strategy,
+                                           slices, tile_bounds, ws);
+          break;
+        case 64:
+          dispatch_strategy<FixedKern<64>>(ctx, out, mode, level, strategy,
+                                           slices, tile_bounds, ws);
+          break;
+        default:
+          dispatch_strategy<GenericKern<PointerAccess>>(ctx, out, mode,
+                                                        level, strategy,
+                                                        slices, tile_bounds,
+                                                        ws);
+          break;
+      }
       break;
   }
 }
@@ -632,13 +1110,14 @@ void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
   const SyncStrategy strategy = choose_sync_strategy(
       csf.dims(), mode, level, csf.nnz(), opts);
   const SliceSchedule slices(opts.schedule, csf.nfibers(0),
-                             csf.root_nnz_prefix(), opts.nthreads);
+                             csf.root_nnz_prefix(), opts.nthreads,
+                             static_cast<nnz_t>(opts.chunk_target));
   std::vector<nnz_t> tiles;
   if (strategy == SyncStrategy::kTile) {
     tiles = leaf_tile_bounds(csf, opts.nthreads);
   }
-  mttkrp_csf_exec(csf, factors, mode, level, strategy, slices, tiles, out,
-                  ws);
+  mttkrp_csf_exec(csf, factors, mode, level, strategy, slices, tiles,
+                  selected_kernel_width(ws.rank(), opts), out, ws);
 }
 
 void mttkrp(const CsfSet& csf_set, const std::vector<la::Matrix>& factors,

@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/types.hpp"
 #include "csf/csf.hpp"
+#include "la/kernels.hpp"
 #include "la/matrix.hpp"
 #include "mttkrp/row_access.hpp"
 #include "parallel/locks.hpp"
@@ -67,7 +69,23 @@ struct MttkrpOptions {
   /// upper-level work. Takes precedence over locks/privatization where
   /// applicable (leaf level, >1 thread).
   bool use_tiling = false;
+  /// Dynamic-schedule chunk heuristic: target number of cursor claims per
+  /// thread. Chunks are sized total / (nthreads * chunk_target); larger
+  /// targets mean finer chunks (better skew smoothing, more cursor
+  /// traffic). Exposed as --chunk on the CLI and benches.
+  int chunk_target = 16;
+  /// Dispatch rank-specialized SIMD inner loops (la/kernels.hpp) when the
+  /// rank has a compile-time instantiation and the row-access policy is
+  /// pointer. Disable to force the generic runtime-rank loops — the
+  /// baseline the kernel benches compare against.
+  bool use_fixed_kernels = true;
 };
+
+/// The compile-time kernel width an MTTKRP plan will select for \p rank
+/// under \p opts: rank itself when a specialized instantiation exists
+/// (rank in {4, 8, 16, 32, 64}, pointer row access, specialization not
+/// disabled), else 0 (generic runtime-rank loops).
+idx_t selected_kernel_width(idx_t rank, const MttkrpOptions& opts);
 
 /// Decides the sync strategy SPLATT would use for an MTTKRP writing
 /// \p out_mode at tree level \p level of a CSF with \p nnz nonzeros.
@@ -94,6 +112,13 @@ class MttkrpWorkspace {
   [[nodiscard]] const MttkrpOptions& options() const { return opts_; }
   [[nodiscard]] idx_t rank() const { return rank_; }
 
+  /// Stride (in values) of every length-rank scratch row and of the
+  /// privatized buffers: rank rounded up to a cache line, matching
+  /// la::Matrix::ld() for a rank-column matrix.
+  [[nodiscard]] idx_t rank_stride() const {
+    return static_cast<idx_t>(slot_stride_);
+  }
+
   /// Per-thread scratch row (length rank). Slots 0..order-1 hold path
   /// products, order..2*order-1 children sums, and two extra scratch rows
   /// follow; kernels address them through the slot helpers in mttkrp.cpp.
@@ -117,7 +142,7 @@ class MttkrpWorkspace {
   int order_;
   std::size_t slot_stride_ = 0;       ///< rank rounded up to a cache line
   std::size_t slots_per_thread_ = 0;  ///< 2*order + 2
-  std::vector<val_t> accum_storage_;
+  aligned_vector<val_t> accum_storage_;
   AnyMutexPool pool_;
   std::unique_ptr<PrivateBuffers> priv_;
   nnz_t priv_capacity_ = 0;
@@ -139,15 +164,17 @@ void mttkrp_csf(const CsfTensor& csf, const std::vector<la::Matrix>& factors,
                 int mode, la::Matrix& out, MttkrpWorkspace& ws);
 
 /// Pure-execution entry point: every decision (kernel level, sync
-/// strategy, slice schedule, tile boundaries) is precomputed by the
-/// caller. This is what MttkrpPlan::execute dispatches to; \p tile_bounds
-/// is consulted only by the kTile strategy.
+/// strategy, slice schedule, tile boundaries, kernel width) is precomputed
+/// by the caller. This is what MttkrpPlan::execute dispatches to;
+/// \p tile_bounds is consulted only by the kTile strategy, and
+/// \p kernel_width must be 0 (generic loops) or the value
+/// selected_kernel_width() returns for the workspace's rank and options.
 void mttkrp_csf_exec(const CsfTensor& csf,
                      const std::vector<la::Matrix>& factors, int mode,
                      int level, SyncStrategy strategy,
                      const SliceSchedule& slices,
-                     std::span<const nnz_t> tile_bounds, la::Matrix& out,
-                     MttkrpWorkspace& ws);
+                     std::span<const nnz_t> tile_bounds, idx_t kernel_width,
+                     la::Matrix& out, MttkrpWorkspace& ws);
 
 /// Reference COO MTTKRP (no CSF), parallelized over nonzero blocks with a
 /// mutex pool. The correctness oracle for mid-size inputs and the

@@ -8,7 +8,8 @@ namespace sptd {
 
 MttkrpPlan::MttkrpPlan(const CsfSet& set, idx_t rank,
                        const MttkrpOptions& opts)
-    : set_(&set), ws_(opts, rank, set.order()) {
+    : set_(&set), ws_(opts, rank, set.order()),
+      kernel_width_(selected_kernel_width(rank, opts)) {
   const int order = set.order();
   modes_.resize(static_cast<std::size_t>(order));
   idx_t max_privatized_rows = 0;
@@ -20,7 +21,8 @@ MttkrpPlan::MttkrpPlan(const CsfSet& set, idx_t rank,
     mp.strategy = choose_sync_strategy(mp.csf->dims(), m, level,
                                        mp.csf->nnz(), opts);
     mp.slices = SliceSchedule(opts.schedule, mp.csf->nfibers(0),
-                              mp.csf->root_nnz_prefix(), opts.nthreads);
+                              mp.csf->root_nnz_prefix(), opts.nthreads,
+                              static_cast<nnz_t>(opts.chunk_target));
     if (mp.strategy == SyncStrategy::kTile) {
       mp.tile_bounds = leaf_tile_bounds(*mp.csf, opts.nthreads);
     }
@@ -41,7 +43,7 @@ void MttkrpPlan::execute(const std::vector<la::Matrix>& factors, int mode,
   SPTD_CHECK(mode >= 0 && mode < order(), "MttkrpPlan: mode out of range");
   const ModePlan& mp = modes_[static_cast<std::size_t>(mode)];
   mttkrp_csf_exec(*mp.csf, factors, mode, mp.level, mp.strategy, mp.slices,
-                  mp.tile_bounds, out, ws_);
+                  mp.tile_bounds, kernel_width_, out, ws_);
 }
 
 }  // namespace sptd

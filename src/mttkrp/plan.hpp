@@ -53,6 +53,12 @@ class MttkrpPlan {
   [[nodiscard]] int order() const { return static_cast<int>(modes_.size()); }
   [[nodiscard]] MttkrpWorkspace& workspace() { return ws_; }
 
+  /// The rank-specialized kernel width frozen at plan time: the rank when
+  /// a compile-time instantiation serves it (pointer access, rank in
+  /// {4, 8, 16, 32, 64}), 0 when execution runs the generic runtime-rank
+  /// loops. Reported in every bench --json record.
+  [[nodiscard]] idx_t kernel_width() const { return kernel_width_; }
+
   /// Introspection for benches/tests: the frozen decisions for one mode.
   [[nodiscard]] const ModePlan& mode_plan(int mode) const {
     return modes_[static_cast<std::size_t>(mode)];
@@ -62,6 +68,7 @@ class MttkrpPlan {
   const CsfSet* set_;
   MttkrpWorkspace ws_;
   std::vector<ModePlan> modes_;
+  idx_t kernel_width_ = 0;
 };
 
 }  // namespace sptd

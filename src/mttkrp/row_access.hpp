@@ -55,13 +55,13 @@ struct PointerAccess {
   };
 
   static Row row(la::Matrix& a, idx_t i) {
-    return Row{a.data() + static_cast<std::size_t>(i) * a.cols()};
+    return Row{a.data() + static_cast<std::size_t>(i) * a.ld()};
   }
   static Row row(const la::Matrix& a, idx_t i) {
     // MTTKRP only writes to the output matrix; const factor rows are read
     // through the same handle type for simplicity.
     return Row{const_cast<val_t*>(a.data()) +
-               static_cast<std::size_t>(i) * a.cols()};
+               static_cast<std::size_t>(i) * a.ld()};
   }
 };
 
@@ -86,9 +86,11 @@ struct Index2DAccess {
     idx_t cols_;
   };
 
-  static Row row(la::Matrix& a, idx_t i) { return Row{a.data(), i, a.cols()}; }
+  // The flat offset is recomputed per access against the padded leading
+  // dimension (the stride a 2D array with padded rows indexes by).
+  static Row row(la::Matrix& a, idx_t i) { return Row{a.data(), i, a.ld()}; }
   static Row row(const la::Matrix& a, idx_t i) {
-    return Row{const_cast<val_t*>(a.data()), i, a.cols()};
+    return Row{const_cast<val_t*>(a.data()), i, a.ld()};
   }
 };
 
@@ -158,12 +160,11 @@ struct SliceAccess {
   }
 
   static Row row(la::Matrix& a, idx_t i) {
-    return make(a.data() + static_cast<std::size_t>(i) * a.cols(),
-                a.cols());
+    return make(a.data() + static_cast<std::size_t>(i) * a.ld(), a.cols());
   }
   static Row row(const la::Matrix& a, idx_t i) {
     return make(const_cast<val_t*>(a.data()) +
-                    static_cast<std::size_t>(i) * a.cols(),
+                    static_cast<std::size_t>(i) * a.ld(),
                 a.cols());
   }
 };

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "parallel/partition.hpp"
@@ -76,7 +77,9 @@ class PrivateBuffers {
  private:
   int nthreads_;
   nnz_t length_;
-  std::vector<val_t> storage_;
+  // Cache-line aligned so per-thread MTTKRP replicas laid out at the
+  // padded rank stride keep 64-byte-aligned rows (la/kernels.hpp).
+  aligned_vector<val_t> storage_;
 };
 
 }  // namespace sptd

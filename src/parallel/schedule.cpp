@@ -25,9 +25,10 @@ const char* schedule_policy_name(SchedulePolicy policy) {
 
 SliceSchedule::SliceSchedule(SchedulePolicy policy, nnz_t total,
                              std::span<const nnz_t> weight_prefix,
-                             int nthreads)
+                             int nthreads, nnz_t chunk_target)
     : policy_(policy), total_(total) {
   SPTD_CHECK(nthreads >= 1, "SliceSchedule: nthreads must be >= 1");
+  SPTD_CHECK(chunk_target >= 1, "SliceSchedule: chunk target must be >= 1");
   if (policy_ == SchedulePolicy::kWeighted && weight_prefix.empty()) {
     policy_ = SchedulePolicy::kStatic;  // no weights to balance by
   }
@@ -48,11 +49,12 @@ SliceSchedule::SliceSchedule(SchedulePolicy policy, nnz_t total,
       break;
     }
     case SchedulePolicy::kDynamic: {
-      // Chunks sized for ~16 claims per thread: coarse enough that the
-      // shared cursor stays off the critical path, fine enough to smooth
-      // slice-weight skew.
+      // Chunks sized for ~chunk_target claims per thread: coarse enough
+      // that the shared cursor stays off the critical path, fine enough
+      // to smooth slice-weight skew. The target is tunable (--chunk)
+      // because the right trade depends on core count and slice skew.
       chunk_ = std::max<nnz_t>(
-          1, total / (static_cast<nnz_t>(nthreads) * 16));
+          1, total / (static_cast<nnz_t>(nthreads) * chunk_target));
       break;
     }
   }

@@ -59,9 +59,15 @@ class SliceSchedule {
   /// Builds the schedule for \p total slices on \p nthreads workers.
   /// \p weight_prefix (exclusive prefix sum, length total+1) is consulted
   /// only by the weighted policy; passing an empty span degrades weighted
-  /// to static.
+  /// to static. \p chunk_target is consulted only by the dynamic policy:
+  /// chunks are sized for ~chunk_target cursor claims per thread
+  /// (MttkrpOptions::chunk_target / the --chunk flag).
   SliceSchedule(SchedulePolicy policy, nnz_t total,
-                std::span<const nnz_t> weight_prefix, int nthreads);
+                std::span<const nnz_t> weight_prefix, int nthreads,
+                nnz_t chunk_target = kDefaultChunkTarget);
+
+  /// Default dynamic-schedule claims-per-thread target.
+  static constexpr nnz_t kDefaultChunkTarget = 16;
 
   // The atomic cursor is not copyable; schedules move.
   SliceSchedule(SliceSchedule&& other) noexcept { *this = std::move(other); }

@@ -1,0 +1,298 @@
+// Tests for the rank-specialized SIMD kernel layer (la/kernels.hpp and
+// its MTTKRP dispatch): the compile-time-R path must agree with the
+// generic runtime-rank path within 1e-12 across ranks (specialized and
+// fallback), modes, and sync strategies, and the register-blocked dense
+// kernels must match their naive reference loops.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "csf/csf.hpp"
+#include "la/blas.hpp"
+#include "la/kernels.hpp"
+#include "mttkrp/mttkrp.hpp"
+#include "mttkrp/plan.hpp"
+#include "sort/sort.hpp"
+#include "tensor/synthetic.hpp"
+
+namespace sptd {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// The rank axis: specialized widths {4, 8, 16, 32, 64} plus neighbors
+// {3, 17} that must take the generic fallback.
+const idx_t kRanks[] = {3, 4, 8, 16, 17, 32, 64};
+
+std::vector<la::Matrix> make_factors(const SparseTensor& t, idx_t rank,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < t.order(); ++m) {
+    factors.push_back(la::Matrix::random(t.dim(m), rank, rng));
+  }
+  return factors;
+}
+
+// ------------------------------------------------- width selection map
+
+TEST(KernelWidth, DispatchTable) {
+  MttkrpOptions opts;  // pointer access, fixed kernels on
+  EXPECT_EQ(selected_kernel_width(4, opts), 4u);
+  EXPECT_EQ(selected_kernel_width(8, opts), 8u);
+  EXPECT_EQ(selected_kernel_width(16, opts), 16u);
+  EXPECT_EQ(selected_kernel_width(32, opts), 32u);
+  EXPECT_EQ(selected_kernel_width(64, opts), 64u);
+  // Non-specialized ranks fall back to the generic loops.
+  EXPECT_EQ(selected_kernel_width(3, opts), 0u);
+  EXPECT_EQ(selected_kernel_width(17, opts), 0u);
+  EXPECT_EQ(selected_kernel_width(35, opts), 0u);
+  // Disabled or non-pointer access always falls back.
+  opts.use_fixed_kernels = false;
+  EXPECT_EQ(selected_kernel_width(16, opts), 0u);
+  opts.use_fixed_kernels = true;
+  opts.row_access = RowAccess::kSlice;
+  EXPECT_EQ(selected_kernel_width(16, opts), 0u);
+}
+
+TEST(KernelWidth, PaddedColsIsCacheLineMultiple) {
+  for (idx_t c = 1; c <= 130; ++c) {
+    const idx_t ld = la::kern::padded_cols(c);
+    EXPECT_GE(ld, c);
+    EXPECT_EQ(ld % la::kern::kValsPerLine, 0u);
+    EXPECT_LT(ld - c, la::kern::kValsPerLine);
+  }
+}
+
+TEST(KernelWidth, PlanFreezesWidth) {
+  SparseTensor x = generate_synthetic(
+      {.dims = {15, 11, 9}, .nnz = 200, .seed = 5, .zipf_exponent = 0.4});
+  const CsfSet set(x, CsfPolicy::kTwoMode, 2);
+  MttkrpOptions opts;
+  opts.nthreads = 2;
+  EXPECT_EQ(MttkrpPlan(set, 16, opts).kernel_width(), 16u);
+  EXPECT_EQ(MttkrpPlan(set, 17, opts).kernel_width(), 0u);
+  opts.use_fixed_kernels = false;
+  EXPECT_EQ(MttkrpPlan(set, 16, opts).kernel_width(), 0u);
+}
+
+// ------------------------------- specialized vs generic MTTKRP outputs
+
+struct StrategyCase {
+  SyncStrategy strategy;
+  int nthreads;
+};
+
+/// Runs the mode-\p mode MTTKRP over \p csf with the given strategy and
+/// kernel width through the pure-execution entry point.
+la::Matrix run_exec(const CsfTensor& csf,
+                    const std::vector<la::Matrix>& factors, int mode,
+                    idx_t rank, const StrategyCase& sc, idx_t kernel_width) {
+  MttkrpOptions opts;
+  opts.nthreads = sc.nthreads;
+  opts.use_fixed_kernels = kernel_width != 0;
+  MttkrpWorkspace ws(opts, rank, csf.order());
+  const int level = csf.level_of_mode(mode);
+  const SliceSchedule slices(SchedulePolicy::kWeighted, csf.nfibers(0),
+                             csf.root_nnz_prefix(), sc.nthreads);
+  std::vector<nnz_t> tiles;
+  if (sc.strategy == SyncStrategy::kTile) {
+    tiles = leaf_tile_bounds(csf, sc.nthreads);
+  }
+  la::Matrix out(csf.dims()[static_cast<std::size_t>(mode)], rank);
+  mttkrp_csf_exec(csf, factors, mode, level, sc.strategy, slices, tiles,
+                  kernel_width, out, ws);
+  return out;
+}
+
+TEST(KernelEquivalence, SpecializedMatchesGenericEverywhere) {
+  SparseTensor coo = generate_synthetic(
+      {.dims = {13, 9, 11}, .nnz = 350, .seed = 300, .zipf_exponent = 0.5});
+
+  for (const idx_t rank : kRanks) {
+    const auto factors = make_factors(coo, rank, 77);
+    MttkrpOptions probe;
+    const idx_t width = selected_kernel_width(rank, probe);
+
+    for (int root = 0; root < 3; ++root) {
+      const auto mode_order = csf_mode_order(coo.dims(), root);
+      SparseTensor sorted = coo;
+      sort_tensor_perm(sorted, mode_order, 2);
+      const CsfTensor csf(sorted, mode_order);
+
+      for (int mode = 0; mode < 3; ++mode) {
+        const int level = csf.level_of_mode(mode);
+        std::vector<StrategyCase> cases = {
+            {SyncStrategy::kNone, 1},
+            {SyncStrategy::kLock, 4},
+            {SyncStrategy::kPrivatize, 4},
+        };
+        if (level == csf.order() - 1) {
+          cases.push_back({SyncStrategy::kTile, 4});
+        }
+        for (const StrategyCase& sc : cases) {
+          const la::Matrix generic =
+              run_exec(csf, factors, mode, rank, sc, 0);
+          const la::Matrix specialized =
+              run_exec(csf, factors, mode, rank, sc, width);
+          EXPECT_LT(specialized.max_abs_diff(generic), kTol)
+              << "rank " << rank << " width " << width << " root " << root
+              << " mode " << mode << " strategy "
+              << sync_strategy_name(sc.strategy) << " threads "
+              << sc.nthreads;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, PlanDispatchMatchesPlanless) {
+  // The planned path (which freezes kernel_width) and the planless path
+  // must agree for specialized and fallback ranks alike.
+  SparseTensor coo = generate_synthetic(
+      {.dims = {17, 12, 10}, .nnz = 400, .seed = 9, .zipf_exponent = 0.4});
+  for (const idx_t rank : {idx_t{8}, idx_t{17}}) {
+    const auto factors = make_factors(coo, rank, 31);
+    SparseTensor sorted = coo;
+    const CsfSet set(sorted, CsfPolicy::kTwoMode, 2);
+    MttkrpOptions opts;
+    opts.nthreads = 2;
+    MttkrpPlan plan(set, rank, opts);
+    MttkrpWorkspace ws(opts, rank, 3);
+    for (int mode = 0; mode < 3; ++mode) {
+      la::Matrix planned(coo.dim(mode), rank);
+      plan.execute(factors, mode, planned);
+      la::Matrix planless(coo.dim(mode), rank);
+      mttkrp(set, factors, mode, planless, ws);
+      EXPECT_LT(planned.max_abs_diff(planless), kTol)
+          << "rank " << rank << " mode " << mode;
+    }
+  }
+}
+
+// ------------------------------------- dense kernels vs reference loops
+
+/// Naive O(I R^2) reference for A^T A.
+la::Matrix ata_reference(const la::Matrix& a) {
+  la::Matrix out(a.cols(), a.cols());
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    for (idx_t j = 0; j < a.cols(); ++j) {
+      for (idx_t k = 0; k < a.cols(); ++k) {
+        out(j, k) += a(i, j) * a(i, k);
+      }
+    }
+  }
+  return out;
+}
+
+/// Naive reference for A^T B.
+la::Matrix at_b_reference(const la::Matrix& a, const la::Matrix& b) {
+  la::Matrix out(a.cols(), b.cols());
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    for (idx_t k = 0; k < a.cols(); ++k) {
+      for (idx_t j = 0; j < b.cols(); ++j) {
+        out(k, j) += a(i, k) * b(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+/// Naive reference for A * B.
+la::Matrix matmul_reference(const la::Matrix& a, const la::Matrix& b) {
+  la::Matrix out(a.rows(), b.cols());
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    for (idx_t k = 0; k < a.cols(); ++k) {
+      for (idx_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += a(i, k) * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(RegisterBlockedDense, AtaMatchesReference) {
+  Rng rng(11);
+  for (const idx_t rank : kRanks) {
+    // Row counts around the 4-row panel boundary exercise the remainder.
+    for (const idx_t rows : {idx_t{1}, idx_t{4}, idx_t{7}, idx_t{64},
+                             idx_t{103}}) {
+      const la::Matrix a = la::Matrix::random(rows, rank, rng);
+      la::Matrix out(rank, rank);
+      for (const int nthreads : {1, 3}) {
+        la::ata(a, out, nthreads);
+        EXPECT_LT(out.max_abs_diff(ata_reference(a)), kTol)
+            << "rank " << rank << " rows " << rows << " threads "
+            << nthreads;
+      }
+    }
+  }
+}
+
+TEST(RegisterBlockedDense, MatmulAtBMatchesReference) {
+  Rng rng(13);
+  for (const idx_t rank : kRanks) {
+    for (const idx_t rows : {idx_t{1}, idx_t{5}, idx_t{8}, idx_t{97}}) {
+      const la::Matrix a = la::Matrix::random(rows, rank, rng);
+      const la::Matrix b = la::Matrix::random(rows, rank + 2, rng);
+      la::Matrix out(rank, rank + 2);
+      la::matmul_at_b(a, b, out);
+      EXPECT_LT(out.max_abs_diff(at_b_reference(a, b)), kTol)
+          << "rank " << rank << " rows " << rows;
+    }
+  }
+}
+
+TEST(RegisterBlockedDense, MatmulMatchesReference) {
+  Rng rng(17);
+  for (const idx_t inner : {idx_t{1}, idx_t{3}, idx_t{4}, idx_t{9},
+                            idx_t{33}}) {
+    const la::Matrix a = la::Matrix::random(12, inner, rng);
+    const la::Matrix b = la::Matrix::random(inner, 7, rng);
+    la::Matrix out(12, 7);
+    la::matmul(a, b, out);
+    EXPECT_LT(out.max_abs_diff(matmul_reference(a, b)), kTol)
+        << "inner " << inner;
+  }
+}
+
+// ----------------------------------------------- primitive-level checks
+
+TEST(Primitives, FixedMatchesGeneric) {
+  // One matrix per operand keeps every row 64-byte aligned.
+  Rng rng(23);
+  const la::Matrix operands = la::Matrix::random(3, 64, rng);
+  la::Matrix fixed_dst(1, 64), generic_dst(1, 64);
+
+  const val_t* a = operands.row_ptr(0);
+  const val_t* b = operands.row_ptr(1);
+
+  auto check = [&](idx_t r) {
+    EXPECT_LT(fixed_dst.max_abs_diff(generic_dst), kTol) << "rank " << r;
+  };
+
+  // axpy
+  fixed_dst.fill(1.0);
+  generic_dst.fill(1.0);
+  la::kern::axpy_r<16>(fixed_dst.row_ptr(0), a, 0.37);
+  la::kern::axpy(generic_dst.row_ptr(0), a, 0.37, 16);
+  check(16);
+
+  // hadamard accumulate
+  la::kern::hadamard_accum_r<32>(fixed_dst.row_ptr(0), a, b);
+  la::kern::hadamard_accum(generic_dst.row_ptr(0), a, b, 32);
+  check(32);
+
+  // scale
+  la::kern::scale_r<8>(fixed_dst.row_ptr(0), b, 2.5);
+  la::kern::scale(generic_dst.row_ptr(0), b, 2.5, 8);
+  check(8);
+
+  // dot
+  EXPECT_NEAR(static_cast<double>(la::kern::dot_r<64>(a, b)),
+              static_cast<double>(la::kern::dot(a, b, 64)), kTol);
+}
+
+}  // namespace
+}  // namespace sptd

@@ -48,9 +48,32 @@ TEST(Matrix, ConstructionFillsInitialValue) {
 TEST(Matrix, RowMajorLayout) {
   Matrix m(2, 3);
   m(1, 2) = 9.0;
-  EXPECT_EQ(m.data()[1 * 3 + 2], 9.0);
+  // Rows are row-major at the padded leading dimension.
+  EXPECT_GE(m.ld(), m.cols());
+  EXPECT_EQ(m.ld() % (sptd::kCacheLineBytes / sizeof(val_t)), 0u);
+  EXPECT_EQ(m.data()[1 * m.ld() + 2], 9.0);
   EXPECT_EQ(m.row_ptr(1)[2], 9.0);
   EXPECT_EQ(m.row(1)[2], 9.0);
+}
+
+TEST(Matrix, RowsAreCacheLineAligned) {
+  const Matrix m(5, 3);
+  for (idx_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row_ptr(i)) %
+                  sptd::kCacheLineBytes,
+              0u);
+  }
+}
+
+TEST(Matrix, PaddingLanesStayZero) {
+  Matrix m(3, 5, 2.0);
+  m.fill(7.0);
+  for (idx_t i = 0; i < 3; ++i) {
+    const val_t* row = m.row_ptr(i);
+    for (idx_t j = 0; j < m.ld(); ++j) {
+      EXPECT_EQ(row[j], j < 5 ? 7.0 : 0.0);
+    }
+  }
 }
 
 TEST(Matrix, IdentityHasUnitDiagonal) {
@@ -165,8 +188,16 @@ TEST(Blas, MatmulKnownProduct) {
   // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
   val_t av[] = {1, 2, 3, 4, 5, 6};
   val_t bv[] = {7, 8, 9, 10, 11, 12};
-  std::copy(av, av + 6, a.data());
-  std::copy(bv, bv + 6, b.data());
+  for (idx_t i = 0; i < a.rows(); ++i) {
+    for (idx_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = av[i * a.cols() + j];
+    }
+  }
+  for (idx_t i = 0; i < b.rows(); ++i) {
+    for (idx_t j = 0; j < b.cols(); ++j) {
+      b(i, j) = bv[i * b.cols() + j];
+    }
+  }
   Matrix c(2, 2);
   matmul(a, b, c);
   EXPECT_DOUBLE_EQ(c(0, 0), 58.0);

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare two bench --json files and fail on regressions.
+
+Every bench harness appends one JSON object per measurement (JSON Lines)
+when run with --json. This tool pairs records between a baseline file and
+a candidate file on their identity fields (everything except the measured
+seconds) and exits nonzero when any shared metric regressed by more than
+the threshold.
+
+Usage:
+    tools/bench_compare.py baseline.json candidate.json [--threshold 0.25]
+        [--metrics seconds,total_seconds,MTTKRP] [--require-pairs]
+
+Records present in only one file are reported but are not failures unless
+--require-pairs is given (machines differ; baselines age). The default
+threshold is generous (25%) because bench boxes are noisy; CI smoke runs
+care about order-of-magnitude regressions, not jitter.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that are measurements (candidate/baseline ratios are checked),
+# not identity. Everything else identifies the measurement.
+DEFAULT_METRICS = [
+    "seconds",
+    "total_seconds",
+    "MTTKRP",
+    "INVERSE",
+    "MAT A^TA",
+    "MAT NORM",
+    "CPD FIT",
+    "SORT",
+]
+
+
+def load_records(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{lineno}: bad JSON line: {e}")
+    return records
+
+
+def identity(record, metrics):
+    return tuple(sorted(
+        (k, v) for k, v in record.items() if k not in metrics))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline bench --json file")
+    ap.add_argument("candidate", help="candidate bench --json file")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional slowdown (default 0.25)")
+    ap.add_argument("--metrics", default=",".join(DEFAULT_METRICS),
+                    help="comma-separated measurement fields")
+    ap.add_argument("--require-pairs", action="store_true",
+                    help="fail if any record lacks a counterpart")
+    args = ap.parse_args()
+
+    metrics = [m for m in args.metrics.split(",") if m]
+    base = {}
+    for rec in load_records(args.baseline):
+        base.setdefault(identity(rec, metrics), []).append(rec)
+
+    regressions = []
+    unmatched = 0
+    compared = 0
+    for rec in load_records(args.candidate):
+        key = identity(rec, metrics)
+        if not base.get(key):
+            unmatched += 1
+            continue
+        ref = base[key].pop(0)
+        label = " ".join(f"{k}={v}" for k, v in key
+                         if k in ("bench", "impl", "threads", "row_access",
+                                  "kernels", "kernel_width"))
+        for m in metrics:
+            if m not in rec or m not in ref:
+                continue
+            compared += 1
+            old, new = float(ref[m]), float(rec[m])
+            if old <= 0.0:
+                continue
+            ratio = new / old
+            if ratio > 1.0 + args.threshold:
+                regressions.append(
+                    f"{label}: {m} {old:.6f}s -> {new:.6f}s "
+                    f"({ratio:.2f}x, threshold {1.0 + args.threshold:.2f}x)")
+
+    leftover = sum(len(v) for v in base.values())
+    print(f"bench_compare: {compared} metric(s) compared, "
+          f"{len(regressions)} regression(s), "
+          f"{unmatched} candidate / {leftover} baseline record(s) unpaired")
+    for r in regressions:
+        print(f"  REGRESSION {r}")
+
+    if regressions:
+        return 1
+    if args.require_pairs and (unmatched or leftover):
+        print("bench_compare: --require-pairs set and records were unpaired")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

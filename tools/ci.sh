@@ -28,11 +28,24 @@ rm -f "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig5_routines" \
   --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
   --schedule weighted --json "$SMOKE_JSON"
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.002 --rank 16 --iters 2 --trials 1 \
+  --threads-list 1,2 --schedule weighted --json "$SMOKE_JSON"
 
-# The smoke run must have produced one JSON record per (impl, threads).
+# The smoke run must have produced one JSON record per (impl, threads, rank).
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 4 ]; then
-  echo "ci: expected >= 4 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 8 ]; then
+  echo "ci: expected >= 8 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
+
+# Perf-regression gate against the checked-in baseline. The smoke tensor
+# is tiny and the box is shared, so the gate is loose (4x): it exists to
+# catch order-of-magnitude regressions (an accidentally deoptimized hot
+# loop), not jitter. Refresh bench/baseline.json with the same two
+# invocations above when the hardware or the expected performance changes.
+echo "== bench compare vs bench/baseline.json =="
+python3 tools/bench_compare.py bench/baseline.json "$SMOKE_JSON" \
+  --threshold 3.0
+
 echo "== ok ($RECORDS bench records) =="

@@ -150,6 +150,10 @@ int cmd_cpd(int argc, const char* const* argv) {
   cli.add("csf", "two", "CSF policy one|two|all");
   cli.add("schedule", "weighted",
           "slice scheduling policy static|weighted|dynamic");
+  cli.add("chunk", "16",
+          "dynamic-schedule chunk target (cursor claims per thread)");
+  cli.add("kernels", "fixed",
+          "inner-loop variant: fixed (rank-specialized SIMD) | generic");
   cli.add("seed", "23", "init seed");
   cli.add("output", "", "write the Kruskal model to this path");
   cli.add_flag("nonneg", "non-negative CP");
@@ -166,6 +170,15 @@ int cmd_cpd(int argc, const char* const* argv) {
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
   opts.csf_policy = parse_csf_policy(cli.get_string("csf"));
   opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
+  opts.chunk_target = static_cast<int>(cli.get_int("chunk"));
+  SPTD_CHECK(opts.chunk_target >= 1,
+             "cpd: --chunk must be >= 1 (claims per thread)");
+  {
+    const std::string k = cli.get_string("kernels");
+    SPTD_CHECK(k == "fixed" || k == "generic",
+               "cpd: --kernels must be fixed|generic");
+    opts.use_fixed_kernels = (k == "fixed");
+  }
   opts.nonnegative = cli.get_bool("nonneg");
   apply_impl_variant(find_impl_variant(cli.get_string("impl")), opts);
 
