@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     opts.grid = grid;
     opts.rank = rank;
     opts.max_iterations = iters;
-    opts.schedule = schedule_flag(cli);
+    apply_kernel_flags(cli, opts);
     const DistResult r = dist_cp_als(x, opts);
     nnz_t max_nnz = 0;
     for (const nnz_t n : r.locale_nnz) {

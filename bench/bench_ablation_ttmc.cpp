@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   // same shape tucker_hooi uses.
   const SliceSchedule slices(schedule_flag(cli), csf.nfibers(0),
                              csf.root_nnz_prefix(), nthreads,
-                             static_cast<nnz_t>(cli.get_int("chunk")));
+                             static_cast<nnz_t>(chunk_flag(cli)));
 
   std::printf("# root mode %d, %d thread(s), %d repetitions\n", root,
               nthreads, iters);

@@ -19,9 +19,9 @@ void add_common_flags(Options& cli, const char* default_preset,
           "thread counts to sweep (paper: 1,2,4,8,16,32)");
   cli.add("seed", "42", "generator seed");
   cli.add("schedule", "weighted",
-          "slice scheduling policy: static|weighted|dynamic");
+          "slice scheduling policy: static|weighted|dynamic|workstealing");
   cli.add("chunk", "16",
-          "dynamic-schedule chunk target (cursor claims per thread)");
+          "dynamic/workstealing chunk target (claims per thread)");
   cli.add("kernels", "fixed",
           "inner-loop variant: fixed (rank-specialized SIMD) | generic");
   cli.add("json", "",
@@ -44,15 +44,11 @@ bool fixed_kernels_flag(const Options& cli) {
 
 }  // namespace
 
-namespace {
-
 int chunk_flag(const Options& cli) {
   const auto chunk = cli.get_int("chunk");
   SPTD_CHECK(chunk >= 1, "--chunk must be >= 1 (claims per thread)");
   return static_cast<int>(chunk);
 }
-
-}  // namespace
 
 void apply_kernel_flags(const Options& cli, MttkrpOptions& opts) {
   opts.schedule = schedule_flag(cli);
@@ -61,6 +57,12 @@ void apply_kernel_flags(const Options& cli, MttkrpOptions& opts) {
 }
 
 void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
+  opts.schedule = schedule_flag(cli);
+  opts.chunk_target = chunk_flag(cli);
+  opts.use_fixed_kernels = fixed_kernels_flag(cli);
+}
+
+void apply_kernel_flags(const Options& cli, DistOptions& opts) {
   opts.schedule = schedule_flag(cli);
   opts.chunk_target = chunk_flag(cli);
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
@@ -157,6 +159,18 @@ void emit_json_record(const Options& cli, const char* bench,
                static_cast<std::int64_t>(selected_kernel_width(
                    static_cast<idx_t>(cli.get_int("rank")), probe)));
   }
+  if (!record.has("steals")) {
+    // Work-steal claims since the previous emitted record — i.e. the
+    // measurement just taken, warm-up included. Benches emit one record
+    // per measurement, so the process-wide counter delta attributes the
+    // steals without threading a meter through every harness. Always 0
+    // under the non-stealing policies. bench_compare.py treats this as a
+    // counter (reported, excluded from record identity).
+    static std::uint64_t last_steals = 0;
+    const std::uint64_t now = work_steal_count();
+    full.field("steals", static_cast<std::int64_t>(now - last_steals));
+    last_steals = now;
+  }
   full.append(record);
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) {
@@ -245,7 +259,8 @@ RoutineTimers run_cpals_trials(const SparseTensor& tensor,
 
 std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
-    const std::vector<std::string>& impl_names, int trials) {
+    const std::vector<std::string>& impl_names, int trials,
+    std::vector<std::uint64_t>* steals) {
   std::vector<CpalsOptions> opts;
   for (const auto& name : impl_names) {
     CpalsOptions o = base_opts;
@@ -260,10 +275,17 @@ std::vector<RoutineTimers> run_impls_fair(
     (void)cp_als(work, warm);
   }
   std::vector<RoutineTimers> totals(impl_names.size());
+  if (steals != nullptr) {
+    steals->assign(impl_names.size(), 0);
+  }
   for (int trial = 0; trial < trials; ++trial) {
     for (std::size_t i = 0; i < opts.size(); ++i) {
       SparseTensor work = tensor;
+      const std::uint64_t steals_before = work_steal_count();
       const CpalsResult r = cp_als(work, opts[i]);
+      if (steals != nullptr) {
+        (*steals)[i] += work_steal_count() - steals_before;
+      }
       totals[i].accumulate(r.timers);
     }
   }

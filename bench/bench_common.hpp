@@ -33,12 +33,21 @@ void add_common_flags(Options& cli, const char* default_preset,
 /// The --schedule flag, parsed.
 SchedulePolicy schedule_flag(const Options& cli);
 
+/// The --chunk flag, validated (>= 1) before any unsigned conversion can
+/// wrap a negative value into a huge chunk target.
+int chunk_flag(const Options& cli);
+
 /// Applies the common kernel/schedule flags (--schedule, --chunk,
 /// --kernels) onto MTTKRP options.
 void apply_kernel_flags(const Options& cli, MttkrpOptions& opts);
 
 /// Applies the same flags onto CP-ALS options.
 void apply_kernel_flags(const Options& cli, CpalsOptions& opts);
+
+/// Applies the same flags onto the distributed-simulation options (each
+/// locale's plan consumes them), so the emitted JSON fields describe what
+/// actually ran.
+void apply_kernel_flags(const Options& cli, DistOptions& opts);
 
 /// One measurement record for the --json sink: insertion-ordered key/value
 /// pairs serialized as a single JSON object per line (JSON Lines). Every
@@ -69,7 +78,10 @@ class JsonRecord {
 /// (0 = generic loops): benches whose record already set one — e.g. the
 /// row-access ablations, where the width depends on the swept policy —
 /// keep theirs, otherwise the width the --rank/--kernels flags select
-/// under pointer access is added.
+/// under pointer access is added. Records likewise carry a `steals`
+/// counter: successful work-steal chunk claims since the previous record
+/// (nonzero only under --schedule workstealing), so a skewed run can
+/// prove stealing engaged.
 void emit_json_record(const Options& cli, const char* bench,
                       JsonRecord record);
 
@@ -100,10 +112,15 @@ RoutineTimers run_cpals_trials(const SparseTensor& tensor,
 /// then interleaves trials round-robin so all variants face the same
 /// allocator/huge-page state (completing all trials of one variant before
 /// the next systematically favours whichever ran in the younger heap).
-/// Returns one averaged timer table per variant, in input order.
+/// Returns one averaged timer table per variant, in input order. When
+/// \p steals is non-null it receives each variant's work-steal claim
+/// count summed over its (timed) trials — the interleaving means the
+/// process-wide counter delta at emit time cannot attribute steals to a
+/// variant, so this measures them around each cp_als call instead.
 std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
-    const std::vector<std::string>& impl_names, int trials);
+    const std::vector<std::string>& impl_names, int trials,
+    std::vector<std::uint64_t>* steals = nullptr);
 
 /// Prints the header used by per-routine tables (Figures 5-8, Table III).
 void print_routine_header(const char* label);

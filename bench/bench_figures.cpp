@@ -95,11 +95,14 @@ int run_routines_figure(const char* fig_label, const char* default_preset,
     base.tolerance = 0.0;
     base.nthreads = t;
     apply_kernel_flags(cli, base);
-    const auto results = run_impls_fair(x, base, impls, trials);
+    std::vector<std::uint64_t> steals;
+    const auto results = run_impls_fair(x, base, impls, trials, &steals);
     for (std::size_t i = 0; i < impls.size(); ++i) {
       print_routine_row(impls[i].c_str(), results[i]);
       JsonRecord rec;
-      rec.field("impl", impls[i]).field("threads", std::int64_t{t});
+      rec.field("impl", impls[i])
+          .field("threads", std::int64_t{t})
+          .field("steals", static_cast<std::int64_t>(steals[i]));
       for (int r = 0; r < kNumRoutines; ++r) {
         rec.field(routine_name(static_cast<Routine>(r)),
                   results[i].seconds(static_cast<Routine>(r)));

@@ -37,8 +37,10 @@ struct CompletionOptions {
   double tolerance = 1e-4;
   std::uint64_t seed = 31;
   int nthreads = 1;
-  /// Slice scheduling for the per-mode row updates; the schedules are
-  /// built once per mode and reused across all iterations.
+  /// Slice scheduling for the per-mode row updates (static | weighted |
+  /// dynamic | workstealing); the schedules are built once per mode and
+  /// reused across all iterations (reset() per pass rewinds the dynamic
+  /// cursor / reseeds the work-stealing deques).
   SchedulePolicy schedule = SchedulePolicy::kWeighted;
 };
 

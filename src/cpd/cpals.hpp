@@ -31,9 +31,11 @@ struct CpalsOptions {
   SortVariant sort_variant = SortVariant::kAllOpts;
   RowAccess row_access = RowAccess::kPointer;
   LockKind lock_kind = LockKind::kOmp;
-  /// Slice scheduling policy for the MTTKRP execution plan.
+  /// Slice scheduling policy for the MTTKRP execution plan
+  /// (static | weighted | dynamic | workstealing).
   SchedulePolicy schedule = SchedulePolicy::kWeighted;
-  /// Dynamic-schedule claims-per-thread target (MttkrpOptions::chunk_target).
+  /// Dynamic/workstealing claims-per-thread target
+  /// (MttkrpOptions::chunk_target).
   int chunk_target = 16;
   double privatization_threshold = 0.02;
   bool force_locks = false;

@@ -142,6 +142,8 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
   MttkrpOptions mopts;
   mopts.nthreads = 1;
   mopts.schedule = options.schedule;
+  mopts.chunk_target = options.chunk_target;
+  mopts.use_fixed_kernels = options.use_fixed_kernels;
   std::vector<std::unique_ptr<CsfSet>> sets(nlocales);
   std::vector<std::unique_ptr<MttkrpPlan>> plans(nlocales);
   for (std::size_t l = 0; l < nlocales; ++l) {

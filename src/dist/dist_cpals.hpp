@@ -38,8 +38,15 @@ struct DistOptions {
   /// Balance block boundaries by slice nonzero counts instead of equal
   /// index ranges (the same weighted-vs-uniform choice as tiling).
   bool weighted_blocks = true;
-  /// Slice scheduling inside each locale's MTTKRP plan.
+  /// Slice scheduling inside each locale's MTTKRP plan
+  /// (static | weighted | dynamic | workstealing).
   SchedulePolicy schedule = SchedulePolicy::kWeighted;
+  /// Dynamic/workstealing claims-per-thread target inside each locale's
+  /// plan (MttkrpOptions::chunk_target).
+  int chunk_target = 16;
+  /// Rank-specialized SIMD inner loops inside each locale's plan
+  /// (MttkrpOptions::use_fixed_kernels).
+  bool use_fixed_kernels = true;
 };
 
 /// Per-mode communication volume of one CP-ALS iteration, in bytes, both

@@ -11,10 +11,15 @@
 ///  * generic runtime-length loops (`axpy`, `hadamard_accum`, ...) over
 ///    `restrict`-qualified pointers — the fallback for any rank;
 ///  * compile-time-width instantiations (`axpy_r<R>`, `hadamard_accum_r<R>`,
-///    `dot_r<R>`, `scale_r<R>`, ...) for R in {4, 8, 16, 32, 64}, which the
-///    compiler fully unrolls and vectorizes;
+///    `dot_r<R>`, `scale_r<R>`, ...) for R in {4, 8, 16, 32, 40, 64}, which
+///    the compiler fully unrolls and vectorizes;
 ///  * `fixed_width_for(rank)` — the dispatch map from a runtime rank to the
 ///    specialized width (0 = no specialization, use the generic loops).
+///    Ranks without an exact instantiation run the instantiation of their
+///    *padded* width when one exists (e.g. rank 35 — the paper's default —
+///    runs R=40): rows are `ld()` values apart with the padding lanes kept
+///    zero by the Matrix contract, so the extra lanes compute zeros and
+///    deposit zeros, lane-for-lane, at full SIMD width.
 ///
 /// Alignment contract: every pointer handed to a `_r<R>` primitive is
 /// 64-byte aligned. `la::Matrix` pads its leading dimension to a cache
@@ -49,19 +54,34 @@ constexpr idx_t padded_cols(idx_t cols) {
   return ((cols + kValsPerLine - 1) / kValsPerLine) * kValsPerLine;
 }
 
-/// The specialized widths instantiated below. A runtime rank maps to the
-/// compile-time kernel of exactly its width, or to 0 (generic fallback).
-constexpr idx_t fixed_width_for(idx_t rank) {
-  switch (rank) {
+/// True for the widths the kernel layer instantiates. 40 exists for the
+/// paper's default rank 35 (padded_cols(35) == 40); the remaining widths
+/// are the power-of-two sweep of the kernel benches.
+constexpr bool is_instantiated_width(idx_t width) {
+  switch (width) {
     case 4:
     case 8:
     case 16:
     case 32:
+    case 40:
     case 64:
-      return rank;
+      return true;
     default:
-      return 0;
+      return false;
   }
+}
+
+/// The compile-time kernel width serving a runtime rank: the rank itself
+/// when instantiated, else the rank's padded width (its row stride) when
+/// *that* is instantiated — every input and output row then spans exactly
+/// one kernel width with zero-filled padding lanes, so running the wider
+/// kernel is exact — else 0 (generic runtime-rank fallback).
+constexpr idx_t fixed_width_for(idx_t rank) {
+  if (is_instantiated_width(rank)) {
+    return rank;
+  }
+  const idx_t padded = padded_cols(rank);
+  return is_instantiated_width(padded) ? padded : 0;
 }
 
 namespace detail {

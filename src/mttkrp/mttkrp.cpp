@@ -1043,11 +1043,17 @@ void mttkrp_csf_exec(const CsfTensor& csf,
                  tile_bounds.size() ==
                      static_cast<std::size_t>(ws.options().nthreads) + 1,
              "mttkrp_csf: tile bounds missing for the tiled strategy");
-  SPTD_CHECK(kernel_width == 0 || kernel_width == rank,
-             "mttkrp_csf: kernel width must be 0 or the rank");
+  SPTD_CHECK(kernel_width == 0 ||
+                 kernel_width == la::kern::fixed_width_for(rank),
+             "mttkrp_csf: kernel width must be 0 or the rank's "
+             "instantiated (possibly padded) width");
 
   ws.last_strategy = strategy;
-  slices.reset();  // rewind the dynamic cursor for this kernel launch
+  // Rewind the runtime schedules for this kernel launch: the dynamic
+  // cursor restarts and every work-stealing deque is reseeded with its
+  // owner's chunks (a cached plan reuses one schedule across the whole
+  // ALS sweep, so each launch must begin from the full seed).
+  slices.reset();
 
   KernelCtx ctx;
   ctx.csf = &csf;
@@ -1086,6 +1092,12 @@ void mttkrp_csf_exec(const CsfTensor& csf,
           break;
         case 32:
           dispatch_strategy<FixedKern<32>>(ctx, out, mode, level, strategy,
+                                           slices, tile_bounds, ws);
+          break;
+        case 40:
+          // The padded width for ranks 33-39 (the paper's default rank 35
+          // lands here): rows span exactly 40 lanes with zero padding.
+          dispatch_strategy<FixedKern<40>>(ctx, out, mode, level, strategy,
                                            slices, tile_bounds, ws);
           break;
         case 64:

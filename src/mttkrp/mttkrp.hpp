@@ -51,7 +51,8 @@ struct MttkrpOptions {
   RowAccess row_access = RowAccess::kPointer;
   LockKind lock_kind = LockKind::kOmp;
   /// How kernel slice loops are distributed over the team (the tasking
-  /// axis the paper studies); weighted is SPLATT's nnz-balanced blocking.
+  /// axis the paper studies); weighted is SPLATT's nnz-balanced blocking,
+  /// workstealing adds per-thread deques on top of the weighted seed.
   SchedulePolicy schedule = SchedulePolicy::kWeighted;
   /// SPLATT's privatization threshold: privatize mode m iff
   /// dims[m] * nthreads <= privatization_threshold * nnz.
@@ -69,10 +70,12 @@ struct MttkrpOptions {
   /// upper-level work. Takes precedence over locks/privatization where
   /// applicable (leaf level, >1 thread).
   bool use_tiling = false;
-  /// Dynamic-schedule chunk heuristic: target number of cursor claims per
-  /// thread. Chunks are sized total / (nthreads * chunk_target); larger
-  /// targets mean finer chunks (better skew smoothing, more cursor
-  /// traffic). Exposed as --chunk on the CLI and benches.
+  /// Dynamic/workstealing chunk heuristic: target number of claims per
+  /// thread. Dynamic sizes chunks total / (nthreads * chunk_target);
+  /// workstealing subdivides each thread's seeded block into up to
+  /// chunk_target chunks (the steal granularity). Larger targets mean
+  /// finer chunks (better skew smoothing, more claim traffic). Exposed as
+  /// --chunk on the CLI and benches.
   int chunk_target = 16;
   /// Dispatch rank-specialized SIMD inner loops (la/kernels.hpp) when the
   /// rank has a compile-time instantiation and the row-access policy is
@@ -82,9 +85,12 @@ struct MttkrpOptions {
 };
 
 /// The compile-time kernel width an MTTKRP plan will select for \p rank
-/// under \p opts: rank itself when a specialized instantiation exists
-/// (rank in {4, 8, 16, 32, 64}, pointer row access, specialization not
-/// disabled), else 0 (generic runtime-rank loops).
+/// under \p opts: la::kern::fixed_width_for(rank) — the rank itself when
+/// an instantiation exists (4, 8, 16, 32, 40, 64), the rank's padded row
+/// stride when *that* width is instantiated (rank 35, the paper's
+/// default, runs the R=40 kernels over its zero-filled padding lanes) —
+/// provided the row access is pointer and specialization is not disabled;
+/// else 0 (generic runtime-rank loops).
 idx_t selected_kernel_width(idx_t rank, const MttkrpOptions& opts);
 
 /// Decides the sync strategy SPLATT would use for an MTTKRP writing

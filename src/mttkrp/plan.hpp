@@ -53,15 +53,28 @@ class MttkrpPlan {
   [[nodiscard]] int order() const { return static_cast<int>(modes_.size()); }
   [[nodiscard]] MttkrpWorkspace& workspace() { return ws_; }
 
-  /// The rank-specialized kernel width frozen at plan time: the rank when
-  /// a compile-time instantiation serves it (pointer access, rank in
-  /// {4, 8, 16, 32, 64}), 0 when execution runs the generic runtime-rank
+  /// The rank-specialized kernel width frozen at plan time:
+  /// selected_kernel_width() — under pointer access, the rank itself when
+  /// an instantiation exists (4, 8, 16, 32, 40, 64) or the rank's padded
+  /// row stride when that width is instantiated (rank 35, the paper's
+  /// default, reports 40); 0 when execution runs the generic runtime-rank
   /// loops. Reported in every bench --json record.
   [[nodiscard]] idx_t kernel_width() const { return kernel_width_; }
 
   /// Introspection for benches/tests: the frozen decisions for one mode.
   [[nodiscard]] const ModePlan& mode_plan(int mode) const {
     return modes_[static_cast<std::size_t>(mode)];
+  }
+
+  /// Successful work-steal claims across every mode's schedule, cumulative
+  /// over all execute() calls (0 unless the plan was built with the
+  /// workstealing policy). Difference around a run for per-run counts.
+  [[nodiscard]] std::uint64_t steals() const {
+    std::uint64_t total = 0;
+    for (const ModePlan& mp : modes_) {
+      total += mp.slices.steals();
+    }
+    return total;
   }
 
  private:

@@ -13,19 +13,30 @@
 /// partitioning work.
 ///
 /// Policies:
-///  * static   — contiguous blocks of equal slice *count* (OpenMP
-///               `schedule(static)`; Chapel's default `forall` split).
-///  * weighted — contiguous blocks of equal *nonzero* weight, SPLATT's
-///               balancing (the seed's only behaviour, still the default).
-///  * dynamic  — fixed-size chunks claimed from a shared cursor at run
-///               time (OpenMP `schedule(dynamic)`); the only policy whose
-///               thread→slice assignment is decided per call.
+///  * static       — contiguous blocks of equal slice *count* (OpenMP
+///                   `schedule(static)`; Chapel's default `forall` split).
+///  * weighted     — contiguous blocks of equal *nonzero* weight, SPLATT's
+///                   balancing (the seed's only behaviour, still the
+///                   default).
+///  * dynamic      — fixed-size chunks claimed from a shared cursor at run
+///                   time (OpenMP `schedule(dynamic)`); every claim hits
+///                   one global atomic.
+///  * workstealing — per-thread chunk deques seeded from the weighted
+///                   partition; owners drain their own deque front-to-back
+///                   and idle threads steal chunks from the far end of a
+///                   victim's deque. The paper's load-imbalance discussion
+///                   (Section V-E) motivates this: the nnz-weighted seed
+///                   is the best *static* prediction, stealing absorbs
+///                   whatever the prediction misses (hypersparse slice
+///                   skew, cache effects, OS noise, oversubscription).
 
 #include <atomic>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/types.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/team.hpp"
@@ -34,49 +45,68 @@ namespace sptd {
 
 /// How a kernel's outer slice loop is distributed over the team.
 enum class SchedulePolicy : int {
-  kStatic = 0,  ///< equal slice counts per thread
-  kWeighted,    ///< equal nonzero weight per thread (SPLATT)
-  kDynamic,     ///< chunks claimed from a shared cursor
+  kStatic = 0,    ///< equal slice counts per thread
+  kWeighted,      ///< equal nonzero weight per thread (SPLATT)
+  kDynamic,       ///< chunks claimed from a shared cursor
+  kWorkStealing,  ///< weighted seed + per-thread deques, idle threads steal
 };
 
-/// Parses "static" / "weighted" / "dynamic"; throws sptd::Error otherwise.
+/// Parses "static" / "weighted" / "dynamic" / "workstealing"; throws
+/// sptd::Error otherwise.
 SchedulePolicy parse_schedule_policy(const std::string& name);
 
 /// Flag/log name of a policy.
 const char* schedule_policy_name(SchedulePolicy policy);
 
+/// Process-wide count of successful work-steal chunk claims (monotonic,
+/// relaxed). Exposed like weighted_partition_calls(): benches record the
+/// delta per measurement (the `steals` JSON field) and tests assert that
+/// stealing actually happens under imbalance.
+std::uint64_t work_steal_count();
+
 /// One precomputed distribution of [0, total) slices over a fixed team.
 ///
 /// Static and weighted schedules are nthreads+1 boundaries fixed at
-/// construction; dynamic schedules carry a chunk size and an atomic cursor
-/// that must be reset() before each parallel region that consumes them.
-/// Construction is the only place partitioning work happens — for_ranges()
-/// on the hot path is a bounds lookup or a fetch_add.
+/// construction; dynamic schedules carry a chunk size and an atomic cursor;
+/// work-stealing schedules carry per-thread chunk deques. The two runtime
+/// policies must be reset() before each parallel region that consumes them
+/// (the dynamic cursor rewinds, the deques reseed). Construction is the
+/// only place partitioning work happens — for_ranges() on the hot path is
+/// a bounds lookup, a fetch_add, or an (almost always uncontended) CAS on
+/// the caller's own deque.
 class SliceSchedule {
  public:
   SliceSchedule() = default;
 
   /// Builds the schedule for \p total slices on \p nthreads workers.
   /// \p weight_prefix (exclusive prefix sum, length total+1) is consulted
-  /// only by the weighted policy; passing an empty span degrades weighted
-  /// to static. \p chunk_target is consulted only by the dynamic policy:
-  /// chunks are sized for ~chunk_target cursor claims per thread
-  /// (MttkrpOptions::chunk_target / the --chunk flag).
+  /// by the weighted and work-stealing policies; passing an empty span
+  /// degrades weighted to static and seeds work-stealing deques with equal
+  /// slice counts. \p chunk_target is consulted by the dynamic and
+  /// work-stealing policies: chunks are sized for ~chunk_target claims per
+  /// thread (MttkrpOptions::chunk_target / the --chunk flag).
   SliceSchedule(SchedulePolicy policy, nnz_t total,
                 std::span<const nnz_t> weight_prefix, int nthreads,
                 nnz_t chunk_target = kDefaultChunkTarget);
 
-  /// Default dynamic-schedule claims-per-thread target.
+  /// Default dynamic/work-stealing claims-per-thread target.
   static constexpr nnz_t kDefaultChunkTarget = 16;
 
-  // The atomic cursor is not copyable; schedules move.
+  // The atomic cursor and deques are not copyable; schedules move.
   SliceSchedule(SliceSchedule&& other) noexcept { *this = std::move(other); }
   SliceSchedule& operator=(SliceSchedule&& other) noexcept {
     policy_ = other.policy_;
     total_ = other.total_;
     chunk_ = other.chunk_;
+    nthreads_ = other.nthreads_;
     bounds_ = std::move(other.bounds_);
+    chunks_ = std::move(other.chunks_);
+    owner_first_ = std::move(other.owner_first_);
+    owner_last_ = std::move(other.owner_last_);
+    deques_ = std::move(other.deques_);
     cursor_.store(other.cursor_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    steals_.store(other.steals_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
     return *this;
   }
@@ -84,24 +114,57 @@ class SliceSchedule {
   [[nodiscard]] SchedulePolicy policy() const { return policy_; }
   [[nodiscard]] nnz_t total() const { return total_; }
   [[nodiscard]] nnz_t chunk() const { return chunk_; }
+  [[nodiscard]] int nthreads() const { return nthreads_; }
 
-  /// Per-thread boundaries (nthreads+1) for static/weighted; empty for
-  /// dynamic.
+  /// Per-thread boundaries (nthreads+1) for static/weighted, and the
+  /// deque *seed* boundaries for workstealing (what each thread owns
+  /// before any steal); empty for dynamic.
   [[nodiscard]] std::span<const nnz_t> bounds() const { return bounds_; }
 
-  /// Rewinds the dynamic cursor. Must be called (from serial code) before
-  /// every parallel region that consumes a dynamic schedule; a no-op for
-  /// the precomputed policies.
+  /// Work-stealing steal granularity: slice boundaries of the chunk list
+  /// (chunk_count()+1 entries); empty for the other policies.
+  [[nodiscard]] std::span<const nnz_t> chunk_bounds() const {
+    return chunks_;
+  }
+  [[nodiscard]] nnz_t chunk_count() const {
+    return chunks_.empty() ? 0 : static_cast<nnz_t>(chunks_.size()) - 1;
+  }
+
+  /// Successful steals through this schedule, cumulative across launches
+  /// (reset() reseeds the deques but keeps the counter, so callers can
+  /// difference it around a run).
+  [[nodiscard]] std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Rewinds the runtime policies: the dynamic cursor restarts at zero and
+  /// every work-stealing deque is reseeded with its owner's chunks. Must
+  /// be called (from serial code) before every parallel region that
+  /// consumes a dynamic or work-stealing schedule; a no-op for the
+  /// precomputed policies.
   void reset() const {
-    cursor_.store(0, std::memory_order_relaxed);
+    if (policy_ == SchedulePolicy::kDynamic) {
+      cursor_.store(0, std::memory_order_relaxed);
+    } else if (policy_ == SchedulePolicy::kWorkStealing) {
+      for (int t = 0; t < nthreads_; ++t) {
+        deques_[static_cast<std::size_t>(t)].cur.store(
+            pack(owner_first_[static_cast<std::size_t>(t)],
+                 owner_last_[static_cast<std::size_t>(t)]),
+            std::memory_order_relaxed);
+      }
+    }
   }
 
   /// Invokes fn(begin, end) for every contiguous slice range assigned to
   /// \p tid. Static/weighted: exactly one range. Dynamic: repeated chunk
-  /// claims until the cursor runs dry.
+  /// claims until the cursor runs dry. Workstealing: the thread drains its
+  /// own deque front-to-back (ascending slices, cache-friendly), then
+  /// cycles over the other deques stealing one chunk at a time from the
+  /// far end until a full pass finds every deque empty.
   template <typename Fn>
   void for_ranges(int tid, Fn&& fn) const {
-    if (policy_ != SchedulePolicy::kDynamic) {
+    if (policy_ == SchedulePolicy::kStatic ||
+        policy_ == SchedulePolicy::kWeighted) {
       const nnz_t begin = bounds_[static_cast<std::size_t>(tid)];
       const nnz_t end = bounds_[static_cast<std::size_t>(tid) + 1];
       if (begin < end) {
@@ -109,21 +172,69 @@ class SliceSchedule {
       }
       return;
     }
-    for (;;) {
-      const nnz_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
-      if (begin >= total_) {
-        return;
+    if (policy_ == SchedulePolicy::kDynamic) {
+      for (;;) {
+        const nnz_t begin =
+            cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+        if (begin >= total_) {
+          return;
+        }
+        fn(begin, begin + chunk_ < total_ ? begin + chunk_ : total_);
       }
-      fn(begin, begin + chunk_ < total_ ? begin + chunk_ : total_);
+    }
+    // Workstealing. Deques only shrink between reset() calls, so once a
+    // steal pass observes every other deque empty the work is fully
+    // claimed and the thread may leave.
+    std::uint32_t c = 0;
+    while (claim_own(tid, &c)) {
+      fn(chunks_[c], chunks_[c + 1]);
+    }
+    for (bool progress = true; progress;) {
+      progress = false;
+      for (int d = 1; d < nthreads_; ++d) {
+        const int victim = (tid + d) % nthreads_;
+        if (claim_steal(victim, &c)) {
+          fn(chunks_[c], chunks_[c + 1]);
+          progress = true;
+        }
+      }
     }
   }
 
  private:
+  /// One thread's deque: the unclaimed chunk-index window [lo, hi), both
+  /// cursors packed into a single word so a claim is one CAS and the
+  /// lo/hi race at the last chunk cannot double-issue it. Padded so
+  /// owners polling their own deque never false-share with a neighbour.
+  struct alignas(kCacheLineBytes) Deque {
+    std::atomic<std::uint64_t> cur{0};
+  };
+
+  static constexpr std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+    return static_cast<std::uint64_t>(hi) << 32 | lo;
+  }
+
+  /// Owner claim: pops the front chunk (ascending order). Returns false
+  /// once the deque is empty. O(1); touches only the caller's own line.
+  bool claim_own(int tid, std::uint32_t* chunk) const;
+
+  /// Thief claim: pops the *back* chunk of \p victim's deque and bumps the
+  /// steal counters. Returns false when the victim has nothing left. O(1).
+  bool claim_steal(int victim, std::uint32_t* chunk) const;
+
   SchedulePolicy policy_ = SchedulePolicy::kStatic;
   nnz_t total_ = 0;
   nnz_t chunk_ = 1;
+  int nthreads_ = 1;
   std::vector<nnz_t> bounds_;
+  // Workstealing state: global chunk boundaries plus each owner's
+  // [first, last) chunk-index window, used by reset() to reseed.
+  std::vector<nnz_t> chunks_;
+  std::vector<std::uint32_t> owner_first_;
+  std::vector<std::uint32_t> owner_last_;
+  std::unique_ptr<Deque[]> deques_;
   mutable std::atomic<nnz_t> cursor_{0};
+  mutable std::atomic<std::uint64_t> steals_{0};
 };
 
 /// The execution side of the plan layer: a fixed team size plus the

@@ -8,7 +8,15 @@
 
 namespace sptd {
 
-int hardware_threads() { return omp_get_max_threads(); }
+int hardware_threads() {
+  // omp_get_max_threads() initializes libgomp, which latches
+  // OMP_WAIT_POLICY forever — so the runtime setup (which sets that env
+  // var) must run first. Before this ordering existed, every CLI path
+  // that sized its team from hardware_threads() silently lost the
+  // passive-wait mitigation below.
+  init_parallel_runtime();
+  return omp_get_max_threads();
+}
 
 void init_parallel_runtime() {
   // Idle OpenMP workers spin-wait by default (libgomp spins ~300k
@@ -16,15 +24,20 @@ void init_parallel_runtime() {
   // workers of a finished phase steal cycles from the next one — exactly
   // the Qthreads/OpenMP interference the paper diagnoses in Section V-E
   // and mitigates with QT_SPINCOUNT=300. Prefer parked idle workers; a
-  // user-set OMP_WAIT_POLICY wins (overwrite=0). Only effective when
-  // called before the OpenMP runtime initializes, which is why every
-  // entry point calls this first.
-  setenv("OMP_WAIT_POLICY", "passive", /*overwrite=*/0);
-  omp_set_dynamic(0);
-  // Nested parallelism is never used by the kernels; benches sweep team
-  // sizes explicitly. Keeping nesting off avoids accidental explosion when
-  // a parallel_region is entered from a parallel caller.
-  omp_set_max_active_levels(1);
+  // user-set OMP_WAIT_POLICY wins (overwrite=0). Only effective when the
+  // setenv happens before the OpenMP runtime initializes, so this runs
+  // once, before the first omp_* call of the process (hardware_threads()
+  // and every other entry point funnel through here first).
+  static const bool once = [] {
+    setenv("OMP_WAIT_POLICY", "passive", /*overwrite=*/0);
+    omp_set_dynamic(0);
+    // Nested parallelism is never used by the kernels; benches sweep team
+    // sizes explicitly. Keeping nesting off avoids accidental explosion
+    // when a parallel_region is entered from a parallel caller.
+    omp_set_max_active_levels(1);
+    return true;
+  }();
+  (void)once;
 }
 
 void parallel_region(int nthreads,

@@ -55,8 +55,10 @@ struct TuckerOptions {
   /// times faster through prefix sharing) instead of flat COO. Both
   /// paths produce identical results; tests exercise both.
   bool use_csf = true;
-  /// Slice scheduling for the CSF TTMc kernels; one schedule per mode is
-  /// built before the HOOI loop and reused across all iterations.
+  /// Slice scheduling for the CSF TTMc kernels (static | weighted |
+  /// dynamic | workstealing); one schedule per mode is built before the
+  /// HOOI loop and reused across all iterations (reset() per launch
+  /// rewinds the dynamic cursor / reseeds the work-stealing deques).
   SchedulePolicy schedule = SchedulePolicy::kWeighted;
 };
 

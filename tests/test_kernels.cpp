@@ -21,9 +21,10 @@ namespace {
 
 constexpr double kTol = 1e-12;
 
-// The rank axis: specialized widths {4, 8, 16, 32, 64} plus neighbors
-// {3, 17} that must take the generic fallback.
-const idx_t kRanks[] = {3, 4, 8, 16, 17, 32, 64};
+// The rank axis: exact widths {4, 8, 16, 32, 40, 64}, padded-promotion
+// ranks {3 -> 8, 35 -> 40 (the paper's default)}, and {17}, whose padded
+// width (24) has no instantiation and must take the generic fallback.
+const idx_t kRanks[] = {3, 4, 8, 16, 17, 32, 35, 40, 64};
 
 std::vector<la::Matrix> make_factors(const SparseTensor& t, idx_t rank,
                                      std::uint64_t seed) {
@@ -43,11 +44,17 @@ TEST(KernelWidth, DispatchTable) {
   EXPECT_EQ(selected_kernel_width(8, opts), 8u);
   EXPECT_EQ(selected_kernel_width(16, opts), 16u);
   EXPECT_EQ(selected_kernel_width(32, opts), 32u);
+  EXPECT_EQ(selected_kernel_width(40, opts), 40u);
   EXPECT_EQ(selected_kernel_width(64, opts), 64u);
-  // Non-specialized ranks fall back to the generic loops.
-  EXPECT_EQ(selected_kernel_width(3, opts), 0u);
+  // Ranks whose padded row stride has an instantiation run it over the
+  // zero-filled padding lanes; rank 35 is the paper's default.
+  EXPECT_EQ(selected_kernel_width(3, opts), 8u);
+  EXPECT_EQ(selected_kernel_width(33, opts), 40u);
+  EXPECT_EQ(selected_kernel_width(35, opts), 40u);
+  // Ranks padding to an uninstantiated width (24, 48) fall back to the
+  // generic loops.
   EXPECT_EQ(selected_kernel_width(17, opts), 0u);
-  EXPECT_EQ(selected_kernel_width(35, opts), 0u);
+  EXPECT_EQ(selected_kernel_width(41, opts), 0u);
   // Disabled or non-pointer access always falls back.
   opts.use_fixed_kernels = false;
   EXPECT_EQ(selected_kernel_width(16, opts), 0u);
@@ -73,8 +80,11 @@ TEST(KernelWidth, PlanFreezesWidth) {
   opts.nthreads = 2;
   EXPECT_EQ(MttkrpPlan(set, 16, opts).kernel_width(), 16u);
   EXPECT_EQ(MttkrpPlan(set, 17, opts).kernel_width(), 0u);
+  // The paper's default rank rides the padded R=40 instantiation.
+  EXPECT_EQ(MttkrpPlan(set, 35, opts).kernel_width(), 40u);
   opts.use_fixed_kernels = false;
   EXPECT_EQ(MttkrpPlan(set, 16, opts).kernel_width(), 0u);
+  EXPECT_EQ(MttkrpPlan(set, 35, opts).kernel_width(), 0u);
 }
 
 // ------------------------------- specialized vs generic MTTKRP outputs

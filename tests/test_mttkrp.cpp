@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "csf/csf.hpp"
 #include "mttkrp/mttkrp.hpp"
+#include "mttkrp/plan.hpp"
 #include "sort/sort.hpp"
 #include "tensor/dense.hpp"
 #include "tensor/synthetic.hpp"
@@ -396,6 +397,142 @@ TEST(CsfTiledLeaf, HigherOrderTensor) {
   mttkrp_csf(csf, fx.factors, leaf_mode, out, ws);
   EXPECT_EQ(ws.last_strategy, SyncStrategy::kTile);
   EXPECT_LT(out.max_abs_diff(fx.oracle(leaf_mode)), kTol);
+}
+
+// ------------------------------------------------------- work stealing
+
+/// Runs a mode-\p mode MTTKRP over \p csf through the pure-execution
+/// entry point with an explicit schedule policy.
+la::Matrix run_scheduled_exec(const CsfTensor& csf,
+                              const std::vector<la::Matrix>& factors,
+                              int mode, idx_t rank, SchedulePolicy policy,
+                              SyncStrategy strategy, int nthreads) {
+  MttkrpOptions opts;
+  opts.nthreads = nthreads;
+  opts.schedule = policy;
+  MttkrpWorkspace ws(opts, rank, csf.order());
+  const int level = csf.level_of_mode(mode);
+  const SliceSchedule slices(policy, csf.nfibers(0), csf.root_nnz_prefix(),
+                             nthreads);
+  std::vector<nnz_t> tiles;
+  if (strategy == SyncStrategy::kTile) {
+    tiles = leaf_tile_bounds(csf, nthreads);
+  }
+  la::Matrix out(csf.dims()[static_cast<std::size_t>(mode)], rank);
+  mttkrp_csf_exec(csf, factors, mode, level, strategy, slices, tiles,
+                  selected_kernel_width(rank, opts), out, ws);
+  return out;
+}
+
+TEST(WorkStealingMttkrp, MatchesEveryOtherScheduleEverywhere) {
+  // The equivalence suite: workstealing vs static/weighted/dynamic across
+  // roots x output modes x sync strategies x thread counts, within 1e-12.
+  // A skewed fixture so the weighted seed and the chunk subdivision are
+  // both non-trivial.
+  const Fixture fx({13, 9, 11}, 350, 6, 300);
+
+  for (int root = 0; root < 3; ++root) {
+    const auto mode_order = csf_mode_order(fx.coo.dims(), root);
+    SparseTensor sorted = fx.coo;
+    sort_tensor_perm(sorted, mode_order, 2);
+    const CsfTensor csf(sorted, mode_order);
+
+    for (int mode = 0; mode < 3; ++mode) {
+      const int level = csf.level_of_mode(mode);
+      for (const int nthreads : {1, 2, 4}) {
+        std::vector<SyncStrategy> strategies;
+        if (nthreads == 1 || level == 0) {
+          strategies.push_back(SyncStrategy::kNone);  // conflict-free
+        }
+        if (nthreads > 1 && level > 0) {
+          strategies.push_back(SyncStrategy::kLock);
+          strategies.push_back(SyncStrategy::kPrivatize);
+          if (level == csf.order() - 1) {
+            strategies.push_back(SyncStrategy::kTile);
+          }
+        }
+        for (const SyncStrategy strategy : strategies) {
+          const la::Matrix ws_out = run_scheduled_exec(
+              csf, fx.factors, mode, fx.rank,
+              SchedulePolicy::kWorkStealing, strategy, nthreads);
+          for (const SchedulePolicy ref :
+               {SchedulePolicy::kStatic, SchedulePolicy::kWeighted,
+                SchedulePolicy::kDynamic}) {
+            const la::Matrix ref_out = run_scheduled_exec(
+                csf, fx.factors, mode, fx.rank, ref, strategy, nthreads);
+            EXPECT_LT(ws_out.max_abs_diff(ref_out), 1e-12)
+                << "root " << root << " mode " << mode << " vs "
+                << schedule_policy_name(ref) << " strategy "
+                << sync_strategy_name(strategy) << " threads " << nthreads;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkStealingMttkrp, SkewedFixtureStealsAndMatchesStatic) {
+  // A hypersparse-style skew (zipf 1.2 concentrates nonzeros in few
+  // slices). The schedule is sized for a 2-worker team but driven by a
+  // 1-worker region — the limiting case of imbalance, where the second
+  // worker never arrives — so the lone thread must steal deterministically
+  // on any box, and the output must still match the static schedule.
+  SparseTensor coo = generate_synthetic(
+      {.dims = {40, 20, 25}, .nnz = 3000, .seed = 41, .zipf_exponent = 1.2});
+  const idx_t rank = 5;
+  Rng rng(77);
+  std::vector<la::Matrix> factors;
+  for (int m = 0; m < coo.order(); ++m) {
+    factors.push_back(la::Matrix::random(coo.dim(m), rank, rng));
+  }
+  const auto mode_order = csf_mode_order(coo.dims(), 0);
+  SparseTensor sorted = coo;
+  sort_tensor_perm(sorted, mode_order, 2);
+  const CsfTensor csf(sorted, mode_order);
+  const int mode = csf.mode_at_level(0);
+
+  MttkrpOptions opts;  // nthreads = 1: only worker 0 shows up
+  const SliceSchedule slices(SchedulePolicy::kWorkStealing, csf.nfibers(0),
+                             csf.root_nnz_prefix(), /*nthreads=*/2);
+  MttkrpWorkspace ws(opts, rank, 3);
+  la::Matrix out(coo.dim(mode), rank);
+  const std::uint64_t steals_before = slices.steals();
+  mttkrp_csf_exec(csf, factors, mode, 0, SyncStrategy::kNone, slices, {},
+                  selected_kernel_width(rank, opts), out, ws);
+  EXPECT_GT(slices.steals(), steals_before) << "no steal under imbalance";
+
+  MttkrpOptions sopts;
+  sopts.schedule = SchedulePolicy::kStatic;
+  MttkrpWorkspace sws(sopts, rank, 3);
+  const SliceSchedule static_slices(SchedulePolicy::kStatic,
+                                    csf.nfibers(0), {}, 1);
+  la::Matrix expected(coo.dim(mode), rank);
+  mttkrp_csf_exec(csf, factors, mode, 0, SyncStrategy::kNone, static_slices,
+                  {}, selected_kernel_width(rank, sopts), expected, sws);
+  EXPECT_LT(out.max_abs_diff(expected), 1e-12);
+}
+
+TEST(WorkStealingMttkrp, CachedPlanSecondIterationVisitsAllSlices) {
+  // Regression for the reset()/deque-reseed contract: a cached plan's
+  // *second* execute must cover every slice again. If reset() failed to
+  // reseed, the second pass would claim nothing and return a zero (or
+  // partial) output.
+  Fixture fx({16, 8, 12}, 400, 5, 500);
+  SparseTensor work = fx.coo;
+  const CsfSet set(work, CsfPolicy::kTwoMode, 4);
+  MttkrpOptions opts;
+  opts.nthreads = 4;
+  opts.schedule = SchedulePolicy::kWorkStealing;
+  MttkrpPlan plan(set, fx.rank, opts);
+  for (int mode = 0; mode < 3; ++mode) {
+    const la::Matrix expected = fx.oracle(mode);
+    la::Matrix out(fx.coo.dim(mode), fx.rank);
+    for (int iteration = 0; iteration < 3; ++iteration) {
+      plan.execute(fx.factors, mode, out);
+      EXPECT_LT(out.max_abs_diff(expected), kTol)
+          << "mode " << mode << " iteration " << iteration;
+    }
+  }
 }
 
 TEST(Mttkrp, PoliciesProduceBitwiseIdenticalResults) {

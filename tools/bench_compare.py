@@ -22,7 +22,8 @@ import json
 import sys
 
 # Fields that are measurements (candidate/baseline ratios are checked),
-# not identity. Everything else identifies the measurement.
+# not identity. Everything else, minus the counters below, identifies the
+# measurement.
 DEFAULT_METRICS = [
     "seconds",
     "total_seconds",
@@ -32,6 +33,13 @@ DEFAULT_METRICS = [
     "MAT NORM",
     "CPD FIT",
     "SORT",
+]
+
+# Run-varying counters: excluded from identity (two runs of the same
+# configuration report different values) but not ratio-checked either —
+# a steal count is diagnostic, not a regression signal.
+DEFAULT_COUNTERS = [
+    "steals",
 ]
 
 
@@ -49,9 +57,14 @@ def load_records(path):
     return records
 
 
-def identity(record, metrics):
+def identity(record, excluded):
+    # Values are stringified so the key is type-stable: mixed value types
+    # for one field across records (an int next to a bool or a string)
+    # must produce distinct-but-sortable keys, not a TypeError from
+    # comparing unlike types inside sorted().
     return tuple(sorted(
-        (k, v) for k, v in record.items() if k not in metrics))
+        (k, f"{type(v).__name__}:{v}")
+        for k, v in record.items() if k not in excluded))
 
 
 def main():
@@ -62,27 +75,32 @@ def main():
                     help="allowed fractional slowdown (default 0.25)")
     ap.add_argument("--metrics", default=",".join(DEFAULT_METRICS),
                     help="comma-separated measurement fields")
+    ap.add_argument("--counters", default=",".join(DEFAULT_COUNTERS),
+                    help="comma-separated run-varying counter fields "
+                         "(excluded from identity, never ratio-checked)")
     ap.add_argument("--require-pairs", action="store_true",
                     help="fail if any record lacks a counterpart")
     args = ap.parse_args()
 
     metrics = [m for m in args.metrics.split(",") if m]
+    counters = [c for c in args.counters.split(",") if c]
+    excluded = set(metrics) | set(counters)
     base = {}
     for rec in load_records(args.baseline):
-        base.setdefault(identity(rec, metrics), []).append(rec)
+        base.setdefault(identity(rec, excluded), []).append(rec)
 
     regressions = []
     unmatched = 0
     compared = 0
     for rec in load_records(args.candidate):
-        key = identity(rec, metrics)
+        key = identity(rec, excluded)
         if not base.get(key):
             unmatched += 1
             continue
         ref = base[key].pop(0)
-        label = " ".join(f"{k}={v}" for k, v in key
+        label = " ".join(f"{k}={v.split(':', 1)[1]}" for k, v in key
                          if k in ("bench", "impl", "threads", "row_access",
-                                  "kernels", "kernel_width"))
+                                  "kernels", "kernel_width", "schedule"))
         for m in metrics:
             if m not in rec or m not in ref:
                 continue

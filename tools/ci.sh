@@ -22,7 +22,25 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
-echo "== bench smoke: bench_fig5_routines =="
+echo "== bench_compare unit: mixed-type identity fields =="
+# One field ("flag") carries a bool in one record and a string in the
+# next, and "steals" varies between runs: the identity key must stay
+# type-stable (no TypeError from sorting unlike types) and the counter
+# must not break pairing. --require-pairs makes any mispairing fatal.
+FIXTURE_DIR="$BUILD_DIR/bench_compare_fixture"
+mkdir -p "$FIXTURE_DIR"
+cat > "$FIXTURE_DIR/base.json" <<'EOF'
+{"bench":"unit","flag":true,"steals":0,"seconds":1.0}
+{"bench":"unit","flag":"true","threads":1,"seconds":2.0}
+EOF
+cat > "$FIXTURE_DIR/cand.json" <<'EOF'
+{"bench":"unit","flag":true,"steals":7,"seconds":1.1}
+{"bench":"unit","flag":"true","threads":1,"seconds":2.1}
+EOF
+python3 tools/bench_compare.py "$FIXTURE_DIR/base.json" \
+  "$FIXTURE_DIR/cand.json" --require-pairs
+
+echo "== bench smoke: bench_fig5_routines + bench_fig4_locks =="
 SMOKE_JSON="$BUILD_DIR/bench_smoke.json"
 rm -f "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig5_routines" \
@@ -31,13 +49,60 @@ rm -f "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig5_routines" \
   --preset yelp --scale 0.002 --rank 16 --iters 2 --trials 1 \
   --threads-list 1,2 --schedule weighted --json "$SMOKE_JSON"
+# The same smokes under the work-stealing policy (weighted seed +
+# per-thread deques), exercising the steals JSON plumbing end to end.
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
+  --schedule workstealing --json "$SMOKE_JSON"
+"$BUILD_DIR/bench_fig4_locks" \
+  --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 2 \
+  --schedule workstealing --json "$SMOKE_JSON"
 
-# The smoke run must have produced one JSON record per (impl, threads, rank).
+# The smoke runs must have produced one JSON record per configuration:
+# 8 weighted fig5 + 4 workstealing fig5 + 4 workstealing fig4 (lock kinds).
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 8 ]; then
-  echo "ci: expected >= 8 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 16 ]; then
+  echo "ci: expected >= 16 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
+
+# Work stealing must engage and flow into the JSON records. Zero steals
+# on one balanced smoke run is legitimate timing luck (threads can drain
+# their weighted-seeded deques in lockstep), so before declaring the
+# plumbing broken, retry with an oversubscribed team, where preemption
+# forces imbalance.
+sum_steals() {
+  python3 - "$1" <<'EOF'
+import json, sys
+total = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if rec.get("schedule") == "workstealing":
+            total += int(rec.get("steals", 0))
+print(total)
+EOF
+}
+WS_STEALS="$(sum_steals "$SMOKE_JSON")"
+if [ "$WS_STEALS" -lt 1 ]; then
+  PROBE_JSON="$BUILD_DIR/ws_steal_probe.json"
+  for attempt in 1 2 3 4 5; do
+    rm -f "$PROBE_JSON"
+    "$BUILD_DIR/bench_fig4_locks" \
+      --preset yelp --scale 0.002 --iters 2 --trials 1 \
+      --threads-list "$(( $(nproc) * 4 ))" \
+      --schedule workstealing --json "$PROBE_JSON" > /dev/null
+    WS_STEALS="$(sum_steals "$PROBE_JSON")"
+    if [ "$WS_STEALS" -ge 1 ]; then
+      break
+    fi
+  done
+fi
+if [ "$WS_STEALS" -lt 1 ]; then
+  echo "ci: workstealing recorded zero steals even oversubscribed" >&2
+  exit 1
+fi
+echo "ci: workstealing smoke recorded $WS_STEALS steals"
 
 # Perf-regression gate against the checked-in baseline. The smoke tensor
 # is tiny and the box is shared, so the gate is loose (4x): it exists to

@@ -149,9 +149,9 @@ int cmd_cpd(int argc, const char* const* argv) {
   cli.add("impl", "c", "c|chapel-initial|chapel-optimize");
   cli.add("csf", "two", "CSF policy one|two|all");
   cli.add("schedule", "weighted",
-          "slice scheduling policy static|weighted|dynamic");
+          "slice scheduling policy static|weighted|dynamic|workstealing");
   cli.add("chunk", "16",
-          "dynamic-schedule chunk target (cursor claims per thread)");
+          "dynamic/workstealing chunk target (claims per thread)");
   cli.add("kernels", "fixed",
           "inner-loop variant: fixed (rank-specialized SIMD) | generic");
   cli.add("seed", "23", "init seed");
@@ -182,6 +182,7 @@ int cmd_cpd(int argc, const char* const* argv) {
   opts.nonnegative = cli.get_bool("nonneg");
   apply_impl_variant(find_impl_variant(cli.get_string("impl")), opts);
 
+  const std::uint64_t steals_before = work_steal_count();
   const CpalsResult r = cp_als(t, opts);
   std::printf("fit %.6f after %d iterations\n", r.fit_history.back(),
               r.iterations);
@@ -189,6 +190,11 @@ int cmd_cpd(int argc, const char* const* argv) {
     const auto routine = static_cast<Routine>(i);
     std::printf("  %-9s %8.4f s\n", routine_name(routine),
                 r.timers.seconds(routine));
+  }
+  if (opts.schedule == SchedulePolicy::kWorkStealing) {
+    std::printf("  steals    %8llu\n",
+                static_cast<unsigned long long>(work_steal_count() -
+                                                steals_before));
   }
   if (const std::string out = cli.get_string("output"); !out.empty()) {
     write_model_file(r.model, out);
@@ -204,7 +210,7 @@ int cmd_tucker(int argc, const char* const* argv) {
   cli.add("tolerance", "1e-5", "stopping tolerance");
   cli.add("threads", "0", "threads (0 = all)");
   cli.add("schedule", "weighted",
-          "slice scheduling policy static|weighted|dynamic");
+          "slice scheduling policy static|weighted|dynamic|workstealing");
   cli.add("seed", "17", "init seed");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "tucker: need a tensor file");
@@ -244,7 +250,7 @@ int cmd_complete(int argc, const char* const* argv) {
   cli.add("reg", "1e-2", "regularization");
   cli.add("threads", "0", "threads (0 = all)");
   cli.add("schedule", "weighted",
-          "slice scheduling policy static|weighted|dynamic");
+          "slice scheduling policy static|weighted|dynamic|workstealing");
   cli.add("seed", "23", "seed");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "complete: need a tensor file");
