@@ -1,72 +1,8 @@
 #pragma once
 /// \file completion.hpp
-/// \brief Sparse tensor completion: CP decomposition with missing values.
-///
-/// SPLATT ships tensor-completion kernels alongside least-squares CP
-/// (Smith et al., "HPC formulations of optimization algorithms for tensor
-/// completion"); the paper notes them as part of the toolbox the port
-/// covers. Here: the ALS formulation. Unlike CP-ALS — which treats
-/// unobserved coordinates as zeros — completion fits ONLY the observed
-/// entries:
-///
-///   min_{A(0..N-1)} Σ_{x ∈ Ω} (X_x - Σ_r Π_m A(m)(x_m, r))² +
-///                   λ Σ_m ||A(m)||²_F
-///
-/// Each mode-m row i has its own R×R normal equation assembled from the
-/// observed entries of slice i and solved by Cholesky; rows are
-/// independent, so updates parallelize over slices with no locks.
+/// \brief Compatibility shim: tensor completion moved to the pluggable
+///        solver subsystem under src/completion/ (ALS / SGD / CCD++
+///        behind the CompletionSolver interface). Include
+///        "completion/completion.hpp" directly in new code.
 
-#include <vector>
-
-#include "common/types.hpp"
-#include "cpd/kruskal.hpp"
-#include "parallel/schedule.hpp"
-#include "tensor/coo.hpp"
-
-namespace sptd {
-
-/// Knobs for ALS tensor completion.
-struct CompletionOptions {
-  idx_t rank = 10;
-  int max_iterations = 50;
-  /// Tikhonov regularization on every row's normal equations. Also keeps
-  /// rows with very few observations well-posed.
-  double regularization = 1e-2;
-  /// Stop when validation RMSE fails to improve by this much between
-  /// iterations (0 disables; training then runs max_iterations).
-  double tolerance = 1e-4;
-  std::uint64_t seed = 31;
-  int nthreads = 1;
-  /// Slice scheduling for the per-mode row updates (static | weighted |
-  /// dynamic | workstealing); the schedules are built once per mode and
-  /// reused across all iterations (reset() per pass rewinds the dynamic
-  /// cursor / reseeds the work-stealing deques).
-  SchedulePolicy schedule = SchedulePolicy::kWeighted;
-};
-
-/// Result of a completion run.
-struct CompletionResult {
-  KruskalModel model;                 ///< lambda all ones; raw factors
-  std::vector<double> train_rmse;     ///< per-iteration RMSE on train set
-  std::vector<double> val_rmse;       ///< per-iteration RMSE on val set
-                                      ///< (empty when no val set given)
-  int iterations = 0;
-};
-
-/// Root-mean-square error of the model on a set of observed entries.
-double rmse(const SparseTensor& observed, const KruskalModel& model,
-            int nthreads);
-
-/// Runs ALS tensor completion on the observed entries of \p train.
-/// \p validation may be empty (pass nullptr) — then no early stopping.
-CompletionResult complete_tensor(const SparseTensor& train,
-                                 const SparseTensor* validation,
-                                 const CompletionOptions& options);
-
-/// Randomly splits a tensor's nonzeros into train/holdout parts
-/// (holdout_fraction in (0,1)). Deterministic in the seed. Both outputs
-/// keep the input's dims, so indices stay comparable.
-std::pair<SparseTensor, SparseTensor> split_train_test(
-    const SparseTensor& t, double holdout_fraction, std::uint64_t seed);
-
-}  // namespace sptd
+#include "completion/completion.hpp"

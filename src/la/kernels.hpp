@@ -31,6 +31,7 @@
 /// must use the generic loops.
 
 #include <memory>
+#include <type_traits>
 
 #include "common/aligned.hpp"
 #include "common/types.hpp"
@@ -115,6 +116,23 @@ inline void hadamard_accum(val_t* SPTD_RESTRICT dst,
                            const val_t* SPTD_RESTRICT b, idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
     dst[i] += a[i] * b[i];
+  }
+}
+
+/// dst[i] *= a[i] — in-place Hadamard product, the building block of the
+/// "product of the other factors' rows" loops in completion solvers.
+inline void hadamard(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT a,
+                     idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    dst[i] *= a[i];
+  }
+}
+
+/// dst[i] = x[i] — row copy through the same restrict/width machinery.
+inline void copy(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                 idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    dst[i] = x[i];
   }
 }
 
@@ -229,6 +247,126 @@ inline void add_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x) {
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
     d[i] += s[i];
+  }
+}
+
+/// dst[i] *= a[i], i < R
+template <idx_t R>
+inline void hadamard_r(val_t* SPTD_RESTRICT dst,
+                       const val_t* SPTD_RESTRICT a) {
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] *= pa[i];
+  }
+}
+
+/// dst[i] = x[i], i < R
+template <idx_t R>
+inline void copy_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x) {
+  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+#pragma omp simd
+  for (idx_t i = 0; i < R; ++i) {
+    d[i] = s[i];
+  }
+}
+
+// ---------------------------------------------------------------------
+// Width-dispatched row-operation bundle.
+// ---------------------------------------------------------------------
+
+/// One set of length-R row primitives behind a compile-time width: W > 0
+/// selects the fixed-width instantiations (alignment contract applies,
+/// logical rank <= W, padding lanes zero), W == 0 the generic runtime
+/// loops. Callers template their hot loop over RowOps<W> and switch once
+/// per pass via dispatch_width() instead of branching per element — the
+/// completion solvers (ALS / SGD / CCD++ inner loops) are built on this.
+template <idx_t W>
+struct RowOps {
+  static constexpr bool kFixed = (W > 0);
+
+  static void axpy(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                   val_t a, idx_t n) {
+    if constexpr (kFixed) {
+      axpy_r<W>(dst, x, a);
+    } else {
+      kern::axpy(dst, x, a, n);
+    }
+  }
+  static void hadamard_accum(val_t* SPTD_RESTRICT dst,
+                             const val_t* SPTD_RESTRICT a,
+                             const val_t* SPTD_RESTRICT b, idx_t n) {
+    if constexpr (kFixed) {
+      hadamard_accum_r<W>(dst, a, b);
+    } else {
+      kern::hadamard_accum(dst, a, b, n);
+    }
+  }
+  static val_t dot(const val_t* SPTD_RESTRICT a,
+                   const val_t* SPTD_RESTRICT b, idx_t n) {
+    if constexpr (kFixed) {
+      return dot_r<W>(a, b);
+    } else {
+      return kern::dot(a, b, n);
+    }
+  }
+  static void hadamard(val_t* SPTD_RESTRICT dst,
+                       const val_t* SPTD_RESTRICT a, idx_t n) {
+    if constexpr (kFixed) {
+      hadamard_r<W>(dst, a);
+    } else {
+      kern::hadamard(dst, a, n);
+    }
+  }
+  static void mul(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT a,
+                  const val_t* SPTD_RESTRICT b, idx_t n) {
+    if constexpr (kFixed) {
+      mul_r<W>(dst, a, b);
+    } else {
+      kern::mul(dst, a, b, n);
+    }
+  }
+  static void scale(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                    val_t a, idx_t n) {
+    if constexpr (kFixed) {
+      scale_r<W>(dst, x, a);
+    } else {
+      kern::scale(dst, x, a, n);
+    }
+  }
+  static void copy(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
+                   idx_t n) {
+    if constexpr (kFixed) {
+      copy_r<W>(dst, x);
+    } else {
+      kern::copy(dst, x, n);
+    }
+  }
+};
+
+/// Invokes fn(std::integral_constant<idx_t, W>{}) with W the instantiated
+/// width serving \p width (one of the is_instantiated_width() set), or
+/// W = 0 for the generic fallback. The single runtime switch every
+/// RowOps-templated pass performs.
+template <typename Fn>
+decltype(auto) dispatch_width(idx_t width, Fn&& fn) {
+  switch (width) {
+    case 4:
+      return fn(std::integral_constant<idx_t, 4>{});
+    case 8:
+      return fn(std::integral_constant<idx_t, 8>{});
+    case 16:
+      return fn(std::integral_constant<idx_t, 16>{});
+    case 32:
+      return fn(std::integral_constant<idx_t, 32>{});
+    case 40:
+      return fn(std::integral_constant<idx_t, 40>{});
+    case 64:
+      return fn(std::integral_constant<idx_t, 64>{});
+    default:
+      return fn(std::integral_constant<idx_t, 0>{});
   }
 }
 

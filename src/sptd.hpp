@@ -20,7 +20,9 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
-#include "cpd/completion.hpp"
+#include "completion/completion.hpp"
+#include "completion/solver.hpp"
+#include "completion/workspace.hpp"
 #include "cpd/cpals.hpp"
 #include "cpd/kruskal.hpp"
 #include "cpd/model_io.hpp"

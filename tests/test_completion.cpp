@@ -1,11 +1,14 @@
-// Tests for src/cpd/completion: ALS tensor completion with missing values.
+// Tests for src/completion: tensor completion with missing values (the
+// ALS default path of the solver subsystem; cross-solver coverage lives
+// in test_completion_solvers.cpp).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
-#include "cpd/completion.hpp"
+#include "completion/completion.hpp"
 #include "cpd/cpals.hpp"
 #include "tensor/synthetic.hpp"
 
@@ -84,6 +87,45 @@ TEST(Split, InvalidFractionThrows) {
   EXPECT_THROW(split_train_test(t, 1.0, 1), Error);
 }
 
+TEST(Split, EveryNonemptySliceKeepsATrainingEntry) {
+  // Adversarial fixture: a pure diagonal — every slice of every mode has
+  // exactly ONE nonzero — plus a dense corner block so the holdout side
+  // stays nonempty. At 90% holdout an unrepaired split would orphan most
+  // diagonal slices, leaving their factor rows determined purely by
+  // regularization.
+  SparseTensor t({24, 24, 24});
+  for (idx_t i = 4; i < 24; ++i) {
+    const idx_t c[] = {i, i, i};
+    t.push_back(c, 1.0 + 0.1 * static_cast<double>(i));
+  }
+  for (idx_t i = 0; i < 4; ++i) {
+    for (idx_t j = 0; j < 4; ++j) {
+      for (idx_t k = 0; k < 4; ++k) {
+        const idx_t c[] = {i, j, k};
+        t.push_back(c, 2.0);
+      }
+    }
+  }
+  const auto [train, test] = split_train_test(t, 0.9, 5);
+  EXPECT_EQ(train.nnz() + test.nnz(), t.nnz());
+  EXPECT_GT(test.nnz(), 0u);
+  for (int m = 0; m < t.order(); ++m) {
+    std::vector<nnz_t> total(t.dim(m), 0);
+    std::vector<nnz_t> in_train(t.dim(m), 0);
+    for (nnz_t x = 0; x < t.nnz(); ++x) {
+      ++total[t.ind(m)[x]];
+    }
+    for (nnz_t x = 0; x < train.nnz(); ++x) {
+      ++in_train[train.ind(m)[x]];
+    }
+    for (idx_t i = 0; i < t.dim(m); ++i) {
+      if (total[i] > 0) {
+        EXPECT_GE(in_train[i], 1u) << "mode " << m << " slice " << i;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------ completion
 
 TEST(Completion, RecoversHeldOutEntriesOfLowRankTensor) {
@@ -133,6 +175,68 @@ TEST(Completion, EarlyStoppingOnValidation) {
   opts.tolerance = 1e-4;
   const CompletionResult r = complete_tensor(train, &test, opts);
   EXPECT_LT(r.iterations, 200);
+}
+
+TEST(Completion, ReturnsBestValidationModelNotLast) {
+  // Overfit-prone setup with early stopping disabled: training runs past
+  // the validation minimum, so the last iteration's factors are strictly
+  // worse on the holdout than the best iteration's. The result must carry
+  // the best-iteration factors (SPLATT's best-model behavior), and
+  // best_iteration must point at the argmin of val_rmse.
+  const SparseTensor full =
+      generate_low_rank({18, 18, 18}, 2, 1800, 0.25, 3105);
+  const auto [train, test] = split_train_test(full, 0.3, 21);
+  CompletionOptions opts;
+  opts.rank = 8;
+  opts.max_iterations = 60;
+  opts.regularization = 1e-4;
+  opts.tolerance = 0.0;  // no early stop: force the run past the minimum
+  opts.nthreads = 2;
+  const CompletionResult r = complete_tensor(train, &test, opts);
+  ASSERT_EQ(r.val_rmse.size(), static_cast<std::size_t>(r.iterations));
+
+  const auto best_it = std::min_element(r.val_rmse.begin(), r.val_rmse.end());
+  const int argmin = static_cast<int>(best_it - r.val_rmse.begin()) + 1;
+  EXPECT_EQ(r.best_iteration, argmin);
+  // The fixture must actually regress (otherwise it proves nothing).
+  ASSERT_LT(r.best_iteration, r.iterations);
+  ASSERT_GT(r.val_rmse.back(), *best_it);
+  // The returned factors score exactly the recorded best, not the last.
+  EXPECT_NEAR(rmse(test, r.model, opts.nthreads), *best_it, 1e-12);
+}
+
+TEST(Completion, EmptyHoldoutFromSliceAwareSplitIsHandled) {
+  // A strictly diagonal tensor: every slice of every mode has exactly one
+  // nonzero, so the slice-aware repair returns EVERY held-out entry to
+  // the train side and the holdout comes back empty at any fraction.
+  // complete_tensor must treat that like "no validation": empty val_rmse,
+  // best_iteration = last, no crash.
+  SparseTensor t({16, 16, 16});
+  for (idx_t i = 0; i < 16; ++i) {
+    const idx_t c[] = {i, i, i};
+    t.push_back(c, 1.0 + 0.25 * static_cast<double>(i));
+  }
+  const auto [train, test] = split_train_test(t, 0.9, 3);
+  EXPECT_EQ(train.nnz(), t.nnz());
+  EXPECT_EQ(test.nnz(), 0u);
+  CompletionOptions opts;
+  opts.rank = 2;
+  opts.max_iterations = 3;
+  const CompletionResult r = complete_tensor(train, &test, opts);
+  EXPECT_TRUE(r.val_rmse.empty());
+  EXPECT_EQ(r.best_iteration, r.iterations);
+  EXPECT_EQ(r.train_rmse.size(), 3u);
+}
+
+TEST(Completion, BestIterationIsLastWithoutValidation) {
+  const SparseTensor full =
+      generate_low_rank({12, 12, 12}, 2, 800, 0.0, 3106);
+  CompletionOptions opts;
+  opts.rank = 2;
+  opts.max_iterations = 5;
+  opts.tolerance = 0.0;
+  const CompletionResult r = complete_tensor(full, nullptr, opts);
+  EXPECT_EQ(r.best_iteration, r.iterations);
 }
 
 TEST(Completion, DeterministicInSeed) {

@@ -23,7 +23,11 @@ import sys
 
 # Fields that are measurements (candidate/baseline ratios are checked),
 # not identity. Everything else, minus the counters below, identifies the
-# measurement.
+# measurement. The completion RMSE fields are quality metrics: they are
+# deterministic at fixed seed/threads, so a blowup past the threshold
+# flags a solver regression the same way a timing blowup flags a perf
+# one. The `alg` field a completion record carries is NOT listed here, so
+# it stays part of record identity and solvers gate independently.
 DEFAULT_METRICS = [
     "seconds",
     "total_seconds",
@@ -33,13 +37,18 @@ DEFAULT_METRICS = [
     "MAT NORM",
     "CPD FIT",
     "SORT",
+    "train_rmse",
+    "val_rmse",
 ]
 
 # Run-varying counters: excluded from identity (two runs of the same
 # configuration report different values) but not ratio-checked either —
-# a steal count is diagnostic, not a regression signal.
+# a steal count is diagnostic, not a regression signal, and completion
+# iteration counts may legitimately shift when a solver changes.
 DEFAULT_COUNTERS = [
     "steals",
+    "iterations",
+    "best_iteration",
 ]
 
 
@@ -99,8 +108,9 @@ def main():
             continue
         ref = base[key].pop(0)
         label = " ".join(f"{k}={v.split(':', 1)[1]}" for k, v in key
-                         if k in ("bench", "impl", "threads", "row_access",
-                                  "kernels", "kernel_width", "schedule"))
+                         if k in ("bench", "impl", "alg", "threads",
+                                  "row_access", "kernels", "kernel_width",
+                                  "schedule"))
         for m in metrics:
             if m not in rec or m not in ref:
                 continue

@@ -58,13 +58,45 @@ rm -f "$SMOKE_JSON"
   --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 2 \
   --schedule workstealing --json "$SMOKE_JSON"
 
+echo "== completion smoke: bench_completion (als, sgd, ccd) =="
+# One record per (solver, thread count); the record identity carries the
+# alg field, and train_rmse/val_rmse ride as quality metrics gated by
+# bench_compare below.
+"$BUILD_DIR/bench_completion" \
+  --preset yelp --scale 0.005 --rank 8 --iters 5 --trials 1 \
+  --threads-list 1,2 --alg-list als,sgd,ccd --json "$SMOKE_JSON"
+
 # The smoke runs must have produced one JSON record per configuration:
-# 8 weighted fig5 + 4 workstealing fig5 + 4 workstealing fig4 (lock kinds).
+# 8 weighted fig5 + 4 workstealing fig5 + 4 workstealing fig4 (lock
+# kinds) + 6 completion (3 solvers x 2 thread counts).
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 16 ]; then
-  echo "ci: expected >= 16 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 22 ]; then
+  echo "ci: expected >= 22 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
+
+# Every solver must converge on the smoke tensor: the data is low-rank
+# with values O(1), so a train RMSE above 0.5 means a solver diverged or
+# went inert (the gate is deliberately loose — bench_compare handles
+# drift, this catches catastrophe).
+python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+seen = set()
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if rec.get("bench") != "completion":
+            continue
+        seen.add(rec["alg"])
+        if float(rec["train_rmse"]) > 0.5:
+            raise SystemExit(
+                f"ci: completion solver {rec['alg']} failed to converge "
+                f"(train_rmse {rec['train_rmse']})")
+missing = {"als", "sgd", "ccd"} - seen
+if missing:
+    raise SystemExit(f"ci: completion smoke missing solvers: {missing}")
+print(f"ci: completion smoke converged for {sorted(seen)}")
+EOF
 
 # Work stealing must engage and flow into the JSON records. Zero steals
 # on one balanced smoke run is legitimate timing luck (threads can drain

@@ -6,7 +6,7 @@
 ///   sptd convert <in> <out>               .tns <-> .bin by extension
 ///   sptd generate <out.tns> [--preset ... --scale ...]
 ///   sptd cpd <tensor> [--rank ... --iters ... --threads ... --impl ...]
-///   sptd complete <tensor> [--rank ... --holdout ...]
+///   sptd complete <tensor> [--alg als|sgd|ccd --rank ... --holdout ...]
 ///   sptd reorder <in> <out> [--policy random|frequency]
 ///
 /// Every subcommand takes --help.
@@ -244,13 +244,21 @@ int cmd_tucker(int argc, const char* const* argv) {
 
 int cmd_complete(int argc, const char* const* argv) {
   Options cli("sptd complete", "tensor completion (missing values)");
+  cli.add("alg", "als", "solver: als|sgd|ccd");
   cli.add("rank", "10", "model rank");
   cli.add("iters", "30", "max iterations");
   cli.add("holdout", "0.2", "fraction held out for validation");
   cli.add("reg", "1e-2", "regularization");
+  cli.add("lr", "0.02", "SGD learning rate");
+  cli.add("decay", "0.01",
+          "SGD learning-rate decay: lr / (1 + decay * epoch)");
   cli.add("threads", "0", "threads (0 = all)");
   cli.add("schedule", "weighted",
           "slice scheduling policy static|weighted|dynamic|workstealing");
+  cli.add("chunk", "16",
+          "dynamic/workstealing chunk target (claims per thread)");
+  cli.add("kernels", "fixed",
+          "inner-loop variant: fixed (rank-specialized SIMD) | generic");
   cli.add("seed", "23", "seed");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "complete: need a tensor file");
@@ -260,15 +268,46 @@ int cmd_complete(int argc, const char* const* argv) {
       static_cast<std::uint64_t>(cli.get_int("seed")));
 
   CompletionOptions opts;
+  opts.algorithm = parse_completion_algorithm(cli.get_string("alg"));
   opts.rank = static_cast<idx_t>(cli.get_int("rank"));
   opts.max_iterations = static_cast<int>(cli.get_int("iters"));
   opts.regularization = cli.get_double("reg");
+  opts.learn_rate = cli.get_double("lr");
+  opts.decay = cli.get_double("decay");
   opts.nthreads = static_cast<int>(cli.get_int("threads"));
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
   opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
+  opts.chunk_target = static_cast<int>(cli.get_int("chunk"));
+  SPTD_CHECK(opts.chunk_target >= 1,
+             "complete: --chunk must be >= 1 (claims per thread)");
+  {
+    const std::string k = cli.get_string("kernels");
+    SPTD_CHECK(k == "fixed" || k == "generic",
+               "complete: --kernels must be fixed|generic");
+    opts.use_fixed_kernels = (k == "fixed");
+  }
+  const std::uint64_t steals_before = work_steal_count();
   const CompletionResult r = complete_tensor(train, &test, opts);
-  std::printf("train RMSE %.4f, holdout RMSE %.4f after %d iterations\n",
-              r.train_rmse.back(), r.val_rmse.back(), r.iterations);
+  if (r.val_rmse.empty()) {
+    // The slice-aware split returns every entry of a fully-held-out slice
+    // to the train side; a tensor of single-entry slices therefore ends
+    // up with an empty holdout at ANY fraction.
+    std::printf("%s: train RMSE %.4f after %d iterations (holdout empty "
+                "after the slice-aware split; no validation)\n",
+                completion_algorithm_name(opts.algorithm),
+                r.train_rmse.back(), r.iterations);
+  } else {
+    std::printf("%s: train RMSE %.4f, holdout RMSE %.4f after %d "
+                "iterations (best model from iteration %d)\n",
+                completion_algorithm_name(opts.algorithm),
+                r.train_rmse.back(), r.val_rmse.back(), r.iterations,
+                r.best_iteration);
+  }
+  if (opts.schedule == SchedulePolicy::kWorkStealing) {
+    std::printf("  steals    %8llu\n",
+                static_cast<unsigned long long>(work_steal_count() -
+                                                steals_before));
+  }
   return 0;
 }
 
@@ -308,7 +347,8 @@ void usage() {
       "  generate  synthesize a Table I preset tensor\n"
       "  cpd       CP-ALS decomposition\n"
       "  tucker    Tucker decomposition (HOOI)\n"
-      "  complete  tensor completion with a validation holdout\n"
+      "  complete  tensor completion (als|sgd|ccd) with a validation "
+      "holdout\n"
       "  reorder   relabel tensor slices (random | frequency)\n"
       "each command accepts --help\n",
       stdout);
