@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   for (const auto policy : {CsfPolicy::kOneMode, CsfPolicy::kTwoMode,
                             CsfPolicy::kAllMode}) {
     SparseTensor work = base;
-    const CsfSet set(work, policy, nthreads);
+    const CsfSet set(work, policy, nthreads, nullptr,
+                     SortVariant::kAllOpts, csf_layout_flag(cli));
     MttkrpOptions mo;
     mo.nthreads = nthreads;
     apply_kernel_flags(cli, mo);
@@ -54,6 +55,8 @@ int main(int argc, char** argv) {
                          .field("csf", csf_policy_name(policy))
                          .field("threads", std::int64_t{nthreads})
                          .field("strategies", strategies)
+                         .field("csf_bytes", static_cast<std::int64_t>(
+                                                 set.memory_bytes()))
                          .field("seconds", secs));
   }
   return 0;

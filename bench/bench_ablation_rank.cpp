@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
                                     cli.get_int("seed")));
   const int iters = static_cast<int>(cli.get_int("iters"));
   const int nthreads = cli.get_int_list("threads-list").front();
-  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads());
+  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads(), nullptr,
+                   SortVariant::kAllOpts, csf_layout_flag(cli));
 
   std::printf("# %d thread(s); seconds for %d MTTKRP sweeps\n", nthreads,
               iters);

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
       shuffle_all_modes(t, 99);
     }
     const auto factors = make_factors(t, rank, 7);
-    const CsfSet set(t, CsfPolicy::kTwoMode, nthreads);
+    const CsfSet set(t, CsfPolicy::kTwoMode, nthreads, nullptr,
+                     SortVariant::kAllOpts, csf_layout_flag(cli));
     MttkrpOptions mo;
     mo.nthreads = nthreads;
     apply_kernel_flags(cli, mo);

@@ -94,17 +94,30 @@ int main(int argc, char** argv) {
     }
     {
       // --schedule static gives the uniform-row-range tile baseline;
-      // weighted (default) balances tiles by nonzero count.
+      // weighted (default) balances tiles by nonzero count. Dynamic /
+      // workstealing requests coerce to weighted — the JSON record
+      // carries the policy that actually shaped the tiles.
       const TiledTensor tiled(x, mode, nthreads, schedule_flag(cli));
       const double s = time_reps(iters, [&] {
         mttkrp_tiled(tiled, factors, out);
       });
-      std::printf("  %-16s %10.4f s\n", "coo+tiled", s);
+      std::printf("  %-16s %10.4f s  (tile policy %s)\n", "coo+tiled", s,
+                  schedule_policy_name(tiled.effective_policy()));
+      emit_json_record(
+          cli, "ablation_tiling",
+          JsonRecord()
+              .field("config", "coo+tiled")
+              .field("zipf", skew)
+              .field("threads", std::int64_t{nthreads})
+              .field("tile_policy",
+                     schedule_policy_name(tiled.effective_policy()))
+              .field("seconds", s));
     }
     {
       SparseTensor work = x;
       // Root the CSF away from the output mode so the kernel conflicts.
-      const CsfSet set(work, CsfPolicy::kOneMode, nthreads);
+      const CsfSet set(work, CsfPolicy::kOneMode, nthreads, nullptr,
+                       SortVariant::kAllOpts, csf_layout_flag(cli));
       for (const bool privatize : {false, true}) {
         MttkrpOptions mo;
         mo.nthreads = nthreads;

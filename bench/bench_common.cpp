@@ -24,12 +24,18 @@ void add_common_flags(Options& cli, const char* default_preset,
           "dynamic/workstealing chunk target (claims per thread)");
   cli.add("kernels", "fixed",
           "inner-loop variant: fixed (rank-specialized SIMD) | generic");
+  cli.add("csf-layout", "compressed",
+          "CSF index widths: compressed (narrowest per level) | wide");
   cli.add("json", "",
           "append one JSON record per measurement to this file");
 }
 
 SchedulePolicy schedule_flag(const Options& cli) {
   return parse_schedule_policy(cli.get_string("schedule"));
+}
+
+CsfLayout csf_layout_flag(const Options& cli) {
+  return parse_csf_layout(cli.get_string("csf-layout"));
 }
 
 namespace {
@@ -54,18 +60,21 @@ void apply_kernel_flags(const Options& cli, MttkrpOptions& opts) {
   opts.schedule = schedule_flag(cli);
   opts.chunk_target = chunk_flag(cli);
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
+  opts.csf_layout = csf_layout_flag(cli);
 }
 
 void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
   opts.schedule = schedule_flag(cli);
   opts.chunk_target = chunk_flag(cli);
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
+  opts.csf_layout = csf_layout_flag(cli);
 }
 
 void apply_kernel_flags(const Options& cli, DistOptions& opts) {
   opts.schedule = schedule_flag(cli);
   opts.chunk_target = chunk_flag(cli);
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
+  opts.csf_layout = csf_layout_flag(cli);
 }
 
 namespace {
@@ -149,7 +158,8 @@ void emit_json_record(const Options& cli, const char* bench,
       .field("rank", cli.get_int("rank"))
       .field("schedule", cli.get_string("schedule"))
       .field("chunk", cli.get_int("chunk"))
-      .field("kernels", cli.get_string("kernels"));
+      .field("kernels", cli.get_string("kernels"))
+      .field("csf_layout", cli.get_string("csf-layout"));
   if (!record.has("kernel_width")) {
     // The width the flags select under pointer row access; row-access
     // sweeps set a per-record width instead.
@@ -260,7 +270,7 @@ RoutineTimers run_cpals_trials(const SparseTensor& tensor,
 std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
     const std::vector<std::string>& impl_names, int trials,
-    std::vector<std::uint64_t>* steals) {
+    std::vector<std::uint64_t>* steals, std::uint64_t* csf_bytes) {
   std::vector<CpalsOptions> opts;
   for (const auto& name : impl_names) {
     CpalsOptions o = base_opts;
@@ -285,6 +295,9 @@ std::vector<RoutineTimers> run_impls_fair(
       const CpalsResult r = cp_als(work, opts[i]);
       if (steals != nullptr) {
         (*steals)[i] += work_steal_count() - steals_before;
+      }
+      if (csf_bytes != nullptr) {
+        *csf_bytes = r.csf_bytes;
       }
       totals[i].accumulate(r.timers);
     }

@@ -33,6 +33,10 @@ void add_common_flags(Options& cli, const char* default_preset,
 /// The --schedule flag, parsed.
 SchedulePolicy schedule_flag(const Options& cli);
 
+/// The --csf-layout flag, parsed (compressed = per-level narrowest index
+/// widths, wide = the u32/u64 ablation baseline).
+CsfLayout csf_layout_flag(const Options& cli);
+
 /// The --chunk flag, validated (>= 1) before any unsigned conversion can
 /// wrap a negative value into a huge chunk target.
 int chunk_flag(const Options& cli);
@@ -117,10 +121,14 @@ RoutineTimers run_cpals_trials(const SparseTensor& tensor,
 /// count summed over its (timed) trials — the interleaving means the
 /// process-wide counter delta at emit time cannot attribute steals to a
 /// variant, so this measures them around each cp_als call instead.
+/// \p csf_bytes, when non-null, receives the CSF footprint of the timed
+/// runs (each run overwrites it; the value is identical across variants
+/// and trials because they share one layout/policy/tensor).
 std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
     const std::vector<std::string>& impl_names, int trials,
-    std::vector<std::uint64_t>* steals = nullptr);
+    std::vector<std::uint64_t>* steals = nullptr,
+    std::uint64_t* csf_bytes = nullptr);
 
 /// Prints the header used by per-routine tables (Figures 5-8, Table III).
 void print_routine_header(const char* label);

@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   const auto rank = static_cast<idx_t>(cli.get_int("rank"));
   const int iters = static_cast<int>(cli.get_int("iters"));
   const auto factors = make_factors(x, rank, 7);
-  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads());
+  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads(), nullptr,
+                   SortVariant::kAllOpts, csf_layout_flag(cli));
   const auto threads = cli.get_int_list("threads-list");
 
   std::printf("# seconds for %d MTTKRP mode sweeps; locks forced on "

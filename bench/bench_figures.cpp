@@ -25,7 +25,8 @@ int run_rowaccess_figure(const char* fig_label, const char* default_preset,
   const auto rank = static_cast<idx_t>(cli.get_int("rank"));
   const int iters = static_cast<int>(cli.get_int("iters"));
   const auto factors = make_factors(x, rank, 7);
-  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads());
+  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads(), nullptr,
+                   SortVariant::kAllOpts, csf_layout_flag(cli));
   const auto threads = cli.get_int_list("threads-list");
 
   std::printf("# seconds for %d MTTKRP mode sweeps (all modes each)\n",
@@ -55,6 +56,9 @@ int run_rowaccess_figure(const char* fig_label, const char* default_preset,
                                   static_cast<std::int64_t>(
                                       selected_kernel_width(rank, mo)))
                            .field("threads", std::int64_t{t})
+                           .field("csf_bytes",
+                                  static_cast<std::int64_t>(
+                                      set.memory_bytes()))
                            .field("seconds", seconds.back()));
     }
     print_series(row_access_name(ra), threads, seconds);
@@ -96,13 +100,16 @@ int run_routines_figure(const char* fig_label, const char* default_preset,
     base.nthreads = t;
     apply_kernel_flags(cli, base);
     std::vector<std::uint64_t> steals;
-    const auto results = run_impls_fair(x, base, impls, trials, &steals);
+    std::uint64_t csf_bytes = 0;
+    const auto results =
+        run_impls_fair(x, base, impls, trials, &steals, &csf_bytes);
     for (std::size_t i = 0; i < impls.size(); ++i) {
       print_routine_row(impls[i].c_str(), results[i]);
       JsonRecord rec;
       rec.field("impl", impls[i])
           .field("threads", std::int64_t{t})
-          .field("steals", static_cast<std::int64_t>(steals[i]));
+          .field("steals", static_cast<std::int64_t>(steals[i]))
+          .field("csf_bytes", static_cast<std::int64_t>(csf_bytes));
       for (int r = 0; r < kNumRoutines; ++r) {
         rec.field(routine_name(static_cast<Routine>(r)),
                   results[i].seconds(static_cast<Routine>(r)));
@@ -134,7 +141,8 @@ int run_scaling_figure(const char* fig_label, const char* default_preset,
   const auto rank = static_cast<idx_t>(cli.get_int("rank"));
   const int iters = static_cast<int>(cli.get_int("iters"));
   const auto factors = make_factors(x, rank, 7);
-  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads());
+  const CsfSet set(x, CsfPolicy::kTwoMode, hardware_threads(), nullptr,
+                   SortVariant::kAllOpts, csf_layout_flag(cli));
   const auto threads = cli.get_int_list("threads-list");
 
   std::printf("# seconds for %d MTTKRP mode sweeps (all modes each)\n",
@@ -156,6 +164,9 @@ int run_scaling_figure(const char* fig_label, const char* default_preset,
                                   static_cast<std::int64_t>(
                                       selected_kernel_width(rank, mo)))
                            .field("threads", std::int64_t{t})
+                           .field("csf_bytes",
+                                  static_cast<std::int64_t>(
+                                      set.memory_bytes()))
                            .field("seconds", seconds.back()));
     }
     print_series(variant.name, threads, seconds);

@@ -148,6 +148,7 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
   mopts.force_locks = options.force_locks;
   mopts.allow_privatization = options.allow_privatization;
   mopts.use_fixed_kernels = options.use_fixed_kernels;
+  mopts.csf_layout = options.csf_layout;
   // All scheduling decisions — representation/level per mode, sync
   // strategy, slice bounds, tile boundaries, reduction buffers — are
   // frozen here; the iteration loop below is pure execution.
@@ -258,7 +259,7 @@ CpalsResult cp_als(SparseTensor& tensor, const CpalsOptions& options) {
   // charged to the result's timer table.
   double sort_seconds = 0.0;
   CsfSet csf_set(tensor, options.csf_policy, options.nthreads,
-                 &sort_seconds, options.sort_variant);
+                 &sort_seconds, options.sort_variant, options.csf_layout);
 
   CpalsResult result = cp_als_csf(csf_set, norm_sq, options);
   result.timers.add_seconds(Routine::kSort, sort_seconds);

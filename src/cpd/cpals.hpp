@@ -28,6 +28,9 @@ struct CpalsOptions {
   int nthreads = 1;
 
   CsfPolicy csf_policy = CsfPolicy::kTwoMode;
+  /// CSF index-stream widths (compressed = narrowest per level; wide =
+  /// the fixed u32/u64 ablation baseline).
+  CsfLayout csf_layout = CsfLayout::kCompressed;
   SortVariant sort_variant = SortVariant::kAllOpts;
   RowAccess row_access = RowAccess::kPointer;
   LockKind lock_kind = LockKind::kOmp;

@@ -9,8 +9,52 @@
 
 namespace sptd {
 
-CsfTensor::CsfTensor(const SparseTensor& coo, std::vector<int> mode_order)
-    : dims_(coo.dims()), mode_order_(std::move(mode_order)) {
+CsfLayout parse_csf_layout(const std::string& name) {
+  if (name == "compressed") return CsfLayout::kCompressed;
+  if (name == "wide") return CsfLayout::kWide;
+  throw Error("unknown CSF layout '" + name +
+              "' (expected compressed|wide)");
+}
+
+const char* csf_layout_name(CsfLayout layout) {
+  switch (layout) {
+    case CsfLayout::kCompressed: return "compressed";
+    case CsfLayout::kWide:       return "wide";
+  }
+  return "?";
+}
+
+int csf_fid_width_for(idx_t dim, CsfLayout layout) {
+  if (layout == CsfLayout::kWide) return sizeof(idx_t);
+  if (dim <= 0xFFu) return 1;
+  if (dim <= 0xFFFFu) return 2;
+  return 4;
+}
+
+int csf_ptr_width_for(nnz_t children, CsfLayout layout) {
+  if (layout == CsfLayout::kWide) return sizeof(nnz_t);
+  if (children <= 0xFFFFull) return 2;
+  if (children <= 0xFFFFFFFFull) return 4;
+  return 8;
+}
+
+namespace {
+
+template <typename Narrow, typename Wide>
+std::vector<Narrow> narrow_copy(const std::vector<Wide>& wide) {
+  std::vector<Narrow> out(wide.size());
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    out[i] = static_cast<Narrow>(wide[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+CsfTensor::CsfTensor(const SparseTensor& coo, std::vector<int> mode_order,
+                     CsfLayout layout)
+    : dims_(coo.dims()), mode_order_(std::move(mode_order)),
+      layout_(layout) {
   const int order = coo.order();
   SPTD_CHECK(static_cast<int>(mode_order_.size()) == order,
              "CsfTensor: mode order length mismatch");
@@ -28,14 +72,19 @@ CsfTensor::CsfTensor(const SparseTensor& coo, std::vector<int> mode_order)
 
   const nnz_t nnz = coo.nnz();
   const auto order_sz = static_cast<std::size_t>(order);
-  fptrs_.resize(order_sz - 1);
-  fids_.resize(order_sz);
   vals_.assign(coo.vals().begin(), coo.vals().end());
+
+  // Build the levels wide first (the construction algorithm is
+  // width-oblivious), then narrow each stream to its selected store. The
+  // transient wide arrays cost one extra pass; construction is dominated
+  // by the sort that precedes it.
+  std::vector<std::vector<nnz_t>> wide_fptrs(order_sz - 1);
+  std::vector<std::vector<idx_t>> wide_fids(order_sz);
 
   // Leaf level: one entry per nonzero.
   const auto leaf_mode = mode_order_[order_sz - 1];
-  fids_[order_sz - 1].assign(coo.ind(leaf_mode).begin(),
-                             coo.ind(leaf_mode).end());
+  wide_fids[order_sz - 1].assign(coo.ind(leaf_mode).begin(),
+                                 coo.ind(leaf_mode).end());
 
   // Upper levels, leaf-exclusive: a new fiber starts at nonzero x when any
   // coordinate at this level or above differs from nonzero x-1.
@@ -62,8 +111,8 @@ CsfTensor::CsfTensor(const SparseTensor& coo, std::vector<int> mode_order)
   // Count fibers per level: a fiber starts at level l whenever
   // first_diff[x] <= l (x = 0 starts a fiber at every level).
   for (int l = 0; l < order - 1; ++l) {
-    auto& fid = fids_[static_cast<std::size_t>(l)];
-    auto& fp = fptrs_[static_cast<std::size_t>(l)];
+    auto& fid = wide_fids[static_cast<std::size_t>(l)];
+    auto& fp = wide_fptrs[static_cast<std::size_t>(l)];
     const auto ind = coo.ind(mode_order_[static_cast<std::size_t>(l)]);
     fid.clear();
     fp.clear();
@@ -90,17 +139,142 @@ CsfTensor::CsfTensor(const SparseTensor& coo, std::vector<int> mode_order)
 
   // Root nnz prefix for thread balancing: compose fptr chains down to the
   // leaf level.
-  const nnz_t nroots = nfibers(0);
+  const nnz_t nroots = wide_fids[0].size();
   root_nnz_prefix_.assign(static_cast<std::size_t>(nroots) + 1, 0);
   for (nnz_t s = 0; s <= nroots; ++s) {
     nnz_t f = s;
     for (int l = 0; l < order - 1; ++l) {
-      f = fptrs_[static_cast<std::size_t>(l)][f];
+      f = wide_fptrs[static_cast<std::size_t>(l)][f];
     }
     root_nnz_prefix_[s] = f;
   }
   SPTD_CHECK(root_nnz_prefix_.back() == nnz,
              "CsfTensor: fiber pointers do not cover all nonzeros");
+
+  // Narrow every stream to the width the layout selects: fids from the
+  // level's mode length, fptr from the level's child-fiber count (its
+  // largest stored value).
+  fids_.reserve(order_sz);
+  fptrs_.reserve(order_sz - 1);
+  for (int l = 0; l < order; ++l) {
+    auto& wide = wide_fids[static_cast<std::size_t>(l)];
+    const idx_t dim = dims_[static_cast<std::size_t>(mode_at_level(l))];
+    switch (csf_fid_width_for(dim, layout)) {
+      case 1:
+        fids_.emplace_back(narrow_copy<std::uint8_t>(wide));
+        break;
+      case 2:
+        fids_.emplace_back(narrow_copy<std::uint16_t>(wide));
+        break;
+      default:
+        fids_.emplace_back(std::move(wide));
+        break;
+    }
+    wide = {};
+  }
+  for (int l = 0; l < order - 1; ++l) {
+    auto& wide = wide_fptrs[static_cast<std::size_t>(l)];
+    const nnz_t children = wide.empty() ? 0 : wide.back();
+    switch (csf_ptr_width_for(children, layout)) {
+      case 2:
+        fptrs_.emplace_back(narrow_copy<std::uint16_t>(wide));
+        break;
+      case 4:
+        fptrs_.emplace_back(narrow_copy<std::uint32_t>(wide));
+        break;
+      default:
+        fptrs_.emplace_back(std::move(wide));
+        break;
+    }
+    wide = {};
+  }
+}
+
+nnz_t CsfTensor::nfibers(int level) const {
+  return std::visit([](const auto& v) { return static_cast<nnz_t>(v.size()); },
+                    fids_[static_cast<std::size_t>(level)]);
+}
+
+int CsfTensor::fid_width(int level) const {
+  return std::visit(
+      [](const auto& v) {
+        return static_cast<int>(sizeof(typename std::decay_t<
+                                       decltype(v)>::value_type));
+      },
+      fids_[static_cast<std::size_t>(level)]);
+}
+
+int CsfTensor::ptr_width(int level) const {
+  return std::visit(
+      [](const auto& v) {
+        return static_cast<int>(sizeof(typename std::decay_t<
+                                       decltype(v)>::value_type));
+      },
+      fptrs_[static_cast<std::size_t>(level)]);
+}
+
+idx_t CsfTensor::fid(int level, nnz_t f) const {
+  return std::visit(
+      [f](const auto& v) { return static_cast<idx_t>(v[f]); },
+      fids_[static_cast<std::size_t>(level)]);
+}
+
+nnz_t CsfTensor::ptr(int level, nnz_t f) const {
+  return std::visit(
+      [f](const auto& v) { return static_cast<nnz_t>(v[f]); },
+      fptrs_[static_cast<std::size_t>(level)]);
+}
+
+FidStreamRef CsfTensor::fid_stream(int level) const {
+  return std::visit(
+      [](const auto& v) {
+        return FidStreamRef{
+            v.data(),
+            static_cast<std::uint8_t>(sizeof(typename std::decay_t<
+                                             decltype(v)>::value_type))};
+      },
+      fids_[static_cast<std::size_t>(level)]);
+}
+
+CsfStreamRefs CsfTensor::stream_refs() const {
+  CsfStreamRefs refs;
+  const int n = order();
+  for (int l = 0; l < n; ++l) {
+    refs.fids[static_cast<std::size_t>(l)] = fid_stream(l);
+  }
+  for (int l = 0; l < n - 1; ++l) {
+    refs.fptr[static_cast<std::size_t>(l)] = ptr_stream(l);
+  }
+  return refs;
+}
+
+PtrStreamRef CsfTensor::ptr_stream(int level) const {
+  return std::visit(
+      [](const auto& v) {
+        return PtrStreamRef{
+            v.data(),
+            static_cast<std::uint8_t>(sizeof(typename std::decay_t<
+                                             decltype(v)>::value_type))};
+      },
+      fptrs_[static_cast<std::size_t>(level)]);
+}
+
+std::span<const idx_t> CsfTensor::fids(int level) const {
+  const auto* v = std::get_if<std::vector<idx_t>>(
+      &fids_[static_cast<std::size_t>(level)]);
+  SPTD_CHECK(v != nullptr,
+             "CsfTensor::fids: level not stored at idx_t width (use "
+             "fid()/fid_stream() or the wide layout)");
+  return *v;
+}
+
+std::span<const nnz_t> CsfTensor::fptr(int level) const {
+  const auto* v = std::get_if<std::vector<nnz_t>>(
+      &fptrs_[static_cast<std::size_t>(level)]);
+  SPTD_CHECK(v != nullptr,
+             "CsfTensor::fptr: level not stored at nnz_t width (use "
+             "ptr()/ptr_stream() or the wide layout)");
+  return *v;
 }
 
 int CsfTensor::level_of_mode(int mode) const {
@@ -123,6 +297,11 @@ SparseTensor CsfTensor::to_coo() const {
   std::vector<nnz_t> walk(static_cast<std::size_t>(n), 0);
   std::array<idx_t, kMaxOrder> by_level{};
 
+  // Width-erased stream handles resolved once for the whole walk.
+  const CsfStreamRefs refs = stream_refs();
+  const auto& fid_at = refs.fids;
+  const auto& ptr_at = refs.fptr;
+
   // Recursive expansion via explicit iteration over leaf positions:
   // for each leaf x, find its ancestor fiber at each level by advancing
   // walk pointers (leaves arrive in order, so ancestors only move forward).
@@ -133,16 +312,16 @@ SparseTensor CsfTensor::to_coo() const {
     nnz_t child = x;
     for (int l = n - 2; l >= 0; --l) {
       auto& f = walk[static_cast<std::size_t>(l)];
-      const auto& fp = fptrs_[static_cast<std::size_t>(l)];
+      const auto& fp = ptr_at[static_cast<std::size_t>(l)];
       while (fp[f + 1] <= child) {
         ++f;
       }
       by_level[static_cast<std::size_t>(l)] =
-          fids_[static_cast<std::size_t>(l)][f];
+          fid_at[static_cast<std::size_t>(l)][f];
       child = f;
     }
     by_level[static_cast<std::size_t>(n - 1)] =
-        fids_[static_cast<std::size_t>(n - 1)][x];
+        fid_at[static_cast<std::size_t>(n - 1)][x];
     for (int l = 0; l < n; ++l) {
       coords[static_cast<std::size_t>(mode_order_[
           static_cast<std::size_t>(l)])] =
@@ -153,14 +332,32 @@ SparseTensor CsfTensor::to_coo() const {
   return out;
 }
 
-std::uint64_t CsfTensor::memory_bytes() const {
-  std::uint64_t bytes = vals_.size() * sizeof(val_t);
+std::uint64_t CsfTensor::index_bytes() const {
+  std::uint64_t bytes = 0;
   for (const auto& f : fids_) {
-    bytes += f.size() * sizeof(idx_t);
+    bytes += std::visit(
+        [](const auto& v) {
+          return static_cast<std::uint64_t>(
+              v.size() *
+              sizeof(typename std::decay_t<decltype(v)>::value_type));
+        },
+        f);
   }
   for (const auto& f : fptrs_) {
-    bytes += f.size() * sizeof(nnz_t);
+    bytes += std::visit(
+        [](const auto& v) {
+          return static_cast<std::uint64_t>(
+              v.size() *
+              sizeof(typename std::decay_t<decltype(v)>::value_type));
+        },
+        f);
   }
+  return bytes;
+}
+
+std::uint64_t CsfTensor::memory_bytes() const {
+  std::uint64_t bytes = vals_.size() * sizeof(val_t);
+  bytes += index_bytes();
   bytes += root_nnz_prefix_.size() * sizeof(nnz_t);
   return bytes;
 }
@@ -200,8 +397,9 @@ std::vector<int> csf_mode_order(const dims_t& dims, int root) {
 }
 
 CsfSet::CsfSet(SparseTensor& coo, CsfPolicy policy, int nthreads,
-               double* sort_seconds, SortVariant sort_variant)
-    : policy_(policy) {
+               double* sort_seconds, SortVariant sort_variant,
+               CsfLayout layout)
+    : policy_(policy), layout_(layout) {
   std::vector<std::vector<int>> orders;
   const dims_t& dims = coo.dims();
   switch (policy) {
@@ -235,7 +433,7 @@ CsfSet::CsfSet(SparseTensor& coo, CsfPolicy policy, int nthreads,
     if (sort_seconds != nullptr) {
       *sort_seconds += sort_timer.seconds();
     }
-    csfs_.emplace_back(coo, ord);
+    csfs_.emplace_back(coo, ord, layout);
   }
 }
 

@@ -9,17 +9,110 @@
 /// extent of its children at level l+1 (fptr). Leaves align 1:1 with
 /// nonzero values.
 ///
+/// Index streams are width-adaptive: MTTKRP is memory-bandwidth-bound, so
+/// under the default CsfLayout::kCompressed every level stores its fids in
+/// the narrowest of u8/u16/u32 that covers the level's mode length, and
+/// its fptr in the narrowest of u16/u32/u64 that covers the child-fiber
+/// count (SPLATT ships the same idea as a compile-time IDX_TYPEWIDTH; here
+/// it is picked per level at build time). CsfLayout::kWide keeps the
+/// fixed u32/u64 streams as the ablation baseline. Hot kernels read the
+/// streams through CsfLevelView / the *StreamRef accessors below;
+/// mttkrp.cpp instantiates its inner loops per width pair so the hot loop
+/// streams exactly the stored bytes.
+///
 /// SPLATT allocates one, two, or N representations per tensor (trading
 /// memory for always-root MTTKRP kernels); `CsfSet` reproduces those
 /// policies and the per-mode kernel dispatch.
 
+#include <array>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "common/error.hpp"
 #include "sort/sort.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
+
+/// How CSF index streams are stored.
+enum class CsfLayout : int {
+  kCompressed = 0,  ///< narrowest per-level widths (default)
+  kWide,            ///< fixed u32 fids / u64 fptr (ablation baseline)
+};
+
+/// Parses "compressed" / "wide".
+CsfLayout parse_csf_layout(const std::string& name);
+
+/// Name of a layout.
+const char* csf_layout_name(CsfLayout layout);
+
+/// Typed view of one CSF level: the fiber-id stream as FidT and the
+/// child-extent stream as PtrT. Obtainable only when the stored widths
+/// match (CsfTensor::level_view checks); the MTTKRP dispatch selects the
+/// instantiation from fid_width()/ptr_width() once per kernel launch.
+template <typename FidT, typename PtrT>
+struct CsfLevelView {
+  const FidT* fids = nullptr;
+  const PtrT* fptr = nullptr;  ///< null at the leaf level
+  nnz_t nfibers = 0;
+};
+
+/// Width-erased accessor for one fid stream: a raw base pointer plus the
+/// stored width. operator[] is a predictable 3-way switch — fine for
+/// per-fiber / per-slice reads; per-nonzero loops should run a typed
+/// instantiation instead.
+struct FidStreamRef {
+  const void* base = nullptr;
+  std::uint8_t width = sizeof(idx_t);  ///< bytes: 1, 2 or 4
+
+  idx_t operator[](nnz_t i) const {
+    switch (width) {
+      case 1:
+        return static_cast<const std::uint8_t*>(base)[i];
+      case 2:
+        return static_cast<const std::uint16_t*>(base)[i];
+      default:
+        return static_cast<const std::uint32_t*>(base)[i];
+    }
+  }
+};
+
+/// Width-erased accessor for one fptr stream (bytes: 2, 4 or 8).
+struct PtrStreamRef {
+  const void* base = nullptr;
+  std::uint8_t width = sizeof(nnz_t);
+
+  nnz_t operator[](nnz_t i) const {
+    switch (width) {
+      case 2:
+        return static_cast<const std::uint16_t*>(base)[i];
+      case 4:
+        return static_cast<const std::uint32_t*>(base)[i];
+      default:
+        return static_cast<const std::uint64_t*>(base)[i];
+    }
+  }
+};
+
+/// Every level's width-erased stream refs, resolved in one pass — what
+/// the width-generic walks (MTTKRP's erased levels, to_coo, Tucker's
+/// TTMc) index instead of re-visiting the variant stores per access.
+struct CsfStreamRefs {
+  std::array<FidStreamRef, kMaxOrder> fids{};  ///< levels 0..order-1
+  std::array<PtrStreamRef, kMaxOrder> fptr{};  ///< levels 0..order-2
+};
+
+/// The fid width (bytes) the compressed layout selects for a mode of
+/// length \p dim: u8 for dims up to 255, u16 up to 65535, else u32.
+int csf_fid_width_for(idx_t dim, CsfLayout layout);
+
+/// The fptr width (bytes) the compressed layout selects for a level whose
+/// child-fiber count is \p children (the largest stored value): u16 up to
+/// 65535, u32 up to 2^32-1, else u64.
+int csf_ptr_width_for(nnz_t children, CsfLayout layout);
 
 /// One CSF representation of a tensor.
 class CsfTensor {
@@ -27,7 +120,8 @@ class CsfTensor {
   /// Builds a CSF from \p coo, which MUST already be sorted
   /// lexicographically by \p mode_order (see sort_tensor_perm).
   /// \p mode_order[0] is the root mode; \p mode_order.back() the leaf.
-  CsfTensor(const SparseTensor& coo, std::vector<int> mode_order);
+  CsfTensor(const SparseTensor& coo, std::vector<int> mode_order,
+            CsfLayout layout = CsfLayout::kCompressed);
 
   /// Number of modes.
   [[nodiscard]] int order() const {
@@ -36,6 +130,9 @@ class CsfTensor {
 
   /// Mode lengths of the original tensor (original mode numbering).
   [[nodiscard]] const dims_t& dims() const { return dims_; }
+
+  /// The storage layout the streams were built with.
+  [[nodiscard]] CsfLayout layout() const { return layout_; }
 
   /// The mode stored at tree level \p level.
   [[nodiscard]] int mode_at_level(int level) const {
@@ -54,23 +151,46 @@ class CsfTensor {
   [[nodiscard]] nnz_t nnz() const { return vals_.size(); }
 
   /// Number of fibers at \p level (level order()-1 has nnz() "fibers").
-  [[nodiscard]] nnz_t nfibers(int level) const {
-    return fids_[static_cast<std::size_t>(level)].size();
-  }
+  [[nodiscard]] nnz_t nfibers(int level) const;
 
-  /// Children extent array for \p level (length nfibers(level)+1); the
-  /// children of fiber f at level l are [fptr(l)[f], fptr(l)[f+1]) at
-  /// level l+1. Defined for levels 0 .. order()-2.
-  [[nodiscard]] std::span<const nnz_t> fptr(int level) const {
-    return fptrs_[static_cast<std::size_t>(level)];
-  }
+  /// Stored width in bytes of the fid stream at \p level (1, 2 or 4).
+  [[nodiscard]] int fid_width(int level) const;
 
-  /// Fiber coordinates at \p level, in mode mode_at_level(level).
-  [[nodiscard]] std::span<const idx_t> fids(int level) const {
-    return fids_[static_cast<std::size_t>(level)];
-  }
+  /// Stored width in bytes of the fptr stream at \p level (2, 4 or 8).
+  /// Defined for levels 0 .. order()-2.
+  [[nodiscard]] int ptr_width(int level) const;
 
-  /// Leaf values, aligned with fids(order()-1).
+  /// Fiber coordinate of fiber \p f at \p level (width-erased read).
+  [[nodiscard]] idx_t fid(int level, nnz_t f) const;
+
+  /// Child-extent entry \p f of \p level (width-erased read): the children
+  /// of fiber f at level l are [ptr(l, f), ptr(l, f+1)) at level l+1.
+  /// The stream has nfibers(level)+1 entries; levels 0 .. order()-2.
+  [[nodiscard]] nnz_t ptr(int level, nnz_t f) const;
+
+  /// Width-erased stream accessors for kernel walking (resolved once,
+  /// then indexed without std::visit).
+  [[nodiscard]] FidStreamRef fid_stream(int level) const;
+  [[nodiscard]] PtrStreamRef ptr_stream(int level) const;
+
+  /// All levels' stream refs in one call.
+  [[nodiscard]] CsfStreamRefs stream_refs() const;
+
+  /// Typed view of one level. SPTD_CHECKs that the stored widths are
+  /// exactly sizeof(FidT)/sizeof(PtrT); at the leaf the fptr pointer is
+  /// null and PtrT is not checked.
+  template <typename FidT, typename PtrT>
+  [[nodiscard]] CsfLevelView<FidT, PtrT> level_view(int level) const;
+
+  /// Wide-layout convenience span (the seed's accessor): valid only when
+  /// the level's fids are stored at sizeof(idx_t) — always true under
+  /// CsfLayout::kWide. Throws otherwise.
+  [[nodiscard]] std::span<const idx_t> fids(int level) const;
+
+  /// Wide-layout convenience span over fptr; requires u64 storage.
+  [[nodiscard]] std::span<const nnz_t> fptr(int level) const;
+
+  /// Leaf values, aligned with the leaf fid stream.
   [[nodiscard]] std::span<const val_t> vals() const { return vals_; }
 
   /// Exclusive prefix of nonzeros under each root slice (length
@@ -82,14 +202,26 @@ class CsfTensor {
   /// Expands back to COO (original mode numbering, sorted order).
   [[nodiscard]] SparseTensor to_coo() const;
 
-  /// Approximate heap footprint in bytes.
+  /// Approximate heap footprint in bytes (reflects the stored widths).
   [[nodiscard]] std::uint64_t memory_bytes() const;
 
+  /// Index-stream bytes only (fids + fptr across levels): the part the
+  /// compressed layout shrinks; vals and the root prefix are excluded.
+  [[nodiscard]] std::uint64_t index_bytes() const;
+
  private:
+  using FidStore = std::variant<std::vector<std::uint8_t>,
+                                std::vector<std::uint16_t>,
+                                std::vector<std::uint32_t>>;
+  using PtrStore = std::variant<std::vector<std::uint16_t>,
+                                std::vector<std::uint32_t>,
+                                std::vector<std::uint64_t>>;
+
   dims_t dims_;
   std::vector<int> mode_order_;
-  std::vector<std::vector<nnz_t>> fptrs_;  ///< levels 0..order-2
-  std::vector<std::vector<idx_t>> fids_;   ///< levels 0..order-1
+  CsfLayout layout_;
+  std::vector<PtrStore> fptrs_;  ///< levels 0..order-2
+  std::vector<FidStore> fids_;   ///< levels 0..order-1
   std::vector<val_t> vals_;
   std::vector<nnz_t> root_nnz_prefix_;
 };
@@ -120,12 +252,15 @@ class CsfSet {
   /// nonzero order on return is that of the last representation built).
   /// \p sort_seconds, if non-null, accumulates time spent sorting (the
   /// paper's "Sort" routine). \p sort_variant selects the paper's sorting
-  /// implementation variant (Figure 1).
+  /// implementation variant (Figure 1). \p layout selects the index
+  /// stream widths of every representation.
   CsfSet(SparseTensor& coo, CsfPolicy policy, int nthreads,
          double* sort_seconds = nullptr,
-         SortVariant sort_variant = SortVariant::kAllOpts);
+         SortVariant sort_variant = SortVariant::kAllOpts,
+         CsfLayout layout = CsfLayout::kCompressed);
 
   [[nodiscard]] CsfPolicy policy() const { return policy_; }
+  [[nodiscard]] CsfLayout layout() const { return layout_; }
   [[nodiscard]] int order() const { return csfs_.front().order(); }
   [[nodiscard]] const std::vector<CsfTensor>& csfs() const { return csfs_; }
 
@@ -139,7 +274,26 @@ class CsfSet {
 
  private:
   CsfPolicy policy_;
+  CsfLayout layout_;
   std::vector<CsfTensor> csfs_;
 };
+
+template <typename FidT, typename PtrT>
+CsfLevelView<FidT, PtrT> CsfTensor::level_view(int level) const {
+  const auto l = static_cast<std::size_t>(level);
+  CsfLevelView<FidT, PtrT> view;
+  const auto* fids = std::get_if<std::vector<FidT>>(&fids_[l]);
+  SPTD_CHECK(fids != nullptr,
+             "CsfTensor::level_view: fid width mismatch at this level");
+  view.fids = fids->data();
+  view.nfibers = fids->size();
+  if (level < order() - 1) {
+    const auto* fptr = std::get_if<std::vector<PtrT>>(&fptrs_[l]);
+    SPTD_CHECK(fptr != nullptr,
+               "CsfTensor::level_view: fptr width mismatch at this level");
+    view.fptr = fptr->data();
+  }
+  return view;
+}
 
 }  // namespace sptd

@@ -144,13 +144,16 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
   mopts.schedule = options.schedule;
   mopts.chunk_target = options.chunk_target;
   mopts.use_fixed_kernels = options.use_fixed_kernels;
+  mopts.csf_layout = options.csf_layout;
   std::vector<std::unique_ptr<CsfSet>> sets(nlocales);
   std::vector<std::unique_ptr<MttkrpPlan>> plans(nlocales);
   for (std::size_t l = 0; l < nlocales; ++l) {
     if (blocks[l].nnz() == 0) {
       continue;  // empty locale: contributes nothing, moves nothing real
     }
-    sets[l] = std::make_unique<CsfSet>(blocks[l], CsfPolicy::kTwoMode, 1);
+    sets[l] = std::make_unique<CsfSet>(blocks[l], CsfPolicy::kTwoMode, 1,
+                                       nullptr, SortVariant::kAllOpts,
+                                       options.csf_layout);
     plans[l] = std::make_unique<MttkrpPlan>(*sets[l], rank, mopts);
   }
 

@@ -23,6 +23,7 @@
 
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
+#include "csf/csf.hpp"
 #include "parallel/schedule.hpp"
 #include "tensor/coo.hpp"
 
@@ -47,6 +48,9 @@ struct DistOptions {
   /// Rank-specialized SIMD inner loops inside each locale's plan
   /// (MttkrpOptions::use_fixed_kernels).
   bool use_fixed_kernels = true;
+  /// CSF index-stream widths of each locale's representations
+  /// (compressed = narrowest per level; wide = u32/u64 baseline).
+  CsfLayout csf_layout = CsfLayout::kCompressed;
 };
 
 /// Per-mode communication volume of one CP-ALS iteration, in bytes, both

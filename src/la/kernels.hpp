@@ -374,10 +374,16 @@ decltype(auto) dispatch_width(idx_t width, Fn&& fn) {
 /// visible to the compiler: cs[r] += vals[x] * F(fids[x], r) for x in
 /// [begin, end). With a compile-time R the accumulator row stays in
 /// registers across the fiber — this is the single hottest loop of CP-ALS.
-template <idx_t R>
+///
+/// The index streams of every fiber loop below are generic indexables
+/// (`Fids fids` with fids[x] -> integer): a raw pointer of any width from
+/// a compressed-CSF level view, or a width-erased stream ref. Passing the
+/// stored narrow type is what halves the index bandwidth of these loops
+/// on compressed tensors.
+template <idx_t R, typename Fids>
 inline void fiber_accum_r(val_t* SPTD_RESTRICT cs,
                           const val_t* SPTD_RESTRICT vals,
-                          const idx_t* SPTD_RESTRICT fids,
+                          Fids fids,
                           nnz_t begin, nnz_t end,
                           const val_t* SPTD_RESTRICT factor, idx_t ld) {
   val_t* SPTD_RESTRICT acc = detail::assume_line_aligned(cs);
@@ -401,11 +407,11 @@ inline void fiber_accum_r(val_t* SPTD_RESTRICT cs,
 /// read for software prefetch: callers walking a contiguous nonzero range
 /// (a whole slice) pass the range's end so gathers run ahead across fiber
 /// boundaries; fiber-local callers pass `end`.
-template <idx_t R>
+template <idx_t R, typename Fids>
 inline void fiber_pullup_hadamard_r(val_t* SPTD_RESTRICT dst,
                                     const val_t* SPTD_RESTRICT fl,
                                     const val_t* SPTD_RESTRICT vals,
-                                    const idx_t* SPTD_RESTRICT fids,
+                                    Fids fids,
                                     nnz_t begin, nnz_t end,
                                     const val_t* SPTD_RESTRICT factor,
                                     idx_t ld, nnz_t prefetch_horizon) {
@@ -439,12 +445,12 @@ inline void fiber_pullup_hadamard_r(val_t* SPTD_RESTRICT dst,
 /// round-trips through memory between fibers (slices average hundreds of
 /// fibers on the paper's tensors, so this is the root kernel's whole
 /// inner phase).
-template <idx_t R>
+template <idx_t R, typename Fids1, typename LeafFids, typename Fptr1>
 inline void root_slice3_r(val_t* SPTD_RESTRICT dst,
-                          const idx_t* SPTD_RESTRICT fids1,
+                          Fids1 fids1,
                           const val_t* SPTD_RESTRICT vals,
-                          const idx_t* SPTD_RESTRICT leaf_fids,
-                          const nnz_t* SPTD_RESTRICT fptr1,
+                          LeafFids leaf_fids,
+                          Fptr1 fptr1,
                           nnz_t c0, nnz_t c1,
                           const val_t* SPTD_RESTRICT f1, idx_t ld1,
                           const val_t* SPTD_RESTRICT f2, idx_t ld2) {
@@ -487,11 +493,11 @@ inline void root_slice3_r(val_t* SPTD_RESTRICT dst,
 /// Fused bottom-fiber pull-up with path multiply:
 ///   dst[i] = path[i] * sum over x in [begin, end) of vals[x]*F(fids[x], i).
 /// The internal kernel's leaf case, register-blocked like the above.
-template <idx_t R>
+template <idx_t R, typename Fids>
 inline void fiber_pullup_mul_r(val_t* SPTD_RESTRICT dst,
                                const val_t* SPTD_RESTRICT path,
                                const val_t* SPTD_RESTRICT vals,
-                               const idx_t* SPTD_RESTRICT fids,
+                               Fids fids,
                                nnz_t begin, nnz_t end,
                                const val_t* SPTD_RESTRICT factor,
                                idx_t ld, nnz_t prefetch_horizon) {

@@ -122,6 +122,79 @@ PrivateBuffers& MttkrpWorkspace::privatized(idx_t rows) {
 namespace {
 
 // ---------------------------------------------------------------------
+// CSF index views: which integer types the kernels stream.
+//
+// The compressed CSF stores each level's index streams at the narrowest
+// width that covers it (csf.hpp). The kernels below are templated on a
+// view V so the per-nonzero streams — the leaf fid array and the deepest
+// fptr array, which together carry nearly all index bytes — are walked at
+// their stored width with typed loads. The small upper-level streams (one
+// read per fiber or per root slice) go through the width-erased stream
+// refs, whose predictable 3-way switch is noise next to the factor-row
+// gathers. mttkrp_csf_exec selects the view instantiation once per kernel
+// launch, exactly like it selects the kernel width and sync strategy.
+// ---------------------------------------------------------------------
+
+template <typename LeafFids, typename DeepFptr>
+struct CsfView {
+  LeafFids leaf{};          ///< fids at level order-1, one entry per nnz
+  DeepFptr deep_fptr{};     ///< fptr at level order-2 (indexes nonzeros)
+  std::array<FidStreamRef, kMaxOrder> fids{};   ///< width-erased, per level
+  std::array<PtrStreamRef, kMaxOrder> fptr{};   ///< width-erased, 0..order-2
+};
+
+template <typename T>
+const T* typed_fid_stream(const CsfTensor& csf, int level) {
+  const FidStreamRef s = csf.fid_stream(level);
+  SPTD_CHECK(s.width == sizeof(T), "typed_fid_stream: width mismatch");
+  return static_cast<const T*>(s.base);
+}
+
+template <typename T>
+const T* typed_ptr_stream(const CsfTensor& csf, int level) {
+  const PtrStreamRef s = csf.ptr_stream(level);
+  SPTD_CHECK(s.width == sizeof(T), "typed_ptr_stream: width mismatch");
+  return static_cast<const T*>(s.base);
+}
+
+template <typename FidT, typename PtrT>
+CsfView<const FidT*, const PtrT*> make_typed_view(const CsfTensor& csf) {
+  CsfView<const FidT*, const PtrT*> view;
+  const int order = csf.order();
+  view.leaf = typed_fid_stream<FidT>(csf, order - 1);
+  view.deep_fptr = typed_ptr_stream<PtrT>(csf, order - 2);
+  const CsfStreamRefs refs = csf.stream_refs();
+  view.fids = refs.fids;
+  view.fptr = refs.fptr;
+  return view;
+}
+
+CsfView<FidStreamRef, PtrStreamRef> make_erased_view(const CsfTensor& csf) {
+  CsfView<FidStreamRef, PtrStreamRef> view;
+  const int order = csf.order();
+  const CsfStreamRefs refs = csf.stream_refs();
+  view.fids = refs.fids;
+  view.fptr = refs.fptr;
+  view.leaf = view.fids[static_cast<std::size_t>(order - 1)];
+  view.deep_fptr = view.fptr[static_cast<std::size_t>(order - 2)];
+  return view;
+}
+
+/// lower_bound over an index stream (the tiled kernel's tile narrowing).
+template <typename S>
+nnz_t stream_lower_bound(S s, nnz_t lo, nnz_t hi, idx_t value) {
+  while (lo < hi) {
+    const nnz_t mid = lo + (hi - lo) / 2;
+    if (s[mid] < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// ---------------------------------------------------------------------
 // Kernel bundles: the arithmetic of every length-R inner loop.
 //
 // The CSF kernels below are templated on a bundle K instead of a raw
@@ -131,6 +204,8 @@ namespace {
 // staying visible. FixedKern<R> is the optimized path: pointer access,
 // compile-time trip count, restrict + 64-byte-aligned primitives from
 // la/kernels.hpp. selected_kernel_width() decides which bundle runs.
+// Index-stream parameters (Fids / the view V) are generic indexables so
+// one bundle serves every storage width.
 // ---------------------------------------------------------------------
 
 /// Runtime-rank bundle over a row-access policy's handles.
@@ -148,8 +223,9 @@ struct GenericKern {
   }
 
   /// cs += sum over x in [begin, end) of vals[x] * F(fids[x], :)
+  template <typename Fids>
   static void fiber_accum(val_t* cs, std::span<const val_t> vals,
-                          std::span<const idx_t> fids, nnz_t begin,
+                          Fids fids, nnz_t begin,
                           nnz_t end, const la::Matrix& f, idx_t rank) {
     for (nnz_t x = begin; x < end; ++x) {
       leaf_accum(cs, f, fids[x], vals[x], rank);
@@ -217,9 +293,10 @@ struct GenericKern {
   /// dst += fl(i, :) ⊙ (sum of the bottom fiber [begin, end)) — the seed
   /// sequence: zero the scratch row, accumulate the fiber into it,
   /// multiply-accumulate into dst.
+  template <typename Fids>
   static void pullup_hadamard(val_t* dst, const la::Matrix& fl, idx_t i,
                               std::span<const val_t> vals,
-                              std::span<const idx_t> fids, nnz_t begin,
+                              Fids fids, nnz_t begin,
                               nnz_t end, const la::Matrix& leaf, val_t* cs,
                               idx_t rank) {
     std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
@@ -229,9 +306,10 @@ struct GenericKern {
 
   /// dst = path ⊙ (sum of the bottom fiber [begin, end)) — the internal
   /// kernel's leaf case, seed sequence.
+  template <typename Fids>
   static void pullup_mul(val_t* dst, const val_t* path,
                          std::span<const val_t> vals,
-                         std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                         Fids fids, nnz_t begin, nnz_t end,
                          const la::Matrix& leaf, val_t* cs, idx_t rank) {
     std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
     fiber_accum(cs, vals, fids, begin, end, leaf, rank);
@@ -255,8 +333,9 @@ struct GenericKern {
 
   /// fiber[r] = sum of the bottom fiber [begin, end) — the internal
   /// kernel's pull-up half, seed sequence (zero + accumulate in memory).
+  template <typename Fids>
   static void fiber_sum(val_t* fiber, std::span<const val_t> vals,
-                        std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                        Fids fids, nnz_t begin, nnz_t end,
                         const la::Matrix& leaf, idx_t rank) {
     std::memset(fiber, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
     fiber_accum(fiber, vals, fids, begin, end, leaf, rank);
@@ -280,11 +359,11 @@ struct GenericKern {
   /// One third-order internal-kernel fiber: sum the bottom fiber into the
   /// scratch row, multiply by the path, deposit through the sink — the
   /// seed sequence.
-  template <typename Sink>
+  template <typename Sink, typename Fids>
   static void internal_fiber3(const Sink& sink, idx_t out_row,
                               const val_t* path,
                               std::span<const val_t> vals,
-                              std::span<const idx_t> fids, nnz_t begin,
+                              Fids fids, nnz_t begin,
                               nnz_t end, nnz_t /*prefetch_horizon*/,
                               const la::Matrix& leaf, val_t* cs,
                               val_t* tmp, idx_t rank) {
@@ -299,17 +378,17 @@ struct GenericKern {
 
   /// One third-order root slice into the acc row: seed sequence, one
   /// pull-up per child fiber with the accumulator in memory.
-  static void root_slice3(val_t* acc, const CsfTensor& csf,
+  template <typename V>
+  static void root_slice3(val_t* acc, const V& view,
+                          std::span<const val_t> vals,
                           const la::Matrix& f1, const la::Matrix& f2,
                           nnz_t c0, nnz_t c1, val_t* cs, idx_t rank) {
     std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
-    const auto fids1 = csf.fids(1);
-    const auto leaf_fids = csf.fids(2);
-    const auto vals = csf.vals();
-    const auto fptr1 = csf.fptr(1);
+    const auto fids1 = view.fids[1];
     for (nnz_t c = c0; c < c1; ++c) {
-      pullup_hadamard(acc, f1, fids1[c], vals, leaf_fids, fptr1[c],
-                      fptr1[c + 1], f2, cs, rank);
+      pullup_hadamard(acc, f1, fids1[c], vals, view.leaf,
+                      view.deep_fptr[c], view.deep_fptr[c + 1], f2, cs,
+                      rank);
     }
   }
 };
@@ -325,10 +404,11 @@ struct FixedKern {
     la::kern::axpy_r<R>(cs, f.row_ptr(i), v);
   }
 
+  template <typename Fids>
   static void fiber_accum(val_t* cs, std::span<const val_t> vals,
-                          std::span<const idx_t> fids, nnz_t begin,
+                          Fids fids, nnz_t begin,
                           nnz_t end, const la::Matrix& f, idx_t) {
-    la::kern::fiber_accum_r<R>(cs, vals.data(), fids.data(), begin, end,
+    la::kern::fiber_accum_r<R>(cs, vals.data(), fids, begin, end,
                                f.data(), f.ld());
   }
 
@@ -362,21 +442,23 @@ struct FixedKern {
     la::kern::add_r<R>(dst, vec);
   }
 
+  template <typename Fids>
   static void pullup_hadamard(val_t* dst, const la::Matrix& fl, idx_t i,
                               std::span<const val_t> vals,
-                              std::span<const idx_t> fids, nnz_t begin,
+                              Fids fids, nnz_t begin,
                               nnz_t end, const la::Matrix& leaf, val_t*,
                               idx_t) {
     la::kern::fiber_pullup_hadamard_r<R>(dst, fl.row_ptr(i), vals.data(),
-                                         fids.data(), begin, end,
+                                         fids, begin, end,
                                          leaf.data(), leaf.ld(), end);
   }
 
+  template <typename Fids>
   static void pullup_mul(val_t* dst, const val_t* path,
                          std::span<const val_t> vals,
-                         std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                         Fids fids, nnz_t begin, nnz_t end,
                          const la::Matrix& leaf, val_t*, idx_t) {
-    la::kern::fiber_pullup_mul_r<R>(dst, path, vals.data(), fids.data(),
+    la::kern::fiber_pullup_mul_r<R>(dst, path, vals.data(), fids,
                                     begin, end, leaf.data(), leaf.ld(),
                                     end);
   }
@@ -392,11 +474,12 @@ struct FixedKern {
     la::kern::axpy_r<R>(dst, vec, v);
   }
 
+  template <typename Fids>
   static void fiber_sum(val_t* fiber, std::span<const val_t> vals,
-                        std::span<const idx_t> fids, nnz_t begin, nnz_t end,
+                        Fids fids, nnz_t begin, nnz_t end,
                         const la::Matrix& leaf, idx_t) {
     std::memset(fiber, 0, R * sizeof(val_t));
-    la::kern::fiber_accum_r<R>(fiber, vals.data(), fids.data(), begin, end,
+    la::kern::fiber_accum_r<R>(fiber, vals.data(), fids, begin, end,
                                leaf.data(), leaf.ld());
   }
 
@@ -414,11 +497,11 @@ struct FixedKern {
   /// Fused third-order internal fiber: the fiber sum stays in registers
   /// and lands directly on the (sink-resolved) output row — no scratch
   /// traffic at all.
-  template <typename Sink>
+  template <typename Sink, typename Fids>
   static void internal_fiber3(const Sink& sink, idx_t out_row,
                               const val_t* path,
                               std::span<const val_t> vals,
-                              std::span<const idx_t> fids, nnz_t begin,
+                              Fids fids, nnz_t begin,
                               nnz_t end, nnz_t prefetch_horizon,
                               const la::Matrix& leaf, val_t* cs,
                               val_t* /*tmp*/, idx_t rank) {
@@ -427,7 +510,7 @@ struct FixedKern {
       // output row, no scratch traffic.
       sink.with_row(out_row, [&](val_t* dst) {
         la::kern::fiber_pullup_hadamard_r<R>(dst, path, vals.data(),
-                                             fids.data(), begin, end,
+                                             fids, begin, end,
                                              leaf.data(), leaf.ld(),
                                              prefetch_horizon);
       });
@@ -435,7 +518,7 @@ struct FixedKern {
       // Locked destination: compute outside the critical section and
       // hand the sink a finished row (keeps the lock hold time at the
       // seed's length-R add).
-      la::kern::fiber_pullup_mul_r<R>(cs, path, vals.data(), fids.data(),
+      la::kern::fiber_pullup_mul_r<R>(cs, path, vals.data(), fids,
                                       begin, end, leaf.data(), leaf.ld(),
                                       prefetch_horizon);
       sink.add(out_row, cs, rank);
@@ -449,11 +532,13 @@ struct FixedKern {
   }
 
   /// Fully register-blocked third-order root slice.
-  static void root_slice3(val_t* acc, const CsfTensor& csf,
+  template <typename V>
+  static void root_slice3(val_t* acc, const V& view,
+                          std::span<const val_t> vals,
                           const la::Matrix& f1, const la::Matrix& f2,
                           nnz_t c0, nnz_t c1, val_t*, idx_t) {
-    la::kern::root_slice3_r<R>(acc, csf.fids(1).data(), csf.vals().data(),
-                               csf.fids(2).data(), csf.fptr(1).data(), c0,
+    la::kern::root_slice3_r<R>(acc, view.fids[1], vals.data(),
+                               view.leaf, view.deep_fptr, c0,
                                c1, f1.data(), f1.ld(), f2.data(), f2.ld());
   }
 };
@@ -558,8 +643,10 @@ struct ThreadPrivSink {
 // Kernel context: CSF arrays + factors arranged by tree level.
 // ---------------------------------------------------------------------
 
+template <typename V>
 struct KernelCtx {
   const CsfTensor* csf;
+  V view;
   std::vector<const la::Matrix*> factor_at_level;
   idx_t rank;
   MttkrpWorkspace* ws;
@@ -567,10 +654,12 @@ struct KernelCtx {
 
 /// Slot layout inside the workspace accumulators.
 inline int path_slot(int level) { return level; }
-inline int cs_slot(const KernelCtx& ctx, int level) {
+template <typename V>
+inline int cs_slot(const KernelCtx<V>& ctx, int level) {
   return ctx.csf->order() + level;
 }
-inline int extra_slot(const KernelCtx& ctx, int which) {
+template <typename V>
+inline int extra_slot(const KernelCtx<V>& ctx, int which) {
   return 2 * ctx.csf->order() + which;
 }
 
@@ -578,22 +667,21 @@ inline int extra_slot(const KernelCtx& ctx, int which) {
 ///   G(leaf x)    = vals[x] * F_leaf(fids[x], :)
 ///   G(fiber f,l) = F_l(fids_l[f], :) ⊙ sum_children G(child, l+1).
 /// This is the "pull up" half of the CSF MTTKRP (Smith & Karypis).
-template <typename K>
-void accumulate_g(const KernelCtx& ctx, int l, nnz_t f, val_t* dst,
+template <typename K, typename V>
+void accumulate_g(const KernelCtx<V>& ctx, int l, nnz_t f, val_t* dst,
                   int tid) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
-  const auto fids = csf.fids(l);
 
   if (l == order - 1) {
     // f is a nonzero.
     K::leaf_accum(dst, *ctx.factor_at_level[static_cast<std::size_t>(l)],
-                  fids[f], csf.vals()[f], rank);
+                  ctx.view.leaf[f], csf.vals()[f], rank);
     return;
   }
 
-  const auto fptr = csf.fptr(l);
+  const auto fids = ctx.view.fids[static_cast<std::size_t>(l)];
   val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
 
   if (l == order - 2) {
@@ -601,13 +689,14 @@ void accumulate_g(const KernelCtx& ctx, int l, nnz_t f, val_t* dst,
     // the Hadamard deposit; the fixed-width path keeps the fiber sum in
     // registers and never touches the cs scratch row.
     K::pullup_hadamard(dst, *ctx.factor_at_level[static_cast<std::size_t>(l)],
-                       fids[f], csf.vals(), csf.fids(order - 1), fptr[f],
-                       fptr[f + 1],
+                       fids[f], csf.vals(), ctx.view.leaf,
+                       ctx.view.deep_fptr[f], ctx.view.deep_fptr[f + 1],
                        *ctx.factor_at_level[static_cast<std::size_t>(order - 1)],
                        cs, rank);
     return;
   }
 
+  const auto fptr = ctx.view.fptr[static_cast<std::size_t>(l)];
   std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
   for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
     accumulate_g<K>(ctx, l + 1, c, cs, tid);
@@ -620,8 +709,8 @@ void accumulate_g(const KernelCtx& ctx, int l, nnz_t f, val_t* dst,
 /// Root kernel: out(fids0[s], :) += sum_children G(child, 1). Trees are
 /// distributed across threads by the precomputed slice schedule; no write
 /// conflicts.
-template <typename K, typename Sink>
-void kernel_root(const KernelCtx& ctx, const Sink& sink,
+template <typename K, typename V, typename Sink>
+void kernel_root(const KernelCtx<V>& ctx, const Sink& sink,
                  const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
@@ -632,16 +721,17 @@ void kernel_root(const KernelCtx& ctx, const Sink& sink,
     // like SPLATT's specialized 3-mode code path): non-recursive, with
     // the CSF arrays and factors hoisted out of the per-fiber work.
     parallel_region(nthreads, [&](int tid, int) {
-      const auto fids0 = csf.fids(0);
-      const auto fptr0 = csf.fptr(0);
+      const auto fids0 = ctx.view.fids[0];
+      const auto fptr0 = ctx.view.fptr[0];
+      const auto vals = csf.vals();
       const la::Matrix& f1 = *ctx.factor_at_level[1];
       const la::Matrix& f2 = *ctx.factor_at_level[2];
       val_t* acc = ctx.ws->accum(tid, extra_slot(ctx, 0));
       val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, 1));
       slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
         for (nnz_t s = begin; s < end; ++s) {
-          K::root_slice3(acc, csf, f1, f2, fptr0[s], fptr0[s + 1], cs,
-                         rank);
+          K::root_slice3(acc, ctx.view, vals, f1, f2, fptr0[s],
+                         fptr0[s + 1], cs, rank);
           sink.add(fids0[s], acc, rank);
         }
       });
@@ -650,8 +740,8 @@ void kernel_root(const KernelCtx& ctx, const Sink& sink,
   }
 
   parallel_region(nthreads, [&](int tid, int) {
-    const auto fids0 = csf.fids(0);
-    const auto fptr0 = csf.fptr(0);
+    const auto fids0 = ctx.view.fids[0];
+    const auto fptr0 = ctx.view.fptr[0];
     val_t* acc = ctx.ws->accum(tid, extra_slot(ctx, 0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
       for (nnz_t s = begin; s < end; ++s) {
@@ -667,8 +757,8 @@ void kernel_root(const KernelCtx& ctx, const Sink& sink,
 
 /// Leaf kernel: push path products down, deposit at nonzeros:
 ///   out(leaf_fid, :) += val * (F_0 row ⊙ ... ⊙ F_{N-2} row).
-template <typename K, typename Sink>
-void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
+template <typename K, typename V, typename Sink>
+void kernel_leaf(const KernelCtx<V>& ctx, const Sink& sink,
                  const SliceSchedule& slices, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
@@ -678,11 +768,11 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
     // Dedicated third-order kernel: push the two-level path product down
     // and deposit per nonzero, no recursion.
     parallel_region(nthreads, [&](int tid, int) {
-      const auto fids0 = csf.fids(0);
-      const auto fids1 = csf.fids(1);
-      const auto leaf_fids = csf.fids(2);
-      const auto fptr0 = csf.fptr(0);
-      const auto fptr1 = csf.fptr(1);
+      const auto fids0 = ctx.view.fids[0];
+      const auto fids1 = ctx.view.fids[1];
+      const auto leaf_fids = ctx.view.leaf;
+      const auto fptr0 = ctx.view.fptr[0];
+      const auto fptr1 = ctx.view.deep_fptr;
       const auto vals = csf.vals();
       const la::Matrix& f0 = *ctx.factor_at_level[0];
       const la::Matrix& f1 = *ctx.factor_at_level[1];
@@ -713,7 +803,7 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
 
   // Recursive descent writing path products into per-level slots.
   struct Walker {
-    const KernelCtx& ctx;
+    const KernelCtx<V>& ctx;
     const Sink& sink;
     int tid;
 
@@ -725,17 +815,17 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
       val_t* mine = ctx.ws->accum(tid, path_slot(l));
       K::path_mul(mine, parent,
                   *ctx.factor_at_level[static_cast<std::size_t>(l)],
-                  csf.fids(l)[f], rank);
-      const auto fptr = csf.fptr(l);
+                  ctx.view.fids[static_cast<std::size_t>(l)][f], rank);
       if (l == order - 2) {
         // Children are the nonzeros: deposit.
-        const auto leaf_fids = csf.fids(order - 1);
         const auto vals = csf.vals();
         val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
-        for (nnz_t x = fptr[f]; x < fptr[f + 1]; ++x) {
-          sink.add_scaled(leaf_fids[x], vals[x], mine, tmp, rank);
+        for (nnz_t x = ctx.view.deep_fptr[f]; x < ctx.view.deep_fptr[f + 1];
+             ++x) {
+          sink.add_scaled(ctx.view.leaf[x], vals[x], mine, tmp, rank);
         }
       } else {
+        const auto fptr = ctx.view.fptr[static_cast<std::size_t>(l)];
         for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
           descend(l + 1, c);
         }
@@ -744,8 +834,7 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
   };
 
   parallel_region(nthreads, [&](int tid, int) {
-    const auto fids0 = csf.fids(0);
-    const auto fptr0 = csf.fptr(0);
+    const auto fids0 = ctx.view.fids[0];
     const Walker walker{ctx, sink, tid};
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
@@ -753,13 +842,14 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
         K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
         if (order == 2) {
           // Root's children are the nonzeros.
-          const auto leaf_fids = csf.fids(1);
           const auto vals = csf.vals();
           val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
-          for (nnz_t x = fptr0[s]; x < fptr0[s + 1]; ++x) {
-            sink.add_scaled(leaf_fids[x], vals[x], p0, tmp, rank);
+          for (nnz_t x = ctx.view.deep_fptr[s]; x < ctx.view.deep_fptr[s + 1];
+               ++x) {
+            sink.add_scaled(ctx.view.leaf[x], vals[x], p0, tmp, rank);
           }
         } else {
+          const auto fptr0 = ctx.view.fptr[0];
           for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
             walker.descend(1, c);
           }
@@ -774,13 +864,13 @@ void kernel_leaf(const KernelCtx& ctx, const Sink& sink,
 /// thread walks the whole forest but deposits only leaves inside its own
 /// tile. Writes are conflict-free (DirectSink); the price is replicated
 /// path-product work at the upper levels.
-template <typename K>
-void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
+template <typename K, typename V>
+void kernel_leaf_tiled(const KernelCtx<V>& ctx, la::Matrix& out,
                        std::span<const nnz_t> tile_bounds, int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
-  const auto leaf_fids = csf.fids(order - 1);
+  const auto leaf_fids = ctx.view.leaf;
 
   const DirectSink<K> sink{&out};
   parallel_region(nthreads, [&](int tid, int) {
@@ -798,18 +888,15 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
     val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
     const auto deposit = [&](nnz_t first, nnz_t last, const val_t* path) {
       // Leaves are sorted within a fiber: narrow to the tile subrange.
-      const auto begin = std::lower_bound(leaf_fids.begin() + first,
-                                          leaf_fids.begin() + last, lo);
-      const auto end = std::lower_bound(begin, leaf_fids.begin() + last,
-                                        hi);
-      for (auto it = begin; it != end; ++it) {
-        const auto x = static_cast<nnz_t>(it - leaf_fids.begin());
-        sink.add_scaled(*it, vals[x], path, tmp, rank);
+      const nnz_t begin = stream_lower_bound(leaf_fids, first, last, lo);
+      const nnz_t end = stream_lower_bound(leaf_fids, begin, last, hi);
+      for (nnz_t x = begin; x < end; ++x) {
+        sink.add_scaled(leaf_fids[x], vals[x], path, tmp, rank);
       }
     };
 
     struct Walker {
-      const KernelCtx& ctx;
+      const KernelCtx<V>& ctx;
       const decltype(deposit)& leaf_fn;
       int tid;
 
@@ -821,11 +908,11 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
         val_t* mine = ctx.ws->accum(tid, path_slot(l));
         K::path_mul(mine, parent,
                     *ctx.factor_at_level[static_cast<std::size_t>(l)],
-                    csf.fids(l)[f], rank);
-        const auto fptr = csf.fptr(l);
+                    ctx.view.fids[static_cast<std::size_t>(l)][f], rank);
         if (l == order - 2) {
-          leaf_fn(fptr[f], fptr[f + 1], mine);
+          leaf_fn(ctx.view.deep_fptr[f], ctx.view.deep_fptr[f + 1], mine);
         } else {
+          const auto fptr = ctx.view.fptr[static_cast<std::size_t>(l)];
           for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
             descend(l + 1, c);
           }
@@ -833,15 +920,15 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
       }
     };
 
-    const auto fids0 = csf.fids(0);
-    const auto fptr0 = csf.fptr(0);
+    const auto fids0 = ctx.view.fids[0];
     const Walker walker{ctx, deposit, tid};
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
     for (nnz_t s = 0; s < csf.nfibers(0); ++s) {
       K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
       if (order == 2) {
-        deposit(fptr0[s], fptr0[s + 1], p0);
+        deposit(ctx.view.deep_fptr[s], ctx.view.deep_fptr[s + 1], p0);
       } else {
+        const auto fptr0 = ctx.view.fptr[0];
         for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
           walker.descend(1, c);
         }
@@ -852,9 +939,10 @@ void kernel_leaf_tiled(const KernelCtx& ctx, la::Matrix& out,
 
 /// Internal kernel at level L (0 < L < order-1):
 ///   out(fids_L[f], :) += (F_0 ⊙ ... ⊙ F_{L-1} path) ⊙ sum_children G.
-template <typename K, typename Sink>
-void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
-                     const SliceSchedule& slices, int nthreads) {
+template <typename K, typename V, typename Sink>
+void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
+                     int out_level, const SliceSchedule& slices,
+                     int nthreads) {
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
 
@@ -862,11 +950,11 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
     // Dedicated third-order kernel (out_level is necessarily 1): root row
     // times bottom-fiber sum, deposited per level-1 fiber, no recursion.
     parallel_region(nthreads, [&](int tid, int) {
-      const auto fids0 = csf.fids(0);
-      const auto fids1 = csf.fids(1);
-      const auto leaf_fids = csf.fids(2);
-      const auto fptr0 = csf.fptr(0);
-      const auto fptr1 = csf.fptr(1);
+      const auto fids0 = ctx.view.fids[0];
+      const auto fids1 = ctx.view.fids[1];
+      const auto leaf_fids = ctx.view.leaf;
+      const auto fptr0 = ctx.view.fptr[0];
+      const auto fptr1 = ctx.view.deep_fptr;
       const auto vals = csf.vals();
       const la::Matrix& f0 = *ctx.factor_at_level[0];
       const la::Matrix& f2 = *ctx.factor_at_level[2];
@@ -889,7 +977,7 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
   }
 
   struct Walker {
-    const KernelCtx& ctx;
+    const KernelCtx<V>& ctx;
     const Sink& sink;
     int out_level;
     int tid;
@@ -900,17 +988,17 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
       const int order = csf.order();
       if (l == out_level) {
         // Children sum (the pull-up half), excluding F_L itself.
-        const auto fptr = csf.fptr(l);
         const val_t* path = ctx.ws->accum(tid, path_slot(l - 1));
         val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
         val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
         if (l == order - 2) {
           K::pullup_mul(
-              tmp, path, csf.vals(), csf.fids(order - 1), fptr[f],
-              fptr[f + 1],
+              tmp, path, csf.vals(), ctx.view.leaf, ctx.view.deep_fptr[f],
+              ctx.view.deep_fptr[f + 1],
               *ctx.factor_at_level[static_cast<std::size_t>(order - 1)],
               cs, rank);
         } else {
+          const auto fptr = ctx.view.fptr[static_cast<std::size_t>(l)];
           std::memset(cs, 0,
                       static_cast<std::size_t>(rank) * sizeof(val_t));
           for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
@@ -918,7 +1006,7 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
           }
           K::mul(tmp, path, cs, rank);
         }
-        sink.add(csf.fids(l)[f], tmp, rank);
+        sink.add(ctx.view.fids[static_cast<std::size_t>(l)][f], tmp, rank);
         return;
       }
       // Extend the path product and keep descending.
@@ -926,8 +1014,8 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
       val_t* mine = ctx.ws->accum(tid, path_slot(l));
       K::path_mul(mine, parent,
                   *ctx.factor_at_level[static_cast<std::size_t>(l)],
-                  csf.fids(l)[f], rank);
-      const auto fptr = csf.fptr(l);
+                  ctx.view.fids[static_cast<std::size_t>(l)][f], rank);
+      const auto fptr = ctx.view.fptr[static_cast<std::size_t>(l)];
       for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
         descend(l + 1, c);
       }
@@ -935,8 +1023,8 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
   };
 
   parallel_region(nthreads, [&](int tid, int) {
-    const auto fids0 = csf.fids(0);
-    const auto fptr0 = csf.fptr(0);
+    const auto fids0 = ctx.view.fids[0];
+    const auto fptr0 = ctx.view.fptr[0];
     const Walker walker{ctx, sink, out_level, tid};
     val_t* p0 = ctx.ws->accum(tid, path_slot(0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
@@ -951,8 +1039,8 @@ void kernel_internal(const KernelCtx& ctx, const Sink& sink, int out_level,
 }
 
 /// Runs the level-appropriate kernel with the given sink.
-template <typename K, typename Sink>
-void run_kernel(const KernelCtx& ctx, const Sink& sink, int out_level,
+template <typename K, typename V, typename Sink>
+void run_kernel(const KernelCtx<V>& ctx, const Sink& sink, int out_level,
                 const SliceSchedule& slices, int nthreads) {
   const int order = ctx.csf->order();
   if (out_level == 0) {
@@ -964,10 +1052,10 @@ void run_kernel(const KernelCtx& ctx, const Sink& sink, int out_level,
   }
 }
 
-/// Strategy dispatch for one kernel bundle.
-template <typename K>
-void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
-                       int out_level, SyncStrategy strategy,
+/// Strategy dispatch for one kernel bundle + view.
+template <typename K, typename V>
+void dispatch_strategy(const KernelCtx<V>& ctx, la::Matrix& out,
+                       int out_mode, int out_level, SyncStrategy strategy,
                        const SliceSchedule& slices,
                        std::span<const nnz_t> tile_bounds,
                        MttkrpWorkspace& ws) {
@@ -1008,6 +1096,60 @@ void dispatch_strategy(const KernelCtx& ctx, la::Matrix& out, int out_mode,
   }
 }
 
+/// Index-width dispatch for one kernel bundle: selects the typed view the
+/// CSF's stored widths admit, once per kernel launch. The per-nonzero
+/// streams (leaf fids, deepest fptr) are the dispatch key; every other
+/// stream rides the width-erased refs. kNarrowViews gates the narrow
+/// instantiations: the fast bundles (FixedKern, generic pointer) get
+/// them, the slice/2d ablation bundles run wide-typed or erased to keep
+/// their instantiation count (and compile time) down.
+template <typename K, bool kNarrowViews>
+void dispatch_views(const CsfTensor& csf,
+                    std::vector<const la::Matrix*> factor_at_level,
+                    idx_t rank, la::Matrix& out, int out_mode,
+                    int out_level, SyncStrategy strategy,
+                    const SliceSchedule& slices,
+                    std::span<const nnz_t> tile_bounds,
+                    MttkrpWorkspace& ws) {
+  const auto run = [&](auto view) {
+    KernelCtx<decltype(view)> ctx{&csf, std::move(view),
+                                  std::move(factor_at_level), rank, &ws};
+    dispatch_strategy<K>(ctx, out, out_mode, out_level, strategy, slices,
+                         tile_bounds, ws);
+  };
+  const int order = csf.order();
+  const int fw = csf.fid_width(order - 1);
+  const int pw = csf.ptr_width(order - 2);
+  if constexpr (kNarrowViews) {
+    if (fw == 1 && pw == 2) {
+      run(make_typed_view<std::uint8_t, std::uint16_t>(csf));
+      return;
+    }
+    if (fw == 2 && pw == 2) {
+      run(make_typed_view<std::uint16_t, std::uint16_t>(csf));
+      return;
+    }
+    if (fw == 2 && pw == 4) {
+      run(make_typed_view<std::uint16_t, std::uint32_t>(csf));
+      return;
+    }
+    if (fw == 4 && pw == 4) {
+      run(make_typed_view<std::uint32_t, std::uint32_t>(csf));
+      return;
+    }
+  }
+  if (fw == 4 && pw == 8) {
+    // The wide layout always lands here; compressed tensors whose leaf
+    // streams happen to be full-width do too.
+    run(make_typed_view<std::uint32_t, std::uint64_t>(csf));
+    return;
+  }
+  // Remaining width pairs (mixed-tier leaves/fptrs that no typed view
+  // covers, e.g. u8 leaves with u32 fptrs) run the erased view — correct
+  // for every combination, with a predictable per-access width switch.
+  run(make_erased_view(csf));
+}
+
 }  // namespace
 
 std::vector<nnz_t> leaf_tile_bounds(const CsfTensor& csf, int nthreads) {
@@ -1016,7 +1158,8 @@ std::vector<nnz_t> leaf_tile_bounds(const CsfTensor& csf, int nthreads) {
   const idx_t leaf_dim = csf.dims()[static_cast<std::size_t>(leaf_mode)];
   // Tile boundaries balanced by leaf occurrences.
   return weighted_partition(
-      slice_nnz_prefix(csf.fids(order - 1), leaf_dim), nthreads);
+      slice_nnz_prefix(csf.fid_stream(order - 1), csf.nnz(), leaf_dim),
+      nthreads);
 }
 
 void mttkrp_csf_exec(const CsfTensor& csf,
@@ -1055,60 +1198,50 @@ void mttkrp_csf_exec(const CsfTensor& csf,
   // ALS sweep, so each launch must begin from the full seed).
   slices.reset();
 
-  KernelCtx ctx;
-  ctx.csf = &csf;
-  ctx.rank = rank;
-  ctx.ws = &ws;
-  ctx.factor_at_level.resize(static_cast<std::size_t>(order));
+  std::vector<const la::Matrix*> factor_at_level(
+      static_cast<std::size_t>(order));
   for (int l = 0; l < order; ++l) {
-    ctx.factor_at_level[static_cast<std::size_t>(l)] =
+    factor_at_level[static_cast<std::size_t>(l)] =
         &factors[static_cast<std::size_t>(csf.mode_at_level(l))];
   }
 
+  const auto dispatch = [&]<typename K, bool kNarrow>() {
+    dispatch_views<K, kNarrow>(csf, std::move(factor_at_level), rank, out,
+                               mode, level, strategy, slices, tile_bounds,
+                               ws);
+  };
+
   switch (ws.options().row_access) {
     case RowAccess::kSlice:
-      dispatch_strategy<GenericKern<SliceAccess>>(ctx, out, mode, level,
-                                                  strategy, slices,
-                                                  tile_bounds, ws);
+      dispatch.operator()<GenericKern<SliceAccess>, false>();
       break;
     case RowAccess::kIndex2D:
-      dispatch_strategy<GenericKern<Index2DAccess>>(ctx, out, mode, level,
-                                                    strategy, slices,
-                                                    tile_bounds, ws);
+      dispatch.operator()<GenericKern<Index2DAccess>, false>();
       break;
     case RowAccess::kPointer:
       switch (kernel_width) {
         case 4:
-          dispatch_strategy<FixedKern<4>>(ctx, out, mode, level, strategy,
-                                          slices, tile_bounds, ws);
+          dispatch.operator()<FixedKern<4>, true>();
           break;
         case 8:
-          dispatch_strategy<FixedKern<8>>(ctx, out, mode, level, strategy,
-                                          slices, tile_bounds, ws);
+          dispatch.operator()<FixedKern<8>, true>();
           break;
         case 16:
-          dispatch_strategy<FixedKern<16>>(ctx, out, mode, level, strategy,
-                                           slices, tile_bounds, ws);
+          dispatch.operator()<FixedKern<16>, true>();
           break;
         case 32:
-          dispatch_strategy<FixedKern<32>>(ctx, out, mode, level, strategy,
-                                           slices, tile_bounds, ws);
+          dispatch.operator()<FixedKern<32>, true>();
           break;
         case 40:
           // The padded width for ranks 33-39 (the paper's default rank 35
           // lands here): rows span exactly 40 lanes with zero padding.
-          dispatch_strategy<FixedKern<40>>(ctx, out, mode, level, strategy,
-                                           slices, tile_bounds, ws);
+          dispatch.operator()<FixedKern<40>, true>();
           break;
         case 64:
-          dispatch_strategy<FixedKern<64>>(ctx, out, mode, level, strategy,
-                                           slices, tile_bounds, ws);
+          dispatch.operator()<FixedKern<64>, true>();
           break;
         default:
-          dispatch_strategy<GenericKern<PointerAccess>>(ctx, out, mode,
-                                                        level, strategy,
-                                                        slices, tile_bounds,
-                                                        ws);
+          dispatch.operator()<GenericKern<PointerAccess>, true>();
           break;
       }
       break;

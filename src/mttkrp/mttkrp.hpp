@@ -82,6 +82,12 @@ struct MttkrpOptions {
   /// pointer. Disable to force the generic runtime-rank loops — the
   /// baseline the kernel benches compare against.
   bool use_fixed_kernels = true;
+  /// CSF index-stream widths for the representations this run builds
+  /// (compressed = narrowest per level, the default; wide = the fixed
+  /// u32/u64 baseline). The kernels themselves read the widths off each
+  /// CsfTensor, so this knob matters to whoever constructs the CsfSet —
+  /// cp_als, tucker_hooi, the benches — and is recorded in bench JSON.
+  CsfLayout csf_layout = CsfLayout::kCompressed;
 };
 
 /// The compile-time kernel width an MTTKRP plan will select for \p rank

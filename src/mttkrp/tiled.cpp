@@ -1,8 +1,11 @@
 #include "mttkrp/tiled.hpp"
 
 #include <array>
+#include <atomic>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/team.hpp"
 
@@ -10,19 +13,33 @@ namespace sptd {
 
 TiledTensor::TiledTensor(const SparseTensor& t, int mode, int ntiles,
                          SchedulePolicy policy)
-    : mode_(mode), ntiles_(ntiles), tensor_(t.dims()) {
+    : mode_(mode), ntiles_(ntiles),
+      effective_policy_(policy == SchedulePolicy::kStatic
+                            ? SchedulePolicy::kStatic
+                            : SchedulePolicy::kWeighted),
+      tensor_(t.dims()) {
   SPTD_CHECK(mode >= 0 && mode < t.order(), "TiledTensor: bad mode");
   SPTD_CHECK(ntiles >= 1, "TiledTensor: ntiles must be >= 1");
+  if (policy != effective_policy_) {
+    // Tile ownership is fixed at construction; the runtime policies have
+    // nothing to schedule here. Warn once per process instead of
+    // silently honoring only part of the request.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      log_warn(std::string("TiledTensor: schedule policy '") +
+               schedule_policy_name(policy) +
+               "' is not applicable to fixed tile ownership; using "
+               "'weighted' tile boundaries (reported as the effective "
+               "policy)");
+    }
+  }
 
   // Histogram of nonzeros per output row, then weight-balanced row
   // boundaries so each tile owns roughly nnz/ntiles nonzeros (static
   // policy: equal row ranges regardless of occupancy).
   const idx_t dim = t.dim(mode);
   const std::vector<nnz_t> slice_prefix = slice_nnz_prefix(t.ind(mode), dim);
-  const SliceSchedule tiles(
-      policy == SchedulePolicy::kStatic ? SchedulePolicy::kStatic
-                                        : SchedulePolicy::kWeighted,
-      dim, slice_prefix, ntiles);
+  const SliceSchedule tiles(effective_policy_, dim, slice_prefix, ntiles);
   const auto bounds = tiles.bounds();
   row_bounds_.resize(bounds.size());
   for (std::size_t i = 0; i < bounds.size(); ++i) {

@@ -33,13 +33,21 @@ class TiledTensor {
   /// balanced by *nonzero count* (weighted partition over slice
   /// histograms), which keeps skewed tensors usable; the static policy
   /// uses equal row ranges (the ablation's "uniform tiles" baseline).
-  /// Tiling is a fixed ownership structure, so the dynamic policy is
-  /// treated as weighted.
+  /// Tiling is a fixed ownership structure, so the runtime policies
+  /// (dynamic, workstealing) cannot apply: requesting one logs a one-time
+  /// warning and runs weighted — effective_policy() reports what actually
+  /// shaped the tiles (benches record it instead of the request).
   TiledTensor(const SparseTensor& t, int mode, int ntiles,
               SchedulePolicy policy = SchedulePolicy::kWeighted);
 
   [[nodiscard]] int mode() const { return mode_; }
   [[nodiscard]] int ntiles() const { return ntiles_; }
+
+  /// The policy that actually shaped the tile boundaries: the request,
+  /// except dynamic/workstealing which coerce to weighted.
+  [[nodiscard]] SchedulePolicy effective_policy() const {
+    return effective_policy_;
+  }
   [[nodiscard]] nnz_t nnz() const { return tensor_.nnz(); }
   [[nodiscard]] const SparseTensor& tensor() const { return tensor_; }
 
@@ -57,6 +65,7 @@ class TiledTensor {
  private:
   int mode_;
   int ntiles_;
+  SchedulePolicy effective_policy_;
   SparseTensor tensor_;            ///< nonzeros permuted tile-contiguously
   std::vector<nnz_t> tile_ptr_;    ///< tile extents into tensor_
   std::vector<idx_t> row_bounds_;  ///< output-row ownership boundaries

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace sptd {
@@ -46,6 +47,23 @@ std::uint64_t weighted_partition_calls();
 /// weight_prefix every slice-balanced partition (tiling, completion row
 /// updates, distributed blocks) feeds to weighted_partition.
 std::vector<nnz_t> slice_nnz_prefix(std::span<const idx_t> ids, idx_t dim);
+
+/// Same, over a generic index stream (ids[i] -> slice id for i < count):
+/// the form the width-adaptive CSF streams feed it in.
+template <typename Ids>
+std::vector<nnz_t> slice_nnz_prefix(Ids ids, nnz_t count, idx_t dim) {
+  std::vector<nnz_t> prefix(static_cast<std::size_t>(dim) + 1, 0);
+  for (nnz_t x = 0; x < count; ++x) {
+    const idx_t id = ids[x];
+    SPTD_DCHECK(id < dim, "slice_nnz_prefix: id out of range");
+    ++prefix[static_cast<std::size_t>(id) + 1];
+  }
+  for (idx_t i = 0; i < dim; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] +=
+        prefix[static_cast<std::size_t>(i)];
+  }
+  return prefix;
+}
 
 /// Exclusive prefix sum computed in parallel with \p nthreads workers.
 /// out[0] = 0, out[i] = sum of in[0..i). out may not alias in.

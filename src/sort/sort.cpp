@@ -1,6 +1,7 @@
 #include "sort/sort.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -10,6 +11,14 @@
 #include "parallel/team.hpp"
 
 namespace sptd {
+
+namespace {
+std::atomic<std::uint64_t> g_sort_fastpath_hits{0};
+}  // namespace
+
+std::uint64_t sort_fastpath_hits() {
+  return g_sort_fastpath_hits.load(std::memory_order_relaxed);
+}
 
 SortVariant parse_sort_variant(const std::string& name) {
   if (name == "initial") return SortVariant::kInitial;
@@ -207,6 +216,16 @@ void sort_tensor_perm(SparseTensor& t, std::span<const int> perm,
   SPTD_CHECK(nthreads >= 1, "sort_tensor: nthreads must be >= 1");
   const nnz_t nnz = t.nnz();
   if (nnz <= 1) return;
+
+  // Already-sorted fast path: one comparison pass over the nonzeros
+  // (cheap next to the counting sort + per-slice quicksorts it skips).
+  // Building a second CSF representation over a COO that a previous
+  // build already ordered the same way — the CsfSet one/two/all-mode
+  // policies, or repeated builds on the same tensor — exits here.
+  if (is_sorted_perm(t, perm)) {
+    g_sort_fastpath_hits.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
 
   const int order = t.order();
   const idx_t nslices = t.dim(primary_mode);

@@ -48,9 +48,16 @@ void sort_tensor(SparseTensor& t, int primary_mode, int nthreads,
 
 /// Sorts by an arbitrary mode permutation (\p perm[0] most significant).
 /// CSF construction sorts with csf_mode_order() through this entry point.
+/// A pre-scan skips the sort entirely when the nonzeros are already in
+/// \p perm order (e.g. re-building a CSF representation over a COO a
+/// previous build ordered); sort_fastpath_hits() counts those skips.
 void sort_tensor_perm(SparseTensor& t, std::span<const int> perm,
                       int nthreads,
                       SortVariant variant = SortVariant::kAllOpts);
+
+/// Process-wide count of sort_tensor_perm() calls that exited through the
+/// already-sorted fast path (monotonic, relaxed).
+std::uint64_t sort_fastpath_hits();
 
 /// The cyclic mode permutation sort_tensor uses: {m, m+1, ..., m-1}.
 std::vector<int> sort_mode_order(int order, int primary_mode);

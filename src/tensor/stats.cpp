@@ -39,6 +39,36 @@ TensorStats compute_stats(const SparseTensor& t) {
   return s;
 }
 
+CsfSetStats compute_csf_stats(const CsfSet& set) {
+  CsfSetStats out;
+  out.layout = set.layout();
+  for (const CsfTensor& csf : set.csfs()) {
+    CsfRepStats rep;
+    rep.root_mode = csf.mode_at_level(0);
+    const int order = csf.order();
+    for (int l = 0; l < order; ++l) {
+      CsfLevelStats ls;
+      ls.level = l;
+      ls.mode = csf.mode_at_level(l);
+      ls.nfibers = csf.nfibers(l);
+      ls.fid_width = csf.fid_width(l);
+      ls.fid_bytes = ls.nfibers * static_cast<std::uint64_t>(ls.fid_width);
+      if (l < order - 1) {
+        ls.ptr_width = csf.ptr_width(l);
+        ls.ptr_bytes = (ls.nfibers + 1) *
+                       static_cast<std::uint64_t>(ls.ptr_width);
+      }
+      rep.levels.push_back(ls);
+    }
+    rep.index_bytes = csf.index_bytes();
+    rep.total_bytes = csf.memory_bytes();
+    out.index_bytes += rep.index_bytes;
+    out.total_bytes += rep.total_bytes;
+    out.reps.push_back(std::move(rep));
+  }
+  return out;
+}
+
 std::string format_dims(const dims_t& dims) {
   auto compact = [](idx_t d) -> std::string {
     char buf[32];

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "csf/csf.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
@@ -30,6 +31,38 @@ struct TensorStats {
 
 /// Computes statistics in one pass over the tensor.
 TensorStats compute_stats(const SparseTensor& t);
+
+/// Per-level CSF storage detail: which widths the layout selected and how
+/// many bytes each stream occupies.
+struct CsfLevelStats {
+  int level = 0;
+  int mode = 0;                  ///< original mode id at this level
+  nnz_t nfibers = 0;
+  int fid_width = 0;             ///< bytes per fiber id (1/2/4)
+  int ptr_width = 0;             ///< bytes per fiber pointer (2/4/8); 0 at leaf
+  std::uint64_t fid_bytes = 0;
+  std::uint64_t ptr_bytes = 0;
+};
+
+/// One representation's storage breakdown.
+struct CsfRepStats {
+  int root_mode = 0;
+  std::vector<CsfLevelStats> levels;
+  std::uint64_t index_bytes = 0;   ///< fids + fptr across levels
+  std::uint64_t total_bytes = 0;   ///< + vals + root prefix
+};
+
+/// Whole-set storage breakdown (what `sptd stats` prints and the benches
+/// report as csf_bytes).
+struct CsfSetStats {
+  CsfLayout layout = CsfLayout::kCompressed;
+  std::vector<CsfRepStats> reps;
+  std::uint64_t index_bytes = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Walks a built CSF set and reports per-level widths and byte counts.
+CsfSetStats compute_csf_stats(const CsfSet& set);
 
 /// "41k x 11k x 75k"-style dimension string as in Table I.
 std::string format_dims(const dims_t& dims);

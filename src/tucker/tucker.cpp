@@ -1,6 +1,7 @@
 #include "tucker/tucker.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 
@@ -166,6 +167,13 @@ void ttmc_csf(const CsfTensor& csf,
   }
   slices->reset();
 
+  // Width-erased index streams, resolved once for the whole walk: the
+  // compressed CSF stores each level at its own width, and the kron work
+  // per fiber dwarfs the per-access width switch.
+  const CsfStreamRefs refs = csf.stream_refs();
+  const std::array<FidStreamRef, kMaxOrder>& fid_at = refs.fids;
+  const std::array<PtrStreamRef, kMaxOrder>& ptr_at = refs.fptr;
+
   parallel_region(nthreads, [&](int tid, int) {
     // Per-level accumulation buffers (tree-order kron of levels > l).
     std::vector<std::vector<val_t>> acc(static_cast<std::size_t>(order));
@@ -181,6 +189,8 @@ void ttmc_csf(const CsfTensor& csf,
       const std::vector<la::Matrix>& factors;
       const std::vector<std::size_t>& below;
       std::vector<std::vector<val_t>>& acc;
+      const std::array<FidStreamRef, kMaxOrder>& fid_at;
+      const std::array<PtrStreamRef, kMaxOrder>& ptr_at;
 
       void pull(int l, nnz_t f, val_t* dst) const {
         const int order = csf.order();
@@ -190,7 +200,8 @@ void ttmc_csf(const CsfTensor& csf,
         if (l == order - 1) {
           // Leaf: val * U row.
           const val_t v = csf.vals()[f];
-          const val_t* row = u.row_ptr(csf.fids(l)[f]);
+          const val_t* row =
+              u.row_ptr(fid_at[static_cast<std::size_t>(l)][f]);
           for (idx_t j = 0; j < r; ++j) {
             dst[j] += v * row[j];
           }
@@ -201,11 +212,12 @@ void ttmc_csf(const CsfTensor& csf,
         val_t* sum = acc[static_cast<std::size_t>(l)].data();
         const std::size_t len = below[static_cast<std::size_t>(l)];
         std::fill(sum, sum + len, val_t{0});
-        const auto fptr = csf.fptr(l);
+        const auto fptr = ptr_at[static_cast<std::size_t>(l)];
         for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
           pull(l + 1, c, sum);
         }
-        const val_t* row = u.row_ptr(csf.fids(l)[f]);
+        const val_t* row =
+            u.row_ptr(fid_at[static_cast<std::size_t>(l)][f]);
         const std::size_t child_len = len;
         // dst layout: this level slow, children fast.
         for (idx_t j = 0; j < r; ++j) {
@@ -221,9 +233,9 @@ void ttmc_csf(const CsfTensor& csf,
     // No aliasing: pull(l, ...) sums children into acc[l] and expands
     // into the caller's destination, which is acc[l-1] (or the root
     // vector) — always a different level's buffer.
-    const Puller puller{csf, factors, below, acc};
-    const auto fids0 = csf.fids(0);
-    const auto fptr0 = csf.fptr(0);
+    const Puller puller{csf, factors, below, acc, fid_at, ptr_at};
+    const auto fids0 = fid_at[0];
+    const auto fptr0 = ptr_at[0];
     std::vector<val_t> root_vec(k);
     slices->for_ranges(tid, [&](nnz_t begin, nnz_t end) {
       for (nnz_t s = begin; s < end; ++s) {
@@ -342,7 +354,9 @@ TuckerResult tucker_hooi(const SparseTensor& x,
   if (options.use_csf) {
     SparseTensor sorted = x;
     csf_set = std::make_unique<CsfSet>(sorted, CsfPolicy::kAllMode,
-                                       nthreads);
+                                       nthreads, nullptr,
+                                       SortVariant::kAllOpts,
+                                       options.csf_layout);
     ttmc_schedules.resize(static_cast<std::size_t>(order));
     for (int m = 0; m < order; ++m) {
       int level = 0;

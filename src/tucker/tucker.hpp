@@ -60,6 +60,9 @@ struct TuckerOptions {
   /// HOOI loop and reused across all iterations (reset() per launch
   /// rewinds the dynamic cursor / reseeds the work-stealing deques).
   SchedulePolicy schedule = SchedulePolicy::kWeighted;
+  /// Index-stream widths of the all-mode CSF set the TTMc walks
+  /// (compressed = per-level narrowest, wide = u32/u64 baseline).
+  CsfLayout csf_layout = CsfLayout::kCompressed;
 };
 
 /// HOOI result.

@@ -66,7 +66,10 @@ TEST(Csf, HandExampleStructure) {
   SparseTensor t = hand_tensor();
   const std::vector<int> order = {0, 1, 2};  // natural order
   sort_tensor_perm(t, order, 1);
-  const CsfTensor csf(t, order);
+  // Wide layout: the seed's span accessors stay valid for this
+  // hand-checkable structure walk (compressed coverage lives in
+  // test_csf_compressed.cpp).
+  const CsfTensor csf(t, order, CsfLayout::kWide);
 
   // Root level: slices 0 and 1.
   ASSERT_EQ(csf.nfibers(0), 2u);
@@ -152,7 +155,7 @@ TEST(Csf, FiberPointersAreMonotoneAndCover) {
       {.dims = {40, 30, 20}, .nnz = 2500, .seed = 91});
   const auto order = csf_mode_order(t.dims(), -1);
   sort_tensor_perm(t, order, 1);
-  const CsfTensor csf(t, order);
+  const CsfTensor csf(t, order, CsfLayout::kWide);
   for (int l = 0; l < csf.order() - 1; ++l) {
     const auto fp = csf.fptr(l);
     ASSERT_EQ(fp.size(), csf.nfibers(l) + 1);
@@ -169,7 +172,7 @@ TEST(Csf, RootFidsAreStrictlyIncreasing) {
       {.dims = {50, 20, 20}, .nnz = 1500, .seed = 92});
   const auto order = csf_mode_order(t.dims(), 0);
   sort_tensor_perm(t, order, 1);
-  const CsfTensor csf(t, order);
+  const CsfTensor csf(t, order, CsfLayout::kWide);
   const auto fids = csf.fids(0);
   for (std::size_t i = 1; i < fids.size(); ++i) {
     EXPECT_LT(fids[i - 1], fids[i]);
@@ -181,7 +184,7 @@ TEST(Csf, MemoryBytesBounded) {
       {.dims = {30, 30, 30}, .nnz = 2000, .seed = 93});
   const auto order = csf_mode_order(t.dims(), -1);
   sort_tensor_perm(t, order, 1);
-  const CsfTensor csf(t, order);
+  const CsfTensor csf(t, order, CsfLayout::kWide);
   // At least the leaves (vals + fids), at most the fully uncompressed COO
   // plus pointer overhead.
   const std::uint64_t lower = 2000 * (sizeof(val_t) + sizeof(idx_t));

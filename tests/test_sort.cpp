@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "csf/csf.hpp"
 #include "sort/sort.hpp"
 #include "tensor/synthetic.hpp"
 
@@ -175,6 +176,42 @@ TEST(Sort, OrderTwoTensor) {
                                        .seed = 82});
   sort_tensor(t, 1, 2);
   EXPECT_TRUE(is_sorted(t, 1));
+}
+
+TEST(Sort, AlreadySortedFastPathSkipsResort) {
+  SparseTensor t = generate_synthetic({.dims = {60, 70, 80}, .nnz = 3000,
+                                       .seed = 84});
+  const std::vector<int> perm = {1, 0, 2};
+  sort_tensor_perm(t, perm, 2);
+  ASSERT_TRUE(is_sorted_perm(t, perm));
+  const SparseTensor before = t;
+  const std::uint64_t hits = sort_fastpath_hits();
+  // Re-sorting an already-ordered tensor must take the pre-scan exit and
+  // leave the nonzeros byte-identical (no duplicate reshuffling).
+  sort_tensor_perm(t, perm, 2);
+  EXPECT_EQ(sort_fastpath_hits(), hits + 1);
+  for (int m = 0; m < t.order(); ++m) {
+    for (nnz_t x = 0; x < t.nnz(); ++x) {
+      ASSERT_EQ(t.ind(m)[x], before.ind(m)[x]);
+    }
+  }
+  // A different order is NOT sorted: the fast path must not fire.
+  const std::vector<int> other = {2, 1, 0};
+  sort_tensor_perm(t, other, 2);
+  EXPECT_EQ(sort_fastpath_hits(), hits + 1);
+  EXPECT_TRUE(is_sorted_perm(t, other));
+}
+
+TEST(Sort, CsfSetRebuildHitsFastPath) {
+  SparseTensor t = generate_synthetic({.dims = {40, 50, 60}, .nnz = 2000,
+                                       .seed = 85});
+  const CsfSet first(t, CsfPolicy::kOneMode, 2);
+  const std::uint64_t hits = sort_fastpath_hits();
+  // The tensor is now ordered by the one-mode representation's order; a
+  // second build over the same COO skips its sort entirely.
+  const CsfSet second(t, CsfPolicy::kOneMode, 2);
+  EXPECT_EQ(sort_fastpath_hits(), hits + 1);
+  EXPECT_EQ(second.memory_bytes(), first.memory_bytes());
 }
 
 TEST(Sort, InvalidArgumentsThrow) {

@@ -109,6 +109,23 @@ INSTANTIATE_TEST_SUITE_P(ModesTiles, TiledMttkrpTest,
                          ::testing::Combine(::testing::Values(0, 1, 2),
                                             ::testing::Values(1, 2, 4, 8)));
 
+TEST(TiledTensor, RuntimePoliciesCoerceToWeightedAndReportIt) {
+  SparseTensor t = generate_synthetic({.dims = {100, 40, 30}, .nnz = 2000,
+                                       .seed = 77});
+  const TiledTensor weighted(t, 0, 4, SchedulePolicy::kWeighted);
+  EXPECT_EQ(weighted.effective_policy(), SchedulePolicy::kWeighted);
+  const TiledTensor uniform(t, 0, 4, SchedulePolicy::kStatic);
+  EXPECT_EQ(uniform.effective_policy(), SchedulePolicy::kStatic);
+  // Tiling is fixed ownership: the runtime policies coerce to weighted
+  // (with a one-time warning) and the getter reports what actually ran.
+  const TiledTensor dynamic(t, 0, 4, SchedulePolicy::kDynamic);
+  EXPECT_EQ(dynamic.effective_policy(), SchedulePolicy::kWeighted);
+  const TiledTensor stealing(t, 0, 4, SchedulePolicy::kWorkStealing);
+  EXPECT_EQ(stealing.effective_policy(), SchedulePolicy::kWeighted);
+  // The coerced structure matches the weighted one exactly.
+  EXPECT_EQ(dynamic.row_bounds(), weighted.row_bounds());
+}
+
 TEST(TiledMttkrp, AgreesWithCooMttkrp) {
   const SparseTensor t = generate_synthetic(
       {.dims = {60, 50, 40}, .nnz = 6000, .seed = 4006,

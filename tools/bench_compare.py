@@ -28,6 +28,11 @@ import sys
 # flags a solver regression the same way a timing blowup flags a perf
 # one. The `alg` field a completion record carries is NOT listed here, so
 # it stays part of record identity and solvers gate independently.
+# csf_bytes is the CSF memory footprint (deterministic at fixed
+# preset/scale/layout): gated lower-is-better exactly like a timing, so a
+# change that silently re-widens the compressed index streams fails CI.
+# The `csf_layout` identity field keeps compressed and wide records
+# paired separately.
 DEFAULT_METRICS = [
     "seconds",
     "total_seconds",
@@ -39,6 +44,7 @@ DEFAULT_METRICS = [
     "SORT",
     "train_rmse",
     "val_rmse",
+    "csf_bytes",
 ]
 
 # Run-varying counters: excluded from identity (two runs of the same

@@ -49,6 +49,12 @@ rm -f "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig5_routines" \
   --preset yelp --scale 0.002 --rank 16 --iters 2 --trials 1 \
   --threads-list 1,2 --schedule weighted --json "$SMOKE_JSON"
+# The same fig5 smoke on the wide (u32/u64) CSF layout: the ablation
+# baseline for the compressed index streams, and the reference the
+# csf_bytes gate below compares against.
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
+  --schedule weighted --csf-layout wide --json "$SMOKE_JSON"
 # The same smokes under the work-stealing policy (weighted seed +
 # per-thread deques), exercising the steals JSON plumbing end to end.
 "$BUILD_DIR/bench_fig5_routines" \
@@ -67,13 +73,45 @@ echo "== completion smoke: bench_completion (als, sgd, ccd) =="
   --threads-list 1,2 --alg-list als,sgd,ccd --json "$SMOKE_JSON"
 
 # The smoke runs must have produced one JSON record per configuration:
-# 8 weighted fig5 + 4 workstealing fig5 + 4 workstealing fig4 (lock
-# kinds) + 6 completion (3 solvers x 2 thread counts).
+# 8 weighted fig5 + 4 wide-layout fig5 + 4 workstealing fig5 + 4
+# workstealing fig4 (lock kinds) + 6 completion (3 solvers x 2 thread
+# counts).
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 22 ]; then
-  echo "ci: expected >= 22 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 26 ]; then
+  echo "ci: expected >= 26 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
+
+# Compressed CSF must actually shrink the index streams: every fig5
+# configuration that ran under both layouts must report strictly fewer
+# CSF bytes compressed than wide.
+python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+bytes_by_key = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if "csf_bytes" not in rec or rec.get("bench") != "Figure 5":
+            continue
+        key = (rec.get("rank"), rec.get("impl"), rec.get("threads"),
+               rec.get("schedule"))
+        bytes_by_key.setdefault(key, {})[rec.get("csf_layout")] = \
+            int(rec["csf_bytes"])
+pairs = 0
+for key, by_layout in bytes_by_key.items():
+    if "compressed" not in by_layout or "wide" not in by_layout:
+        continue
+    pairs += 1
+    c, w = by_layout["compressed"], by_layout["wide"]
+    if c >= w:
+        raise SystemExit(
+            f"ci: compressed CSF did not shrink for {key}: "
+            f"{c} bytes compressed vs {w} wide")
+    print(f"ci: csf_bytes {key}: {c} compressed vs {w} wide "
+          f"({w / c:.2f}x smaller)")
+if pairs == 0:
+    raise SystemExit("ci: no compressed/wide csf_bytes pairs found")
+EOF
 
 # Every solver must converge on the smoke tensor: the data is low-rank
 # with values O(1), so a train RMSE above 0.5 means a solver diverged or

@@ -43,6 +43,8 @@ void store(const SparseTensor& t, const std::string& path) {
 
 int cmd_stats(int argc, const char* const* argv) {
   Options cli("sptd stats", "print tensor statistics");
+  cli.add("csf", "two", "CSF policy for the storage report: one|two|all");
+  cli.add_flag("no-csf", "skip the CSF storage report (skips the sort)");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "stats: need a tensor file");
   const SparseTensor t = load(cli.positional().front());
@@ -63,6 +65,60 @@ int cmd_stats(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(ms.max_slice_nnz),
                 ms.avg_slice_nnz);
   }
+  if (cli.get_bool("no-csf")) {
+    return 0;
+  }
+
+  // CSF storage report: per-level index widths and bytes under the
+  // compressed layout, with the wide layout's total for comparison —
+  // derived arithmetically (same fiber counts, fixed u32/u64 widths)
+  // rather than paying a second sort + build.
+  const CsfPolicy policy = parse_csf_policy(cli.get_string("csf"));
+  const int nthreads = hardware_threads();
+  SparseTensor work = t;
+  const CsfSet set(work, policy, nthreads, nullptr, SortVariant::kAllOpts,
+                   CsfLayout::kCompressed);
+  const CsfSetStats cs = compute_csf_stats(set);
+  std::uint64_t wide_total = 0;
+  for (const CsfRepStats& rep : cs.reps) {
+    // vals + root prefix are width-independent.
+    wide_total += rep.total_bytes - rep.index_bytes;
+    for (const CsfLevelStats& ls : rep.levels) {
+      wide_total += ls.nfibers * sizeof(idx_t);
+      if (ls.ptr_width > 0) {
+        wide_total += (ls.nfibers + 1) * sizeof(nnz_t);
+      }
+    }
+  }
+  std::printf("csf (%s policy, compressed layout):\n",
+              csf_policy_name(policy));
+  for (const CsfRepStats& rep : cs.reps) {
+    std::printf("  rep root mode %d: %s (index %s)\n", rep.root_mode,
+                format_bytes(rep.total_bytes).c_str(),
+                format_bytes(rep.index_bytes).c_str());
+    for (const CsfLevelStats& ls : rep.levels) {
+      if (ls.ptr_width > 0) {
+        std::printf("    level %d (mode %d): %llu fibers, fids u%d "
+                    "(%s), fptr u%d (%s)\n",
+                    ls.level, ls.mode,
+                    static_cast<unsigned long long>(ls.nfibers),
+                    8 * ls.fid_width, format_bytes(ls.fid_bytes).c_str(),
+                    8 * ls.ptr_width, format_bytes(ls.ptr_bytes).c_str());
+      } else {
+        std::printf("    level %d (mode %d): %llu leaves, fids u%d (%s)\n",
+                    ls.level, ls.mode,
+                    static_cast<unsigned long long>(ls.nfibers),
+                    8 * ls.fid_width, format_bytes(ls.fid_bytes).c_str());
+      }
+    }
+  }
+  std::printf("  csf bytes: %s compressed vs %s wide (%.2fx)\n",
+              format_bytes(cs.total_bytes).c_str(),
+              format_bytes(wide_total).c_str(),
+              cs.total_bytes > 0
+                  ? static_cast<double>(wide_total) /
+                        static_cast<double>(cs.total_bytes)
+                  : 0.0);
   return 0;
 }
 
@@ -148,6 +204,8 @@ int cmd_cpd(int argc, const char* const* argv) {
   cli.add("threads", "0", "threads (0 = all)");
   cli.add("impl", "c", "c|chapel-initial|chapel-optimize");
   cli.add("csf", "two", "CSF policy one|two|all");
+  cli.add("csf-layout", "compressed",
+          "CSF index widths: compressed (narrowest per level) | wide");
   cli.add("schedule", "weighted",
           "slice scheduling policy static|weighted|dynamic|workstealing");
   cli.add("chunk", "16",
@@ -169,6 +227,7 @@ int cmd_cpd(int argc, const char* const* argv) {
   opts.nthreads = static_cast<int>(cli.get_int("threads"));
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
   opts.csf_policy = parse_csf_policy(cli.get_string("csf"));
+  opts.csf_layout = parse_csf_layout(cli.get_string("csf-layout"));
   opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
   opts.chunk_target = static_cast<int>(cli.get_int("chunk"));
   SPTD_CHECK(opts.chunk_target >= 1,
@@ -209,6 +268,8 @@ int cmd_tucker(int argc, const char* const* argv) {
   cli.add("iters", "50", "max iterations");
   cli.add("tolerance", "1e-5", "stopping tolerance");
   cli.add("threads", "0", "threads (0 = all)");
+  cli.add("csf-layout", "compressed",
+          "CSF index widths: compressed (narrowest per level) | wide");
   cli.add("schedule", "weighted",
           "slice scheduling policy static|weighted|dynamic|workstealing");
   cli.add("seed", "17", "init seed");
@@ -233,6 +294,7 @@ int cmd_tucker(int argc, const char* const* argv) {
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opts.nthreads = static_cast<int>(cli.get_int("threads"));
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
+  opts.csf_layout = parse_csf_layout(cli.get_string("csf-layout"));
   opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
 
   const TuckerResult r = tucker_hooi(t, opts);
