@@ -57,6 +57,9 @@ int main(int argc, char** argv) {
                          .field("strategies", strategies)
                          .field("csf_bytes", static_cast<std::int64_t>(
                                                  set.memory_bytes()))
+                         .field("value_bytes",
+                                static_cast<std::int64_t>(
+                                    set.value_bytes(mo.precision)))
                          .field("seconds", secs));
   }
   return 0;

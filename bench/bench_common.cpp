@@ -26,6 +26,9 @@ void add_common_flags(Options& cli, const char* default_preset,
           "inner-loop variant: fixed (rank-specialized SIMD) | generic");
   cli.add("csf-layout", "compressed",
           "CSF index widths: compressed (narrowest per level) | wide");
+  cli.add("precision", "f64",
+          "value-stream precision: f64 | f32 | mixed (fp32 streams, "
+          "fp64 accumulation)");
   cli.add("json", "",
           "append one JSON record per measurement to this file");
 }
@@ -36,6 +39,10 @@ SchedulePolicy schedule_flag(const Options& cli) {
 
 CsfLayout csf_layout_flag(const Options& cli) {
   return parse_csf_layout(cli.get_string("csf-layout"));
+}
+
+Precision precision_flag(const Options& cli) {
+  return parse_precision(cli.get_string("precision"));
 }
 
 namespace {
@@ -61,6 +68,7 @@ void apply_kernel_flags(const Options& cli, MttkrpOptions& opts) {
   opts.chunk_target = chunk_flag(cli);
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
   opts.csf_layout = csf_layout_flag(cli);
+  opts.precision = precision_flag(cli);
 }
 
 void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
@@ -68,6 +76,7 @@ void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
   opts.chunk_target = chunk_flag(cli);
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
   opts.csf_layout = csf_layout_flag(cli);
+  opts.precision = precision_flag(cli);
 }
 
 void apply_kernel_flags(const Options& cli, DistOptions& opts) {
@@ -75,6 +84,7 @@ void apply_kernel_flags(const Options& cli, DistOptions& opts) {
   opts.chunk_target = chunk_flag(cli);
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
   opts.csf_layout = csf_layout_flag(cli);
+  opts.precision = precision_flag(cli);
 }
 
 namespace {
@@ -160,6 +170,11 @@ void emit_json_record(const Options& cli, const char* bench,
       .field("chunk", cli.get_int("chunk"))
       .field("kernels", cli.get_string("kernels"))
       .field("csf_layout", cli.get_string("csf-layout"));
+  if (!record.has("precision")) {
+    // Precision sweeps (the precision ablation) set a per-record value;
+    // everything else records the --precision flag.
+    full.field("precision", cli.get_string("precision"));
+  }
   if (!record.has("kernel_width")) {
     // The width the flags select under pointer row access; row-access
     // sweeps set a per-record width instead.
@@ -270,7 +285,8 @@ RoutineTimers run_cpals_trials(const SparseTensor& tensor,
 std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
     const std::vector<std::string>& impl_names, int trials,
-    std::vector<std::uint64_t>* steals, std::uint64_t* csf_bytes) {
+    std::vector<std::uint64_t>* steals, std::uint64_t* csf_bytes,
+    std::uint64_t* value_bytes, std::vector<double>* fits) {
   std::vector<CpalsOptions> opts;
   for (const auto& name : impl_names) {
     CpalsOptions o = base_opts;
@@ -288,6 +304,9 @@ std::vector<RoutineTimers> run_impls_fair(
   if (steals != nullptr) {
     steals->assign(impl_names.size(), 0);
   }
+  if (fits != nullptr) {
+    fits->assign(impl_names.size(), 0.0);
+  }
   for (int trial = 0; trial < trials; ++trial) {
     for (std::size_t i = 0; i < opts.size(); ++i) {
       SparseTensor work = tensor;
@@ -298,6 +317,12 @@ std::vector<RoutineTimers> run_impls_fair(
       }
       if (csf_bytes != nullptr) {
         *csf_bytes = r.csf_bytes;
+      }
+      if (value_bytes != nullptr) {
+        *value_bytes = r.value_bytes;
+      }
+      if (fits != nullptr && !r.fit_history.empty()) {
+        (*fits)[i] = r.fit_history.back();
       }
       totals[i].accumulate(r.timers);
     }

@@ -37,6 +37,9 @@ SchedulePolicy schedule_flag(const Options& cli);
 /// widths, wide = the u32/u64 ablation baseline).
 CsfLayout csf_layout_flag(const Options& cli);
 
+/// The --precision flag, parsed (f64 | f32 | mixed; common/precision.hpp).
+Precision precision_flag(const Options& cli);
+
 /// The --chunk flag, validated (>= 1) before any unsigned conversion can
 /// wrap a negative value into a huge chunk target.
 int chunk_flag(const Options& cli);
@@ -124,11 +127,18 @@ RoutineTimers run_cpals_trials(const SparseTensor& tensor,
 /// \p csf_bytes, when non-null, receives the CSF footprint of the timed
 /// runs (each run overwrites it; the value is identical across variants
 /// and trials because they share one layout/policy/tensor).
+/// \p value_bytes, when non-null, likewise receives the bytes of tensor
+/// values streamed per MTTKRP launch under the run's precision.
+/// \p fits, when non-null, receives each variant's final fit (runs are
+/// deterministic in the seed, so the value is trial-independent) — the
+/// quality number the precision ablation gates on.
 std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
     const std::vector<std::string>& impl_names, int trials,
     std::vector<std::uint64_t>* steals = nullptr,
-    std::uint64_t* csf_bytes = nullptr);
+    std::uint64_t* csf_bytes = nullptr,
+    std::uint64_t* value_bytes = nullptr,
+    std::vector<double>* fits = nullptr);
 
 /// Prints the header used by per-routine tables (Figures 5-8, Table III).
 void print_routine_header(const char* label);

@@ -59,6 +59,9 @@ int run_rowaccess_figure(const char* fig_label, const char* default_preset,
                            .field("csf_bytes",
                                   static_cast<std::int64_t>(
                                       set.memory_bytes()))
+                           .field("value_bytes",
+                                  static_cast<std::int64_t>(
+                                      set.value_bytes(mo.precision)))
                            .field("seconds", seconds.back()));
     }
     print_series(row_access_name(ra), threads, seconds);
@@ -101,15 +104,19 @@ int run_routines_figure(const char* fig_label, const char* default_preset,
     apply_kernel_flags(cli, base);
     std::vector<std::uint64_t> steals;
     std::uint64_t csf_bytes = 0;
-    const auto results =
-        run_impls_fair(x, base, impls, trials, &steals, &csf_bytes);
+    std::uint64_t value_bytes = 0;
+    std::vector<double> fits;
+    const auto results = run_impls_fair(x, base, impls, trials, &steals,
+                                        &csf_bytes, &value_bytes, &fits);
     for (std::size_t i = 0; i < impls.size(); ++i) {
       print_routine_row(impls[i].c_str(), results[i]);
       JsonRecord rec;
       rec.field("impl", impls[i])
           .field("threads", std::int64_t{t})
           .field("steals", static_cast<std::int64_t>(steals[i]))
-          .field("csf_bytes", static_cast<std::int64_t>(csf_bytes));
+          .field("csf_bytes", static_cast<std::int64_t>(csf_bytes))
+          .field("value_bytes", static_cast<std::int64_t>(value_bytes))
+          .field("fit", fits[i]);
       for (int r = 0; r < kNumRoutines; ++r) {
         rec.field(routine_name(static_cast<Routine>(r)),
                   results[i].seconds(static_cast<Routine>(r)));
@@ -167,6 +174,9 @@ int run_scaling_figure(const char* fig_label, const char* default_preset,
                            .field("csf_bytes",
                                   static_cast<std::int64_t>(
                                       set.memory_bytes()))
+                           .field("value_bytes",
+                                  static_cast<std::int64_t>(
+                                      set.value_bytes(mo.precision)))
                            .field("seconds", seconds.back()));
     }
     print_series(variant.name, threads, seconds);

@@ -1,0 +1,57 @@
+#pragma once
+/// \file precision.hpp
+/// \brief Value-stream precision selection (`--precision f64|f32|mixed`).
+///
+/// MTTKRP is memory-bandwidth-bound; once the index stream is compressed
+/// the fp64 factor rows and nonzero values dominate the bytes per launch.
+/// The precision axis controls how those value streams are stored and
+/// accumulated:
+///
+///   f64    fp64 streams, fp64 accumulation — the baseline. Selecting it
+///          runs the exact pre-precision code paths (bit-identical).
+///   f32    fp32 streams AND fp32 register accumulation; factor matrices
+///          are rounded through fp32 after every update. Maximum
+///          bandwidth win, loosest accuracy.
+///   mixed  fp32 streams (factor-row shadows + an fp32 copy of the CSF
+///          values), fp64 register accumulation and fp64 master factors.
+///          Near-f32 bandwidth at near-f64 accuracy.
+///
+/// Per-precision accuracy contracts (tested in tests/test_precision.cpp,
+/// next to the standing 1e-12 fixed-vs-generic contract): mixed CP-ALS
+/// fits match f64 within 1e-6, f32 within 1e-3 on the smoke fixtures.
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sptd {
+
+enum class Precision : int {
+  kF64 = 0,
+  kF32,
+  kMixed,
+};
+
+inline const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kF64:   return "f64";
+    case Precision::kF32:   return "f32";
+    case Precision::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+inline Precision parse_precision(const std::string& name) {
+  if (name == "f64") return Precision::kF64;
+  if (name == "f32") return Precision::kF32;
+  if (name == "mixed") return Precision::kMixed;
+  throw Error("unknown precision '" + name + "' (expected f64|f32|mixed)");
+}
+
+/// Bytes per stored value under a precision (f32 and mixed both stream
+/// 4-byte values; f64 streams 8).
+inline std::size_t precision_value_width(Precision p) {
+  return p == Precision::kF64 ? sizeof(double) : sizeof(float);
+}
+
+}  // namespace sptd

@@ -137,6 +137,19 @@ CompletionResult complete_tensor(const SparseTensor& train,
   std::vector<la::Matrix> best_factors;
   for (int it = 0; it < options.max_iterations; ++it) {
     solver->run_epoch(model, it);
+    if (options.precision == Precision::kF32) {
+      // Pure-f32 ablation endpoint: the factors carry only fp32
+      // information between epochs (RMSE bookkeeping stays fp64). The
+      // rounding moves the model under CCD++'s incrementally maintained
+      // residual, so that solver's residual is rebuilt from the rounded
+      // factors before the next epoch.
+      for (la::Matrix& factor : model.factors) {
+        la::round_through_f32(factor);
+      }
+      if (options.algorithm == CompletionAlgorithm::kCcd) {
+        solver->begin(model);
+      }
+    }
     result.train_rmse.push_back(
         rmse(train, model, nthreads, options.use_fixed_kernels));
     result.iterations = it + 1;

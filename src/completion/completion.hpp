@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/precision.hpp"
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
 #include "parallel/schedule.hpp"
@@ -75,6 +76,14 @@ struct CompletionOptions {
   /// where the rank has one (la/kernels.hpp); false forces the generic
   /// runtime-length loops (the scalar reference path).
   bool use_fixed_kernels = true;
+  /// Value-stream precision (common/precision.hpp). f64 is the exact
+  /// pre-precision pipeline. f32/mixed read the observed training values
+  /// through an fp32 copy (the per-epoch value stream of every solver) —
+  /// widened at the read, so errors, gradients, row solves, the CCD++
+  /// residual, and all RMSEs still accumulate fp64. f32 additionally
+  /// rounds every factor through fp32 after each epoch (the pure-fp32
+  /// ablation endpoint mixed is judged against).
+  Precision precision = Precision::kF64;
 };
 
 /// Result of a completion run.

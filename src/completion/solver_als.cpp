@@ -24,8 +24,12 @@ namespace {
 
 namespace kern = la::kern;
 
-template <idx_t W>
+/// \p vals is the mode's grouped value stream — fp64 under f64 precision,
+/// the workspace's fp32 copy under f32/mixed; each value widens to val_t
+/// at the read, so the normal equations accumulate fp64 regardless.
+template <idx_t W, typename StoreT>
 void als_update_mode(CompletionWorkspace& ws, int mode,
+                     const StoreT* SPTD_RESTRICT vals,
                      std::vector<la::Matrix>& factors,
                      std::vector<la::Matrix>& normals,
                      std::vector<la::Matrix>& rhs) {
@@ -67,7 +71,7 @@ void als_update_mode(CompletionWorkspace& ws, int mode,
             Ops::hadamard(c, row, rank);
           }
         }
-        Ops::axpy(b, c, t.vals()[x], rank);
+        Ops::axpy(b, c, static_cast<val_t>(vals[x]), rank);
         // Full-row deposits build the whole symmetric normal matrix in
         // one vectorized sweep (padding lanes of c are zero, so the
         // padded columns of `normal` stay zero).
@@ -106,10 +110,18 @@ class AlsSolver final : public CompletionSolver {
   [[nodiscard]] const char* name() const override { return "als"; }
 
   void run_epoch(KruskalModel& model, int /*epoch*/) override {
+    const bool narrow = ws_.options().precision != Precision::kF64;
     for (int m = 0; m < ws_.order(); ++m) {
+      const ModeSlices& ms = ws_.mode_slices(m);
       kern::dispatch_width(ws_.kernel_width(), [&](auto wc) {
-        als_update_mode<decltype(wc)::value>(ws_, m, model.factors,
-                                             normals_, rhs_);
+        if (narrow) {
+          als_update_mode<decltype(wc)::value>(
+              ws_, m, ms.vals_f32.data(), model.factors, normals_, rhs_);
+        } else {
+          als_update_mode<decltype(wc)::value>(
+              ws_, m, ms.grouped.vals().data(), model.factors, normals_,
+              rhs_);
+        }
       });
     }
   }

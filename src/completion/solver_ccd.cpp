@@ -44,7 +44,9 @@ class CcdSolver final : public CompletionSolver {
   [[nodiscard]] const char* name() const override { return "ccd"; }
 
   /// res_x = X_x - model(x) over the canonical nonzero order, distributed
-  /// by the workspace's whole-nonzero schedule.
+  /// by the workspace's whole-nonzero schedule. Under f32/mixed precision
+  /// the observed values come from the workspace's fp32 canonical copy
+  /// (widened at the read); the residual itself is always fp64.
   void begin(const KruskalModel& model) override {
     const SparseTensor& t = ws_.train();
     const idx_t rank = ws_.options().rank;
@@ -52,27 +54,35 @@ class CcdSolver final : public CompletionSolver {
     aligned_vector<val_t>& res = ws_.residual();
     const SliceSchedule& schedule = ws_.nnz_schedule();
     schedule.reset();
-    parallel_region(ws_.nthreads(), [&](int tid, int) {
-      la::Matrix& scratch = ws_.scratch(tid);
-      val_t* SPTD_RESTRICT h = scratch.row_ptr(0);
-      const val_t* ones = scratch.row_ptr(2);
-      kern::dispatch_width(ws_.kernel_width(), [&](auto wc) {
-        using Ops = kern::RowOps<decltype(wc)::value>;
-        schedule.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
-          for (nnz_t x = begin; x < end; ++x) {
-            Ops::copy(h, model.factors[0].row_ptr(t.ind(0)[x]), rank);
-            for (int m = 1; m < order; ++m) {
-              Ops::hadamard(
-                  h,
-                  model.factors[static_cast<std::size_t>(m)].row_ptr(
-                      t.ind(m)[x]),
-                  rank);
+    const auto init_pass = [&](const auto* SPTD_RESTRICT vals) {
+      parallel_region(ws_.nthreads(), [&](int tid, int) {
+        la::Matrix& scratch = ws_.scratch(tid);
+        val_t* SPTD_RESTRICT h = scratch.row_ptr(0);
+        const val_t* ones = scratch.row_ptr(2);
+        kern::dispatch_width(ws_.kernel_width(), [&](auto wc) {
+          using Ops = kern::RowOps<decltype(wc)::value>;
+          schedule.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+            for (nnz_t x = begin; x < end; ++x) {
+              Ops::copy(h, model.factors[0].row_ptr(t.ind(0)[x]), rank);
+              for (int m = 1; m < order; ++m) {
+                Ops::hadamard(
+                    h,
+                    model.factors[static_cast<std::size_t>(m)].row_ptr(
+                        t.ind(m)[x]),
+                    rank);
+              }
+              res[x] =
+                  static_cast<val_t>(vals[x]) - Ops::dot(h, ones, rank);
             }
-            res[x] = t.vals()[x] - Ops::dot(h, ones, rank);
-          }
+          });
         });
       });
-    });
+    };
+    if (ws_.options().precision != Precision::kF64) {
+      init_pass(ws_.train_vals_f32().data());
+    } else {
+      init_pass(t.vals().data());
+    }
   }
 
   void run_epoch(KruskalModel& model, int /*epoch*/) override {

@@ -36,10 +36,14 @@ namespace kern = la::kern;
 ///   [2*order, 3*order)  suffix products
 ///   3*order, 3*order+1  prefix ping-pong
 ///   3*order + 2         the all-ones row (padding lanes zero)
-template <idx_t W>
-void sgd_update(const SparseTensor& t, nnz_t x,
-                std::vector<la::Matrix>& factors, la::Matrix& scratch,
-                idx_t rank, int order, val_t lr, val_t reg) {
+/// \p vals is the canonical-order value stream (\p x indexes original
+/// nnz ids) — fp64 under f64 precision, the workspace's fp32 copy under
+/// f32/mixed; the error term widens at the read and stays fp64.
+template <idx_t W, typename StoreT>
+void sgd_update(const SparseTensor& t, const StoreT* SPTD_RESTRICT vals,
+                nnz_t x, std::vector<la::Matrix>& factors,
+                la::Matrix& scratch, idx_t rank, int order, val_t lr,
+                val_t reg) {
   using Ops = kern::RowOps<W>;
   const auto old_row = [&](int m) {
     return scratch.row_ptr(static_cast<idx_t>(m));
@@ -79,7 +83,7 @@ void sgd_update(const SparseTensor& t, nnz_t x,
   }
 
   const val_t e =
-      t.vals()[x] - Ops::dot(other_row(0), old_row(0), rank);
+      static_cast<val_t>(vals[x]) - Ops::dot(other_row(0), old_row(0), rank);
   for (int m = 0; m < order; ++m) {
     val_t* row = factors[static_cast<std::size_t>(m)].row_ptr(t.ind(m)[x]);
     Ops::axpy(row, other_row(m), lr * e, rank);
@@ -150,10 +154,19 @@ class SgdSolver final : public CompletionSolver {
           std::swap(ids[i], ids[shuffle.next_below(i + 1)]);
         }
         la::Matrix& scratch = ws_.scratch(tid);
+        const bool narrow = opts.precision != Precision::kF64;
         kern::dispatch_width(ws_.kernel_width(), [&](auto wc) {
-          for (nnz_t i = 0; i < n; ++i) {
-            sgd_update<decltype(wc)::value>(t, ids[i], model.factors,
-                                            scratch, rank, order, lr, reg);
+          const auto run = [&](const auto* SPTD_RESTRICT vals) {
+            for (nnz_t i = 0; i < n; ++i) {
+              sgd_update<decltype(wc)::value>(t, vals, ids[i],
+                                              model.factors, scratch, rank,
+                                              order, lr, reg);
+            }
+          };
+          if (narrow) {
+            run(ws_.train_vals_f32().data());
+          } else {
+            run(t.vals().data());
           }
         });
       });

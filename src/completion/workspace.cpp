@@ -46,6 +46,13 @@ ModeSlices build_mode_slices(const SparseTensor& t, int mode,
     }
   }
   ms.grouped = std::move(grouped);
+  if (options.precision != Precision::kF64) {
+    const auto vals = ms.grouped.vals();
+    ms.vals_f32.resize(nnz);
+    for (nnz_t p = 0; p < nnz; ++p) {
+      ms.vals_f32[p] = static_cast<float>(vals[p]);
+    }
+  }
   ms.schedule = SliceSchedule(options.schedule, dim, ms.slice_ptr,
                               options.nthreads,
                               static_cast<nnz_t>(options.chunk_target));
@@ -162,6 +169,13 @@ CompletionWorkspace::CompletionWorkspace(const SparseTensor& train,
   nnz_schedule_ = SliceSchedule(options.schedule, train.nnz(), {},
                                 options.nthreads,
                                 static_cast<nnz_t>(options.chunk_target));
+  if (options.precision != Precision::kF64) {
+    const auto vals = train.vals();
+    train_vals_f32_.resize(train.nnz());
+    for (nnz_t x = 0; x < train.nnz(); ++x) {
+      train_vals_f32_[x] = static_cast<float>(vals[x]);
+    }
+  }
   if (options.algorithm == CompletionAlgorithm::kSgd) {
     strata_ = build_strata(train, slices_, options);
   }

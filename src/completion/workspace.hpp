@@ -13,6 +13,7 @@
 /// beyond scalars.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -36,6 +37,9 @@ struct ModeSlices {
   std::vector<nnz_t> slice_ptr;  ///< per-slice extents (dims[m]+1)
   std::vector<nnz_t> canon;      ///< grouped position -> original nnz id
   SliceSchedule schedule;        ///< row distribution over the team
+  /// fp32 copy of grouped.vals(), built only under f32/mixed precision
+  /// (empty under f64): the value stream the ALS row passes read.
+  std::vector<float> vals_f32;
 };
 
 /// The SGD stratum grid: each mode's index space is cut into S blocks by
@@ -84,6 +88,14 @@ class CompletionWorkspace {
     return nnz_schedule_;
   }
 
+  /// fp32 copy of the training values in canonical (original) nonzero
+  /// order, built only under f32/mixed precision — the value stream of
+  /// the passes that index original nnz ids (SGD updates, the CCD++
+  /// residual initialization).
+  [[nodiscard]] std::span<const float> train_vals_f32() const {
+    return train_vals_f32_;
+  }
+
   /// SGD stratum grid (empty unless algorithm == kSgd).
   [[nodiscard]] StratumGrid& strata() { return strata_; }
   [[nodiscard]] const StratumGrid& strata() const { return strata_; }
@@ -110,6 +122,7 @@ class CompletionWorkspace {
   idx_t kernel_width_ = 0;
   std::vector<ModeSlices> slices_;
   SliceSchedule nnz_schedule_;
+  std::vector<float> train_vals_f32_;
   StratumGrid strata_;
   aligned_vector<val_t> residual_;
   std::vector<la::Matrix> scratch_;

@@ -115,6 +115,7 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
 
   CpalsResult result;
   result.csf_bytes = csf_set.memory_bytes();
+  result.value_bytes = csf_set.value_bytes(options.precision);
   RoutineTimers& timers = result.timers;
 
   // Factor initialization: uniform [0,1), deterministic in the seed.
@@ -149,6 +150,7 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
   mopts.allow_privatization = options.allow_privatization;
   mopts.use_fixed_kernels = options.use_fixed_kernels;
   mopts.csf_layout = options.csf_layout;
+  mopts.precision = options.precision;
   // All scheduling decisions — representation/level per mode, sync
   // strategy, slice bounds, tile boundaries, reduction buffers — are
   // frozen here; the iteration loop below is pure execution.
@@ -212,6 +214,14 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
                             it == 0 ? la::MatNorm::kTwo : la::MatNorm::kMax,
                             nthreads);
       timers.stop(Routine::kMatNorm);
+
+      // Pure-f32 mode: the factor master itself carries only fp32
+      // information (the ablation endpoint the mixed mode is judged
+      // against). Rounding after normalization keeps λ and the Grams
+      // consistent with what the next MTTKRP streams.
+      if (options.precision == Precision::kF32) {
+        la::round_through_f32(factor);
+      }
 
       // Refresh this mode's Gram matrix.
       timers.start(Routine::kMatAtA);

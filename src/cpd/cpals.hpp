@@ -46,6 +46,14 @@ struct CpalsOptions {
   /// Rank-specialized SIMD kernels (MttkrpOptions::use_fixed_kernels);
   /// disable to benchmark the generic runtime-rank loops.
   bool use_fixed_kernels = true;
+  /// Value-stream precision (common/precision.hpp). f64 is the exact
+  /// pre-precision pipeline; mixed streams fp32 factor shadows + fp32 CSF
+  /// values through the MTTKRP with fp64 accumulation (factor masters
+  /// stay fp64 — fits match f64 within 1e-6 on the smoke fixtures); f32
+  /// additionally accumulates in fp32 and rounds each updated factor
+  /// through fp32 (fits within 1e-3). Solves, norms, Grams, and the fit
+  /// always run fp64.
+  Precision precision = Precision::kF64;
 
   /// Compute the fit every iteration even when tolerance == 0 (the fit is
   /// one of the paper's timed routines, so the default keeps it on).
@@ -65,6 +73,10 @@ struct CpalsResult {
   int iterations = 0;               ///< iterations actually performed
   RoutineTimers timers;             ///< the paper's six routine timings
   std::uint64_t csf_bytes = 0;      ///< CSF memory footprint
+  /// Bytes of tensor values streamed per MTTKRP launch under the run's
+  /// precision: nnz * value width, summed over the CSF set's
+  /// representations (8 B/value for f64, 4 B for f32/mixed).
+  std::uint64_t value_bytes = 0;
 };
 
 /// Named implementation presets matching the paper's legend entries:

@@ -362,6 +362,16 @@ std::uint64_t CsfTensor::memory_bytes() const {
   return bytes;
 }
 
+std::span<const float> CsfTensor::vals_f32() const {
+  if (vals_f32_.size() != vals_.size()) {
+    vals_f32_.resize(vals_.size());
+    for (std::size_t x = 0; x < vals_.size(); ++x) {
+      vals_f32_[x] = static_cast<float>(vals_[x]);
+    }
+  }
+  return vals_f32_;
+}
+
 CsfPolicy parse_csf_policy(const std::string& name) {
   if (name == "one") return CsfPolicy::kOneMode;
   if (name == "two") return CsfPolicy::kTwoMode;
@@ -454,6 +464,14 @@ std::uint64_t CsfSet::memory_bytes() const {
   std::uint64_t bytes = 0;
   for (const auto& csf : csfs_) {
     bytes += csf.memory_bytes();
+  }
+  return bytes;
+}
+
+std::uint64_t CsfSet::value_bytes(Precision p) const {
+  std::uint64_t bytes = 0;
+  for (const auto& csf : csfs_) {
+    bytes += csf.value_bytes(p);
   }
   return bytes;
 }

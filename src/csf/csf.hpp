@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/precision.hpp"
 #include "sort/sort.hpp"
 #include "tensor/coo.hpp"
 
@@ -193,6 +194,19 @@ class CsfTensor {
   /// Leaf values, aligned with the leaf fid stream.
   [[nodiscard]] std::span<const val_t> vals() const { return vals_; }
 
+  /// fp32 copy of the leaf values (the `--precision f32|mixed` stream),
+  /// built lazily on first call and cached for the tensor's lifetime.
+  /// The first call is NOT thread-safe — the MTTKRP dispatch resolves it
+  /// on the orchestrating thread before entering any parallel region.
+  [[nodiscard]] std::span<const float> vals_f32() const;
+
+  /// Bytes the value stream occupies under \p p: nnz() times the
+  /// precision's stored width. This is the "value_bytes" the stats table
+  /// and bench JSON report next to index_bytes()/memory_bytes().
+  [[nodiscard]] std::uint64_t value_bytes(Precision p) const {
+    return static_cast<std::uint64_t>(nnz()) * precision_value_width(p);
+  }
+
   /// Exclusive prefix of nonzeros under each root slice (length
   /// nfibers(0)+1) — the weights used to balance tree ranges over threads.
   [[nodiscard]] std::span<const nnz_t> root_nnz_prefix() const {
@@ -223,6 +237,7 @@ class CsfTensor {
   std::vector<PtrStore> fptrs_;  ///< levels 0..order-2
   std::vector<FidStore> fids_;   ///< levels 0..order-1
   std::vector<val_t> vals_;
+  mutable std::vector<float> vals_f32_;  ///< lazy precision!=f64 stream
   std::vector<nnz_t> root_nnz_prefix_;
 };
 
@@ -271,6 +286,10 @@ class CsfSet {
 
   /// Total memory across representations.
   [[nodiscard]] std::uint64_t memory_bytes() const;
+
+  /// Value-stream bytes across representations under \p p (what the hot
+  /// loops stream; the fp64 masters stay resident regardless).
+  [[nodiscard]] std::uint64_t value_bytes(Precision p) const;
 
  private:
   CsfPolicy policy_;

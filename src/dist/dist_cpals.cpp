@@ -145,6 +145,7 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
   mopts.chunk_target = options.chunk_target;
   mopts.use_fixed_kernels = options.use_fixed_kernels;
   mopts.csf_layout = options.csf_layout;
+  mopts.precision = options.precision;
   std::vector<std::unique_ptr<CsfSet>> sets(nlocales);
   std::vector<std::unique_ptr<MttkrpPlan>> plans(nlocales);
   for (std::size_t l = 0; l < nlocales; ++l) {

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/precision.hpp"
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
 #include "csf/csf.hpp"
@@ -51,6 +52,10 @@ struct DistOptions {
   /// CSF index-stream widths of each locale's representations
   /// (compressed = narrowest per level; wide = u32/u64 baseline).
   CsfLayout csf_layout = CsfLayout::kCompressed;
+  /// Value-stream precision inside each locale's MTTKRP plan
+  /// (MttkrpOptions::precision); the reductions, solves, and fit always
+  /// run fp64 — only the local kernels change what they stream.
+  Precision precision = Precision::kF64;
 };
 
 /// Per-mode communication volume of one CP-ALS iteration, in bytes, both

@@ -15,21 +15,27 @@ namespace {
 /// dst[j] += a0*x0[j] + a1*x1[j] + a2*x2[j] + a3*x3[j] — the fused 4-row
 /// axpy panel the register-blocked Gram/matmul loops are built from. Four
 /// accumulating streams share one pass over dst, so the store traffic of
-/// four plain axpy calls collapses into one.
-inline void axpy4(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x0,
-                  const val_t* SPTD_RESTRICT x1,
-                  const val_t* SPTD_RESTRICT x2,
-                  const val_t* SPTD_RESTRICT x3, val_t a0, val_t a1,
-                  val_t a2, val_t a3, idx_t begin, idx_t n) {
+/// four plain axpy calls collapses into one. The streamed rows and
+/// coefficients may be fp32 (StoreT); the destination is always the fp64
+/// accumulator, and products are widened before the adds.
+template <typename S>
+inline void axpy4(val_t* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x0,
+                  const S* SPTD_RESTRICT x1, const S* SPTD_RESTRICT x2,
+                  const S* SPTD_RESTRICT x3, S a0, S a1, S a2, S a3,
+                  idx_t begin, idx_t n) {
 #pragma omp simd
   for (idx_t j = begin; j < n; ++j) {
-    dst[j] += a0 * x0[j] + a1 * x1[j] + a2 * x2[j] + a3 * x3[j];
+    dst[j] += static_cast<val_t>(a0) * static_cast<val_t>(x0[j]) +
+              static_cast<val_t>(a1) * static_cast<val_t>(x1[j]) +
+              static_cast<val_t>(a2) * static_cast<val_t>(x2[j]) +
+              static_cast<val_t>(a3) * static_cast<val_t>(x3[j]);
   }
 }
 
 }  // namespace
 
-void ata(const Matrix& a, Matrix& out, int nthreads) {
+template <typename T>
+void ata(const MatrixT<T>& a, Matrix& out, int nthreads) {
   const idx_t rank = a.cols();
   SPTD_CHECK(out.rows() == rank && out.cols() == rank, "ata: bad out shape");
   const auto rank_sz = static_cast<std::size_t>(rank);
@@ -43,17 +49,17 @@ void ata(const Matrix& a, Matrix& out, int nthreads) {
     val_t* acc = partials.buffer(tid).data();
     nnz_t i = rows.begin;
     for (; i + 4 <= rows.end; i += 4) {
-      const val_t* SPTD_RESTRICT r0 = a.row_ptr(static_cast<idx_t>(i));
-      const val_t* SPTD_RESTRICT r1 = a.row_ptr(static_cast<idx_t>(i + 1));
-      const val_t* SPTD_RESTRICT r2 = a.row_ptr(static_cast<idx_t>(i + 2));
-      const val_t* SPTD_RESTRICT r3 = a.row_ptr(static_cast<idx_t>(i + 3));
+      const T* SPTD_RESTRICT r0 = a.row_ptr(static_cast<idx_t>(i));
+      const T* SPTD_RESTRICT r1 = a.row_ptr(static_cast<idx_t>(i + 1));
+      const T* SPTD_RESTRICT r2 = a.row_ptr(static_cast<idx_t>(i + 2));
+      const T* SPTD_RESTRICT r3 = a.row_ptr(static_cast<idx_t>(i + 3));
       for (idx_t j = 0; j < rank; ++j) {
         axpy4(acc + static_cast<std::size_t>(j) * rank_sz, r0, r1, r2, r3,
               r0[j], r1[j], r2[j], r3[j], j, rank);
       }
     }
     for (; i < rows.end; ++i) {
-      const val_t* SPTD_RESTRICT row = a.row_ptr(static_cast<idx_t>(i));
+      const T* SPTD_RESTRICT row = a.row_ptr(static_cast<idx_t>(i));
       for (idx_t j = 0; j < rank; ++j) {
         kern::axpy(acc + static_cast<std::size_t>(j) * rank_sz + j, row + j,
                    row[j], rank - j);
@@ -75,6 +81,9 @@ void ata(const Matrix& a, Matrix& out, int nthreads) {
     }
   }
 }
+
+template void ata(const MatrixT<double>& a, Matrix& out, int nthreads);
+template void ata(const MatrixT<float>& a, Matrix& out, int nthreads);
 
 void hadamard_inplace(Matrix& out, const Matrix& b) {
   SPTD_CHECK(out.rows() == b.rows() && out.cols() == b.cols(),
@@ -102,7 +111,8 @@ void gram_hadamard(const std::vector<Matrix>& grams, int skip, Matrix& out) {
   }
 }
 
-void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
+template <typename T>
+void matmul(const MatrixT<T>& a, const MatrixT<T>& b, Matrix& c) {
   SPTD_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   SPTD_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
              "matmul: bad out shape");
@@ -112,7 +122,7 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
   // over c's row absorbs four rows of B.
   for (idx_t i = 0; i < a.rows(); ++i) {
     val_t* SPTD_RESTRICT crow = c.row_ptr(i);
-    const val_t* SPTD_RESTRICT arow = a.row_ptr(i);
+    const T* SPTD_RESTRICT arow = a.row_ptr(i);
     idx_t k = 0;
     for (; k + 4 <= a.cols(); k += 4) {
       axpy4(crow, b.row_ptr(k), b.row_ptr(k + 1), b.row_ptr(k + 2),
@@ -125,7 +135,13 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
-void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
+template void matmul(const MatrixT<double>& a, const MatrixT<double>& b,
+                     Matrix& c);
+template void matmul(const MatrixT<float>& a, const MatrixT<float>& b,
+                     Matrix& c);
+
+template <typename T>
+void matmul_at_b(const MatrixT<T>& a, const MatrixT<T>& b, Matrix& c) {
   SPTD_CHECK(a.rows() == b.rows(), "matmul_at_b: row mismatch");
   SPTD_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
              "matmul_at_b: bad out shape");
@@ -135,23 +151,28 @@ void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
   // over c retires four rows of A and B.
   idx_t i = 0;
   for (; i + 4 <= a.rows(); i += 4) {
-    const val_t* SPTD_RESTRICT a0 = a.row_ptr(i);
-    const val_t* SPTD_RESTRICT a1 = a.row_ptr(i + 1);
-    const val_t* SPTD_RESTRICT a2 = a.row_ptr(i + 2);
-    const val_t* SPTD_RESTRICT a3 = a.row_ptr(i + 3);
+    const T* SPTD_RESTRICT a0 = a.row_ptr(i);
+    const T* SPTD_RESTRICT a1 = a.row_ptr(i + 1);
+    const T* SPTD_RESTRICT a2 = a.row_ptr(i + 2);
+    const T* SPTD_RESTRICT a3 = a.row_ptr(i + 3);
     for (idx_t k = 0; k < a.cols(); ++k) {
       axpy4(c.row_ptr(k), b.row_ptr(i), b.row_ptr(i + 1), b.row_ptr(i + 2),
             b.row_ptr(i + 3), a0[k], a1[k], a2[k], a3[k], 0, n);
     }
   }
   for (; i < a.rows(); ++i) {
-    const val_t* SPTD_RESTRICT arow = a.row_ptr(i);
-    const val_t* SPTD_RESTRICT brow = b.row_ptr(i);
+    const T* SPTD_RESTRICT arow = a.row_ptr(i);
+    const T* SPTD_RESTRICT brow = b.row_ptr(i);
     for (idx_t k = 0; k < a.cols(); ++k) {
       kern::axpy(c.row_ptr(k), brow, arow[k], n);
     }
   }
 }
+
+template void matmul_at_b(const MatrixT<double>& a, const MatrixT<double>& b,
+                          Matrix& c);
+template void matmul_at_b(const MatrixT<float>& a, const MatrixT<float>& b,
+                          Matrix& c);
 
 val_t fro_inner(const Matrix& a, const Matrix& b, int nthreads) {
   SPTD_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),

@@ -7,6 +7,13 @@
 /// O(I R^2) streaming kernels that OpenBLAS would not meaningfully beat at
 /// this size). Each kernel takes an explicit thread count because the
 /// benches sweep team sizes.
+///
+/// The register-blocked panel kernels (ata / matmul / matmul_at_b) are
+/// templated on the *input* element type — the StoreT side of the
+/// `--precision` axis — while the output and the panel accumulators stay
+/// fp64 (AccumT = val_t): fp32 factor streams are widened inside the
+/// fused 4-row panels, never accumulated in fp32. Instantiated for double
+/// (the default everywhere) and float (the f32/mixed shadow path).
 
 #include "la/matrix.hpp"
 
@@ -14,9 +21,15 @@ namespace sptd::la {
 
 /// out = A^T * A (cols x cols), the `syrk` the paper's "Mat A^TA" routine
 /// performs on each factor matrix. Parallelized over row blocks with
-/// per-thread accumulators. Only the upper triangle is computed, then
-/// mirrored (matching LAPACK syrk + symmetrization).
-void ata(const Matrix& a, Matrix& out, int nthreads);
+/// per-thread fp64 accumulators regardless of T. Only the upper triangle
+/// is computed, then mirrored (matching LAPACK syrk + symmetrization).
+template <typename T>
+void ata(const MatrixT<T>& a, Matrix& out, int nthreads);
+
+extern template void ata(const MatrixT<double>& a, Matrix& out,
+                         int nthreads);
+extern template void ata(const MatrixT<float>& a, Matrix& out,
+                         int nthreads);
 
 /// out ∗= b elementwise (Hadamard). Shapes must match.
 void hadamard_inplace(Matrix& out, const Matrix& b);
@@ -27,10 +40,23 @@ void hadamard_inplace(Matrix& out, const Matrix& b);
 void gram_hadamard(const std::vector<Matrix>& grams, int skip, Matrix& out);
 
 /// c = a * b (general dense, small sizes; used by tests and fit checks).
-void matmul(const Matrix& a, const Matrix& b, Matrix& c);
+/// Inputs of element type T stream through fp64 panels into an fp64 c.
+template <typename T>
+void matmul(const MatrixT<T>& a, const MatrixT<T>& b, Matrix& c);
+
+extern template void matmul(const MatrixT<double>& a,
+                            const MatrixT<double>& b, Matrix& c);
+extern template void matmul(const MatrixT<float>& a,
+                            const MatrixT<float>& b, Matrix& c);
 
 /// c = a^T * b.
-void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& c);
+template <typename T>
+void matmul_at_b(const MatrixT<T>& a, const MatrixT<T>& b, Matrix& c);
+
+extern template void matmul_at_b(const MatrixT<double>& a,
+                                 const MatrixT<double>& b, Matrix& c);
+extern template void matmul_at_b(const MatrixT<float>& a,
+                                 const MatrixT<float>& b, Matrix& c);
 
 /// Sum over all i,j of a(i,j)*b(i,j) — the Frobenius inner product.
 /// Parallelized; used by the CPD fit computation.

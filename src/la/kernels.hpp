@@ -21,12 +21,23 @@
 ///    zero by the Matrix contract, so the extra lanes compute zeros and
 ///    deposit zeros, lane-for-lane, at full SIMD width.
 ///
+/// Precision: every primitive is templated on the element types of its
+/// operands (the `--precision` axis). Streamed inputs may be fp32 while
+/// the accumulator stays fp64 (`mixed`): products are formed in the
+/// accumulator's type — `acc += AccumT(v) * AccumT(row[i])` — so with
+/// uniform fp64 operands the casts are no-ops and codegen is unchanged,
+/// while fp32 streams are widened on load and accumulated exactly as the
+/// mixed-precision contract requires. The fused fiber primitives take
+/// `AccumT` as an explicit (defaulted to `val_t`) template parameter
+/// because their register blocks do not appear in any argument.
+///
 /// Alignment contract: every pointer handed to a `_r<R>` primitive is
-/// 64-byte aligned. `la::Matrix` pads its leading dimension to a cache
-/// line (`padded_cols`) and allocates through `AlignedAllocator`, and the
-/// MTTKRP workspace rounds its per-thread slots the same way, so factor
-/// rows, output rows, and accumulator rows all satisfy the contract. The
-/// primitives encode it with `std::assume_aligned`, which is undefined
+/// 64-byte aligned. `la::MatrixT<T>` pads its leading dimension to a cache
+/// line (`padded_cols_for<T>` — 8 doubles or 16 floats) and allocates
+/// through `AlignedAllocator`, and the MTTKRP workspace rounds its
+/// per-thread slots the same way, so factor rows, output rows, and
+/// accumulator rows all satisfy the contract regardless of element width.
+/// The primitives encode it with `std::assume_aligned`, which is undefined
 /// behaviour on unaligned input — callers that cannot guarantee alignment
 /// must use the generic loops.
 
@@ -48,11 +59,22 @@ namespace sptd::la::kern {
 inline constexpr idx_t kValsPerLine =
     static_cast<idx_t>(kCacheLineBytes / sizeof(val_t));
 
-/// Leading dimension for a row-major matrix with \p cols logical columns:
-/// the smallest cache-line multiple >= cols, so consecutive rows never
-/// share a line and every row base is 64-byte aligned.
+/// Leading dimension for a row-major matrix of element type T with \p cols
+/// logical columns: the smallest cache-line multiple >= cols, so
+/// consecutive rows never share a line and every row base is 64-byte
+/// aligned. fp32 rows pad to multiples of 16 lanes, fp64 to 8 — a float
+/// shadow of a matrix may therefore have a different ld() than its fp64
+/// master (rank 35: 48 vs 40); kernels parameterize on (data, ld) so the
+/// widths compose freely.
+template <typename T>
+constexpr idx_t padded_cols_for(idx_t cols) {
+  constexpr idx_t lanes = static_cast<idx_t>(kCacheLineBytes / sizeof(T));
+  return ((cols + lanes - 1) / lanes) * lanes;
+}
+
+/// Leading dimension for the default (fp64) element type.
 constexpr idx_t padded_cols(idx_t cols) {
-  return ((cols + kValsPerLine - 1) / kValsPerLine) * kValsPerLine;
+  return padded_cols_for<val_t>(cols);
 }
 
 /// True for the widths the kernel layer instantiates. 40 exists for the
@@ -77,6 +99,9 @@ constexpr bool is_instantiated_width(idx_t width) {
 /// *that* is instantiated — every input and output row then spans exactly
 /// one kernel width with zero-filled padding lanes, so running the wider
 /// kernel is exact — else 0 (generic runtime-rank fallback).
+/// The map is computed against fp64 padding; fp32 rows pad at least as
+/// wide (16-lane lines), so a width valid for the fp64 master is always
+/// within its fp32 shadow's row stride too.
 constexpr idx_t fixed_width_for(idx_t rank) {
   if (is_instantiated_width(rank)) {
     return rank;
@@ -103,70 +128,78 @@ inline constexpr nnz_t kGatherPrefetch = 8;
 // ---------------------------------------------------------------------
 
 /// dst[i] += a * x[i]
-inline void axpy(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
-                 val_t a, idx_t n) {
+template <typename D, typename S, typename A>
+inline void axpy(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x, A a,
+                 idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
-    dst[i] += a * x[i];
+    dst[i] += static_cast<D>(a) * static_cast<D>(x[i]);
   }
 }
 
 /// dst[i] += a[i] * b[i]
-inline void hadamard_accum(val_t* SPTD_RESTRICT dst,
-                           const val_t* SPTD_RESTRICT a,
-                           const val_t* SPTD_RESTRICT b, idx_t n) {
+template <typename D, typename S1, typename S2>
+inline void hadamard_accum(D* SPTD_RESTRICT dst, const S1* SPTD_RESTRICT a,
+                           const S2* SPTD_RESTRICT b, idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
-    dst[i] += a[i] * b[i];
+    dst[i] += static_cast<D>(a[i]) * static_cast<D>(b[i]);
   }
 }
 
 /// dst[i] *= a[i] — in-place Hadamard product, the building block of the
 /// "product of the other factors' rows" loops in completion solvers.
-inline void hadamard(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT a,
+template <typename D, typename S>
+inline void hadamard(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT a,
                      idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
-    dst[i] *= a[i];
+    dst[i] *= static_cast<D>(a[i]);
   }
 }
 
-/// dst[i] = x[i] — row copy through the same restrict/width machinery.
-inline void copy(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
-                 idx_t n) {
+/// dst[i] = x[i] — row copy (converting when D != S) through the same
+/// restrict/width machinery; the sanctioned fp64 -> fp32 shadow-refresh
+/// conversion point.
+template <typename D, typename S>
+inline void copy(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x, idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
-    dst[i] = x[i];
+    dst[i] = static_cast<D>(x[i]);
   }
 }
 
-/// sum over i of a[i] * b[i]
-inline val_t dot(const val_t* SPTD_RESTRICT a, const val_t* SPTD_RESTRICT b,
-                 idx_t n) {
-  val_t acc = 0;
+/// sum over i of a[i] * b[i], accumulated in the wider operand type.
+template <typename S1, typename S2>
+inline auto dot(const S1* SPTD_RESTRICT a, const S2* SPTD_RESTRICT b,
+                idx_t n) {
+  using A = decltype(S1{} * S2{});
+  A acc = 0;
   for (idx_t i = 0; i < n; ++i) {
-    acc += a[i] * b[i];
+    acc += static_cast<A>(a[i]) * static_cast<A>(b[i]);
   }
   return acc;
 }
 
 /// dst[i] = a * x[i]
-inline void scale(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
-                  val_t a, idx_t n) {
+template <typename D, typename S, typename A>
+inline void scale(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x, A a,
+                  idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
-    dst[i] = a * x[i];
+    dst[i] = static_cast<D>(a) * static_cast<D>(x[i]);
   }
 }
 
 /// dst[i] = a[i] * b[i]
-inline void mul(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT a,
-                const val_t* SPTD_RESTRICT b, idx_t n) {
+template <typename D, typename S1, typename S2>
+inline void mul(D* SPTD_RESTRICT dst, const S1* SPTD_RESTRICT a,
+                const S2* SPTD_RESTRICT b, idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
-    dst[i] = a[i] * b[i];
+    dst[i] = static_cast<D>(a[i]) * static_cast<D>(b[i]);
   }
 }
 
 /// dst[i] += x[i]
-inline void add(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
-                idx_t n) {
+template <typename D, typename S>
+inline void add(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x, idx_t n) {
   for (idx_t i = 0; i < n; ++i) {
-    dst[i] += x[i];
+    dst[i] += static_cast<D>(x[i]);
   }
 }
 
@@ -175,101 +208,98 @@ inline void add(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
 // ---------------------------------------------------------------------
 
 /// dst[i] += a * x[i], i < R
-template <idx_t R>
-inline void axpy_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
-                   val_t a) {
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+template <idx_t R, typename D, typename S, typename A>
+inline void axpy_r(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x, A a) {
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const S* SPTD_RESTRICT s = detail::assume_line_aligned(x);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] += a * s[i];
+    d[i] += static_cast<D>(a) * static_cast<D>(s[i]);
   }
 }
 
 /// dst[i] += a[i] * b[i], i < R
-template <idx_t R>
-inline void hadamard_accum_r(val_t* SPTD_RESTRICT dst,
-                             const val_t* SPTD_RESTRICT a,
-                             const val_t* SPTD_RESTRICT b) {
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
-  const val_t* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
+template <idx_t R, typename D, typename S1, typename S2>
+inline void hadamard_accum_r(D* SPTD_RESTRICT dst,
+                             const S1* SPTD_RESTRICT a,
+                             const S2* SPTD_RESTRICT b) {
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const S1* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+  const S2* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] += pa[i] * pb[i];
+    d[i] += static_cast<D>(pa[i]) * static_cast<D>(pb[i]);
   }
 }
 
-/// sum over i < R of a[i] * b[i]
-template <idx_t R>
-inline val_t dot_r(const val_t* SPTD_RESTRICT a,
-                   const val_t* SPTD_RESTRICT b) {
-  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
-  const val_t* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
-  val_t acc = 0;
+/// sum over i < R of a[i] * b[i], accumulated in the wider operand type.
+template <idx_t R, typename S1, typename S2>
+inline auto dot_r(const S1* SPTD_RESTRICT a, const S2* SPTD_RESTRICT b) {
+  using A = decltype(S1{} * S2{});
+  const S1* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+  const S2* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
+  A acc = 0;
 #pragma omp simd reduction(+ : acc)
   for (idx_t i = 0; i < R; ++i) {
-    acc += pa[i] * pb[i];
+    acc += static_cast<A>(pa[i]) * static_cast<A>(pb[i]);
   }
   return acc;
 }
 
 /// dst[i] = a * x[i], i < R
-template <idx_t R>
-inline void scale_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x,
-                    val_t a) {
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+template <idx_t R, typename D, typename S, typename A>
+inline void scale_r(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x, A a) {
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const S* SPTD_RESTRICT s = detail::assume_line_aligned(x);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] = a * s[i];
+    d[i] = static_cast<D>(a) * static_cast<D>(s[i]);
   }
 }
 
 /// dst[i] = a[i] * b[i], i < R
-template <idx_t R>
-inline void mul_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT a,
-                  const val_t* SPTD_RESTRICT b) {
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
-  const val_t* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
+template <idx_t R, typename D, typename S1, typename S2>
+inline void mul_r(D* SPTD_RESTRICT dst, const S1* SPTD_RESTRICT a,
+                  const S2* SPTD_RESTRICT b) {
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const S1* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+  const S2* SPTD_RESTRICT pb = detail::assume_line_aligned(b);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] = pa[i] * pb[i];
+    d[i] = static_cast<D>(pa[i]) * static_cast<D>(pb[i]);
   }
 }
 
 /// dst[i] += x[i], i < R
-template <idx_t R>
-inline void add_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x) {
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+template <idx_t R, typename D, typename S>
+inline void add_r(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x) {
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const S* SPTD_RESTRICT s = detail::assume_line_aligned(x);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] += s[i];
+    d[i] += static_cast<D>(s[i]);
   }
 }
 
 /// dst[i] *= a[i], i < R
-template <idx_t R>
-inline void hadamard_r(val_t* SPTD_RESTRICT dst,
-                       const val_t* SPTD_RESTRICT a) {
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
+template <idx_t R, typename D, typename S>
+inline void hadamard_r(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT a) {
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const S* SPTD_RESTRICT pa = detail::assume_line_aligned(a);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] *= pa[i];
+    d[i] *= static_cast<D>(pa[i]);
   }
 }
 
-/// dst[i] = x[i], i < R
-template <idx_t R>
-inline void copy_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x) {
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT s = detail::assume_line_aligned(x);
+/// dst[i] = x[i], i < R (converting copy when D != S)
+template <idx_t R, typename D, typename S>
+inline void copy_r(D* SPTD_RESTRICT dst, const S* SPTD_RESTRICT x) {
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const S* SPTD_RESTRICT s = detail::assume_line_aligned(x);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] = s[i];
+    d[i] = static_cast<D>(s[i]);
   }
 }
 
@@ -283,6 +313,8 @@ inline void copy_r(val_t* SPTD_RESTRICT dst, const val_t* SPTD_RESTRICT x) {
 /// loops. Callers template their hot loop over RowOps<W> and switch once
 /// per pass via dispatch_width() instead of branching per element — the
 /// completion solvers (ALS / SGD / CCD++ inner loops) are built on this.
+/// Factor rows in the completion solvers stay fp64; only the tensor value
+/// scalars fed into axpy() widen from the selected precision's stream.
 template <idx_t W>
 struct RowOps {
   static constexpr bool kFixed = (W > 0);
@@ -379,21 +411,23 @@ decltype(auto) dispatch_width(idx_t width, Fn&& fn) {
 /// (`Fids fids` with fids[x] -> integer): a raw pointer of any width from
 /// a compressed-CSF level view, or a width-erased stream ref. Passing the
 /// stored narrow type is what halves the index bandwidth of these loops
-/// on compressed tensors.
-template <idx_t R, typename Fids>
-inline void fiber_accum_r(val_t* SPTD_RESTRICT cs,
-                          const val_t* SPTD_RESTRICT vals,
+/// on compressed tensors. The value stream (`vals`) and factor rows are
+/// the StoreT side of the precision axis; the accumulator row `cs` is the
+/// AccumT side (products are widened to AccumT before accumulating).
+template <idx_t R, typename AccumT, typename S, typename Fids>
+inline void fiber_accum_r(AccumT* SPTD_RESTRICT cs,
+                          const S* SPTD_RESTRICT vals,
                           Fids fids,
                           nnz_t begin, nnz_t end,
-                          const val_t* SPTD_RESTRICT factor, idx_t ld) {
-  val_t* SPTD_RESTRICT acc = detail::assume_line_aligned(cs);
+                          const S* SPTD_RESTRICT factor, idx_t ld) {
+  AccumT* SPTD_RESTRICT acc = detail::assume_line_aligned(cs);
   for (nnz_t x = begin; x < end; ++x) {
-    const val_t v = vals[x];
-    const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+    const S v = vals[x];
+    const S* SPTD_RESTRICT row = detail::assume_line_aligned(
         factor + static_cast<std::size_t>(fids[x]) * ld);
 #pragma omp simd
     for (idx_t i = 0; i < R; ++i) {
-      acc[i] += v * row[i];
+      acc[i] += static_cast<AccumT>(v) * static_cast<AccumT>(row[i]);
     }
   }
 }
@@ -402,20 +436,23 @@ inline void fiber_accum_r(val_t* SPTD_RESTRICT cs,
 ///   dst[i] += fl[i] * sum over x in [begin, end) of vals[x]*F(fids[x], i).
 /// The fiber sum lives in a register block instead of a scratch row, so
 /// short fibers (the common case in the paper's datasets) pay no
-/// memset / store / reload round trip.
+/// memset / store / reload round trip. AccumT (explicit, defaults to
+/// val_t) is the register block's type — the precision axis's accumulator
+/// side; it does not appear in a deduced argument position.
 /// \p prefetch_horizon bounds how far past `end` the fids array may be
 /// read for software prefetch: callers walking a contiguous nonzero range
 /// (a whole slice) pass the range's end so gathers run ahead across fiber
 /// boundaries; fiber-local callers pass `end`.
-template <idx_t R, typename Fids>
-inline void fiber_pullup_hadamard_r(val_t* SPTD_RESTRICT dst,
-                                    const val_t* SPTD_RESTRICT fl,
-                                    const val_t* SPTD_RESTRICT vals,
+template <idx_t R, typename AccumT = val_t, typename D, typename P,
+          typename S, typename Fids>
+inline void fiber_pullup_hadamard_r(D* SPTD_RESTRICT dst,
+                                    const P* SPTD_RESTRICT fl,
+                                    const S* SPTD_RESTRICT vals,
                                     Fids fids,
                                     nnz_t begin, nnz_t end,
-                                    const val_t* SPTD_RESTRICT factor,
+                                    const S* SPTD_RESTRICT factor,
                                     idx_t ld, nnz_t prefetch_horizon) {
-  alignas(kCacheLineBytes) val_t acc[R] = {};
+  alignas(kCacheLineBytes) AccumT acc[R] = {};
   for (nnz_t x = begin; x < end; ++x) {
     if (x + kGatherPrefetch < prefetch_horizon) {
       __builtin_prefetch(
@@ -423,44 +460,45 @@ inline void fiber_pullup_hadamard_r(val_t* SPTD_RESTRICT dst,
               static_cast<std::size_t>(fids[x + kGatherPrefetch]) * ld,
           0, 3);
     }
-    const val_t v = vals[x];
-    const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+    const S v = vals[x];
+    const S* SPTD_RESTRICT row = detail::assume_line_aligned(
         factor + static_cast<std::size_t>(fids[x]) * ld);
 #pragma omp simd
     for (idx_t i = 0; i < R; ++i) {
-      acc[i] += v * row[i];
+      acc[i] += static_cast<AccumT>(v) * static_cast<AccumT>(row[i]);
     }
   }
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT f = detail::assume_line_aligned(fl);
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const P* SPTD_RESTRICT f = detail::assume_line_aligned(fl);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] += f[i] * acc[i];
+    d[i] += static_cast<D>(f[i]) * static_cast<D>(acc[i]);
   }
 }
 
 /// Fused third-order root slice: for every child fiber c in [c0, c1),
 ///   acc[i] += F1(fids1[c], i) * sum_x vals[x]*F2(leaf_fids[x], i),
-/// with BOTH accumulators register-blocked — the slice accumulator never
-/// round-trips through memory between fibers (slices average hundreds of
-/// fibers on the paper's tensors, so this is the root kernel's whole
-/// inner phase).
-template <idx_t R, typename Fids1, typename LeafFids, typename Fptr1>
-inline void root_slice3_r(val_t* SPTD_RESTRICT dst,
+/// with BOTH accumulators register-blocked in AccumT — the slice
+/// accumulator never round-trips through memory between fibers (slices
+/// average hundreds of fibers on the paper's tensors, so this is the root
+/// kernel's whole inner phase).
+template <idx_t R, typename AccumT = val_t, typename D, typename S,
+          typename Fids1, typename LeafFids, typename Fptr1>
+inline void root_slice3_r(D* SPTD_RESTRICT dst,
                           Fids1 fids1,
-                          const val_t* SPTD_RESTRICT vals,
+                          const S* SPTD_RESTRICT vals,
                           LeafFids leaf_fids,
                           Fptr1 fptr1,
                           nnz_t c0, nnz_t c1,
-                          const val_t* SPTD_RESTRICT f1, idx_t ld1,
-                          const val_t* SPTD_RESTRICT f2, idx_t ld2) {
-  alignas(kCacheLineBytes) val_t acc[R] = {};
+                          const S* SPTD_RESTRICT f1, idx_t ld1,
+                          const S* SPTD_RESTRICT f2, idx_t ld2) {
+  alignas(kCacheLineBytes) AccumT acc[R] = {};
   // Prefetch horizon: the slice's nonzeros are contiguous in
   // [fptr1[c0], fptr1[c1]), so rows up to the slice end can be fetched
   // ahead regardless of fiber boundaries.
   const nnz_t x_end = fptr1[c1];
   for (nnz_t c = c0; c < c1; ++c) {
-    alignas(kCacheLineBytes) val_t fiber[R] = {};
+    alignas(kCacheLineBytes) AccumT fiber[R] = {};
     for (nnz_t x = fptr1[c]; x < fptr1[c + 1]; ++x) {
       if (x + kGatherPrefetch < x_end) {
         __builtin_prefetch(
@@ -468,40 +506,41 @@ inline void root_slice3_r(val_t* SPTD_RESTRICT dst,
                      ld2,
             0, 3);
       }
-      const val_t v = vals[x];
-      const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+      const S v = vals[x];
+      const S* SPTD_RESTRICT row = detail::assume_line_aligned(
           f2 + static_cast<std::size_t>(leaf_fids[x]) * ld2);
 #pragma omp simd
       for (idx_t i = 0; i < R; ++i) {
-        fiber[i] += v * row[i];
+        fiber[i] += static_cast<AccumT>(v) * static_cast<AccumT>(row[i]);
       }
     }
-    const val_t* SPTD_RESTRICT row1 = detail::assume_line_aligned(
+    const S* SPTD_RESTRICT row1 = detail::assume_line_aligned(
         f1 + static_cast<std::size_t>(fids1[c]) * ld1);
 #pragma omp simd
     for (idx_t i = 0; i < R; ++i) {
-      acc[i] += row1[i] * fiber[i];
+      acc[i] += static_cast<AccumT>(row1[i]) * fiber[i];
     }
   }
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] = acc[i];
+    d[i] = static_cast<D>(acc[i]);
   }
 }
 
 /// Fused bottom-fiber pull-up with path multiply:
 ///   dst[i] = path[i] * sum over x in [begin, end) of vals[x]*F(fids[x], i).
 /// The internal kernel's leaf case, register-blocked like the above.
-template <idx_t R, typename Fids>
-inline void fiber_pullup_mul_r(val_t* SPTD_RESTRICT dst,
-                               const val_t* SPTD_RESTRICT path,
-                               const val_t* SPTD_RESTRICT vals,
+template <idx_t R, typename AccumT = val_t, typename D, typename P,
+          typename S, typename Fids>
+inline void fiber_pullup_mul_r(D* SPTD_RESTRICT dst,
+                               const P* SPTD_RESTRICT path,
+                               const S* SPTD_RESTRICT vals,
                                Fids fids,
                                nnz_t begin, nnz_t end,
-                               const val_t* SPTD_RESTRICT factor,
+                               const S* SPTD_RESTRICT factor,
                                idx_t ld, nnz_t prefetch_horizon) {
-  alignas(kCacheLineBytes) val_t acc[R] = {};
+  alignas(kCacheLineBytes) AccumT acc[R] = {};
   for (nnz_t x = begin; x < end; ++x) {
     if (x + kGatherPrefetch < prefetch_horizon) {
       __builtin_prefetch(
@@ -509,19 +548,19 @@ inline void fiber_pullup_mul_r(val_t* SPTD_RESTRICT dst,
               static_cast<std::size_t>(fids[x + kGatherPrefetch]) * ld,
           0, 3);
     }
-    const val_t v = vals[x];
-    const val_t* SPTD_RESTRICT row = detail::assume_line_aligned(
+    const S v = vals[x];
+    const S* SPTD_RESTRICT row = detail::assume_line_aligned(
         factor + static_cast<std::size_t>(fids[x]) * ld);
 #pragma omp simd
     for (idx_t i = 0; i < R; ++i) {
-      acc[i] += v * row[i];
+      acc[i] += static_cast<AccumT>(v) * static_cast<AccumT>(row[i]);
     }
   }
-  val_t* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
-  const val_t* SPTD_RESTRICT p = detail::assume_line_aligned(path);
+  D* SPTD_RESTRICT d = detail::assume_line_aligned(dst);
+  const P* SPTD_RESTRICT p = detail::assume_line_aligned(path);
 #pragma omp simd
   for (idx_t i = 0; i < R; ++i) {
-    d[i] = p[i] * acc[i];
+    d[i] = static_cast<D>(p[i]) * static_cast<D>(acc[i]);
   }
 }
 

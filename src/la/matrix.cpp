@@ -9,49 +9,56 @@
 
 namespace sptd::la {
 
-Matrix Matrix::random(idx_t rows, idx_t cols, Rng& rng) {
-  Matrix m(rows, cols);
+template <typename T>
+MatrixT<T> MatrixT<T>::random(idx_t rows, idx_t cols, Rng& rng) {
+  MatrixT m(rows, cols);
   // Draw logical entries only, row-major, so the RNG stream is identical
-  // to an unpadded layout and padding lanes stay zero.
+  // to an unpadded layout and padding lanes stay zero. The stream is
+  // always drawn in double (then cast), so equal seeds produce float
+  // matrices that are the rounded images of the double ones.
   for (idx_t i = 0; i < rows; ++i) {
-    val_t* row = m.row_ptr(i);
+    T* row = m.row_ptr(i);
     for (idx_t j = 0; j < cols; ++j) {
-      row[j] = rng.next_double();
+      row[j] = static_cast<T>(rng.next_double());
     }
   }
   return m;
 }
 
-Matrix Matrix::identity(idx_t n) {
-  Matrix m(n, n);
+template <typename T>
+MatrixT<T> MatrixT<T>::identity(idx_t n) {
+  MatrixT m(n, n);
   for (idx_t i = 0; i < n; ++i) {
-    m(i, i) = val_t{1};
+    m(i, i) = T{1};
   }
   return m;
 }
 
-void Matrix::fill(val_t v) {
+template <typename T>
+void MatrixT<T>::fill(T v) {
   for (idx_t i = 0; i < rows_; ++i) {
-    val_t* row = row_ptr(i);
+    T* row = row_ptr(i);
     std::fill(row, row + cols_, v);
   }
 }
 
-void Matrix::zero_parallel(int nthreads) {
+template <typename T>
+void MatrixT<T>::zero_parallel(int nthreads) {
   parallel_region(nthreads, [&](int tid, int nt) {
     const Range r = block_partition(data_.size(), nt, tid);
     std::memset(data_.data() + r.begin, 0,
-                static_cast<std::size_t>(r.size()) * sizeof(val_t));
+                static_cast<std::size_t>(r.size()) * sizeof(T));
   });
 }
 
-val_t Matrix::max_abs_diff(const Matrix& other) const {
+template <typename T>
+T MatrixT<T>::max_abs_diff(const MatrixT& other) const {
   SPTD_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
              "max_abs_diff: shape mismatch");
-  val_t worst = 0;
+  T worst = 0;
   for (idx_t i = 0; i < rows_; ++i) {
-    const val_t* a = row_ptr(i);
-    const val_t* b = other.row_ptr(i);
+    const T* a = row_ptr(i);
+    const T* b = other.row_ptr(i);
     for (idx_t j = 0; j < cols_; ++j) {
       worst = std::max(worst, std::abs(a[j] - b[j]));
     }
@@ -59,15 +66,19 @@ val_t Matrix::max_abs_diff(const Matrix& other) const {
   return worst;
 }
 
-val_t Matrix::fro_norm_sq() const {
-  val_t acc = 0;
+template <typename T>
+T MatrixT<T>::fro_norm_sq() const {
+  T acc = 0;
   for (idx_t i = 0; i < rows_; ++i) {
-    const val_t* row = row_ptr(i);
+    const T* row = row_ptr(i);
     for (idx_t j = 0; j < cols_; ++j) {
       acc += row[j] * row[j];
     }
   }
   return acc;
 }
+
+template class MatrixT<double>;
+template class MatrixT<float>;
 
 }  // namespace sptd::la

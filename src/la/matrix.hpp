@@ -10,12 +10,15 @@
 /// implemented against this same class in mttkrp/row_access.hpp, so the
 /// layout never changes, only the access idiom.
 ///
-/// Storage is 64-byte aligned and the leading dimension is padded to a
-/// cache line (`ld() = kern::padded_cols(cols())`), so every row starts on
-/// a cache-line boundary — the alignment contract the rank-specialized
-/// kernels in la/kernels.hpp rely on. Padding lanes (columns cols()..ld())
-/// are always zero: the constructor zeroes them, fill()/random() write
-/// only the logical columns, and every library kernel writes rows through
+/// Storage is width-parameterized (`MatrixT<double>` masters — the
+/// `Matrix` alias — and `MatrixT<float>` shadows for the `--precision`
+/// f32/mixed value streams), 64-byte aligned, and the leading dimension is
+/// padded to a cache line (`ld() = kern::padded_cols_for<T>(cols())` — 8
+/// doubles or 16 floats per line), so every row starts on a cache-line
+/// boundary — the alignment contract the rank-specialized kernels in
+/// la/kernels.hpp rely on. Padding lanes (columns cols()..ld()) are always
+/// zero: the constructor zeroes them, fill()/random() write only the
+/// logical columns, and every library kernel writes rows through
 /// row_ptr()/operator(). Flat whole-buffer operations (values(), size())
 /// therefore see deterministic zeros in the padding.
 
@@ -30,92 +33,139 @@
 
 namespace sptd::la {
 
-/// Dense row-major matrix of val_t with a cache-line-padded leading
-/// dimension.
-class Matrix {
+/// Dense row-major matrix of element type T with a cache-line-padded
+/// leading dimension.
+template <typename T>
+class MatrixT {
  public:
+  using value_type = T;
+
   /// Empty 0x0 matrix.
-  Matrix() = default;
+  MatrixT() = default;
 
   /// rows x cols matrix, all entries \p init (padding lanes stay zero).
-  Matrix(idx_t rows, idx_t cols, val_t init = val_t{0})
-      : rows_(rows), cols_(cols), ld_(kern::padded_cols(cols)),
-        data_(static_cast<std::size_t>(rows) * ld_, val_t{0}) {
-    if (init != val_t{0}) {
+  MatrixT(idx_t rows, idx_t cols, T init = T{0})
+      : rows_(rows), cols_(cols), ld_(kern::padded_cols_for<T>(cols)),
+        data_(static_cast<std::size_t>(rows) * ld_, T{0}) {
+    if (init != T{0}) {
       fill(init);
     }
   }
 
   /// Matrix with entries drawn uniformly from [0, 1), like SPLATT's
-  /// mat_rand factor initialization.
-  static Matrix random(idx_t rows, idx_t cols, Rng& rng);
+  /// mat_rand factor initialization. The RNG stream is drawn in double
+  /// regardless of T, so a float matrix is the rounded image of the
+  /// double one seeded identically.
+  static MatrixT random(idx_t rows, idx_t cols, Rng& rng);
 
   /// Identity matrix of size n.
-  static Matrix identity(idx_t n);
+  static MatrixT identity(idx_t n);
 
   [[nodiscard]] idx_t rows() const { return rows_; }
   [[nodiscard]] idx_t cols() const { return cols_; }
   /// Leading dimension: distance in values between consecutive row bases.
   /// A cache-line multiple >= cols(); equal to cols() only when the rank
-  /// is itself a multiple of 8.
+  /// is itself a multiple of the per-line lane count (8 doubles / 16
+  /// floats). A float shadow's ld() may therefore differ from its double
+  /// master's (rank 35: 48 vs 40).
   [[nodiscard]] idx_t ld() const { return ld_; }
   /// Physical buffer length (rows * ld), padding included.
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
   /// Element access (debug-checked).
-  val_t& operator()(idx_t i, idx_t j) {
+  T& operator()(idx_t i, idx_t j) {
     SPTD_DCHECK(i < rows_ && j < cols_, "Matrix index out of range");
     return data_[static_cast<std::size_t>(i) * ld_ + j];
   }
-  val_t operator()(idx_t i, idx_t j) const {
+  T operator()(idx_t i, idx_t j) const {
     SPTD_DCHECK(i < rows_ && j < cols_, "Matrix index out of range");
     return data_[static_cast<std::size_t>(i) * ld_ + j];
   }
 
   /// Raw pointer to row \p i (the reference implementation's idiom).
   /// Always 64-byte aligned.
-  [[nodiscard]] val_t* row_ptr(idx_t i) {
+  [[nodiscard]] T* row_ptr(idx_t i) {
     SPTD_DCHECK(i < rows_, "row_ptr out of range");
     return data_.data() + static_cast<std::size_t>(i) * ld_;
   }
-  [[nodiscard]] const val_t* row_ptr(idx_t i) const {
+  [[nodiscard]] const T* row_ptr(idx_t i) const {
     SPTD_DCHECK(i < rows_, "row_ptr out of range");
     return data_.data() + static_cast<std::size_t>(i) * ld_;
   }
 
   /// Row \p i as a span over the logical columns.
-  [[nodiscard]] std::span<val_t> row(idx_t i) { return {row_ptr(i), cols_}; }
-  [[nodiscard]] std::span<const val_t> row(idx_t i) const {
+  [[nodiscard]] std::span<T> row(idx_t i) { return {row_ptr(i), cols_}; }
+  [[nodiscard]] std::span<const T> row(idx_t i) const {
     return {row_ptr(i), cols_};
   }
 
   /// Whole physical buffer (row-major with stride ld(); padding lanes are
   /// zero).
-  [[nodiscard]] val_t* data() { return data_.data(); }
-  [[nodiscard]] const val_t* data() const { return data_.data(); }
-  [[nodiscard]] std::span<val_t> values() { return data_; }
-  [[nodiscard]] std::span<const val_t> values() const { return data_; }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> values() { return data_; }
+  [[nodiscard]] std::span<const T> values() const { return data_; }
 
   /// Sets every logical entry to \p v (padding lanes stay zero).
-  void fill(val_t v);
+  void fill(T v);
 
   /// Sets every entry to zero in parallel (used between MTTKRP calls).
   void zero_parallel(int nthreads);
 
+  /// Reshapes (if needed) to \p src's logical shape and copies its
+  /// entries, converting element type — the sanctioned fp64 -> fp32
+  /// shadow-refresh conversion point (and the widening direction too).
+  /// Padding lanes of the destination are zeroed, so a float shadow obeys
+  /// the same zero-padding contract as its master even when their ld()
+  /// differ.
+  template <typename U>
+  void assign_converted(const MatrixT<U>& src) {
+    if (rows_ != src.rows() || cols_ != src.cols()) {
+      *this = MatrixT(src.rows(), src.cols());
+    }
+    for (idx_t i = 0; i < rows_; ++i) {
+      T* d = row_ptr(i);
+      const U* s = src.row_ptr(i);
+      for (idx_t j = 0; j < cols_; ++j) {
+        d[j] = static_cast<T>(s[j]);
+      }
+    }
+  }
+
   /// Maximum absolute elementwise difference against \p other
   /// (shapes must match).
-  [[nodiscard]] val_t max_abs_diff(const Matrix& other) const;
+  [[nodiscard]] T max_abs_diff(const MatrixT& other) const;
 
   /// Frobenius norm squared.
-  [[nodiscard]] val_t fro_norm_sq() const;
+  [[nodiscard]] T fro_norm_sq() const;
 
-  bool operator==(const Matrix&) const = default;
+  bool operator==(const MatrixT&) const = default;
 
  private:
   idx_t rows_ = 0;
   idx_t cols_ = 0;
   idx_t ld_ = 0;
-  aligned_vector<val_t> data_;
+  aligned_vector<T> data_;
 };
+
+extern template class MatrixT<double>;
+extern template class MatrixT<float>;
+
+/// The fp64 master matrix type — all library APIs that are not explicitly
+/// precision-parameterized take this.
+using Matrix = MatrixT<val_t>;
+
+/// Rounds every logical entry of an fp64 matrix through fp32 and back —
+/// the `--precision f32` quantization step applied to factor masters
+/// after each update (the model itself is then representable in fp32, so
+/// the f32 kernels' streams are exact images of the master).
+inline void round_through_f32(Matrix& m) {
+  for (idx_t i = 0; i < m.rows(); ++i) {
+    val_t* row = m.row_ptr(i);
+    for (idx_t j = 0; j < m.cols(); ++j) {
+      row[j] = static_cast<val_t>(static_cast<float>(row[j]));
+    }
+  }
+}
 
 }  // namespace sptd::la

@@ -206,87 +206,101 @@ nnz_t stream_lower_bound(S s, nnz_t lo, nnz_t hi, idx_t value) {
 // la/kernels.hpp. selected_kernel_width() decides which bundle runs.
 // Index-stream parameters (Fids / the view V) are generic indexables so
 // one bundle serves every storage width.
+//
+// Both bundles carry the precision axis as (StoreT, AccumT) template
+// parameters, defaulted to (val_t, val_t) so f64 runs see the identical
+// instantiations as before the axis existed. StoreT is the streamed side
+// (factor rows and CSF values — fp32 shadows under f32/mixed); AccumT is
+// every scratch accumulator's type (fp64 under mixed, fp32 under f32).
+// Products widen to AccumT before accumulating; deposits into the fp64
+// output widen at the sink. Sinks read the types off the bundle as
+// K::Store / K::Accum.
 // ---------------------------------------------------------------------
 
 /// Runtime-rank bundle over a row-access policy's handles.
-template <typename RA>
+template <typename RA, typename StoreT = val_t, typename AccumT = val_t>
 struct GenericKern {
   static constexpr idx_t kWidth = 0;
+  using Store = StoreT;
+  using Accum = AccumT;
+  using StoreMat = la::MatrixT<StoreT>;
 
   /// cs[r] += v * f(i, r)
-  static void leaf_accum(val_t* cs, const la::Matrix& f, idx_t i, val_t v,
+  static void leaf_accum(AccumT* cs, const StoreMat& f, idx_t i, StoreT v,
                          idx_t rank) {
     const auto row = RA::row(f, i);
     for (idx_t r = 0; r < rank; ++r) {
-      cs[r] += v * row.get(r);
+      cs[r] += static_cast<AccumT>(v) * static_cast<AccumT>(row.get(r));
     }
   }
 
   /// cs += sum over x in [begin, end) of vals[x] * F(fids[x], :)
   template <typename Fids>
-  static void fiber_accum(val_t* cs, std::span<const val_t> vals,
+  static void fiber_accum(AccumT* cs, std::span<const StoreT> vals,
                           Fids fids, nnz_t begin,
-                          nnz_t end, const la::Matrix& f, idx_t rank) {
+                          nnz_t end, const StoreMat& f, idx_t rank) {
     for (nnz_t x = begin; x < end; ++x) {
       leaf_accum(cs, f, fids[x], vals[x], rank);
     }
   }
 
   /// dst[r] += f(i, r) * cs[r]
-  static void hadamard_accum_row(val_t* dst, const la::Matrix& f, idx_t i,
-                                 const val_t* cs, idx_t rank) {
+  static void hadamard_accum_row(AccumT* dst, const StoreMat& f, idx_t i,
+                                 const AccumT* cs, idx_t rank) {
     const auto row = RA::row(f, i);
     for (idx_t r = 0; r < rank; ++r) {
-      dst[r] += row.get(r) * cs[r];
+      dst[r] += static_cast<AccumT>(row.get(r)) * cs[r];
     }
   }
 
   /// mine[r] = parent[r] * f(i, r)
-  static void path_mul(val_t* mine, const val_t* parent, const la::Matrix& f,
-                       idx_t i, idx_t rank) {
+  static void path_mul(AccumT* mine, const AccumT* parent,
+                       const StoreMat& f, idx_t i, idx_t rank) {
     const auto row = RA::row(f, i);
     for (idx_t r = 0; r < rank; ++r) {
-      mine[r] = parent[r] * row.get(r);
+      mine[r] = parent[r] * static_cast<AccumT>(row.get(r));
     }
   }
 
   /// p0[r] = f(i, r)
-  static void path_load(val_t* p0, const la::Matrix& f, idx_t i,
+  static void path_load(AccumT* p0, const StoreMat& f, idx_t i,
                         idx_t rank) {
     const auto row = RA::row(f, i);
     for (idx_t r = 0; r < rank; ++r) {
-      p0[r] = row.get(r);
+      p0[r] = static_cast<AccumT>(row.get(r));
     }
   }
 
   /// dst[r] = v * src[r]
-  static void scale(val_t* dst, val_t v, const val_t* src, idx_t rank) {
+  static void scale(AccumT* dst, StoreT v, const AccumT* src, idx_t rank) {
     for (idx_t r = 0; r < rank; ++r) {
-      dst[r] = v * src[r];
+      dst[r] = static_cast<AccumT>(v) * src[r];
     }
   }
 
   /// dst[r] = a[r] * b[r]
-  static void mul(val_t* dst, const val_t* a, const val_t* b, idx_t rank) {
+  static void mul(AccumT* dst, const AccumT* a, const AccumT* b,
+                  idx_t rank) {
     for (idx_t r = 0; r < rank; ++r) {
       dst[r] = a[r] * b[r];
     }
   }
 
   /// out(i, :) += vec — the sink deposit, through the RA handle so the
-  /// access idiom under study is charged on writes too.
-  static void row_add(la::Matrix& out, idx_t i, const val_t* vec,
+  /// access idiom under study is charged on writes too. The output is
+  /// always fp64: fp32 accumulators widen here.
+  static void row_add(la::Matrix& out, idx_t i, const AccumT* vec,
                       idx_t rank) {
     const auto handle = RA::row(out, i);
     for (idx_t r = 0; r < rank; ++r) {
-      handle.add(r, vec[r]);
+      handle.add(r, static_cast<val_t>(vec[r]));
     }
   }
 
-  /// dst[r] += vec[r] (privatized deposit; raw rows, no RA handle).
-  static void vec_add(val_t* dst, const val_t* vec, idx_t rank) {
+  /// dst[r] += vec[r] (privatized deposit; raw fp64 rows, no RA handle).
+  static void vec_add(val_t* dst, const AccumT* vec, idx_t rank) {
     for (idx_t r = 0; r < rank; ++r) {
-      dst[r] += vec[r];
+      dst[r] += static_cast<val_t>(vec[r]);
     }
   }
 
@@ -294,12 +308,12 @@ struct GenericKern {
   /// sequence: zero the scratch row, accumulate the fiber into it,
   /// multiply-accumulate into dst.
   template <typename Fids>
-  static void pullup_hadamard(val_t* dst, const la::Matrix& fl, idx_t i,
-                              std::span<const val_t> vals,
+  static void pullup_hadamard(AccumT* dst, const StoreMat& fl, idx_t i,
+                              std::span<const StoreT> vals,
                               Fids fids, nnz_t begin,
-                              nnz_t end, const la::Matrix& leaf, val_t* cs,
+                              nnz_t end, const StoreMat& leaf, AccumT* cs,
                               idx_t rank) {
-    std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+    std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(AccumT));
     fiber_accum(cs, vals, fids, begin, end, leaf, rank);
     hadamard_accum_row(dst, fl, i, cs, rank);
   }
@@ -307,26 +321,26 @@ struct GenericKern {
   /// dst = path ⊙ (sum of the bottom fiber [begin, end)) — the internal
   /// kernel's leaf case, seed sequence.
   template <typename Fids>
-  static void pullup_mul(val_t* dst, const val_t* path,
-                         std::span<const val_t> vals,
+  static void pullup_mul(AccumT* dst, const AccumT* path,
+                         std::span<const StoreT> vals,
                          Fids fids, nnz_t begin, nnz_t end,
-                         const la::Matrix& leaf, val_t* cs, idx_t rank) {
-    std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+                         const StoreMat& leaf, AccumT* cs, idx_t rank) {
+    std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(AccumT));
     fiber_accum(cs, vals, fids, begin, end, leaf, rank);
     mul(dst, path, cs, rank);
   }
 
   /// out(i, :) += v * vec — through the scratch row then the RA handle
   /// (the seed's two-pass deposit, kept as the ablation baseline).
-  static void deposit_scaled(la::Matrix& out, idx_t i, val_t v,
-                             const val_t* vec, val_t* tmp, idx_t rank) {
+  static void deposit_scaled(la::Matrix& out, idx_t i, StoreT v,
+                             const AccumT* vec, AccumT* tmp, idx_t rank) {
     scale(tmp, v, vec, rank);
     row_add(out, i, tmp, rank);
   }
 
   /// dst[r] += v * vec[r] into a raw (privatized) row, seed sequence.
-  static void vec_deposit_scaled(val_t* dst, val_t v, const val_t* vec,
-                                 val_t* tmp, idx_t rank) {
+  static void vec_deposit_scaled(val_t* dst, StoreT v, const AccumT* vec,
+                                 AccumT* tmp, idx_t rank) {
     scale(tmp, v, vec, rank);
     vec_add(dst, tmp, rank);
   }
@@ -334,24 +348,24 @@ struct GenericKern {
   /// fiber[r] = sum of the bottom fiber [begin, end) — the internal
   /// kernel's pull-up half, seed sequence (zero + accumulate in memory).
   template <typename Fids>
-  static void fiber_sum(val_t* fiber, std::span<const val_t> vals,
+  static void fiber_sum(AccumT* fiber, std::span<const StoreT> vals,
                         Fids fids, nnz_t begin, nnz_t end,
-                        const la::Matrix& leaf, idx_t rank) {
-    std::memset(fiber, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+                        const StoreMat& leaf, idx_t rank) {
+    std::memset(fiber, 0, static_cast<std::size_t>(rank) * sizeof(AccumT));
     fiber_accum(fiber, vals, fids, begin, end, leaf, rank);
   }
 
   /// out(i, :) += a ⊙ b — through the scratch row then the RA handle
   /// (seed sequence).
-  static void deposit_mul(la::Matrix& out, idx_t i, const val_t* a,
-                          const val_t* b, val_t* tmp, idx_t rank) {
+  static void deposit_mul(la::Matrix& out, idx_t i, const AccumT* a,
+                          const AccumT* b, AccumT* tmp, idx_t rank) {
     mul(tmp, a, b, rank);
     row_add(out, i, tmp, rank);
   }
 
   /// dst[r] += a[r] * b[r] into a raw (privatized) row, seed sequence.
-  static void vec_deposit_mul(val_t* dst, const val_t* a, const val_t* b,
-                              val_t* tmp, idx_t rank) {
+  static void vec_deposit_mul(val_t* dst, const AccumT* a, const AccumT* b,
+                              AccumT* tmp, idx_t rank) {
     mul(tmp, a, b, rank);
     vec_add(dst, tmp, rank);
   }
@@ -361,12 +375,12 @@ struct GenericKern {
   /// seed sequence.
   template <typename Sink, typename Fids>
   static void internal_fiber3(const Sink& sink, idx_t out_row,
-                              const val_t* path,
-                              std::span<const val_t> vals,
+                              const AccumT* path,
+                              std::span<const StoreT> vals,
                               Fids fids, nnz_t begin,
                               nnz_t end, nnz_t /*prefetch_horizon*/,
-                              const la::Matrix& leaf, val_t* cs,
-                              val_t* tmp, idx_t rank) {
+                              const StoreMat& leaf, AccumT* cs,
+                              AccumT* tmp, idx_t rank) {
     fiber_sum(cs, vals, fids, begin, end, leaf, rank);
     sink.add_mul(out_row, path, cs, tmp, rank);
   }
@@ -379,11 +393,11 @@ struct GenericKern {
   /// One third-order root slice into the acc row: seed sequence, one
   /// pull-up per child fiber with the accumulator in memory.
   template <typename V>
-  static void root_slice3(val_t* acc, const V& view,
-                          std::span<const val_t> vals,
-                          const la::Matrix& f1, const la::Matrix& f2,
-                          nnz_t c0, nnz_t c1, val_t* cs, idx_t rank) {
-    std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+  static void root_slice3(AccumT* acc, const V& view,
+                          std::span<const StoreT> vals,
+                          const StoreMat& f1, const StoreMat& f2,
+                          nnz_t c0, nnz_t c1, AccumT* cs, idx_t rank) {
+    std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(AccumT));
     const auto fids1 = view.fids[1];
     for (nnz_t c = c0; c < c1; ++c) {
       pullup_hadamard(acc, f1, fids1[c], vals, view.leaf,
@@ -394,103 +408,112 @@ struct GenericKern {
 };
 
 /// Compile-time-rank bundle: pointer row access over the aligned padded
-/// layout, dispatching to the la::kern fixed-width primitives.
-template <idx_t R>
+/// layout, dispatching to the la::kern fixed-width primitives. The
+/// (StoreT, AccumT) axis mirrors GenericKern: (val_t, val_t) is the exact
+/// pre-precision instantiation, (float, val_t) the mixed bundle (fp32
+/// streams, fp64 registers), (float, float) the f32 bundle. Float factor
+/// matrices pad rows to 16-lane (64-byte) multiples, which is never less
+/// than the 8-lane double padding the width R was chosen from, so the
+/// R-wide loops always stay inside a shadow row.
+template <idx_t R, typename StoreT = val_t, typename AccumT = val_t>
 struct FixedKern {
   static constexpr idx_t kWidth = R;
+  using Store = StoreT;
+  using Accum = AccumT;
+  using StoreMat = la::MatrixT<StoreT>;
 
-  static void leaf_accum(val_t* cs, const la::Matrix& f, idx_t i, val_t v,
+  static void leaf_accum(AccumT* cs, const StoreMat& f, idx_t i, StoreT v,
                          idx_t) {
-    la::kern::axpy_r<R>(cs, f.row_ptr(i), v);
+    la::kern::axpy_r<R>(cs, f.row_ptr(i), static_cast<AccumT>(v));
   }
 
   template <typename Fids>
-  static void fiber_accum(val_t* cs, std::span<const val_t> vals,
+  static void fiber_accum(AccumT* cs, std::span<const StoreT> vals,
                           Fids fids, nnz_t begin,
-                          nnz_t end, const la::Matrix& f, idx_t) {
+                          nnz_t end, const StoreMat& f, idx_t) {
     la::kern::fiber_accum_r<R>(cs, vals.data(), fids, begin, end,
                                f.data(), f.ld());
   }
 
-  static void hadamard_accum_row(val_t* dst, const la::Matrix& f, idx_t i,
-                                 const val_t* cs, idx_t) {
+  static void hadamard_accum_row(AccumT* dst, const StoreMat& f, idx_t i,
+                                 const AccumT* cs, idx_t) {
     la::kern::hadamard_accum_r<R>(dst, f.row_ptr(i), cs);
   }
 
-  static void path_mul(val_t* mine, const val_t* parent, const la::Matrix& f,
-                       idx_t i, idx_t) {
+  static void path_mul(AccumT* mine, const AccumT* parent,
+                       const StoreMat& f, idx_t i, idx_t) {
     la::kern::mul_r<R>(mine, parent, f.row_ptr(i));
   }
 
-  static void path_load(val_t* p0, const la::Matrix& f, idx_t i, idx_t) {
-    std::memcpy(p0, f.row_ptr(i), R * sizeof(val_t));
+  static void path_load(AccumT* p0, const StoreMat& f, idx_t i, idx_t) {
+    la::kern::copy_r<R>(p0, f.row_ptr(i));
   }
 
-  static void scale(val_t* dst, val_t v, const val_t* src, idx_t) {
-    la::kern::scale_r<R>(dst, src, v);
+  static void scale(AccumT* dst, StoreT v, const AccumT* src, idx_t) {
+    la::kern::scale_r<R>(dst, src, static_cast<AccumT>(v));
   }
 
-  static void mul(val_t* dst, const val_t* a, const val_t* b, idx_t) {
+  static void mul(AccumT* dst, const AccumT* a, const AccumT* b, idx_t) {
     la::kern::mul_r<R>(dst, a, b);
   }
 
-  static void row_add(la::Matrix& out, idx_t i, const val_t* vec, idx_t) {
+  static void row_add(la::Matrix& out, idx_t i, const AccumT* vec, idx_t) {
     la::kern::add_r<R>(out.row_ptr(i), vec);
   }
 
-  static void vec_add(val_t* dst, const val_t* vec, idx_t) {
+  static void vec_add(val_t* dst, const AccumT* vec, idx_t) {
     la::kern::add_r<R>(dst, vec);
   }
 
   template <typename Fids>
-  static void pullup_hadamard(val_t* dst, const la::Matrix& fl, idx_t i,
-                              std::span<const val_t> vals,
+  static void pullup_hadamard(AccumT* dst, const StoreMat& fl, idx_t i,
+                              std::span<const StoreT> vals,
                               Fids fids, nnz_t begin,
-                              nnz_t end, const la::Matrix& leaf, val_t*,
+                              nnz_t end, const StoreMat& leaf, AccumT*,
                               idx_t) {
-    la::kern::fiber_pullup_hadamard_r<R>(dst, fl.row_ptr(i), vals.data(),
-                                         fids, begin, end,
-                                         leaf.data(), leaf.ld(), end);
+    la::kern::fiber_pullup_hadamard_r<R, AccumT>(
+        dst, fl.row_ptr(i), vals.data(), fids, begin, end, leaf.data(),
+        leaf.ld(), end);
   }
 
   template <typename Fids>
-  static void pullup_mul(val_t* dst, const val_t* path,
-                         std::span<const val_t> vals,
+  static void pullup_mul(AccumT* dst, const AccumT* path,
+                         std::span<const StoreT> vals,
                          Fids fids, nnz_t begin, nnz_t end,
-                         const la::Matrix& leaf, val_t*, idx_t) {
-    la::kern::fiber_pullup_mul_r<R>(dst, path, vals.data(), fids,
-                                    begin, end, leaf.data(), leaf.ld(),
-                                    end);
+                         const StoreMat& leaf, AccumT*, idx_t) {
+    la::kern::fiber_pullup_mul_r<R, AccumT>(dst, path, vals.data(), fids,
+                                            begin, end, leaf.data(),
+                                            leaf.ld(), end);
   }
 
   /// Fused deposit: no scratch-row round trip.
-  static void deposit_scaled(la::Matrix& out, idx_t i, val_t v,
-                             const val_t* vec, val_t*, idx_t) {
-    la::kern::axpy_r<R>(out.row_ptr(i), vec, v);
+  static void deposit_scaled(la::Matrix& out, idx_t i, StoreT v,
+                             const AccumT* vec, AccumT*, idx_t) {
+    la::kern::axpy_r<R>(out.row_ptr(i), vec, static_cast<AccumT>(v));
   }
 
-  static void vec_deposit_scaled(val_t* dst, val_t v, const val_t* vec,
-                                 val_t*, idx_t) {
-    la::kern::axpy_r<R>(dst, vec, v);
+  static void vec_deposit_scaled(val_t* dst, StoreT v, const AccumT* vec,
+                                 AccumT*, idx_t) {
+    la::kern::axpy_r<R>(dst, vec, static_cast<AccumT>(v));
   }
 
   template <typename Fids>
-  static void fiber_sum(val_t* fiber, std::span<const val_t> vals,
+  static void fiber_sum(AccumT* fiber, std::span<const StoreT> vals,
                         Fids fids, nnz_t begin, nnz_t end,
-                        const la::Matrix& leaf, idx_t) {
-    std::memset(fiber, 0, R * sizeof(val_t));
+                        const StoreMat& leaf, idx_t) {
+    std::memset(fiber, 0, R * sizeof(AccumT));
     la::kern::fiber_accum_r<R>(fiber, vals.data(), fids, begin, end,
                                leaf.data(), leaf.ld());
   }
 
   /// Fused deposit: out(i, :) += a ⊙ b, no scratch-row round trip.
-  static void deposit_mul(la::Matrix& out, idx_t i, const val_t* a,
-                          const val_t* b, val_t*, idx_t) {
+  static void deposit_mul(la::Matrix& out, idx_t i, const AccumT* a,
+                          const AccumT* b, AccumT*, idx_t) {
     la::kern::hadamard_accum_r<R>(out.row_ptr(i), a, b);
   }
 
-  static void vec_deposit_mul(val_t* dst, const val_t* a, const val_t* b,
-                              val_t*, idx_t) {
+  static void vec_deposit_mul(val_t* dst, const AccumT* a, const AccumT* b,
+                              AccumT*, idx_t) {
     la::kern::hadamard_accum_r<R>(dst, a, b);
   }
 
@@ -499,28 +522,27 @@ struct FixedKern {
   /// traffic at all.
   template <typename Sink, typename Fids>
   static void internal_fiber3(const Sink& sink, idx_t out_row,
-                              const val_t* path,
-                              std::span<const val_t> vals,
+                              const AccumT* path,
+                              std::span<const StoreT> vals,
                               Fids fids, nnz_t begin,
                               nnz_t end, nnz_t prefetch_horizon,
-                              const la::Matrix& leaf, val_t* cs,
-                              val_t* /*tmp*/, idx_t rank) {
+                              const StoreMat& leaf, AccumT* cs,
+                              AccumT* /*tmp*/, idx_t rank) {
     if constexpr (requires { sink.with_row(out_row, [](val_t*) {}); }) {
       // Unsynchronized destination: fuse the fiber sum straight into the
-      // output row, no scratch traffic.
+      // (always-fp64) output row, no scratch traffic.
       sink.with_row(out_row, [&](val_t* dst) {
-        la::kern::fiber_pullup_hadamard_r<R>(dst, path, vals.data(),
-                                             fids, begin, end,
-                                             leaf.data(), leaf.ld(),
-                                             prefetch_horizon);
+        la::kern::fiber_pullup_hadamard_r<R, AccumT>(
+            dst, path, vals.data(), fids, begin, end, leaf.data(),
+            leaf.ld(), prefetch_horizon);
       });
     } else {
       // Locked destination: compute outside the critical section and
       // hand the sink a finished row (keeps the lock hold time at the
       // seed's length-R add).
-      la::kern::fiber_pullup_mul_r<R>(cs, path, vals.data(), fids,
-                                      begin, end, leaf.data(), leaf.ld(),
-                                      prefetch_horizon);
+      la::kern::fiber_pullup_mul_r<R, AccumT>(cs, path, vals.data(), fids,
+                                              begin, end, leaf.data(),
+                                              leaf.ld(), prefetch_horizon);
       sink.add(out_row, cs, rank);
     }
   }
@@ -533,13 +555,14 @@ struct FixedKern {
 
   /// Fully register-blocked third-order root slice.
   template <typename V>
-  static void root_slice3(val_t* acc, const V& view,
-                          std::span<const val_t> vals,
-                          const la::Matrix& f1, const la::Matrix& f2,
-                          nnz_t c0, nnz_t c1, val_t*, idx_t) {
-    la::kern::root_slice3_r<R>(acc, view.fids[1], vals.data(),
-                               view.leaf, view.deep_fptr, c0,
-                               c1, f1.data(), f1.ld(), f2.data(), f2.ld());
+  static void root_slice3(AccumT* acc, const V& view,
+                          std::span<const StoreT> vals,
+                          const StoreMat& f1, const StoreMat& f2,
+                          nnz_t c0, nnz_t c1, AccumT*, idx_t) {
+    la::kern::root_slice3_r<R, AccumT>(acc, view.fids[1], vals.data(),
+                                       view.leaf, view.deep_fptr, c0, c1,
+                                       f1.data(), f1.ld(), f2.data(),
+                                       f2.ld());
   }
 };
 
@@ -548,18 +571,22 @@ struct FixedKern {
 // ---------------------------------------------------------------------
 
 /// Unsynchronized write into the real output matrix (root kernel, or any
-/// kernel on one thread).
+/// kernel on one thread). Sinks take the kernel bundle's accumulator type
+/// on their vector arguments and widen to the fp64 output inside the
+/// bundle's deposit primitives; the output matrix itself is always fp64.
 template <typename K>
 struct DirectSink {
+  using A = typename K::Accum;
+  using S = typename K::Store;
   la::Matrix* out;
-  void add(idx_t row, const val_t* vec, idx_t rank) const {
+  void add(idx_t row, const A* vec, idx_t rank) const {
     K::row_add(*out, row, vec, rank);
   }
-  void add_scaled(idx_t row, val_t v, const val_t* vec, val_t* tmp,
+  void add_scaled(idx_t row, S v, const A* vec, A* tmp,
                   idx_t rank) const {
     K::deposit_scaled(*out, row, v, vec, tmp, rank);
   }
-  void add_mul(idx_t row, const val_t* a, const val_t* b, val_t* tmp,
+  void add_mul(idx_t row, const A* a, const A* b, A* tmp,
                idx_t rank) const {
     K::deposit_mul(*out, row, a, b, tmp, rank);
   }
@@ -578,9 +605,11 @@ struct DirectSink {
 /// Mutex-pool-guarded write (the paper's lock study).
 template <typename K>
 struct LockedSink {
+  using A = typename K::Accum;
+  using S = typename K::Store;
   la::Matrix* out;
   AnyMutexPool* pool;
-  void add(idx_t row, const val_t* vec, idx_t rank) const {
+  void add(idx_t row, const A* vec, idx_t rank) const {
     pool->lock(row);
     K::row_add(*out, row, vec, rank);
     pool->unlock(row);
@@ -590,12 +619,12 @@ struct LockedSink {
   // lock study measures deposit cost, not upstream arithmetic. For the
   // same reason this sink does not expose with_row (which would drag the
   // caller's whole computation into the critical section).
-  void add_scaled(idx_t row, val_t v, const val_t* vec, val_t* tmp,
+  void add_scaled(idx_t row, S v, const A* vec, A* tmp,
                   idx_t rank) const {
     K::scale(tmp, v, vec, rank);
     add(row, tmp, rank);
   }
-  void add_mul(idx_t row, const val_t* a, const val_t* b, val_t* tmp,
+  void add_mul(idx_t row, const A* a, const A* b, A* tmp,
                idx_t rank) const {
     K::mul(tmp, a, b, rank);
     add(row, tmp, rank);
@@ -610,16 +639,18 @@ struct LockedSink {
 /// one sink to every thread, so resolution happens per call.
 template <typename K>
 struct ThreadPrivSink {
+  using A = typename K::Accum;
+  using S = typename K::Store;
   PrivateBuffers* priv;
   idx_t stride;
-  void add(idx_t row, const val_t* vec, idx_t rank) const {
+  void add(idx_t row, const A* vec, idx_t rank) const {
     K::vec_add(resolve(row), vec, rank);
   }
-  void add_scaled(idx_t row, val_t v, const val_t* vec, val_t* tmp,
+  void add_scaled(idx_t row, S v, const A* vec, A* tmp,
                   idx_t rank) const {
     K::vec_deposit_scaled(resolve(row), v, vec, tmp, rank);
   }
-  void add_mul(idx_t row, const val_t* a, const val_t* b, val_t* tmp,
+  void add_mul(idx_t row, const A* a, const A* b, A* tmp,
                idx_t rank) const {
     K::vec_deposit_mul(resolve(row), a, b, tmp, rank);
   }
@@ -643,23 +674,26 @@ struct ThreadPrivSink {
 // Kernel context: CSF arrays + factors arranged by tree level.
 // ---------------------------------------------------------------------
 
-template <typename V>
+template <typename V, typename StoreT = val_t>
 struct KernelCtx {
   const CsfTensor* csf;
   V view;
-  std::vector<const la::Matrix*> factor_at_level;
+  /// The value stream the kernels read: csf->vals() under f64, the fp32
+  /// copy under f32/mixed. Kernels never touch csf->vals() directly.
+  std::span<const StoreT> vals;
+  std::vector<const la::MatrixT<StoreT>*> factor_at_level;
   idx_t rank;
   MttkrpWorkspace* ws;
 };
 
 /// Slot layout inside the workspace accumulators.
 inline int path_slot(int level) { return level; }
-template <typename V>
-inline int cs_slot(const KernelCtx<V>& ctx, int level) {
+template <typename Ctx>
+inline int cs_slot(const Ctx& ctx, int level) {
   return ctx.csf->order() + level;
 }
-template <typename V>
-inline int extra_slot(const KernelCtx<V>& ctx, int which) {
+template <typename Ctx>
+inline int extra_slot(const Ctx& ctx, int which) {
   return 2 * ctx.csf->order() + which;
 }
 
@@ -667,9 +701,10 @@ inline int extra_slot(const KernelCtx<V>& ctx, int which) {
 ///   G(leaf x)    = vals[x] * F_leaf(fids[x], :)
 ///   G(fiber f,l) = F_l(fids_l[f], :) ⊙ sum_children G(child, l+1).
 /// This is the "pull up" half of the CSF MTTKRP (Smith & Karypis).
-template <typename K, typename V>
-void accumulate_g(const KernelCtx<V>& ctx, int l, nnz_t f, val_t* dst,
+template <typename K, typename Ctx>
+void accumulate_g(const Ctx& ctx, int l, nnz_t f, typename K::Accum* dst,
                   int tid) {
+  using A = typename K::Accum;
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
@@ -677,19 +712,19 @@ void accumulate_g(const KernelCtx<V>& ctx, int l, nnz_t f, val_t* dst,
   if (l == order - 1) {
     // f is a nonzero.
     K::leaf_accum(dst, *ctx.factor_at_level[static_cast<std::size_t>(l)],
-                  ctx.view.leaf[f], csf.vals()[f], rank);
+                  ctx.view.leaf[f], ctx.vals[f], rank);
     return;
   }
 
   const auto fids = ctx.view.fids[static_cast<std::size_t>(l)];
-  val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
+  A* cs = ctx.ws->template accum_as<A>(tid, cs_slot(ctx, l));
 
   if (l == order - 2) {
     // Children are nonzeros: fuse the leaf loop (the hot inner loop) with
     // the Hadamard deposit; the fixed-width path keeps the fiber sum in
     // registers and never touches the cs scratch row.
     K::pullup_hadamard(dst, *ctx.factor_at_level[static_cast<std::size_t>(l)],
-                       fids[f], csf.vals(), ctx.view.leaf,
+                       fids[f], ctx.vals, ctx.view.leaf,
                        ctx.view.deep_fptr[f], ctx.view.deep_fptr[f + 1],
                        *ctx.factor_at_level[static_cast<std::size_t>(order - 1)],
                        cs, rank);
@@ -697,7 +732,7 @@ void accumulate_g(const KernelCtx<V>& ctx, int l, nnz_t f, val_t* dst,
   }
 
   const auto fptr = ctx.view.fptr[static_cast<std::size_t>(l)];
-  std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+  std::memset(cs, 0, static_cast<std::size_t>(rank) * sizeof(A));
   for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
     accumulate_g<K>(ctx, l + 1, c, cs, tid);
   }
@@ -709,9 +744,10 @@ void accumulate_g(const KernelCtx<V>& ctx, int l, nnz_t f, val_t* dst,
 /// Root kernel: out(fids0[s], :) += sum_children G(child, 1). Trees are
 /// distributed across threads by the precomputed slice schedule; no write
 /// conflicts.
-template <typename K, typename V, typename Sink>
-void kernel_root(const KernelCtx<V>& ctx, const Sink& sink,
+template <typename K, typename Ctx, typename Sink>
+void kernel_root(const Ctx& ctx, const Sink& sink,
                  const SliceSchedule& slices, int nthreads) {
+  using A = typename K::Accum;
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
@@ -723,11 +759,11 @@ void kernel_root(const KernelCtx<V>& ctx, const Sink& sink,
     parallel_region(nthreads, [&](int tid, int) {
       const auto fids0 = ctx.view.fids[0];
       const auto fptr0 = ctx.view.fptr[0];
-      const auto vals = csf.vals();
-      const la::Matrix& f1 = *ctx.factor_at_level[1];
-      const la::Matrix& f2 = *ctx.factor_at_level[2];
-      val_t* acc = ctx.ws->accum(tid, extra_slot(ctx, 0));
-      val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, 1));
+      const auto vals = ctx.vals;
+      const auto& f1 = *ctx.factor_at_level[1];
+      const auto& f2 = *ctx.factor_at_level[2];
+      A* acc = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 0));
+      A* cs = ctx.ws->template accum_as<A>(tid, cs_slot(ctx, 1));
       slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
         for (nnz_t s = begin; s < end; ++s) {
           K::root_slice3(acc, ctx.view, vals, f1, f2, fptr0[s],
@@ -742,10 +778,10 @@ void kernel_root(const KernelCtx<V>& ctx, const Sink& sink,
   parallel_region(nthreads, [&](int tid, int) {
     const auto fids0 = ctx.view.fids[0];
     const auto fptr0 = ctx.view.fptr[0];
-    val_t* acc = ctx.ws->accum(tid, extra_slot(ctx, 0));
+    A* acc = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
       for (nnz_t s = begin; s < end; ++s) {
-        std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(val_t));
+        std::memset(acc, 0, static_cast<std::size_t>(rank) * sizeof(A));
         for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
           accumulate_g<K>(ctx, 1, c, acc, tid);
         }
@@ -757,9 +793,10 @@ void kernel_root(const KernelCtx<V>& ctx, const Sink& sink,
 
 /// Leaf kernel: push path products down, deposit at nonzeros:
 ///   out(leaf_fid, :) += val * (F_0 row ⊙ ... ⊙ F_{N-2} row).
-template <typename K, typename V, typename Sink>
-void kernel_leaf(const KernelCtx<V>& ctx, const Sink& sink,
+template <typename K, typename Ctx, typename Sink>
+void kernel_leaf(const Ctx& ctx, const Sink& sink,
                  const SliceSchedule& slices, int nthreads) {
+  using A = typename K::Accum;
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
@@ -773,12 +810,12 @@ void kernel_leaf(const KernelCtx<V>& ctx, const Sink& sink,
       const auto leaf_fids = ctx.view.leaf;
       const auto fptr0 = ctx.view.fptr[0];
       const auto fptr1 = ctx.view.deep_fptr;
-      const auto vals = csf.vals();
-      const la::Matrix& f0 = *ctx.factor_at_level[0];
-      const la::Matrix& f1 = *ctx.factor_at_level[1];
-      val_t* p0 = ctx.ws->accum(tid, path_slot(0));
-      val_t* mine = ctx.ws->accum(tid, path_slot(1));
-      val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+      const auto vals = ctx.vals;
+      const auto& f0 = *ctx.factor_at_level[0];
+      const auto& f1 = *ctx.factor_at_level[1];
+      A* p0 = ctx.ws->template accum_as<A>(tid, path_slot(0));
+      A* mine = ctx.ws->template accum_as<A>(tid, path_slot(1));
+      A* tmp = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 1));
       slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
         for (nnz_t s = begin; s < end; ++s) {
           K::path_load(p0, f0, fids0[s], rank);
@@ -803,7 +840,7 @@ void kernel_leaf(const KernelCtx<V>& ctx, const Sink& sink,
 
   // Recursive descent writing path products into per-level slots.
   struct Walker {
-    const KernelCtx<V>& ctx;
+    const Ctx& ctx;
     const Sink& sink;
     int tid;
 
@@ -811,15 +848,15 @@ void kernel_leaf(const KernelCtx<V>& ctx, const Sink& sink,
       const CsfTensor& csf = *ctx.csf;
       const idx_t rank = ctx.rank;
       const int order = csf.order();
-      const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
-      val_t* mine = ctx.ws->accum(tid, path_slot(l));
+      const A* parent = ctx.ws->template accum_as<A>(tid, path_slot(l - 1));
+      A* mine = ctx.ws->template accum_as<A>(tid, path_slot(l));
       K::path_mul(mine, parent,
                   *ctx.factor_at_level[static_cast<std::size_t>(l)],
                   ctx.view.fids[static_cast<std::size_t>(l)][f], rank);
       if (l == order - 2) {
         // Children are the nonzeros: deposit.
-        const auto vals = csf.vals();
-        val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+        const auto vals = ctx.vals;
+        A* tmp = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 1));
         for (nnz_t x = ctx.view.deep_fptr[f]; x < ctx.view.deep_fptr[f + 1];
              ++x) {
           sink.add_scaled(ctx.view.leaf[x], vals[x], mine, tmp, rank);
@@ -836,14 +873,14 @@ void kernel_leaf(const KernelCtx<V>& ctx, const Sink& sink,
   parallel_region(nthreads, [&](int tid, int) {
     const auto fids0 = ctx.view.fids[0];
     const Walker walker{ctx, sink, tid};
-    val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+    A* p0 = ctx.ws->template accum_as<A>(tid, path_slot(0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
       for (nnz_t s = begin; s < end; ++s) {
         K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
         if (order == 2) {
           // Root's children are the nonzeros.
-          const auto vals = csf.vals();
-          val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
+          const auto vals = ctx.vals;
+          A* tmp = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 1));
           for (nnz_t x = ctx.view.deep_fptr[s]; x < ctx.view.deep_fptr[s + 1];
                ++x) {
             sink.add_scaled(ctx.view.leaf[x], vals[x], p0, tmp, rank);
@@ -864,9 +901,10 @@ void kernel_leaf(const KernelCtx<V>& ctx, const Sink& sink,
 /// thread walks the whole forest but deposits only leaves inside its own
 /// tile. Writes are conflict-free (DirectSink); the price is replicated
 /// path-product work at the upper levels.
-template <typename K, typename V>
-void kernel_leaf_tiled(const KernelCtx<V>& ctx, la::Matrix& out,
+template <typename K, typename Ctx>
+void kernel_leaf_tiled(const Ctx& ctx, la::Matrix& out,
                        std::span<const nnz_t> tile_bounds, int nthreads) {
+  using A = typename K::Accum;
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
   const int order = csf.order();
@@ -884,9 +922,9 @@ void kernel_leaf_tiled(const KernelCtx<V>& ctx, la::Matrix& out,
 
     // Deposit the in-tile leaves of the bottom fiber [first, last) whose
     // path product lives in `path`.
-    const auto vals = csf.vals();
-    val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
-    const auto deposit = [&](nnz_t first, nnz_t last, const val_t* path) {
+    const auto vals = ctx.vals;
+    A* tmp = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 1));
+    const auto deposit = [&](nnz_t first, nnz_t last, const A* path) {
       // Leaves are sorted within a fiber: narrow to the tile subrange.
       const nnz_t begin = stream_lower_bound(leaf_fids, first, last, lo);
       const nnz_t end = stream_lower_bound(leaf_fids, begin, last, hi);
@@ -896,7 +934,7 @@ void kernel_leaf_tiled(const KernelCtx<V>& ctx, la::Matrix& out,
     };
 
     struct Walker {
-      const KernelCtx<V>& ctx;
+      const Ctx& ctx;
       const decltype(deposit)& leaf_fn;
       int tid;
 
@@ -904,8 +942,9 @@ void kernel_leaf_tiled(const KernelCtx<V>& ctx, la::Matrix& out,
         const CsfTensor& csf = *ctx.csf;
         const idx_t rank = ctx.rank;
         const int order = csf.order();
-        const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
-        val_t* mine = ctx.ws->accum(tid, path_slot(l));
+        const A* parent =
+            ctx.ws->template accum_as<A>(tid, path_slot(l - 1));
+        A* mine = ctx.ws->template accum_as<A>(tid, path_slot(l));
         K::path_mul(mine, parent,
                     *ctx.factor_at_level[static_cast<std::size_t>(l)],
                     ctx.view.fids[static_cast<std::size_t>(l)][f], rank);
@@ -922,7 +961,7 @@ void kernel_leaf_tiled(const KernelCtx<V>& ctx, la::Matrix& out,
 
     const auto fids0 = ctx.view.fids[0];
     const Walker walker{ctx, deposit, tid};
-    val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+    A* p0 = ctx.ws->template accum_as<A>(tid, path_slot(0));
     for (nnz_t s = 0; s < csf.nfibers(0); ++s) {
       K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
       if (order == 2) {
@@ -939,10 +978,11 @@ void kernel_leaf_tiled(const KernelCtx<V>& ctx, la::Matrix& out,
 
 /// Internal kernel at level L (0 < L < order-1):
 ///   out(fids_L[f], :) += (F_0 ⊙ ... ⊙ F_{L-1} path) ⊙ sum_children G.
-template <typename K, typename V, typename Sink>
-void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
+template <typename K, typename Ctx, typename Sink>
+void kernel_internal(const Ctx& ctx, const Sink& sink,
                      int out_level, const SliceSchedule& slices,
                      int nthreads) {
+  using A = typename K::Accum;
   const CsfTensor& csf = *ctx.csf;
   const idx_t rank = ctx.rank;
 
@@ -955,12 +995,12 @@ void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
       const auto leaf_fids = ctx.view.leaf;
       const auto fptr0 = ctx.view.fptr[0];
       const auto fptr1 = ctx.view.deep_fptr;
-      const auto vals = csf.vals();
-      const la::Matrix& f0 = *ctx.factor_at_level[0];
-      const la::Matrix& f2 = *ctx.factor_at_level[2];
-      val_t* p0 = ctx.ws->accum(tid, path_slot(0));
-      val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
-      val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, 1));
+      const auto vals = ctx.vals;
+      const auto& f0 = *ctx.factor_at_level[0];
+      const auto& f2 = *ctx.factor_at_level[2];
+      A* p0 = ctx.ws->template accum_as<A>(tid, path_slot(0));
+      A* tmp = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 1));
+      A* cs = ctx.ws->template accum_as<A>(tid, cs_slot(ctx, 1));
       slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
         for (nnz_t s = begin; s < end; ++s) {
           K::path_load(p0, f0, fids0[s], rank);
@@ -977,7 +1017,7 @@ void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
   }
 
   struct Walker {
-    const KernelCtx<V>& ctx;
+    const Ctx& ctx;
     const Sink& sink;
     int out_level;
     int tid;
@@ -988,19 +1028,19 @@ void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
       const int order = csf.order();
       if (l == out_level) {
         // Children sum (the pull-up half), excluding F_L itself.
-        const val_t* path = ctx.ws->accum(tid, path_slot(l - 1));
-        val_t* tmp = ctx.ws->accum(tid, extra_slot(ctx, 1));
-        val_t* cs = ctx.ws->accum(tid, cs_slot(ctx, l));
+        const A* path = ctx.ws->template accum_as<A>(tid, path_slot(l - 1));
+        A* tmp = ctx.ws->template accum_as<A>(tid, extra_slot(ctx, 1));
+        A* cs = ctx.ws->template accum_as<A>(tid, cs_slot(ctx, l));
         if (l == order - 2) {
           K::pullup_mul(
-              tmp, path, csf.vals(), ctx.view.leaf, ctx.view.deep_fptr[f],
+              tmp, path, ctx.vals, ctx.view.leaf, ctx.view.deep_fptr[f],
               ctx.view.deep_fptr[f + 1],
               *ctx.factor_at_level[static_cast<std::size_t>(order - 1)],
               cs, rank);
         } else {
           const auto fptr = ctx.view.fptr[static_cast<std::size_t>(l)];
           std::memset(cs, 0,
-                      static_cast<std::size_t>(rank) * sizeof(val_t));
+                      static_cast<std::size_t>(rank) * sizeof(A));
           for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
             accumulate_g<K>(ctx, l + 1, c, cs, tid);
           }
@@ -1010,8 +1050,8 @@ void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
         return;
       }
       // Extend the path product and keep descending.
-      const val_t* parent = ctx.ws->accum(tid, path_slot(l - 1));
-      val_t* mine = ctx.ws->accum(tid, path_slot(l));
+      const A* parent = ctx.ws->template accum_as<A>(tid, path_slot(l - 1));
+      A* mine = ctx.ws->template accum_as<A>(tid, path_slot(l));
       K::path_mul(mine, parent,
                   *ctx.factor_at_level[static_cast<std::size_t>(l)],
                   ctx.view.fids[static_cast<std::size_t>(l)][f], rank);
@@ -1026,7 +1066,7 @@ void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
     const auto fids0 = ctx.view.fids[0];
     const auto fptr0 = ctx.view.fptr[0];
     const Walker walker{ctx, sink, out_level, tid};
-    val_t* p0 = ctx.ws->accum(tid, path_slot(0));
+    A* p0 = ctx.ws->template accum_as<A>(tid, path_slot(0));
     slices.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
       for (nnz_t s = begin; s < end; ++s) {
         K::path_load(p0, *ctx.factor_at_level[0], fids0[s], rank);
@@ -1039,8 +1079,8 @@ void kernel_internal(const KernelCtx<V>& ctx, const Sink& sink,
 }
 
 /// Runs the level-appropriate kernel with the given sink.
-template <typename K, typename V, typename Sink>
-void run_kernel(const KernelCtx<V>& ctx, const Sink& sink, int out_level,
+template <typename K, typename Ctx, typename Sink>
+void run_kernel(const Ctx& ctx, const Sink& sink, int out_level,
                 const SliceSchedule& slices, int nthreads) {
   const int order = ctx.csf->order();
   if (out_level == 0) {
@@ -1053,8 +1093,8 @@ void run_kernel(const KernelCtx<V>& ctx, const Sink& sink, int out_level,
 }
 
 /// Strategy dispatch for one kernel bundle + view.
-template <typename K, typename V>
-void dispatch_strategy(const KernelCtx<V>& ctx, la::Matrix& out,
+template <typename K, typename Ctx>
+void dispatch_strategy(const Ctx& ctx, la::Matrix& out,
                        int out_mode, int out_level, SyncStrategy strategy,
                        const SliceSchedule& slices,
                        std::span<const nnz_t> tile_bounds,
@@ -1103,17 +1143,19 @@ void dispatch_strategy(const KernelCtx<V>& ctx, la::Matrix& out,
 /// instantiations: the fast bundles (FixedKern, generic pointer) get
 /// them, the slice/2d ablation bundles run wide-typed or erased to keep
 /// their instantiation count (and compile time) down.
-template <typename K, bool kNarrowViews>
+template <typename K, bool kNarrowViews, typename StoreT>
 void dispatch_views(const CsfTensor& csf,
-                    std::vector<const la::Matrix*> factor_at_level,
+                    std::span<const StoreT> vals,
+                    std::vector<const la::MatrixT<StoreT>*> factor_at_level,
                     idx_t rank, la::Matrix& out, int out_mode,
                     int out_level, SyncStrategy strategy,
                     const SliceSchedule& slices,
                     std::span<const nnz_t> tile_bounds,
                     MttkrpWorkspace& ws) {
   const auto run = [&](auto view) {
-    KernelCtx<decltype(view)> ctx{&csf, std::move(view),
-                                  std::move(factor_at_level), rank, &ws};
+    KernelCtx<decltype(view), StoreT> ctx{&csf, std::move(view), vals,
+                                          std::move(factor_at_level), rank,
+                                          &ws};
     dispatch_strategy<K>(ctx, out, out_mode, out_level, strategy, slices,
                          tile_bounds, ws);
   };
@@ -1148,6 +1190,25 @@ void dispatch_views(const CsfTensor& csf,
   // covers, e.g. u8 leaves with u32 fptrs) run the erased view — correct
   // for every combination, with a predictable per-access width switch.
   run(make_erased_view(csf));
+}
+
+/// Refreshes one fp32 factor shadow from its fp64 master (parallel row
+/// copy through kern::copy — the sanctioned narrowing conversion). The
+/// shadow keeps its own (wider) float padding; kernels read (data, ld)
+/// pairs so the stride difference is invisible to them.
+void refresh_shadow(const la::Matrix& src, la::MatrixT<float>& dst,
+                    int nthreads) {
+  if (dst.rows() != src.rows() || dst.cols() != src.cols()) {
+    dst = la::MatrixT<float>(src.rows(), src.cols());
+  }
+  parallel_region(nthreads, [&](int tid, int nt) {
+    const Range r =
+        block_partition(static_cast<nnz_t>(src.rows()), nt, tid);
+    for (idx_t i = static_cast<idx_t>(r.begin);
+         i < static_cast<idx_t>(r.end); ++i) {
+      la::kern::copy(dst.row_ptr(i), src.row_ptr(i), src.cols());
+    }
+  });
 }
 
 }  // namespace
@@ -1205,43 +1266,143 @@ void mttkrp_csf_exec(const CsfTensor& csf,
         &factors[static_cast<std::size_t>(csf.mode_at_level(l))];
   }
 
-  const auto dispatch = [&]<typename K, bool kNarrow>() {
-    dispatch_views<K, kNarrow>(csf, std::move(factor_at_level), rank, out,
-                               mode, level, strategy, slices, tile_bounds,
-                               ws);
+  // Precision axis setup. The axis applies only to the pointer row-access
+  // kernels (the production path); slice/2d exist to measure access
+  // idioms and always run f64. Under f32/mixed the kernels stream fp32
+  // factor shadows, refreshed here from the fp64 masters for every mode
+  // the launch reads, plus the fp32 CSF value copy (built lazily on this
+  // orchestrating thread, before any parallel region).
+  const Precision prec = ws.options().precision;
+  const bool narrow_streams =
+      prec != Precision::kF64 &&
+      ws.options().row_access == RowAccess::kPointer;
+  std::vector<const la::MatrixT<float>*> shadow_at_level;
+  std::span<const float> vals32;
+  if (narrow_streams) {
+    auto& shadows = ws.factor_shadows();
+    shadows.resize(factors.size());
+    for (int m = 0; m < order; ++m) {
+      if (m == mode) continue;  // never read; left stale
+      refresh_shadow(factors[static_cast<std::size_t>(m)],
+                     shadows[static_cast<std::size_t>(m)],
+                     ws.options().nthreads);
+    }
+    vals32 = csf.vals_f32();
+    shadow_at_level.resize(static_cast<std::size_t>(order));
+    for (int l = 0; l < order; ++l) {
+      shadow_at_level[static_cast<std::size_t>(l)] =
+          &shadows[static_cast<std::size_t>(csf.mode_at_level(l))];
+    }
+  }
+
+  const auto dispatch = [&]<typename K, bool kNarrow, typename StoreT>(
+                            std::vector<const la::MatrixT<StoreT>*> fal,
+                            std::span<const StoreT> vals) {
+    dispatch_views<K, kNarrow>(csf, vals, std::move(fal), rank, out, mode,
+                               level, strategy, slices, tile_bounds, ws);
+  };
+  const auto dispatch_f64 = [&]<typename K, bool kNarrow>() {
+    dispatch.operator()<K, kNarrow>(std::move(factor_at_level),
+                                    csf.vals());
+  };
+  const auto dispatch_f32 = [&]<typename K, bool kNarrow>() {
+    dispatch.operator()<K, kNarrow>(std::move(shadow_at_level), vals32);
   };
 
   switch (ws.options().row_access) {
     case RowAccess::kSlice:
-      dispatch.operator()<GenericKern<SliceAccess>, false>();
+      dispatch_f64.operator()<GenericKern<SliceAccess>, false>();
       break;
     case RowAccess::kIndex2D:
-      dispatch.operator()<GenericKern<Index2DAccess>, false>();
+      dispatch_f64.operator()<GenericKern<Index2DAccess>, false>();
       break;
     case RowAccess::kPointer:
+      if (prec == Precision::kMixed) {
+        // fp32 streams, fp64 accumulators. The fixed-width bundles keep
+        // their narrow-index instantiations (this is the production
+        // bandwidth-saving mode); the generic fallback runs erased/wide.
+        switch (kernel_width) {
+          case 4:
+            dispatch_f32.operator()<FixedKern<4, float, val_t>, true>();
+            break;
+          case 8:
+            dispatch_f32.operator()<FixedKern<8, float, val_t>, true>();
+            break;
+          case 16:
+            dispatch_f32.operator()<FixedKern<16, float, val_t>, true>();
+            break;
+          case 32:
+            dispatch_f32.operator()<FixedKern<32, float, val_t>, true>();
+            break;
+          case 40:
+            dispatch_f32.operator()<FixedKern<40, float, val_t>, true>();
+            break;
+          case 64:
+            dispatch_f32.operator()<FixedKern<64, float, val_t>, true>();
+            break;
+          default:
+            dispatch_f32
+                .operator()<GenericKern<PointerAccess, float, val_t>,
+                            false>();
+            break;
+        }
+        break;
+      }
+      if (prec == Precision::kF32) {
+        // fp32 streams AND fp32 accumulators — the ablation endpoint.
+        // Runs erased/wide index views to bound the instantiation count
+        // (the FixedKern fast paths still engage; only the narrow-index
+        // variants are skipped).
+        switch (kernel_width) {
+          case 4:
+            dispatch_f32.operator()<FixedKern<4, float, float>, false>();
+            break;
+          case 8:
+            dispatch_f32.operator()<FixedKern<8, float, float>, false>();
+            break;
+          case 16:
+            dispatch_f32.operator()<FixedKern<16, float, float>, false>();
+            break;
+          case 32:
+            dispatch_f32.operator()<FixedKern<32, float, float>, false>();
+            break;
+          case 40:
+            dispatch_f32.operator()<FixedKern<40, float, float>, false>();
+            break;
+          case 64:
+            dispatch_f32.operator()<FixedKern<64, float, float>, false>();
+            break;
+          default:
+            dispatch_f32
+                .operator()<GenericKern<PointerAccess, float, float>,
+                            false>();
+            break;
+        }
+        break;
+      }
       switch (kernel_width) {
         case 4:
-          dispatch.operator()<FixedKern<4>, true>();
+          dispatch_f64.operator()<FixedKern<4>, true>();
           break;
         case 8:
-          dispatch.operator()<FixedKern<8>, true>();
+          dispatch_f64.operator()<FixedKern<8>, true>();
           break;
         case 16:
-          dispatch.operator()<FixedKern<16>, true>();
+          dispatch_f64.operator()<FixedKern<16>, true>();
           break;
         case 32:
-          dispatch.operator()<FixedKern<32>, true>();
+          dispatch_f64.operator()<FixedKern<32>, true>();
           break;
         case 40:
           // The padded width for ranks 33-39 (the paper's default rank 35
           // lands here): rows span exactly 40 lanes with zero padding.
-          dispatch.operator()<FixedKern<40>, true>();
+          dispatch_f64.operator()<FixedKern<40>, true>();
           break;
         case 64:
-          dispatch.operator()<FixedKern<64>, true>();
+          dispatch_f64.operator()<FixedKern<64>, true>();
           break;
         default:
-          dispatch.operator()<GenericKern<PointerAccess>, true>();
+          dispatch_f64.operator()<GenericKern<PointerAccess>, true>();
           break;
       }
       break;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/precision.hpp"
 #include "common/types.hpp"
 #include "csf/csf.hpp"
 #include "la/kernels.hpp"
@@ -88,6 +89,14 @@ struct MttkrpOptions {
   /// CsfTensor, so this knob matters to whoever constructs the CsfSet —
   /// cp_als, tucker_hooi, the benches — and is recorded in bench JSON.
   CsfLayout csf_layout = CsfLayout::kCompressed;
+  /// Value-stream precision (common/precision.hpp): f64 runs the exact
+  /// pre-precision code paths; f32/mixed stream fp32 factor-row shadows
+  /// and an fp32 copy of the CSF values, with fp32 (f32) or fp64 (mixed)
+  /// register accumulation. Applies to the pointer row-access kernels —
+  /// the production path; the slice/2d ablation policies always run f64
+  /// (they exist to measure access idioms, not bandwidth). The output
+  /// matrix is fp64 under every precision (deposits widen).
+  Precision precision = Precision::kF64;
 };
 
 /// The compile-time kernel width an MTTKRP plan will select for \p rank
@@ -136,6 +145,22 @@ class MttkrpWorkspace {
   /// follow; kernels address them through the slot helpers in mttkrp.cpp.
   [[nodiscard]] val_t* accum(int tid, int slot);
 
+  /// The same scratch row reinterpreted at the kernel's accumulator type:
+  /// slot bases are 64-byte aligned and rank_stride() doubles hold at
+  /// least rank_stride() lanes of any narrower type, so the fp32 kernels
+  /// address the identical storage as float rows.
+  template <typename A>
+  [[nodiscard]] A* accum_as(int tid, int slot) {
+    return reinterpret_cast<A*>(accum(tid, slot));
+  }
+
+  /// fp32 shadows of the factor matrices for the f32/mixed kernels, one
+  /// per mode, refreshed (converted from the fp64 masters) at each launch
+  /// by mttkrp_csf_exec for every mode the kernel reads. Entry \p mode
+  /// may be stale for the launch's output mode — kernels never read the
+  /// output mode's factor.
+  std::vector<la::MatrixT<float>>& factor_shadows() { return shadows_; }
+
   /// The lock pool (constructed with options().lock_kind).
   [[nodiscard]] AnyMutexPool& pool() { return pool_; }
 
@@ -155,6 +180,7 @@ class MttkrpWorkspace {
   std::size_t slot_stride_ = 0;       ///< rank rounded up to a cache line
   std::size_t slots_per_thread_ = 0;  ///< 2*order + 2
   aligned_vector<val_t> accum_storage_;
+  std::vector<la::MatrixT<float>> shadows_;  ///< f32/mixed factor copies
   AnyMutexPool pool_;
   std::unique_ptr<PrivateBuffers> priv_;
   nnz_t priv_capacity_ = 0;

@@ -41,56 +41,69 @@ RowAccess parse_row_access(const std::string& name);
 /// Legend name of a policy.
 const char* row_access_name(RowAccess ra);
 
-/// Pointer policy: raw row base pointer, unchecked accesses.
+/// Pointer policy: raw row base pointer, unchecked accesses. The handle
+/// is templated on the matrix element type so the precision axis's fp32
+/// factor shadows read through the identical idiom (T defaults to val_t
+/// everywhere the precision is f64).
 struct PointerAccess {
-  class Row {
+  template <typename T>
+  class RowT {
    public:
-    explicit Row(val_t* p) : p_(p) {}
-    [[nodiscard]] val_t get(idx_t j) const { return p_[j]; }
-    void add(idx_t j, val_t v) const { p_[j] += v; }
-    void set(idx_t j, val_t v) const { p_[j] = v; }
+    explicit RowT(T* p) : p_(p) {}
+    [[nodiscard]] T get(idx_t j) const { return p_[j]; }
+    void add(idx_t j, T v) const { p_[j] += v; }
+    void set(idx_t j, T v) const { p_[j] = v; }
 
    private:
-    val_t* p_;
+    T* p_;
   };
+  using Row = RowT<val_t>;
 
-  static Row row(la::Matrix& a, idx_t i) {
-    return Row{a.data() + static_cast<std::size_t>(i) * a.ld()};
+  template <typename T>
+  static RowT<T> row(la::MatrixT<T>& a, idx_t i) {
+    return RowT<T>{a.data() + static_cast<std::size_t>(i) * a.ld()};
   }
-  static Row row(const la::Matrix& a, idx_t i) {
+  template <typename T>
+  static RowT<T> row(const la::MatrixT<T>& a, idx_t i) {
     // MTTKRP only writes to the output matrix; const factor rows are read
     // through the same handle type for simplicity.
-    return Row{const_cast<val_t*>(a.data()) +
-               static_cast<std::size_t>(i) * a.ld()};
+    return RowT<T>{const_cast<T*>(a.data()) +
+                   static_cast<std::size_t>(i) * a.ld()};
   }
 };
 
 /// 2D-index policy: offset recomputed per access.
 struct Index2DAccess {
-  class Row {
+  template <typename T>
+  class RowT {
    public:
-    Row(val_t* base, idx_t i, idx_t cols) : base_(base), i_(i), cols_(cols) {}
-    [[nodiscard]] val_t get(idx_t j) const {
+    RowT(T* base, idx_t i, idx_t cols) : base_(base), i_(i), cols_(cols) {}
+    [[nodiscard]] T get(idx_t j) const {
       return base_[static_cast<std::size_t>(i_) * cols_ + j];
     }
-    void add(idx_t j, val_t v) const {
+    void add(idx_t j, T v) const {
       base_[static_cast<std::size_t>(i_) * cols_ + j] += v;
     }
-    void set(idx_t j, val_t v) const {
+    void set(idx_t j, T v) const {
       base_[static_cast<std::size_t>(i_) * cols_ + j] = v;
     }
 
    private:
-    val_t* base_;
+    T* base_;
     idx_t i_;
     idx_t cols_;
   };
+  using Row = RowT<val_t>;
 
   // The flat offset is recomputed per access against the padded leading
   // dimension (the stride a 2D array with padded rows indexes by).
-  static Row row(la::Matrix& a, idx_t i) { return Row{a.data(), i, a.ld()}; }
-  static Row row(const la::Matrix& a, idx_t i) {
-    return Row{const_cast<val_t*>(a.data()), i, a.ld()};
+  template <typename T>
+  static RowT<T> row(la::MatrixT<T>& a, idx_t i) {
+    return RowT<T>{a.data(), i, a.ld()};
+  }
+  template <typename T>
+  static RowT<T> row(const la::MatrixT<T>& a, idx_t i) {
+    return RowT<T>{const_cast<T*>(a.data()), i, a.ld()};
   }
 };
 
@@ -111,16 +124,18 @@ struct SliceAccess {
   };
 
   /// Chapel array-view descriptor: data pointer + owning domain.
-  struct ViewDesc {
-    val_t* base;
+  template <typename T>
+  struct ViewDescT {
+    T* base;
     Domain* dom;
     std::atomic<int> refcount;
   };
 
-  class Row {
+  template <typename T>
+  class RowT {
    public:
-    explicit Row(ViewDesc* d) : d_(d) {}
-    ~Row() {
+    explicit RowT(ViewDescT<T>* d) : d_(d) {}
+    ~RowT() {
       // View teardown: drop both refcounts, free when last (always here).
       if (d_->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (d_->dom->refcount.fetch_sub(1, std::memory_order_acq_rel) ==
@@ -130,15 +145,15 @@ struct SliceAccess {
         delete d_;
       }
     }
-    Row(const Row&) = delete;
-    Row& operator=(const Row&) = delete;
-    Row(Row&&) = delete;
+    RowT(const RowT&) = delete;
+    RowT& operator=(const RowT&) = delete;
+    RowT(RowT&&) = delete;
 
-    [[nodiscard]] val_t get(idx_t j) const {
+    [[nodiscard]] T get(idx_t j) const {
       return d_->base[offset(j)];
     }
-    void add(idx_t j, val_t v) const { d_->base[offset(j)] += v; }
-    void set(idx_t j, val_t v) const { d_->base[offset(j)] = v; }
+    void add(idx_t j, T v) const { d_->base[offset(j)] += v; }
+    void set(idx_t j, T v) const { d_->base[offset(j)] = v; }
 
    private:
     [[nodiscard]] std::size_t offset(idx_t j) const {
@@ -147,23 +162,27 @@ struct SliceAccess {
       SPTD_CHECK(idx <= dom.hi, "slice access out of bounds");
       return static_cast<std::size_t>(idx) * dom.stride;
     }
-    ViewDesc* d_;
+    ViewDescT<T>* d_;
   };
+  using Row = RowT<val_t>;
 
-  static Row make(val_t* base, idx_t cols) {
+  template <typename T>
+  static RowT<T> make(T* base, idx_t cols) {
     auto* dom = new Domain{0, static_cast<idx_t>(cols - 1), 1, {1}};
-    auto* view = new ViewDesc{base, dom, {1}};
+    auto* view = new ViewDescT<T>{base, dom, {1}};
     // Chapel bumps the domain's refcount when an array is declared over it.
     dom->refcount.fetch_add(1, std::memory_order_relaxed);
     view->dom->refcount.fetch_sub(1, std::memory_order_relaxed);
-    return Row{view};
+    return RowT<T>{view};
   }
 
-  static Row row(la::Matrix& a, idx_t i) {
+  template <typename T>
+  static RowT<T> row(la::MatrixT<T>& a, idx_t i) {
     return make(a.data() + static_cast<std::size_t>(i) * a.ld(), a.cols());
   }
-  static Row row(const la::Matrix& a, idx_t i) {
-    return make(const_cast<val_t*>(a.data()) +
+  template <typename T>
+  static RowT<T> row(const la::MatrixT<T>& a, idx_t i) {
+    return make(const_cast<T*>(a.data()) +
                     static_cast<std::size_t>(i) * a.ld(),
                 a.cols());
   }

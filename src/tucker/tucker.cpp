@@ -107,11 +107,112 @@ void ttmc(const SparseTensor& x, const std::vector<la::Matrix>& factors,
 namespace {
 std::size_t ttmc_column(const dims_t& core_dims, int skip,
                         std::span<const idx_t> j);
+
+/// The TTMc tree walk, templated on the streamed value type: StoreT is
+/// what the factor rows and tensor values are read as (fp32 shadows under
+/// f32/mixed precision, val_t under f64); all Kronecker accumulation and
+/// the output stay fp64. The f64 instantiation is the exact
+/// pre-precision walk (the casts are no-ops).
+template <typename StoreT>
+void ttmc_csf_walk(const CsfTensor& csf, std::span<const StoreT> vals,
+                   const std::vector<const la::MatrixT<StoreT>*>& factors,
+                   la::Matrix& out, const std::vector<std::size_t>& below,
+                   const std::vector<std::size_t>& canon, std::size_t k,
+                   const SliceSchedule* slices, int nthreads) {
+  const int order = csf.order();
+
+  // Width-erased index streams, resolved once for the whole walk: the
+  // compressed CSF stores each level at its own width, and the kron work
+  // per fiber dwarfs the per-access width switch.
+  const CsfStreamRefs refs = csf.stream_refs();
+  const std::array<FidStreamRef, kMaxOrder>& fid_at = refs.fids;
+  const std::array<PtrStreamRef, kMaxOrder>& ptr_at = refs.fptr;
+
+  parallel_region(nthreads, [&](int tid, int) {
+    // Per-level accumulation buffers (tree-order kron of levels > l).
+    std::vector<std::vector<val_t>> acc(static_cast<std::size_t>(order));
+    for (int l = 0; l < order; ++l) {
+      acc[static_cast<std::size_t>(l)].resize(
+          below[static_cast<std::size_t>(l)]);
+    }
+
+    // Recursive pull-up: fills acc[l-1] contributions for fiber f at
+    // level l, i.e. adds kron(U_l row, sum-of-children) into dst.
+    struct Puller {
+      const CsfTensor& csf;
+      std::span<const StoreT> vals;
+      const std::vector<const la::MatrixT<StoreT>*>& factors;
+      const std::vector<std::size_t>& below;
+      std::vector<std::vector<val_t>>& acc;
+      const std::array<FidStreamRef, kMaxOrder>& fid_at;
+      const std::array<PtrStreamRef, kMaxOrder>& ptr_at;
+
+      void pull(int l, nnz_t f, val_t* dst) const {
+        const int order = csf.order();
+        const int mode = csf.mode_at_level(l);
+        const auto& u = *factors[static_cast<std::size_t>(mode)];
+        const idx_t r = u.cols();
+        if (l == order - 1) {
+          // Leaf: val * U row.
+          const val_t v = static_cast<val_t>(vals[f]);
+          const StoreT* row =
+              u.row_ptr(fid_at[static_cast<std::size_t>(l)][f]);
+          for (idx_t j = 0; j < r; ++j) {
+            dst[j] += v * static_cast<val_t>(row[j]);
+          }
+          return;
+        }
+        // Sum the children's kron vectors once, then expand by this
+        // fiber's factor row (the prefix-sharing win).
+        val_t* sum = acc[static_cast<std::size_t>(l)].data();
+        const std::size_t len = below[static_cast<std::size_t>(l)];
+        std::fill(sum, sum + len, val_t{0});
+        const auto fptr = ptr_at[static_cast<std::size_t>(l)];
+        for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
+          pull(l + 1, c, sum);
+        }
+        const StoreT* row =
+            u.row_ptr(fid_at[static_cast<std::size_t>(l)][f]);
+        const std::size_t child_len = len;
+        // dst layout: this level slow, children fast.
+        for (idx_t j = 0; j < r; ++j) {
+          const val_t rj = static_cast<val_t>(row[j]);
+          val_t* slot = dst + static_cast<std::size_t>(j) * child_len;
+          for (std::size_t s = 0; s < child_len; ++s) {
+            slot[s] += rj * sum[s];
+          }
+        }
+      }
+    };
+
+    // No aliasing: pull(l, ...) sums children into acc[l] and expands
+    // into the caller's destination, which is acc[l-1] (or the root
+    // vector) — always a different level's buffer.
+    const Puller puller{csf, vals, factors, below, acc, fid_at, ptr_at};
+    const auto fids0 = fid_at[0];
+    const auto fptr0 = ptr_at[0];
+    std::vector<val_t> root_vec(k);
+    slices->for_ranges(tid, [&](nnz_t begin, nnz_t end) {
+      for (nnz_t s = begin; s < end; ++s) {
+        std::fill(root_vec.begin(), root_vec.end(), val_t{0});
+        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
+          puller.pull(1, c, root_vec.data());
+        }
+        val_t* dst = out.row_ptr(fids0[s]);
+        for (std::size_t t = 0; t < k; ++t) {
+          dst[canon[t]] += root_vec[t];
+        }
+      }
+    });
+  });
+}
+
 }  // namespace
 
 void ttmc_csf(const CsfTensor& csf,
               const std::vector<la::Matrix>& factors, la::Matrix& out,
-              int nthreads, const SliceSchedule* slices) {
+              int nthreads, const SliceSchedule* slices,
+              Precision precision) {
   const int order = csf.order();
   const int root_mode = csf.mode_at_level(0);
   SPTD_CHECK(static_cast<int>(factors.size()) == order,
@@ -167,89 +268,26 @@ void ttmc_csf(const CsfTensor& csf,
   }
   slices->reset();
 
-  // Width-erased index streams, resolved once for the whole walk: the
-  // compressed CSF stores each level at its own width, and the kron work
-  // per fiber dwarfs the per-access width switch.
-  const CsfStreamRefs refs = csf.stream_refs();
-  const std::array<FidStreamRef, kMaxOrder>& fid_at = refs.fids;
-  const std::array<PtrStreamRef, kMaxOrder>& ptr_at = refs.fptr;
-
-  parallel_region(nthreads, [&](int tid, int) {
-    // Per-level accumulation buffers (tree-order kron of levels > l).
-    std::vector<std::vector<val_t>> acc(static_cast<std::size_t>(order));
-    for (int l = 0; l < order; ++l) {
-      acc[static_cast<std::size_t>(l)].resize(
-          below[static_cast<std::size_t>(l)]);
+  if (precision != Precision::kF64) {
+    // fp32 value streams: local factor shadows (converted once per call —
+    // TTMc reads every mode's factor, including the root's) plus the
+    // CSF's fp32 value copy, resolved before the parallel region.
+    std::vector<la::MatrixT<float>> shadows(factors.size());
+    std::vector<const la::MatrixT<float>*> shadow_ptrs(factors.size());
+    for (std::size_t m = 0; m < factors.size(); ++m) {
+      shadows[m].assign_converted(factors[m]);
+      shadow_ptrs[m] = &shadows[m];
     }
-
-    // Recursive pull-up: fills acc[l-1] contributions for fiber f at
-    // level l, i.e. adds kron(U_l row, sum-of-children) into dst.
-    struct Puller {
-      const CsfTensor& csf;
-      const std::vector<la::Matrix>& factors;
-      const std::vector<std::size_t>& below;
-      std::vector<std::vector<val_t>>& acc;
-      const std::array<FidStreamRef, kMaxOrder>& fid_at;
-      const std::array<PtrStreamRef, kMaxOrder>& ptr_at;
-
-      void pull(int l, nnz_t f, val_t* dst) const {
-        const int order = csf.order();
-        const int mode = csf.mode_at_level(l);
-        const la::Matrix& u = factors[static_cast<std::size_t>(mode)];
-        const idx_t r = u.cols();
-        if (l == order - 1) {
-          // Leaf: val * U row.
-          const val_t v = csf.vals()[f];
-          const val_t* row =
-              u.row_ptr(fid_at[static_cast<std::size_t>(l)][f]);
-          for (idx_t j = 0; j < r; ++j) {
-            dst[j] += v * row[j];
-          }
-          return;
-        }
-        // Sum the children's kron vectors once, then expand by this
-        // fiber's factor row (the prefix-sharing win).
-        val_t* sum = acc[static_cast<std::size_t>(l)].data();
-        const std::size_t len = below[static_cast<std::size_t>(l)];
-        std::fill(sum, sum + len, val_t{0});
-        const auto fptr = ptr_at[static_cast<std::size_t>(l)];
-        for (nnz_t c = fptr[f]; c < fptr[f + 1]; ++c) {
-          pull(l + 1, c, sum);
-        }
-        const val_t* row =
-            u.row_ptr(fid_at[static_cast<std::size_t>(l)][f]);
-        const std::size_t child_len = len;
-        // dst layout: this level slow, children fast.
-        for (idx_t j = 0; j < r; ++j) {
-          const val_t rj = row[j];
-          val_t* slot = dst + static_cast<std::size_t>(j) * child_len;
-          for (std::size_t s = 0; s < child_len; ++s) {
-            slot[s] += rj * sum[s];
-          }
-        }
-      }
-    };
-
-    // No aliasing: pull(l, ...) sums children into acc[l] and expands
-    // into the caller's destination, which is acc[l-1] (or the root
-    // vector) — always a different level's buffer.
-    const Puller puller{csf, factors, below, acc, fid_at, ptr_at};
-    const auto fids0 = fid_at[0];
-    const auto fptr0 = ptr_at[0];
-    std::vector<val_t> root_vec(k);
-    slices->for_ranges(tid, [&](nnz_t begin, nnz_t end) {
-      for (nnz_t s = begin; s < end; ++s) {
-        std::fill(root_vec.begin(), root_vec.end(), val_t{0});
-        for (nnz_t c = fptr0[s]; c < fptr0[s + 1]; ++c) {
-          puller.pull(1, c, root_vec.data());
-        }
-        val_t* dst = out.row_ptr(fids0[s]);
-        for (std::size_t t = 0; t < k; ++t) {
-          dst[canon[t]] += root_vec[t];
-        }
-      }
-    });
-  });
+    ttmc_csf_walk<float>(csf, csf.vals_f32(), shadow_ptrs, out, below,
+                         canon, k, slices, nthreads);
+    return;
+  }
+  std::vector<const la::Matrix*> factor_ptrs(factors.size());
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    factor_ptrs[m] = &factors[m];
+  }
+  ttmc_csf_walk<val_t>(csf, csf.vals(), factor_ptrs, out, below, canon, k,
+                       slices, nthreads);
 }
 
 namespace {
@@ -396,7 +434,8 @@ TuckerResult tucker_hooi(const SparseTensor& x,
         const CsfTensor& rep = csf_set->csf_for_mode(m, level);
         SPTD_DCHECK(level == 0, "AllMode set must dispatch a root rep");
         ttmc_csf(rep, model.factors, w, nthreads,
-                 &ttmc_schedules[static_cast<std::size_t>(m)]);
+                 &ttmc_schedules[static_cast<std::size_t>(m)],
+                 options.precision);
       } else {
         ttmc(x, model.factors, m, w, nthreads);
       }
@@ -425,6 +464,11 @@ TuckerResult tucker_hooi(const SparseTensor& x,
       matmul_rows_parallel(w, v_top, factor, nthreads);
       // Guard against lost orthonormality from zero singular values.
       orthonormalize_columns(factor);
+      // Pure-f32 mode: the factor master carries only fp32 information
+      // (the next TTMc's shadow conversion is then exact).
+      if (options.precision == Precision::kF32) {
+        la::round_through_f32(factor);
+      }
 
       if (m == order - 1) {
         last_w = std::move(w);

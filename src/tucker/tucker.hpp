@@ -63,6 +63,12 @@ struct TuckerOptions {
   /// Index-stream widths of the all-mode CSF set the TTMc walks
   /// (compressed = per-level narrowest, wide = u32/u64 baseline).
   CsfLayout csf_layout = CsfLayout::kCompressed;
+  /// Value-stream precision for the CSF TTMc (common/precision.hpp):
+  /// f32/mixed stream fp32 factor shadows + fp32 CSF values with fp64
+  /// Kronecker accumulation; f32 additionally rounds each updated factor
+  /// through fp32 per HOOI sweep. The COO fallback (use_csf = false) and
+  /// all dense linear algebra (Gram, eigen, core) always run fp64.
+  Precision precision = Precision::kF64;
 };
 
 /// HOOI result.
@@ -95,8 +101,12 @@ TuckerResult tucker_hooi(const SparseTensor& x,
 /// dims[root] x prod_{n != root} cols. \p slices, when given, is a
 /// prebuilt root-slice schedule (tucker_hooi builds one per mode before
 /// the HOOI loop); null re-derives SPLATT's weighted blocking per call.
+/// Under f32/mixed \p precision the walk streams fp32 factor shadows and
+/// the CSF's fp32 value copy, accumulating Kronecker products in fp64;
+/// f64 is the exact pre-precision path.
 void ttmc_csf(const CsfTensor& csf,
               const std::vector<la::Matrix>& factors, la::Matrix& out,
-              int nthreads, const SliceSchedule* slices = nullptr);
+              int nthreads, const SliceSchedule* slices = nullptr,
+              Precision precision = Precision::kF64);
 
 }  // namespace sptd

@@ -32,7 +32,11 @@ import sys
 # preset/scale/layout): gated lower-is-better exactly like a timing, so a
 # change that silently re-widens the compressed index streams fails CI.
 # The `csf_layout` identity field keeps compressed and wide records
-# paired separately.
+# paired separately, and the `precision` identity field does the same for
+# the value-stream precision (f64/f32/mixed): value_bytes and
+# fit_gap_vs_f64 are then plain lower-is-better metrics within each
+# precision, so re-widening the fp32 value stream or drifting further
+# from the f64 fit both fail CI.
 DEFAULT_METRICS = [
     "seconds",
     "total_seconds",
@@ -45,6 +49,16 @@ DEFAULT_METRICS = [
     "train_rmse",
     "val_rmse",
     "csf_bytes",
+    "value_bytes",
+    "fit_gap_vs_f64",
+]
+
+# Higher-is-better quality metrics, gated on their deficit from the ideal
+# value (1.0): the ratio check runs on (1 - fit), so a fit that moves
+# from 0.998 to 0.990 is a 5x residual blowup and fails, while a fit
+# improvement can never read as a regression.
+DEFAULT_DEFICIT_METRICS = [
+    "fit",
 ]
 
 # Run-varying counters: excluded from identity (two runs of the same
@@ -90,6 +104,10 @@ def main():
                     help="allowed fractional slowdown (default 0.25)")
     ap.add_argument("--metrics", default=",".join(DEFAULT_METRICS),
                     help="comma-separated measurement fields")
+    ap.add_argument("--deficit-metrics",
+                    default=",".join(DEFAULT_DEFICIT_METRICS),
+                    help="comma-separated higher-is-better quality fields "
+                         "gated on their deficit from 1.0")
     ap.add_argument("--counters", default=",".join(DEFAULT_COUNTERS),
                     help="comma-separated run-varying counter fields "
                          "(excluded from identity, never ratio-checked)")
@@ -98,8 +116,9 @@ def main():
     args = ap.parse_args()
 
     metrics = [m for m in args.metrics.split(",") if m]
+    deficits = [m for m in args.deficit_metrics.split(",") if m]
     counters = [c for c in args.counters.split(",") if c]
-    excluded = set(metrics) | set(counters)
+    excluded = set(metrics) | set(deficits) | set(counters)
     base = {}
     for rec in load_records(args.baseline):
         base.setdefault(identity(rec, excluded), []).append(rec)
@@ -116,7 +135,7 @@ def main():
         label = " ".join(f"{k}={v.split(':', 1)[1]}" for k, v in key
                          if k in ("bench", "impl", "alg", "threads",
                                   "row_access", "kernels", "kernel_width",
-                                  "schedule"))
+                                  "schedule", "precision"))
         for m in metrics:
             if m not in rec or m not in ref:
                 continue
@@ -128,6 +147,18 @@ def main():
             if ratio > 1.0 + args.threshold:
                 regressions.append(
                     f"{label}: {m} {old:.6f}s -> {new:.6f}s "
+                    f"({ratio:.2f}x, threshold {1.0 + args.threshold:.2f}x)")
+        for m in deficits:
+            if m not in rec or m not in ref:
+                continue
+            compared += 1
+            old, new = 1.0 - float(ref[m]), 1.0 - float(rec[m])
+            if old <= 0.0:
+                continue
+            ratio = new / old
+            if ratio > 1.0 + args.threshold:
+                regressions.append(
+                    f"{label}: 1-{m} {old:.6f} -> {new:.6f} "
                     f"({ratio:.2f}x, threshold {1.0 + args.threshold:.2f}x)")
 
     leftover = sum(len(v) for v in base.values())

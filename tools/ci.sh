@@ -60,6 +60,16 @@ rm -f "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig5_routines" \
   --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
   --schedule workstealing --json "$SMOKE_JSON"
+# The same fig5 smoke under the narrow value streams: mixed (fp32
+# streams, fp64 accumulation — the production mode) and f32 (the
+# pure-fp32 ablation endpoint). Their fit rides in the JSON records and
+# is gated against the f64 rows below.
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
+  --schedule weighted --precision mixed --json "$SMOKE_JSON"
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
+  --schedule weighted --precision f32 --json "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig4_locks" \
   --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 2 \
   --schedule workstealing --json "$SMOKE_JSON"
@@ -72,15 +82,55 @@ echo "== completion smoke: bench_completion (als, sgd, ccd) =="
   --preset yelp --scale 0.005 --rank 8 --iters 5 --trials 1 \
   --threads-list 1,2 --alg-list als,sgd,ccd --json "$SMOKE_JSON"
 
+echo "== precision smoke: bench_ablation_precision (f64, f32, mixed) =="
+# One record per precision carrying value_bytes and fit_gap_vs_f64; the
+# byte and accuracy gates below run on these records.
+"$BUILD_DIR/bench_ablation_precision" \
+  --preset yelp --scale 0.002 --rank 8 --iters 5 \
+  --threads-list 2 --json "$SMOKE_JSON"
+
 # The smoke runs must have produced one JSON record per configuration:
-# 8 weighted fig5 + 4 wide-layout fig5 + 4 workstealing fig5 + 4
-# workstealing fig4 (lock kinds) + 6 completion (3 solvers x 2 thread
-# counts).
+# 8 weighted fig5 + 4 wide-layout fig5 + 4 workstealing fig5 + 8
+# narrow-precision fig5 (mixed + f32) + 4 workstealing fig4 (lock kinds)
+# + 6 completion (3 solvers x 2 thread counts) + 3 precision ablation.
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 26 ]; then
-  echo "ci: expected >= 26 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 37 ]; then
+  echo "ci: expected >= 37 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
+
+# Narrow value streams must actually shrink the bytes a launch moves, and
+# the accuracy contracts must hold on the smoke tensor: mixed tracks the
+# f64 CP-ALS fit within 1e-6 (fp32 streams, fp64 accumulation) and pure
+# f32 within 1e-3. A mixed gap past its gate means fp64 accumulation
+# leaked a narrowing somewhere — exactly the regression this exists for.
+python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+recs = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if rec.get("bench") == "ablation_precision":
+            recs[rec["precision"]] = rec
+missing = {"f64", "f32", "mixed"} - set(recs)
+if missing:
+    raise SystemExit(f"ci: precision ablation missing records: {missing}")
+for p in ("f32", "mixed"):
+    total = int(recs[p]["csf_bytes"]) + int(recs[p]["value_bytes"])
+    total64 = int(recs["f64"]["csf_bytes"]) + int(recs["f64"]["value_bytes"])
+    if total >= total64:
+        raise SystemExit(
+            f"ci: {p} did not shrink csf+value bytes: "
+            f"{total} vs {total64} f64")
+    print(f"ci: {p} csf+value bytes {total} vs {total64} f64 "
+          f"({total64 / total:.2f}x smaller)")
+for p, gate in (("mixed", 1e-6), ("f32", 1e-3)):
+    gap = float(recs[p]["fit_gap_vs_f64"])
+    if gap > gate:
+        raise SystemExit(
+            f"ci: {p} fit drifted {gap:.3e} from f64 (gate {gate:.0e})")
+    print(f"ci: {p} fit gap vs f64 {gap:.3e} (gate {gate:.0e})")
+EOF
 
 # Compressed CSF must actually shrink the index streams: every fig5
 # configuration that ran under both layouts must report strictly fewer

@@ -119,6 +119,16 @@ int cmd_stats(int argc, const char* const* argv) {
                   ? static_cast<double>(wide_total) /
                         static_cast<double>(cs.total_bytes)
                   : 0.0);
+  // Value-stream bytes per MTTKRP launch under each precision: the other
+  // half of the bandwidth story once the index stream is compressed
+  // (f32 and mixed both stream 4-byte values).
+  const std::uint64_t v64 = set.value_bytes(Precision::kF64);
+  const std::uint64_t v32 = set.value_bytes(Precision::kMixed);
+  std::printf("  value bytes: %s f64 vs %s f32/mixed (%.2fx)\n",
+              format_bytes(v64).c_str(), format_bytes(v32).c_str(),
+              v32 > 0 ? static_cast<double>(v64) /
+                            static_cast<double>(v32)
+                      : 0.0);
   return 0;
 }
 
@@ -212,6 +222,9 @@ int cmd_cpd(int argc, const char* const* argv) {
           "dynamic/workstealing chunk target (claims per thread)");
   cli.add("kernels", "fixed",
           "inner-loop variant: fixed (rank-specialized SIMD) | generic");
+  cli.add("precision", "f64",
+          "value-stream precision: f64 | f32 | mixed (fp32 streams, "
+          "fp64 accumulation)");
   cli.add("seed", "23", "init seed");
   cli.add("output", "", "write the Kruskal model to this path");
   cli.add_flag("nonneg", "non-negative CP");
@@ -239,6 +252,7 @@ int cmd_cpd(int argc, const char* const* argv) {
     opts.use_fixed_kernels = (k == "fixed");
   }
   opts.nonnegative = cli.get_bool("nonneg");
+  opts.precision = parse_precision(cli.get_string("precision"));
   apply_impl_variant(find_impl_variant(cli.get_string("impl")), opts);
 
   const std::uint64_t steals_before = work_steal_count();
@@ -255,6 +269,10 @@ int cmd_cpd(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(work_steal_count() -
                                                 steals_before));
   }
+  std::printf("  csf %s, value stream %s per MTTKRP launch (%s)\n",
+              format_bytes(r.csf_bytes).c_str(),
+              format_bytes(r.value_bytes).c_str(),
+              precision_name(opts.precision));
   if (const std::string out = cli.get_string("output"); !out.empty()) {
     write_model_file(r.model, out);
     std::printf("model written to %s\n", out.c_str());
@@ -272,6 +290,9 @@ int cmd_tucker(int argc, const char* const* argv) {
           "CSF index widths: compressed (narrowest per level) | wide");
   cli.add("schedule", "weighted",
           "slice scheduling policy static|weighted|dynamic|workstealing");
+  cli.add("precision", "f64",
+          "value-stream precision: f64 | f32 | mixed (fp32 streams, "
+          "fp64 accumulation)");
   cli.add("seed", "17", "init seed");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "tucker: need a tensor file");
@@ -296,6 +317,7 @@ int cmd_tucker(int argc, const char* const* argv) {
   if (opts.nthreads <= 0) opts.nthreads = hardware_threads();
   opts.csf_layout = parse_csf_layout(cli.get_string("csf-layout"));
   opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
+  opts.precision = parse_precision(cli.get_string("precision"));
 
   const TuckerResult r = tucker_hooi(t, opts);
   std::printf("fit %.6f after %d iterations (core %s)\n",
@@ -321,6 +343,9 @@ int cmd_complete(int argc, const char* const* argv) {
           "dynamic/workstealing chunk target (claims per thread)");
   cli.add("kernels", "fixed",
           "inner-loop variant: fixed (rank-specialized SIMD) | generic");
+  cli.add("precision", "f64",
+          "value-stream precision: f64 | f32 | mixed (fp32 value reads, "
+          "fp64 updates)");
   cli.add("seed", "23", "seed");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "complete: need a tensor file");
@@ -348,6 +373,7 @@ int cmd_complete(int argc, const char* const* argv) {
                "complete: --kernels must be fixed|generic");
     opts.use_fixed_kernels = (k == "fixed");
   }
+  opts.precision = parse_precision(cli.get_string("precision"));
   const std::uint64_t steals_before = work_steal_count();
   const CompletionResult r = complete_tensor(train, &test, opts);
   if (r.val_rmse.empty()) {
