@@ -1,6 +1,9 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace sptd::bench {
 
@@ -31,6 +34,12 @@ void add_common_flags(Options& cli, const char* default_preset,
           "fp64 accumulation)");
   cli.add("json", "",
           "append one JSON record per measurement to this file");
+  cli.add("checkpoint-every", "0",
+          "checkpoint the solver every N iterations (0 = off); the "
+          "serialization cost rides the JSON records as checkpoint_time");
+  cli.add("checkpoint-dir", "",
+          "checkpoint directory (defaults to <build>/bench_ckpt when "
+          "--checkpoint-every is set)");
 }
 
 SchedulePolicy schedule_flag(const Options& cli) {
@@ -77,6 +86,14 @@ void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
   opts.csf_layout = csf_layout_flag(cli);
   opts.precision = precision_flag(cli);
+  opts.resilience.checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every"));
+  if (opts.resilience.checkpoint_every > 0) {
+    opts.resilience.checkpoint_dir = cli.get_string("checkpoint-dir");
+    if (opts.resilience.checkpoint_dir.empty()) {
+      opts.resilience.checkpoint_dir = "bench_ckpt";
+    }
+  }
 }
 
 void apply_kernel_flags(const Options& cli, DistOptions& opts) {
@@ -169,7 +186,11 @@ void emit_json_record(const Options& cli, const char* bench,
       .field("schedule", cli.get_string("schedule"))
       .field("chunk", cli.get_int("chunk"))
       .field("kernels", cli.get_string("kernels"))
-      .field("csf_layout", cli.get_string("csf-layout"));
+      .field("csf_layout", cli.get_string("csf-layout"))
+      // Identity, not a counter: a checkpointed run and a plain run are
+      // different configurations and must pair separately, so checkpoint
+      // overhead never reads as a perf regression of the plain config.
+      .field("checkpoint_every", cli.get_int("checkpoint-every"));
   if (!record.has("precision")) {
     // Precision sweeps (the precision ablation) set a per-record value;
     // everything else records the --precision flag.
@@ -286,7 +307,8 @@ std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
     const std::vector<std::string>& impl_names, int trials,
     std::vector<std::uint64_t>* steals, std::uint64_t* csf_bytes,
-    std::uint64_t* value_bytes, std::vector<double>* fits) {
+    std::uint64_t* value_bytes, std::vector<double>* fits,
+    std::vector<ResilienceCounters>* resilience) {
   std::vector<CpalsOptions> opts;
   for (const auto& name : impl_names) {
     CpalsOptions o = base_opts;
@@ -294,10 +316,12 @@ std::vector<RoutineTimers> run_impls_fair(
     opts.push_back(o);
   }
   // Warm every variant (page faults, allocator growth, code paths).
+  // Warm-ups never checkpoint: the counters must describe the timed work.
   for (const auto& o : opts) {
     SparseTensor work = tensor;
     CpalsOptions warm = o;
     warm.max_iterations = 1;
+    warm.resilience.checkpoint_every = 0;
     (void)cp_als(work, warm);
   }
   std::vector<RoutineTimers> totals(impl_names.size());
@@ -307,6 +331,11 @@ std::vector<RoutineTimers> run_impls_fair(
   if (fits != nullptr) {
     fits->assign(impl_names.size(), 0.0);
   }
+  if (resilience != nullptr) {
+    resilience->assign(impl_names.size(), ResilienceCounters{});
+  }
+  std::vector<double> ckpt_min(impl_names.size(),
+                               std::numeric_limits<double>::infinity());
   for (int trial = 0; trial < trials; ++trial) {
     for (std::size_t i = 0; i < opts.size(); ++i) {
       SparseTensor work = tensor;
@@ -324,11 +353,35 @@ std::vector<RoutineTimers> run_impls_fair(
       if (fits != nullptr && !r.fit_history.empty()) {
         (*fits)[i] = r.fit_history.back();
       }
+      if (resilience != nullptr) {
+        ResilienceCounters& c = (*resilience)[i];
+        c.retries += r.resilience.retries;
+        c.rollbacks += r.resilience.rollbacks;
+        c.checkpoints += r.resilience.checkpoints;
+        c.checkpoint_failures += r.resilience.checkpoint_failures;
+        c.checkpoint_bytes += r.resilience.checkpoint_bytes;
+        ckpt_min[i] = std::min(ckpt_min[i], r.resilience.checkpoint_seconds);
+        c.faults_injected += r.resilience.faults_injected;
+        c.gram_bumps += r.resilience.gram_bumps;
+      }
       totals[i].accumulate(r.timers);
     }
   }
   for (auto& t : totals) {
     t.scale(1.0 / trials);
+  }
+  if (resilience != nullptr) {
+    // Checkpoint cost reports the MIN over trials, not the mean: an fsync
+    // that collides with an unrelated journal commit costs ~0.3 s, and one
+    // such spike would dominate any average. The overhead contract bounds
+    // the intrinsic serialize+sync cost, which the best trial measures;
+    // event counts stay sums and bytes (identical per trial) average.
+    for (std::size_t i = 0; i < resilience->size(); ++i) {
+      ResilienceCounters& c = (*resilience)[i];
+      c.checkpoint_seconds = std::isinf(ckpt_min[i]) ? 0.0 : ckpt_min[i];
+      c.checkpoint_bytes = static_cast<std::uint64_t>(
+          c.checkpoint_bytes / static_cast<std::uint64_t>(trials));
+    }
   }
   return totals;
 }

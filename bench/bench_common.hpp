@@ -132,13 +132,18 @@ RoutineTimers run_cpals_trials(const SparseTensor& tensor,
 /// \p fits, when non-null, receives each variant's final fit (runs are
 /// deterministic in the seed, so the value is trial-independent) — the
 /// quality number the precision ablation gates on.
+/// \p resilience, when non-null, receives each variant's resilience
+/// counters summed over the timed trials (retries, rollbacks, checkpoint
+/// bytes/seconds) — warm-up runs checkpoint nothing, so the counters
+/// describe exactly the measured work.
 std::vector<RoutineTimers> run_impls_fair(
     const SparseTensor& tensor, const CpalsOptions& base_opts,
     const std::vector<std::string>& impl_names, int trials,
     std::vector<std::uint64_t>* steals = nullptr,
     std::uint64_t* csf_bytes = nullptr,
     std::uint64_t* value_bytes = nullptr,
-    std::vector<double>* fits = nullptr);
+    std::vector<double>* fits = nullptr,
+    std::vector<ResilienceCounters>* resilience = nullptr);
 
 /// Prints the header used by per-routine tables (Figures 5-8, Table III).
 void print_routine_header(const char* label);

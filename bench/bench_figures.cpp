@@ -106,8 +106,10 @@ int run_routines_figure(const char* fig_label, const char* default_preset,
     std::uint64_t csf_bytes = 0;
     std::uint64_t value_bytes = 0;
     std::vector<double> fits;
-    const auto results = run_impls_fair(x, base, impls, trials, &steals,
-                                        &csf_bytes, &value_bytes, &fits);
+    std::vector<ResilienceCounters> resilience;
+    const auto results =
+        run_impls_fair(x, base, impls, trials, &steals, &csf_bytes,
+                       &value_bytes, &fits, &resilience);
     for (std::size_t i = 0; i < impls.size(); ++i) {
       print_routine_row(impls[i].c_str(), results[i]);
       JsonRecord rec;
@@ -122,6 +124,16 @@ int run_routines_figure(const char* fig_label, const char* default_preset,
                   results[i].seconds(static_cast<Routine>(r)));
       }
       rec.field("total_seconds", results[i].total_seconds());
+      // Resilience activity: retries/rollbacks are event counts, the
+      // checkpoint cost fields carry the best-trial serialization overhead
+      // the ci.sh fig5 gate bounds at 5% of total_seconds.
+      rec.field("retries",
+                static_cast<std::int64_t>(resilience[i].retries))
+          .field("rollbacks",
+                 static_cast<std::int64_t>(resilience[i].rollbacks))
+          .field("checkpoint_bytes",
+                 static_cast<std::int64_t>(resilience[i].checkpoint_bytes))
+          .field("checkpoint_time", resilience[i].checkpoint_seconds);
       emit_json_record(cli, fig_label, rec);
     }
   }

@@ -1,0 +1,38 @@
+#pragma once
+/// \file checksum.hpp
+/// \brief FNV-1a 64-bit checksums for persisted artifacts.
+///
+/// Checkpoints and versioned model files carry a checksum over their payload
+/// bytes so a truncated or corrupted file is rejected with a clear error
+/// instead of being parsed into garbage factors. FNV-1a is not cryptographic;
+/// it only needs to catch torn writes and bit rot, and it is fast enough to
+/// run over every checkpoint without showing up in the overhead budget.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sptd {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ULL;
+
+/// FNV-1a over \p n bytes, continuing from \p seed (chainable).
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed = kFnv1a64Offset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+/// FNV-1a over a string payload.
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t seed = kFnv1a64Offset) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+}  // namespace sptd

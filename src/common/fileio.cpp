@@ -1,0 +1,99 @@
+#include "common/fileio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define SPTD_HAVE_POSIX_IO 1
+#else
+#define SPTD_HAVE_POSIX_IO 0
+#endif
+
+namespace sptd {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw Error("atomic_write_file: " + what + " failed for " + path + ": " +
+              std::strerror(errno));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& contents,
+                       RenameDurability durability) {
+#if SPTD_HAVE_POSIX_IO
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open", tmp);
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ::ssize_t n = ::write(fd, contents.data() + off,
+                                contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename", path);
+  }
+  if (durability == RenameDurability::kRelaxed) {
+    return;
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = (slash == std::string::npos)
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    // Some filesystems reject directory fsync; the rename already landed,
+    // so a failure here only weakens durability, not atomicity.
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+#else
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    SPTD_CHECK(out.good(), "atomic_write_file: cannot open " + tmp);
+    out << contents;
+    out.flush();
+    SPTD_CHECK(out.good(), "atomic_write_file: write failed for " + tmp);
+  }
+  SPTD_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "atomic_write_file: rename failed for " + path);
+#endif
+}
+
+std::optional<std::string> read_file_to_string(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SPTD_CHECK(!in.bad(), "read_file_to_string: read failed for " + path);
+  return buf.str();
+}
+
+}  // namespace sptd

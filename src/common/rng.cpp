@@ -72,4 +72,16 @@ double Rng::next_gaussian() {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  for (int i = 0; i < 4; ++i) {
+    s_[i] = s[i];
+  }
+  has_cached_gaussian_ = false;
+  cached_gaussian_ = 0.0;
+}
+
 }  // namespace sptd

@@ -7,6 +7,7 @@
 /// tests are reproducible bit-for-bit from a seed, and so that parallel
 /// generation can hand each thread an independently-seeded stream.
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -60,6 +61,15 @@ class Rng {
   /// Returns a generator seeded independently from this one's stream,
   /// for handing to worker threads.
   Rng split();
+
+  /// The four xoshiro256** state words, for checkpointing. The cached
+  /// gaussian pair is intentionally not part of the persisted state: a
+  /// restored generator restarts at the next uniform draw, and every
+  /// checkpointed consumer (recovery jitter) uses uniform draws only.
+  std::array<std::uint64_t, 4> state() const;
+
+  /// Restores state saved by state(); drops any cached gaussian.
+  void set_state(const std::array<std::uint64_t, 4>& s);
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

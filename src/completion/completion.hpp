@@ -26,6 +26,7 @@
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
 #include "parallel/schedule.hpp"
+#include "resilience/resilience.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
@@ -84,6 +85,12 @@ struct CompletionOptions {
   /// rounds every factor through fp32 after each epoch (the pure-fp32
   /// ablation endpoint mixed is judged against).
   Precision precision = Precision::kF64;
+
+  /// Checkpoint/restart, numeric-health guards, and fault injection
+  /// (inert by default). Checkpoints carry the best-validation model and
+  /// the CCD++ residual, so resume reproduces the uninterrupted run
+  /// bitwise for every solver.
+  ResilienceOptions resilience;
 };
 
 /// Result of a completion run.
@@ -99,6 +106,8 @@ struct CompletionResult {
   /// 1-based iteration whose factors `model` holds: argmin of val_rmse
   /// when validation was given, else the last iteration.
   int best_iteration = 0;
+  /// Checkpoint/recovery activity observed during the run.
+  ResilienceCounters resilience;
 };
 
 /// Root-mean-square error of the model on a set of observed entries.

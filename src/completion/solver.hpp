@@ -11,6 +11,7 @@
 /// slice views and register in make_completion_solver().
 
 #include <memory>
+#include <vector>
 
 #include "completion/completion.hpp"
 #include "completion/workspace.hpp"
@@ -35,6 +36,19 @@ class CompletionSolver {
   /// \p epoch counts from 0 (SGD derives its decayed step size and its
   /// per-epoch shuffle seeds from it).
   virtual void run_epoch(KruskalModel& model, int epoch) = 0;
+
+  /// Solver-private state that must ride a checkpoint for bitwise resume.
+  /// ALS and SGD are stateless between epochs (SGD reshuffles per
+  /// (seed, epoch)); CCD++ returns its incrementally maintained residual,
+  /// which a recompute would only match to rounding error. Default: none.
+  [[nodiscard]] virtual std::vector<double> serialize_state() const {
+    return {};
+  }
+
+  /// Restores state captured by serialize_state(). Called after begin().
+  virtual void restore_state(const std::vector<double>& state) {
+    (void)state;
+  }
 };
 
 /// Instantiates the solver options.algorithm names over \p workspace.

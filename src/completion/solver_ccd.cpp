@@ -43,6 +43,24 @@ class CcdSolver final : public CompletionSolver {
 
   [[nodiscard]] const char* name() const override { return "ccd"; }
 
+  /// The incrementally maintained residual IS the solver state: a resumed
+  /// run must see the exact array the interrupted run carried, not a
+  /// recompute (which differs in the low bits and would break bitwise
+  /// resume).
+  [[nodiscard]] std::vector<double> serialize_state() const override {
+    const aligned_vector<val_t>& res = ws_.residual();
+    return std::vector<double>(res.begin(), res.end());
+  }
+
+  void restore_state(const std::vector<double>& state) override {
+    aligned_vector<val_t>& res = ws_.residual();
+    SPTD_CHECK(state.size() == res.size(),
+               "ccd restore_state: residual length mismatch");
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      res[i] = static_cast<val_t>(state[i]);
+    }
+  }
+
   /// res_x = X_x - model(x) over the canonical nonzero order, distributed
   /// by the workspace's whole-nonzero schedule. Under f32/mixed precision
   /// the observed values come from the workspace's fp32 canonical copy

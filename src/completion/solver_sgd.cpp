@@ -105,6 +105,25 @@ class SgdSolver final : public CompletionSolver {
 
   [[nodiscard]] const char* name() const override { return "sgd"; }
 
+  /// The per-epoch Fisher-Yates shuffles below permute cell_ids in place,
+  /// so every epoch's visit order depends on all earlier epochs' shuffles.
+  /// That permutation is therefore solver state: a resume must restore it,
+  /// or the first recomputed epoch shuffles from the canonical bucketed
+  /// order and the trajectory silently diverges from the unkilled run.
+  [[nodiscard]] std::vector<double> serialize_state() const override {
+    const std::vector<nnz_t>& ids = ws_.strata().cell_ids;
+    return std::vector<double>(ids.begin(), ids.end());
+  }
+
+  void restore_state(const std::vector<double>& state) override {
+    std::vector<nnz_t>& ids = ws_.strata().cell_ids;
+    SPTD_CHECK(state.size() == ids.size(),
+               "sgd restore_state: permutation length mismatch");
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      ids[i] = static_cast<nnz_t>(state[i]);
+    }
+  }
+
   void run_epoch(KruskalModel& model, int epoch) override {
     const CompletionOptions& opts = ws_.options();
     const SparseTensor& t = ws_.train();

@@ -11,6 +11,7 @@
 #include "cpd/kruskal.hpp"
 #include "csf/csf.hpp"
 #include "mttkrp/mttkrp.hpp"
+#include "resilience/resilience.hpp"
 #include "sort/sort.hpp"
 #include "tensor/coo.hpp"
 
@@ -64,6 +65,11 @@ struct CpalsOptions {
   /// normalization. With non-negative data this yields parts-based,
   /// interpretable components.
   bool nonnegative = false;
+
+  /// Checkpoint/restart, numeric-health guards, and fault injection.
+  /// Defaults are inert (no checkpoints, no injection, guards that only
+  /// observe), so f64 runs stay bit-identical.
+  ResilienceOptions resilience;
 };
 
 /// Result of a CP-ALS run.
@@ -77,6 +83,8 @@ struct CpalsResult {
   /// precision: nnz * value width, summed over the CSF set's
   /// representations (8 B/value for f64, 4 B for f32/mixed).
   std::uint64_t value_bytes = 0;
+  /// Checkpoint/recovery activity observed during the run.
+  ResilienceCounters resilience;
 };
 
 /// Named implementation presets matching the paper's legend entries:

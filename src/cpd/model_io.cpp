@@ -4,14 +4,20 @@
 #include <limits>
 #include <sstream>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/fileio.hpp"
 
 namespace sptd {
 
-void write_model(const KruskalModel& model, std::ostream& out) {
+namespace {
+
+/// Serializes the version-independent body (everything after the header
+/// and checksum lines). The v1 format was exactly this body behind a bare
+/// "sptd-kruskal 1" line; v2 checksums these bytes verbatim.
+std::string model_body(const KruskalModel& model) {
   std::ostringstream os;
   os.precision(std::numeric_limits<val_t>::max_digits10);
-  os << "sptd-kruskal 1\n";
   os << "order " << model.order() << " rank " << model.rank() << "\n";
   os << "lambda\n";
   for (idx_t r = 0; r < model.rank(); ++r) {
@@ -31,22 +37,19 @@ void write_model(const KruskalModel& model, std::ostream& out) {
       os << "\n";
     }
   }
-  out << os.str();
+  return os.str();
 }
 
-void write_model_file(const KruskalModel& model, const std::string& path) {
-  std::ofstream out(path);
-  SPTD_CHECK(out.good(), "write_model_file: cannot open " + path);
-  write_model(model, out);
-  SPTD_CHECK(out.good(), "write_model_file: write failed for " + path);
+std::string checksum_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
 }
 
-KruskalModel read_model(std::istream& in) {
+/// Parses the body shared by v1 and v2 from a token stream.
+KruskalModel read_model_body(std::istream& in) {
   std::string token;
-  int version = 0;
-  SPTD_CHECK(static_cast<bool>(in >> token >> version) &&
-                 token == "sptd-kruskal" && version == 1,
-             "read_model: bad header");
   int order = 0;
   idx_t rank = 0;
   std::string order_kw, rank_kw;
@@ -83,6 +86,60 @@ KruskalModel read_model(std::istream& in) {
     model.factors.push_back(std::move(f));
   }
   return model;
+}
+
+}  // namespace
+
+std::string serialize_model(const KruskalModel& model) {
+  const std::string body = model_body(model);
+  std::string out = "sptd-kruskal 2\nchecksum ";
+  out += checksum_hex(fnv1a64(body));
+  out += "\n";
+  out += body;
+  return out;
+}
+
+void write_model(const KruskalModel& model, std::ostream& out) {
+  out << serialize_model(model);
+}
+
+void write_model_file(const KruskalModel& model, const std::string& path) {
+  atomic_write_file(path, serialize_model(model));
+}
+
+KruskalModel read_model(std::istream& in) {
+  std::string token;
+  int version = 0;
+  SPTD_CHECK(static_cast<bool>(in >> token >> version) &&
+                 token == "sptd-kruskal",
+             "read_model: bad header (not an sptd-kruskal file)");
+  if (version == 1) {
+    // Legacy files: no checksum line, body follows directly.
+    return read_model_body(in);
+  }
+  SPTD_CHECK(version == 2,
+             "read_model: unsupported version " + std::to_string(version));
+  std::uint64_t expected = 0;
+  SPTD_CHECK(static_cast<bool>(in >> token) && token == "checksum",
+             "read_model: missing checksum line");
+  std::string hex;
+  SPTD_CHECK(static_cast<bool>(in >> hex) && hex.size() == 16,
+             "read_model: malformed checksum");
+  try {
+    expected = std::stoull(hex, nullptr, 16);
+  } catch (const std::exception&) {
+    throw Error("read_model: malformed checksum");
+  }
+  // The payload is everything after the checksum line, to end of stream.
+  std::string line;
+  std::getline(in, line);
+  std::ostringstream payload;
+  payload << in.rdbuf();
+  const std::string body = payload.str();
+  SPTD_CHECK(fnv1a64(body) == expected,
+             "read_model: checksum mismatch (file corrupt or truncated)");
+  std::istringstream body_in(body);
+  return read_model_body(body_in);
 }
 
 KruskalModel read_model_file(const std::string& path) {

@@ -5,12 +5,19 @@
 ///        once and analyzed elsewhere.
 ///
 /// Text format (versioned):
-///   sptd-kruskal 1
+///   sptd-kruskal 2
+///   checksum <16 hex digits>      (FNV-1a 64 over the payload below)
 ///   order <N> rank <R>
 ///   lambda
 ///   <R values on one line>
 ///   factor <m> <rows> <cols>      (N times)
 ///   <rows lines of cols values>
+///
+/// Values print with max_digits10, so doubles round-trip exactly — a model
+/// written, read, and rewritten is byte-identical, which is what lets the
+/// resume path promise bitwise-equal output files. Version 1 files (no
+/// checksum line) remain readable; writes always emit version 2 and land
+/// atomically (tmp + fsync + rename).
 
 #include <iosfwd>
 #include <string>
@@ -19,10 +26,14 @@
 
 namespace sptd {
 
+/// Serializes a model to the version-2 text format (header + checksum +
+/// payload), full double precision.
+std::string serialize_model(const KruskalModel& model);
+
 /// Writes a Kruskal model (full double precision).
 void write_model(const KruskalModel& model, std::ostream& out);
 
-/// Writes a Kruskal model to a file path.
+/// Writes a Kruskal model to a file path, atomically.
 void write_model_file(const KruskalModel& model, const std::string& path);
 
 /// Reads a model written by write_model. Throws sptd::Error on malformed

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <optional>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "cpd/cpals.hpp"
 #include "csf/csf.hpp"
@@ -15,6 +18,7 @@
 #include "mttkrp/plan.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/team.hpp"
+#include "resilience/context.hpp"
 
 namespace sptd {
 
@@ -169,6 +173,52 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
     model.factors.push_back(
         la::Matrix::random(dims[static_cast<std::size_t>(m)], rank, rng));
   }
+  result.comm.reduce_bytes.assign(static_cast<std::size_t>(order), 0);
+  result.comm.broadcast_bytes.assign(static_cast<std::size_t>(order), 0);
+  const CommVolume per_iteration =
+      predict_comm_volume(dims, options.grid, rank);
+
+  ResilienceContext rctx(options.resilience, "dist", options.seed);
+  int it = 0;
+  if (std::optional<Checkpoint> ck = rctx.try_resume()) {
+    SPTD_CHECK(ck->factors.size() == static_cast<std::size_t>(order),
+               "dist resume: checkpoint order mismatch");
+    for (int m = 0; m < order; ++m) {
+      const la::Matrix& f = ck->factors[static_cast<std::size_t>(m)];
+      SPTD_CHECK(f.rows() == dims[static_cast<std::size_t>(m)] &&
+                     f.cols() == rank,
+                 "dist resume: checkpoint factor shape mismatch");
+    }
+    const std::vector<double>* lam = ck->find_series("lambda");
+    SPTD_CHECK(lam != nullptr &&
+                   lam->size() == static_cast<std::size_t>(rank),
+               "dist resume: checkpoint lambda missing or wrong rank");
+    model.factors = std::move(ck->factors);
+    for (idx_t r = 0; r < rank; ++r) {
+      model.lambda[static_cast<std::size_t>(r)] =
+          static_cast<val_t>((*lam)[static_cast<std::size_t>(r)]);
+    }
+    if (const std::vector<double>* fh = ck->find_series("fit_history")) {
+      result.fit_history = *fh;
+      double best_loss = std::numeric_limits<double>::infinity();
+      for (const double f : *fh) best_loss = std::min(best_loss, 1.0 - f);
+      rctx.health().seed_trend(best_loss);
+    }
+    it = ck->iteration;
+    result.iterations = it;
+    // The comm counters are an invariant of the iteration count (every
+    // iteration moves the same predicted volume), so the resumed totals
+    // are reconstructed rather than serialized.
+    for (std::size_t m = 0; m < static_cast<std::size_t>(order); ++m) {
+      result.comm.reduce_bytes[m] =
+          per_iteration.reduce_bytes[m] * static_cast<std::uint64_t>(it);
+      result.comm.broadcast_bytes[m] =
+          per_iteration.broadcast_bytes[m] * static_cast<std::uint64_t>(it);
+    }
+  }
+
+  // Grams are recomputed (deterministic serial la::ata), not serialized:
+  // a resumed run rebuilds bitwise-identical grams from the factors.
   std::vector<la::Matrix> grams;
   grams.reserve(static_cast<std::size_t>(order));
   for (int m = 0; m < order; ++m) {
@@ -177,15 +227,50 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
             grams[static_cast<std::size_t>(m)], 1);
   }
 
-  result.comm.reduce_bytes.assign(static_cast<std::size_t>(order), 0);
-  result.comm.broadcast_bytes.assign(static_cast<std::size_t>(order), 0);
-  const CommVolume per_iteration =
-      predict_comm_volume(dims, options.grid, rank);
+  const bool guard = rctx.health().enabled();
+  struct GoodState {
+    std::vector<la::Matrix> factors;
+    std::vector<val_t> lambda;
+    std::vector<double> fit_history;
+    CommVolume comm;
+    int iteration = 0;
+  } good;
+  if (guard) {
+    good = {model.factors, model.lambda, result.fit_history, result.comm,
+            it};
+  }
 
   la::Matrix v(rank, rank);
   la::Matrix fit_m;  // last mode's assembled MTTKRP, kept for the fit
   PrivateBuffers fit_partials(1, static_cast<nnz_t>(rank));
-  for (int it = 0; it < options.max_iterations; ++it) {
+  while (it < options.max_iterations) {
+    if (FaultInjector* inj = rctx.injector()) {
+      // A killed locale loses its in-memory CSF set and execution plan —
+      // the analogue of a node dropping out of the grid.
+      for (std::size_t l = 0; l < nlocales; ++l) {
+        if (inj->kill_locale(l, nlocales, it, options.max_iterations)) {
+          sets[l].reset();
+          plans[l].reset();
+        }
+      }
+    }
+    // Failure detection + restart: a locale that owns nonzeros but has no
+    // plan is down. Its block is still resident (the simulated analogue of
+    // re-reading the locale's partition from durable storage), so the CSF
+    // set and plan rebuild deterministically and the recovered run matches
+    // the clean run bitwise.
+    for (std::size_t l = 0; l < nlocales; ++l) {
+      if (!plans[l] && blocks[l].nnz() > 0) {
+        sets[l] = std::make_unique<CsfSet>(blocks[l], CsfPolicy::kTwoMode,
+                                           1, nullptr, SortVariant::kAllOpts,
+                                           options.csf_layout);
+        plans[l] = std::make_unique<MttkrpPlan>(*sets[l], rank, mopts);
+        ++rctx.counters().locale_restarts;
+        log_warn("[resilience] dist: restarted locale " +
+                 std::to_string(l) + " at iteration " + std::to_string(it));
+      }
+    }
+
     for (int m = 0; m < order; ++m) {
       const idx_t m_dim = dims[static_cast<std::size_t>(m)];
       la::Matrix out_view(m_dim, rank);
@@ -228,6 +313,10 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
       la::ata(factor, grams[static_cast<std::size_t>(m)], 1);
     }
 
+    if (FaultInjector* inj = rctx.injector()) {
+      inj->corrupt_factors(model.factors, it);
+    }
+
     const val_t inner = detail::fit_inner_product(
         fit_m, model.factors[static_cast<std::size_t>(order - 1)],
         model.lambda, 1, fit_partials);
@@ -239,9 +328,49 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
             ? 1.0 - std::sqrt(static_cast<double>(residual_sq)) /
                         std::sqrt(static_cast<double>(tensor_norm_sq))
             : 0.0;
+
+    if (guard) {
+      const HealthIssue issue =
+          rctx.health().inspect(model.factors, model.lambda, 1.0 - fit);
+      if (issue != HealthIssue::kNone) {
+        rctx.fail_or_retry(issue, it);  // throws when retries are exhausted
+        model.factors = good.factors;
+        model.lambda = good.lambda;
+        result.fit_history = good.fit_history;
+        result.comm = good.comm;
+        it = good.iteration;
+        perturb_factors(model.factors, rctx.recovery_rng());
+        for (int m = 0; m < order; ++m) {
+          la::ata(model.factors[static_cast<std::size_t>(m)],
+                  grams[static_cast<std::size_t>(m)], 1);
+        }
+        continue;
+      }
+      rctx.note_healthy();
+    }
+
     result.fit_history.push_back(fit);
-    result.iterations = it + 1;
+    ++it;
+    result.iterations = it;
+    if (guard) {
+      good.factors = model.factors;
+      good.lambda = model.lambda;
+      good.fit_history = result.fit_history;
+      good.comm = result.comm;
+      good.iteration = it;
+    }
+
+    if (it < options.max_iterations && rctx.checkpoint_due(it)) {
+      Checkpoint ck;
+      ck.iteration = it;
+      ck.factors = model.factors;
+      ck.set_series("lambda", std::vector<double>(model.lambda.begin(),
+                                                  model.lambda.end()));
+      ck.set_series("fit_history", result.fit_history);
+      rctx.save_checkpoint(std::move(ck));
+    }
   }
+  rctx.finish(result.resilience);
   return result;
 }
 

@@ -26,6 +26,7 @@
 #include "cpd/kruskal.hpp"
 #include "csf/csf.hpp"
 #include "parallel/schedule.hpp"
+#include "resilience/resilience.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
@@ -56,6 +57,13 @@ struct DistOptions {
   /// (MttkrpOptions::precision); the reductions, solves, and fit always
   /// run fp64 — only the local kernels change what they stream.
   Precision precision = Precision::kF64;
+
+  /// Checkpoint/restart, numeric-health guards, and fault injection
+  /// (inert by default). `--inject locale-fail:k` kills locale k's CSF set
+  /// and plan at the halfway iteration; the driver detects the dead locale
+  /// (owns nonzeros, has no plan) and rebuilds it from its block —
+  /// deterministically, so the recovered run matches the clean run bitwise.
+  ResilienceOptions resilience;
 };
 
 /// Per-mode communication volume of one CP-ALS iteration, in bytes, both
@@ -79,6 +87,9 @@ struct DistResult {
   int iterations = 0;
   std::vector<nnz_t> locale_nnz;    ///< nonzeros owned per locale
   CommVolume comm;                  ///< total bytes over all iterations
+  /// Checkpoint/recovery activity observed during the run (including
+  /// locale_restarts, the simulated node-failure recoveries).
+  ResilienceCounters resilience;
 };
 
 /// Bytes one CP-ALS iteration moves under the medium-grained algorithm:

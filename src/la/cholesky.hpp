@@ -10,6 +10,8 @@
 /// numerically singular (SPLATT falls back to a pseudo-inverse; Tikhonov
 /// regularization on the normal equations is the standard equivalent).
 
+#include <cstdint>
+
 #include "la/matrix.hpp"
 
 namespace sptd::la {
@@ -30,5 +32,12 @@ void potrs(const Matrix& chol, Matrix& b, int nthreads);
 /// retrying with progressively larger diagonal regularization if V is not
 /// SPD. \p v is consumed (overwritten by its factor).
 void solve_normal_equations(Matrix v, Matrix& m, int nthreads);
+
+/// Process-wide count of Tikhonov diagonal bumps applied by
+/// solve_normal_equations when a Gram product was not SPD. The resilience
+/// layer samples this before/after a run to surface "the normal equations
+/// went singular and were regularized" in results and bench records
+/// (mirrors mttkrp's work_steal_count()).
+std::uint64_t tikhonov_bump_count();
 
 }  // namespace sptd::la

@@ -1,0 +1,129 @@
+#include "resilience/fault.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace sptd {
+
+namespace {
+
+constexpr val_t kNaN = std::numeric_limits<val_t>::quiet_NaN();
+
+double parse_number(const std::string& clause, const std::string& arg) {
+  char* end = nullptr;
+  const double v = std::strtod(arg.c_str(), &end);
+  SPTD_CHECK(!arg.empty() && end == arg.c_str() + arg.size(),
+             "FaultPlan: bad argument in clause '" + clause + "'");
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t colon = clause.find(':');
+    SPTD_CHECK(colon != std::string::npos && colon + 1 < clause.size(),
+               "FaultPlan: clause '" + clause + "' is not kind:arg");
+    const std::string kind = clause.substr(0, colon);
+    const std::string arg = clause.substr(colon + 1);
+
+    if (kind == "nan-values") {
+      const double p = parse_number(clause, arg);
+      SPTD_CHECK(p >= 0.0 && p <= 1.0,
+                 "FaultPlan: nan-values probability must be in [0,1]");
+      plan.nan_values_p = p;
+    } else if (kind == "corrupt-factor") {
+      const double it = parse_number(clause, arg);
+      SPTD_CHECK(it >= 1.0 && it == static_cast<double>(
+                                        static_cast<int>(it)),
+                 "FaultPlan: corrupt-factor iteration must be a positive "
+                 "integer");
+      plan.corrupt_factor_iter = static_cast<int>(it);
+    } else if (kind == "io-fail") {
+      const double n = parse_number(clause, arg);
+      SPTD_CHECK(n >= 0.0 && n == static_cast<double>(static_cast<int>(n)),
+                 "FaultPlan: io-fail count must be a non-negative integer");
+      plan.io_fail_count = static_cast<int>(n);
+    } else if (kind == "locale-fail") {
+      const double k = parse_number(clause, arg);
+      SPTD_CHECK(k >= 0.0 && k == static_cast<double>(static_cast<int>(k)),
+                 "FaultPlan: locale-fail id must be a non-negative integer");
+      plan.locale_fail = static_cast<int>(k);
+    } else {
+      throw Error("FaultPlan: unknown fault kind '" + kind +
+                  "' (expected nan-values, corrupt-factor, io-fail, or "
+                  "locale-fail)");
+    }
+  }
+  return plan;
+}
+
+int FaultInjector::corrupt_factors(std::vector<la::Matrix>& factors, int it) {
+  if (factors.empty()) return 0;
+  int corrupted = 0;
+
+  if (plan_.nan_values_p > 0.0 && rng_.next_double() < plan_.nan_values_p) {
+    la::Matrix& f =
+        factors[rng_.next_below(factors.size())];
+    const idx_t i = rng_.next_index(f.rows());
+    const idx_t j = rng_.next_index(f.cols());
+    f(i, j) = kNaN;
+    ++corrupted;
+    log_warn("fault: injected NaN into factor entry at iteration " +
+             std::to_string(it));
+  }
+
+  if (plan_.corrupt_factor_iter > 0 && !corrupt_factor_done_ &&
+      it + 1 == plan_.corrupt_factor_iter) {
+    corrupt_factor_done_ = true;
+    la::Matrix& f =
+        factors[rng_.next_below(factors.size())];
+    const idx_t i = rng_.next_index(f.rows());
+    val_t* row = f.row_ptr(i);
+    for (idx_t j = 0; j < f.cols(); ++j) {
+      row[j] = kNaN;
+    }
+    corrupted += static_cast<int>(f.cols());
+    log_warn("fault: corrupted one factor row after iteration " +
+             std::to_string(it + 1));
+  }
+
+  faults_injected_ += static_cast<std::uint64_t>(corrupted);
+  return corrupted;
+}
+
+bool FaultInjector::fail_checkpoint_write() {
+  if (io_failures_left_ <= 0) return false;
+  --io_failures_left_;
+  ++faults_injected_;
+  return true;
+}
+
+bool FaultInjector::kill_locale(std::size_t locale, std::size_t nlocales,
+                                int it, int max_iterations) {
+  if (plan_.locale_fail < 0 || locale_kill_done_ || nlocales == 0) {
+    return false;
+  }
+  const std::size_t victim =
+      static_cast<std::size_t>(plan_.locale_fail) % nlocales;
+  const int kill_iter = max_iterations / 2;
+  if (locale != victim || it != kill_iter) return false;
+  locale_kill_done_ = true;
+  ++faults_injected_;
+  log_warn("fault: killed simulated locale " + std::to_string(locale) +
+           " at iteration " + std::to_string(it));
+  return true;
+}
+
+}  // namespace sptd

@@ -1,0 +1,79 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault injection for exercising recovery paths.
+///
+/// A FaultPlan parses the `--inject` grammar and a FaultInjector executes
+/// it against a running solver. Everything is driven by one seeded RNG
+/// stream, so a given (plan, seed) pair injects the identical fault sequence
+/// on every run — the ctest suite proves detection + recovery per fault
+/// class instead of trusting the code paths on faith.
+///
+/// Grammar: comma-separated `kind:arg` clauses
+///   nan-values:p       each iteration, with probability p, flip one random
+///                      factor entry to NaN
+///   corrupt-factor:it  after completed iteration `it` (1-based), overwrite
+///                      one random factor row with NaN (one-shot)
+///   io-fail:n          fail the first n checkpoint writes, leaving a torn
+///                      file for the loader to reject
+///   locale-fail:k      kill simulated locale k (mod nlocales) halfway
+///                      through a dist run (one-shot)
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace sptd {
+
+/// Parsed `--inject` specification.
+struct FaultPlan {
+  double nan_values_p = 0.0;  ///< per-iteration NaN-flip probability
+  int corrupt_factor_iter = 0;  ///< 1-based iteration; 0 = off
+  int io_fail_count = 0;  ///< checkpoint writes to fail
+  int locale_fail = -1;  ///< locale id to kill; -1 = off
+
+  [[nodiscard]] bool empty() const {
+    return nan_values_p == 0.0 && corrupt_factor_iter == 0 &&
+           io_fail_count == 0 && locale_fail < 0;
+  }
+
+  /// Parses the grammar above. Throws sptd::Error on malformed clauses.
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// Executes a FaultPlan deterministically from a seeded draw stream.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+      : plan_(plan), rng_(seed), io_failures_left_(plan.io_fail_count) {}
+
+  /// Applies nan-values / corrupt-factor clauses after completed iteration
+  /// \p it (0-based). Returns the number of entries corrupted.
+  int corrupt_factors(std::vector<la::Matrix>& factors, int it);
+
+  /// Consumes one unit of the io-fail budget; true = fail this write.
+  bool fail_checkpoint_write();
+
+  /// True when simulated locale \p locale should be killed at the start of
+  /// iteration \p it (0-based) of a \p max_iterations-long dist run. Fires
+  /// once, at the halfway iteration, for locale `locale-fail % nlocales`.
+  bool kill_locale(std::size_t locale, std::size_t nlocales, int it,
+                   int max_iterations);
+
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return faults_injected_;
+  }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  int io_failures_left_ = 0;
+  bool corrupt_factor_done_ = false;
+  bool locale_kill_done_ = false;
+  std::uint64_t faults_injected_ = 0;
+};
+
+}  // namespace sptd

@@ -38,6 +38,11 @@
 #include "mttkrp/mttkrp.hpp"
 #include "parallel/schedule.hpp"
 #include "parallel/team.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/context.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/health.hpp"
+#include "resilience/resilience.hpp"
 #include "sort/sort.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense.hpp"

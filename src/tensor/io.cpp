@@ -1,11 +1,14 @@
 #include "tensor/io.hpp"
 
 #include <array>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace sptd {
 
@@ -13,17 +16,34 @@ namespace {
 constexpr char kBinMagic[8] = {'S', 'P', 'T', 'D', 'B', 'I', 'N', '1'};
 }  // namespace
 
-SparseTensor read_tns(std::istream& in) {
+SparseTensor read_tns(std::istream& in, const TnsReadOptions& opts,
+                      TnsReadStats* stats) {
   std::vector<std::vector<idx_t>> inds;
   std::vector<val_t> vals;
   dims_t dims;
   int order = -1;
+  TnsReadStats local_stats;
+  TnsReadStats& st = stats != nullptr ? *stats : local_stats;
+  st = TnsReadStats{};
+
+  // Strict mode throws at the offending line; lenient mode counts the line
+  // as dropped (remembering the first diagnostic) and keeps reading.
+  const auto bad = [&](const std::string& msg) {
+    if (!opts.skip_bad_lines) {
+      throw Error(msg);
+    }
+    if (st.dropped == 0) {
+      st.first_error = msg;
+    }
+    ++st.dropped;
+  };
 
   std::string line;
   nnz_t lineno = 0;
   std::vector<double> fields;
   while (std::getline(in, line)) {
     ++lineno;
+    const std::string at = " at line " + std::to_string(lineno);
     // strip comments
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line.resize(hash);
@@ -32,33 +52,66 @@ SparseTensor read_tns(std::istream& in) {
     fields.clear();
     const char* p = line.c_str();
     char* end = nullptr;
+    bool tokens_ok = true;
     while (true) {
       while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
       if (*p == '\0') break;
       const double v = std::strtod(p, &end);
-      SPTD_CHECK(end != p, "read_tns: bad token at line " +
-                               std::to_string(lineno));
+      if (end == p) {
+        tokens_ok = false;
+        break;
+      }
       fields.push_back(v);
       p = end;
+    }
+    if (!tokens_ok) {
+      bad("read_tns: bad token" + at);
+      continue;
     }
     if (fields.empty()) continue;
 
     if (order < 0) {
-      order = static_cast<int>(fields.size()) - 1;
-      SPTD_CHECK(order >= 1 && order <= kMaxOrder,
-                 "read_tns: unsupported order at line " +
-                     std::to_string(lineno));
+      // Order is inferred from the first line that survives tokenization
+      // (in lenient mode, the first line that parses at all).
+      const int inferred = static_cast<int>(fields.size()) - 1;
+      if (inferred < 1 || inferred > kMaxOrder) {
+        bad("read_tns: unsupported order" + at);
+        continue;
+      }
+      order = inferred;
       inds.resize(static_cast<std::size_t>(order));
       dims.assign(static_cast<std::size_t>(order), 0);
     }
-    SPTD_CHECK(static_cast<int>(fields.size()) == order + 1,
-               "read_tns: inconsistent field count at line " +
-                   std::to_string(lineno));
+    if (static_cast<int>(fields.size()) != order + 1) {
+      bad("read_tns: expected " + std::to_string(order + 1) +
+          " fields, got " + std::to_string(fields.size()) + at);
+      continue;
+    }
+    bool line_ok = true;
+    for (int m = 0; m < order && line_ok; ++m) {
+      const double f = fields[static_cast<std::size_t>(m)];
+      // NaN fails every comparison, so it lands in the out-of-range arm.
+      if (!(f >= 1.0)) {
+        bad("read_tns: index must be a positive integer (mode " +
+            std::to_string(m + 1) + ")" + at);
+        line_ok = false;
+      } else if (f > static_cast<double>(kIdxMax)) {
+        bad("read_tns: index overflows the index type (mode " +
+            std::to_string(m + 1) + ")" + at);
+        line_ok = false;
+      } else if (f != std::floor(f)) {
+        bad("read_tns: non-integer index (mode " + std::to_string(m + 1) +
+            ")" + at);
+        line_ok = false;
+      }
+    }
+    if (line_ok && !std::isfinite(fields.back())) {
+      bad("read_tns: non-finite value" + at);
+      line_ok = false;
+    }
+    if (!line_ok) continue;
     for (int m = 0; m < order; ++m) {
       const double f = fields[static_cast<std::size_t>(m)];
-      SPTD_CHECK(f >= 1.0 && f <= static_cast<double>(kIdxMax),
-                 "read_tns: index out of range at line " +
-                     std::to_string(lineno));
       const auto i = static_cast<idx_t>(f) - 1;  // to 0-based
       inds[static_cast<std::size_t>(m)].push_back(i);
       auto& d = dims[static_cast<std::size_t>(m)];
@@ -66,7 +119,12 @@ SparseTensor read_tns(std::istream& in) {
     }
     vals.push_back(static_cast<val_t>(fields.back()));
   }
-  SPTD_CHECK(order > 0, "read_tns: no nonzeros found");
+  SPTD_CHECK(order > 0 && !vals.empty(),
+             st.dropped > 0
+                 ? "read_tns: no valid nonzeros (" +
+                       std::to_string(st.dropped) +
+                       " lines dropped; first: " + st.first_error + ")"
+                 : "read_tns: no nonzeros found");
 
   SparseTensor t(dims);
   t.reserve(vals.size());
@@ -80,10 +138,11 @@ SparseTensor read_tns(std::istream& in) {
   return t;
 }
 
-SparseTensor read_tns_file(const std::string& path) {
+SparseTensor read_tns_file(const std::string& path,
+                           const TnsReadOptions& opts, TnsReadStats* stats) {
   std::ifstream in(path);
   SPTD_CHECK(in.good(), "read_tns_file: cannot open " + path);
-  return read_tns(in);
+  return read_tns(in, opts, stats);
 }
 
 void write_tns(const SparseTensor& t, std::ostream& out) {

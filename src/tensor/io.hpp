@@ -11,15 +11,37 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/types.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
 
-/// Reads a FROSTT-style .tns stream. Throws sptd::Error on malformed input.
-SparseTensor read_tns(std::istream& in);
+/// Loader strictness knobs for read_tns.
+struct TnsReadOptions {
+  /// false (default): any malformed line — unparseable token, wrong field
+  /// count, non-integer / zero / negative / overflowing index, non-finite
+  /// value — throws sptd::Error naming the line. true (`--skip-bad-lines`):
+  /// malformed lines are dropped and counted instead; the file still fails
+  /// if NO valid nonzero survives.
+  bool skip_bad_lines = false;
+};
+
+/// What a lenient read dropped (all zero/empty on a clean file).
+struct TnsReadStats {
+  nnz_t dropped = 0;        ///< malformed lines skipped
+  std::string first_error;  ///< diagnostic of the first dropped line
+};
+
+/// Reads a FROSTT-style .tns stream. Throws sptd::Error on malformed input
+/// unless opts.skip_bad_lines; \p stats (optional) reports what a lenient
+/// read dropped.
+SparseTensor read_tns(std::istream& in, const TnsReadOptions& opts = {},
+                      TnsReadStats* stats = nullptr);
 
 /// Reads a .tns file by path.
-SparseTensor read_tns_file(const std::string& path);
+SparseTensor read_tns_file(const std::string& path,
+                           const TnsReadOptions& opts = {},
+                           TnsReadStats* stats = nullptr);
 
 /// Writes .tns (1-based indices, full precision values).
 void write_tns(const SparseTensor& t, std::ostream& out);

@@ -22,6 +22,7 @@
 #include "csf/csf.hpp"
 #include "la/matrix.hpp"
 #include "parallel/schedule.hpp"
+#include "resilience/resilience.hpp"
 #include "tensor/coo.hpp"
 
 namespace sptd {
@@ -69,6 +70,11 @@ struct TuckerOptions {
   /// through fp32 per HOOI sweep. The COO fallback (use_csf = false) and
   /// all dense linear algebra (Gram, eigen, core) always run fp64.
   Precision precision = Precision::kF64;
+
+  /// Checkpoint/restart, numeric-health guards, and fault injection
+  /// (inert by default). Resume requires at least one HOOI iteration left
+  /// to run — the core is regenerated from the final mode's TTMc.
+  ResilienceOptions resilience;
 };
 
 /// HOOI result.
@@ -76,6 +82,8 @@ struct TuckerResult {
   TuckerModel model;
   std::vector<double> fit_history;  ///< fit after each iteration
   int iterations = 0;
+  /// Checkpoint/recovery activity observed during the run.
+  ResilienceCounters resilience;
 };
 
 /// Sparse TTMc with one mode skipped: out(c_m, :) += X(c) *

@@ -1,0 +1,364 @@
+// Tests for the deterministic fault-injection harness: the --inject
+// grammar, the injector's firing rules, and — for every fault class —
+// that the drivers detect the fault and recover (or fail with a
+// structured ResilienceError once the retry budget is gone).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fileio.hpp"
+#include "completion/completion.hpp"
+#include "cpd/cpals.hpp"
+#include "dist/dist_cpals.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault.hpp"
+#include "tensor/synthetic.hpp"
+#include "tucker/tucker.hpp"
+
+namespace sptd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    path_ = (fs::temp_directory_path() /
+             (std::string("sptd_fault_") + tag + "_" +
+              std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+SparseTensor test_tensor(std::uint64_t seed = 910) {
+  return generate_synthetic({.dims = {18, 22, 14}, .nnz = 1500,
+                             .seed = seed, .zipf_exponent = 0.5});
+}
+
+CpalsOptions cpals_base() {
+  CpalsOptions o;
+  o.rank = 5;
+  o.max_iterations = 8;
+  o.tolerance = 0.0;
+  o.seed = 23;
+  o.nthreads = 1;
+  return o;
+}
+
+// ------------------------------------------------------------ plan grammar
+
+TEST(FaultPlan, ParsesEveryClause) {
+  const FaultPlan p = FaultPlan::parse(
+      "nan-values:0.25,corrupt-factor:3,io-fail:2,locale-fail:1");
+  EXPECT_DOUBLE_EQ(p.nan_values_p, 0.25);
+  EXPECT_EQ(p.corrupt_factor_iter, 3);
+  EXPECT_EQ(p.io_fail_count, 2);
+  EXPECT_EQ(p.locale_fail, 1);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  const FaultPlan p = FaultPlan::parse("");
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.nan_values_p, 0.0);
+  EXPECT_EQ(p.corrupt_factor_iter, 0);
+  EXPECT_EQ(p.io_fail_count, 0);
+  EXPECT_EQ(p.locale_fail, -1);
+}
+
+TEST(FaultPlan, SingleClauseLeavesOthersOff) {
+  const FaultPlan p = FaultPlan::parse("corrupt-factor:2");
+  EXPECT_EQ(p.corrupt_factor_iter, 2);
+  EXPECT_DOUBLE_EQ(p.nan_values_p, 0.0);
+  EXPECT_EQ(p.io_fail_count, 0);
+  EXPECT_EQ(p.locale_fail, -1);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("nan-values"), Error);       // no colon
+  EXPECT_THROW(FaultPlan::parse("warp-core:1"), Error);      // unknown
+  EXPECT_THROW(FaultPlan::parse("nan-values:lots"), Error);  // not a number
+  EXPECT_THROW(FaultPlan::parse("nan-values:1.5"), Error);   // p > 1
+  EXPECT_THROW(FaultPlan::parse("corrupt-factor:-1"), Error);
+  EXPECT_THROW(FaultPlan::parse("io-fail:x"), Error);
+}
+
+// --------------------------------------------------------- injector firing
+
+TEST(FaultInjector, CorruptFactorFiresExactlyOnce) {
+  FaultInjector inj(FaultPlan::parse("corrupt-factor:3"), 1337);
+  Rng rng(1);
+  std::vector<la::Matrix> factors;
+  factors.push_back(la::Matrix::random(4, 3, rng));
+  // corrupt-factor:N fires during the Nth sweep, i.e. 0-based it == N-1.
+  EXPECT_EQ(inj.corrupt_factors(factors, 0), 0);
+  EXPECT_EQ(inj.corrupt_factors(factors, 1), 0);
+  const int hit = inj.corrupt_factors(factors, 2);
+  EXPECT_GT(hit, 0);
+  bool saw_nonfinite = false;
+  for (idx_t i = 0; i < factors[0].rows(); ++i) {
+    for (idx_t j = 0; j < factors[0].cols(); ++j) {
+      if (!std::isfinite(static_cast<double>(factors[0](i, j)))) {
+        saw_nonfinite = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_nonfinite);
+  // One-shot: the same iteration number seen again does not re-fire.
+  EXPECT_EQ(inj.corrupt_factors(factors, 2), 0);
+  EXPECT_EQ(inj.faults_injected(), static_cast<std::uint64_t>(hit));
+}
+
+TEST(FaultInjector, IsDeterministicInSeed) {
+  // Same plan + same seed must corrupt identical entries — that is the
+  // property that makes fault runs reproducible in CI.
+  auto run = [](std::uint64_t seed) {
+    FaultInjector inj(FaultPlan::parse("corrupt-factor:1"), seed);
+    Rng rng(9);
+    std::vector<la::Matrix> factors;
+    factors.push_back(la::Matrix::random(6, 4, rng));
+    inj.corrupt_factors(factors, 0);
+    std::vector<int> nan_at;
+    for (idx_t i = 0; i < factors[0].rows(); ++i) {
+      for (idx_t j = 0; j < factors[0].cols(); ++j) {
+        if (!std::isfinite(static_cast<double>(factors[0](i, j)))) {
+          nan_at.push_back(static_cast<int>(i * 4 + j));
+        }
+      }
+    }
+    return nan_at;
+  };
+  EXPECT_EQ(run(1337), run(1337));
+}
+
+TEST(FaultInjector, IoFailBudgetDrains) {
+  FaultInjector inj(FaultPlan::parse("io-fail:2"), 1);
+  EXPECT_TRUE(inj.fail_checkpoint_write());
+  EXPECT_TRUE(inj.fail_checkpoint_write());
+  EXPECT_FALSE(inj.fail_checkpoint_write());  // budget exhausted
+  EXPECT_EQ(inj.faults_injected(), 2u);
+}
+
+TEST(FaultInjector, KillLocaleFiresOnceAtHalfway) {
+  FaultInjector inj(FaultPlan::parse("locale-fail:5"), 1);
+  const int nlocales = 4;  // 5 % 4 == locale 1 dies
+  bool killed = false;
+  for (int it = 1; it <= 8; ++it) {
+    for (int l = 0; l < nlocales; ++l) {
+      if (inj.kill_locale(l, nlocales, it, 8)) {
+        EXPECT_FALSE(killed) << "locale killed twice";
+        EXPECT_EQ(l, 1);
+        EXPECT_EQ(it, 4);  // max_iterations / 2
+        killed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(killed);
+}
+
+// --------------------------------------------- recovery: corrupt-factor
+
+TEST(FaultRecovery, CpalsRollsBackFromCorruptFactor) {
+  SparseTensor x = test_tensor();
+  CpalsOptions o = cpals_base();
+  o.resilience.inject = "corrupt-factor:3";
+  const CpalsResult r = cp_als(x, o);
+  EXPECT_EQ(r.resilience.rollbacks, 1);
+  EXPECT_EQ(r.resilience.retries, 1);
+  EXPECT_GT(r.resilience.faults_injected, 0u);
+  EXPECT_EQ(r.iterations, 8);  // the run still completes
+  for (const double f : r.fit_history) {
+    EXPECT_TRUE(std::isfinite(f));
+  }
+  // The perturbed restart trajectory still converges to a sane model.
+  EXPECT_GT(r.fit_history.back(), 0.0);
+}
+
+TEST(FaultRecovery, TuckerRollsBackFromCorruptFactor) {
+  SparseTensor x = test_tensor();
+  TuckerOptions o;
+  o.core_dims = {3, 3, 3};
+  o.max_iterations = 6;
+  o.tolerance = 0.0;
+  o.seed = 17;
+  o.nthreads = 1;
+  o.resilience.inject = "corrupt-factor:2";
+  const TuckerResult r = tucker_hooi(x, o);
+  EXPECT_EQ(r.resilience.rollbacks, 1);
+  EXPECT_GT(r.resilience.faults_injected, 0u);
+  for (const double f : r.fit_history) {
+    EXPECT_TRUE(std::isfinite(f));
+  }
+}
+
+TEST(FaultRecovery, CompletionRollsBackFromCorruptFactor) {
+  SparseTensor t = test_tensor(911);
+  const auto [train, val] = split_train_test(t, 0.2, 7);
+  CompletionOptions o;
+  o.rank = 4;
+  o.max_iterations = 6;
+  o.tolerance = 0.0;
+  o.nthreads = 1;
+  o.resilience.inject = "corrupt-factor:2";
+  const CompletionResult r = complete_tensor(train, &val, o);
+  EXPECT_EQ(r.resilience.rollbacks, 1);
+  EXPECT_GT(r.resilience.faults_injected, 0u);
+  for (const double e : r.train_rmse) {
+    EXPECT_TRUE(std::isfinite(e));
+  }
+}
+
+TEST(FaultRecovery, CcdCompletionRecoversWithResidualRebuild) {
+  // CCD++ keeps a running residual; a rollback must rebuild it from the
+  // restored factors or every later sweep is silently wrong.
+  SparseTensor t = test_tensor(912);
+  const auto [train, val] = split_train_test(t, 0.2, 7);
+  CompletionOptions o;
+  o.algorithm = CompletionAlgorithm::kCcd;
+  o.rank = 4;
+  o.max_iterations = 6;
+  o.tolerance = 0.0;
+  o.nthreads = 1;
+  o.resilience.inject = "corrupt-factor:2";
+  const CompletionResult r = complete_tensor(train, &val, o);
+  EXPECT_EQ(r.resilience.rollbacks, 1);
+  for (const double e : r.train_rmse) {
+    EXPECT_TRUE(std::isfinite(e));
+  }
+  // RMSE after recovery keeps descending rather than blowing up.
+  EXPECT_LT(r.train_rmse.back(), r.train_rmse.front());
+}
+
+// ------------------------------------------------- recovery: nan-values
+
+TEST(FaultRecovery, ProbabilisticNanValuesRecovers) {
+  SparseTensor x = test_tensor();
+  CpalsOptions o = cpals_base();
+  o.resilience.inject = "nan-values:0.4";
+  o.resilience.inject_seed = 7;
+  o.resilience.max_retries = 50;  // plenty; p=0.4 re-fires often
+  const CpalsResult r = cp_als(x, o);
+  EXPECT_GT(r.resilience.rollbacks, 0);
+  EXPECT_EQ(r.iterations, 8);
+  for (const double f : r.fit_history) {
+    EXPECT_TRUE(std::isfinite(f));
+  }
+}
+
+TEST(FaultRecovery, ExhaustedRetriesThrowStructuredError) {
+  SparseTensor x = test_tensor();
+  CpalsOptions o = cpals_base();
+  o.resilience.inject = "nan-values:1";  // every iteration is poisoned
+  o.resilience.max_retries = 2;
+  try {
+    (void)cp_als(x, o);
+    FAIL() << "retry exhaustion did not throw";
+  } catch (const ResilienceError& e) {
+    EXPECT_NE(std::string(e.what()).find("cpals"), std::string::npos);
+    EXPECT_EQ(e.issue(), HealthIssue::kNonFiniteFactor);
+    EXPECT_EQ(e.retries(), 2);
+    EXPECT_NE(std::string(e.what()).find("non-finite"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultRecovery, GuardsOffMeansNoRecovery) {
+  // With health checks disabled nothing rolls back: the poisoned factors
+  // reach the next sweep's Gram, which cannot be regularized, and the run
+  // dies with a hard error instead of a structured recovery — proving
+  // detection comes from the monitor, not solver accident.
+  SparseTensor x = test_tensor();
+  CpalsOptions o = cpals_base();
+  o.max_iterations = 4;
+  o.resilience.inject = "corrupt-factor:2";
+  o.resilience.health_checks = false;
+  EXPECT_THROW((void)cp_als(x, o), Error);
+}
+
+// ---------------------------------------------------- recovery: io-fail
+
+TEST(FaultRecovery, IoFailTearsOneCheckpointThenRecovers) {
+  ScratchDir dir("iofail");
+  SparseTensor x = test_tensor();
+  CpalsOptions o = cpals_base();
+  o.resilience.checkpoint_dir = dir.path();
+  o.resilience.checkpoint_every = 2;
+  o.resilience.inject = "io-fail:1";
+  const CpalsResult r = cp_als(x, o);
+  // First write (iteration 2) fails torn; iterations 4 and 6 succeed.
+  EXPECT_EQ(r.resilience.checkpoint_failures, 1);
+  EXPECT_EQ(r.resilience.checkpoints, 2);
+  // The torn file must not be loadable; load_latest lands on a good one.
+  const auto latest = CheckpointManager::load_latest(dir.path(), "cpals");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->iteration, 6);
+
+  // And a resume from the surviving checkpoints matches a clean run.
+  SparseTensor x2 = test_tensor();
+  const CpalsResult ref = cp_als(x2, cpals_base());
+  SparseTensor x3 = test_tensor();
+  CpalsOptions rest = cpals_base();
+  rest.resilience.checkpoint_dir = dir.path();
+  rest.resilience.resume = true;
+  const CpalsResult res = cp_als(x3, rest);
+  EXPECT_EQ(res.resilience.resumed_from, 6);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(res.model.factors[static_cast<std::size_t>(m)].max_abs_diff(
+                  ref.model.factors[static_cast<std::size_t>(m)]),
+              0.0)
+        << "mode " << m;
+  }
+}
+
+// ------------------------------------------------ recovery: locale-fail
+
+TEST(FaultRecovery, DistLocaleKillRebuildsBitwise) {
+  DistOptions base;
+  base.grid = {2, 2, 1};
+  base.rank = 4;
+  base.max_iterations = 6;
+  base.seed = 23;
+
+  SparseTensor x1 = test_tensor();
+  const DistResult clean = dist_cp_als(x1, base);
+
+  SparseTensor x2 = test_tensor();
+  DistOptions faulty = base;
+  faulty.resilience.inject = "locale-fail:2";
+  const DistResult r = dist_cp_als(x2, faulty);
+
+  EXPECT_EQ(r.resilience.locale_restarts, 1);
+  EXPECT_GT(r.resilience.faults_injected, 0u);
+  // The rebuilt locale's CSF + plan are deterministic, so the run's
+  // numbers are bitwise those of the clean run.
+  ASSERT_EQ(r.fit_history.size(), clean.fit_history.size());
+  for (std::size_t i = 0; i < clean.fit_history.size(); ++i) {
+    EXPECT_EQ(r.fit_history[i], clean.fit_history[i]) << "iteration " << i;
+  }
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(r.model.factors[static_cast<std::size_t>(m)].max_abs_diff(
+                  clean.model.factors[static_cast<std::size_t>(m)]),
+              0.0)
+        << "mode " << m;
+  }
+}
+
+}  // namespace
+}  // namespace sptd

@@ -106,5 +106,51 @@ TEST(ModelIo, MissingFileThrows) {
   EXPECT_THROW(read_model_file("/nonexistent/model.txt"), Error);
 }
 
+TEST(ModelIo, V1LegacyFormatStillReadable) {
+  // Models written before the checksummed v2 header must keep loading.
+  std::istringstream in(
+      "sptd-kruskal 1\n"
+      "order 2 rank 2\n"
+      "lambda\n1.5 0.5\n"
+      "factor 0 2 2\n1 2\n3 4\n"
+      "factor 1 3 2\n5 6\n7 8\n9 10\n");
+  const KruskalModel m = read_model(in);
+  ASSERT_EQ(m.order(), 2);
+  ASSERT_EQ(m.rank(), 2);
+  EXPECT_DOUBLE_EQ(m.lambda[0], 1.5);
+  EXPECT_DOUBLE_EQ(m.factors[1](2, 1), 10.0);
+}
+
+TEST(ModelIo, WritesVersionedChecksummedHeader) {
+  const KruskalModel m = sample_model(5);
+  const std::string text = serialize_model(m);
+  EXPECT_EQ(text.rfind("sptd-kruskal 2\nchecksum ", 0), 0u);
+}
+
+TEST(ModelIo, RejectsChecksumMismatch) {
+  const KruskalModel m = sample_model(6);
+  std::string text = serialize_model(m);
+  // Corrupt one payload digit after the header lines.
+  const std::size_t pos = text.find('\n', text.find("checksum")) + 10;
+  ASSERT_LT(pos, text.size());
+  text[pos] = (text[pos] == '7') ? '8' : '7';
+  std::istringstream in(text);
+  try {
+    (void)read_model(in);
+    FAIL() << "corrupt model was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(ModelIo, RejectsTruncatedV2Payload) {
+  const KruskalModel m = sample_model(7);
+  std::string text = serialize_model(m);
+  text.resize(text.size() - text.size() / 4);  // drop the tail
+  std::istringstream in(text);
+  EXPECT_THROW(read_model(in), Error);
+}
+
 }  // namespace
 }  // namespace sptd

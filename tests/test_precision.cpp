@@ -201,7 +201,13 @@ TEST(PrecisionBytes, NarrowStreamsHalveValueBytes) {
 /// fp32 every iteration. Mixed streams the same fp32 values but
 /// accumulates and keeps masters in fp64, so it must land orders of
 /// magnitude closer to the f64 fit (empirically ~1e-7 vs ~1e-5 here;
-/// the gap holds across seeds with ≥ 10x margin).
+/// the gap holds across seeds with ≥ 10x margin). The asserted contract
+/// is that margin plus a loose absolute bound — NOT the standard
+/// kMixedFitTol ladder: on this adversarial fixture the absolute error
+/// tracks the compiler's reduction order (an -O1 sanitizer build sums
+/// serially instead of with vectorized multi-accumulators and lands
+/// ~2x past 1e-6), while the realistic-tensor ladder tests above hold
+/// 1e-6 at every optimization level.
 TEST(PrecisionDegenerate, MixedBeatsF32OnLongSameSignAccumulation) {
   const SparseTensor x =
       generate_full_low_rank({2048, 8, 8}, /*rank=*/3, /*noise=*/1e-4,
@@ -219,8 +225,8 @@ TEST(PrecisionDegenerate, MixedBeatsF32OnLongSameSignAccumulation) {
   opts.precision = Precision::kF32;
   const double err_f32 = std::abs(final_fit(x, opts) - f64);
 
-  EXPECT_LT(err_mixed, err_f32);
-  EXPECT_LT(err_mixed, kMixedFitTol);
+  EXPECT_LT(err_mixed * 10.0, err_f32);
+  EXPECT_LT(err_mixed, 1e-5);
 }
 
 }  // namespace

@@ -263,6 +263,80 @@ TEST(Io, TnsRoundTripPreservesEverything) {
   }
 }
 
+TEST(Io, ReadTnsStrictErrorsNameTheLine) {
+  // Every strict-mode diagnostic pinpoints the offending 1-based line.
+  const auto error_for = [](const char* text) {
+    std::istringstream in(text);
+    try {
+      (void)read_tns(in);
+      return std::string("<no error>");
+    } catch (const Error& e) {
+      return std::string(e.what());
+    }
+  };
+  EXPECT_NE(error_for("1 1 1 1.0\n-2 1 1 1.0\n")
+                .find("positive integer (mode 1) at line 2"),
+            std::string::npos);
+  EXPECT_NE(error_for("1 1 1 1.0\n1 2.5 1 1.0\n")
+                .find("non-integer index (mode 2) at line 2"),
+            std::string::npos);
+  EXPECT_NE(error_for("1 1 1 1.0\n1 1 99999999999999999999 1.0\n")
+                .find("overflows the index type (mode 3) at line 2"),
+            std::string::npos);
+  EXPECT_NE(error_for("1 1 1 1.0\n1 1 1 nan\n")
+                .find("non-finite value at line 2"),
+            std::string::npos);
+  EXPECT_NE(error_for("1 1 1 1.0\n1 1 1 inf\n")
+                .find("non-finite value at line 2"),
+            std::string::npos);
+  EXPECT_NE(error_for("1 1 1 1.0\n1 1 1.0\n")
+                .find("expected 4 fields, got 3 at line 2"),
+            std::string::npos);
+  EXPECT_NE(error_for("1 1 1 1.0\n1 1 one 1.0\n").find("at line 2"),
+            std::string::npos);
+}
+
+TEST(Io, ReadTnsLenientDropsAndCounts) {
+  std::istringstream in(
+      "1 1 1 1.5\n"
+      "0 1 1 9.0\n"     // zero index: dropped
+      "2 2 2 nan\n"     // non-finite value: dropped
+      "2 2 2 2.5\n"
+      "1 2 3.0\n"       // short line: dropped
+      "3 1 2 -0.5\n");
+  TnsReadStats stats;
+  const SparseTensor t = read_tns(in, {.skip_bad_lines = true}, &stats);
+  EXPECT_EQ(t.nnz(), 3u);
+  EXPECT_EQ(stats.dropped, 3u);
+  // first_error remembers the *first* diagnostic for the warning banner.
+  EXPECT_NE(stats.first_error.find("positive integer (mode 1) at line 2"),
+            std::string::npos);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_DOUBLE_EQ(t.vals()[2], -0.5);
+}
+
+TEST(Io, ReadTnsLenientAllBadStillThrows) {
+  // Dropping every line is a hard failure even in lenient mode, and the
+  // message carries the drop count + first diagnostic for debugging.
+  std::istringstream in("0 1 1 1.0\n1 1 1 nan\n");
+  TnsReadStats stats;
+  try {
+    (void)read_tns(in, {.skip_bad_lines = true}, &stats);
+    FAIL() << "empty lenient parse was accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no valid nonzeros"), std::string::npos);
+    EXPECT_NE(what.find("2 lines dropped"), std::string::npos);
+  }
+}
+
+TEST(Io, ReadTnsLenientWithoutStatsPointerWorks) {
+  std::istringstream in("1 1 2.0\nbad line\n2 2 4.0\n");
+  const SparseTensor t = read_tns(in, {.skip_bad_lines = true});
+  EXPECT_EQ(t.order(), 2);
+  EXPECT_EQ(t.nnz(), 2u);
+}
+
 TEST(Io, TnsRoundTripLargeSynthetic) {
   const SparseTensor t = generate_synthetic(
       {.dims = {50, 40, 30}, .nnz = 2000, .seed = 5});

@@ -22,6 +22,83 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
+echo "== resilience smoke: kill mid-run, resume, bitwise-equal model =="
+# A SIGKILLed single-thread f64 run, resumed from its newest checkpoint,
+# must produce a model file byte-identical to the uninterrupted run's.
+RES_DIR="$BUILD_DIR/resilience_smoke"
+rm -rf "$RES_DIR"
+mkdir -p "$RES_DIR"
+"$BUILD_DIR/sptd" generate --preset yelp --scale 0.01 \
+  "$RES_DIR/smoke.tns" > /dev/null
+"$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 --iters 12 \
+  --tolerance 0 --threads 1 --output "$RES_DIR/ref.model" > /dev/null
+"$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 --iters 12 \
+  --tolerance 0 --threads 1 --checkpoint-dir "$RES_DIR/ckpt" \
+  --checkpoint-every 2 --output "$RES_DIR/killed.model" > /dev/null &
+CPD_PID=$!
+# Kill as soon as the first checkpoint lands (or let a fast box finish:
+# the resume below then replays from the last mid-run checkpoint, which
+# proves the same bitwise property).
+for _ in $(seq 1 600); do
+  if ls "$RES_DIR/ckpt"/*.ckpt > /dev/null 2>&1; then break; fi
+  if ! kill -0 "$CPD_PID" 2> /dev/null; then break; fi
+  sleep 0.01
+done
+kill -9 "$CPD_PID" 2> /dev/null || true
+wait "$CPD_PID" 2> /dev/null || true
+if ! ls "$RES_DIR/ckpt"/*.ckpt > /dev/null 2>&1; then
+  echo "ci: checkpointed run wrote no checkpoint before exiting" >&2
+  exit 1
+fi
+RESUME_OUT="$("$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 \
+  --iters 12 --tolerance 0 --threads 1 \
+  --checkpoint-dir "$RES_DIR/ckpt" --resume \
+  --output "$RES_DIR/resumed.model")"
+grep -q "resumed from iteration" <<< "$RESUME_OUT"
+cmp "$RES_DIR/ref.model" "$RES_DIR/resumed.model"
+echo "ci: kill-and-resume model is bitwise identical"
+
+echo "== resilience smoke: fault-injection matrix =="
+# Every --inject fault class detects and recovers (or fails structurally)
+# through the CLI, matching the ctest coverage end to end.
+CPD_FAULT_OUT="$("$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 \
+  --iters 6 --tolerance 0 --threads 1 --inject corrupt-factor:3)"
+grep -q "1 retries, 1 rollbacks" <<< "$CPD_FAULT_OUT" \
+  || { echo "ci: cpd corrupt-factor recovery missing" >&2; exit 1; }
+TUCKER_FAULT_OUT="$("$BUILD_DIR/sptd" tucker "$RES_DIR/smoke.tns" \
+  --core 4x4x4 --iters 5 --tolerance 0 --threads 1 \
+  --inject corrupt-factor:2)"
+grep -q "1 retries, 1 rollbacks" <<< "$TUCKER_FAULT_OUT" \
+  || { echo "ci: tucker corrupt-factor recovery missing" >&2; exit 1; }
+# complete has no --tolerance flag, so inject at iteration 1 — before
+# validation-based early stopping can end the run.
+COMPLETE_FAULT_OUT="$("$BUILD_DIR/sptd" complete "$RES_DIR/smoke.tns" \
+  --rank 6 --iters 5 --threads 1 --inject corrupt-factor:1)"
+grep -q "1 retries, 1 rollbacks" <<< "$COMPLETE_FAULT_OUT" \
+  || { echo "ci: complete corrupt-factor recovery missing" >&2; exit 1; }
+# Exhausting the retry budget must fail the run (structured, nonzero exit).
+if "$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 --iters 6 \
+  --tolerance 0 --threads 1 --inject nan-values:1 --max-retries 2 \
+  > /dev/null 2>&1; then
+  echo "ci: retry exhaustion did not fail the run" >&2
+  exit 1
+fi
+# A torn checkpoint write (injected IO failure) is counted, later writes
+# succeed, and a resume skips the torn file for the newest valid one.
+rm -rf "$RES_DIR/ckpt_iofail"
+IOFAIL_OUT="$("$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 \
+  --iters 8 --tolerance 0 --threads 1 \
+  --checkpoint-dir "$RES_DIR/ckpt_iofail" --checkpoint-every 2 \
+  --inject io-fail:1)"
+grep -q "1 failed writes" <<< "$IOFAIL_OUT" \
+  || { echo "ci: io-fail injection not reported" >&2; exit 1; }
+IOFAIL_RESUME_OUT="$("$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 \
+  --iters 8 --tolerance 0 --threads 1 \
+  --checkpoint-dir "$RES_DIR/ckpt_iofail" --resume)"
+grep -q "resumed from iteration" <<< "$IOFAIL_RESUME_OUT" \
+  || { echo "ci: resume after torn checkpoint failed" >&2; exit 1; }
+echo "ci: fault-injection matrix recovered on every class"
+
 echo "== bench_compare unit: mixed-type identity fields =="
 # One field ("flag") carries a bool in one record and a string in the
 # next, and "steals" varies between runs: the identity key must stay
@@ -73,6 +150,21 @@ rm -f "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig4_locks" \
   --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 2 \
   --schedule workstealing --json "$SMOKE_JSON"
+# The same fig5 smoke with mid-run checkpointing on: records carry
+# checkpoint_time/checkpoint_bytes, and the overhead gate below bounds the
+# cost at 5% of total_seconds. Single-threaded and 10 iterations so the
+# --checkpoint-every 5 snapshot actually fires mid-run (a checkpoint at
+# the final iteration is skipped as pointless). Scale 0.02, not 0.002:
+# one fsync is a fixed ~1.5 ms floor, so the run must be big enough for
+# the 5% bound to measure the real serialization cost, not the syscall.
+# Three trials because checkpoint_time reports the best trial: a single
+# fsync colliding with an unrelated journal commit costs ~0.3 s, and a
+# one-trial measurement would fail the gate on that noise alone.
+rm -rf "$BUILD_DIR/bench_ckpt"
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.02 --iters 10 --trials 3 --threads-list 1 \
+  --schedule weighted --checkpoint-every 5 \
+  --checkpoint-dir "$BUILD_DIR/bench_ckpt" --json "$SMOKE_JSON"
 
 echo "== completion smoke: bench_completion (als, sgd, ccd) =="
 # One record per (solver, thread count); the record identity carries the
@@ -91,13 +183,42 @@ echo "== precision smoke: bench_ablation_precision (f64, f32, mixed) =="
 
 # The smoke runs must have produced one JSON record per configuration:
 # 8 weighted fig5 + 4 wide-layout fig5 + 4 workstealing fig5 + 8
-# narrow-precision fig5 (mixed + f32) + 4 workstealing fig4 (lock kinds)
-# + 6 completion (3 solvers x 2 thread counts) + 3 precision ablation.
+# narrow-precision fig5 (mixed + f32) + 2 checkpointed fig5 + 4
+# workstealing fig4 (lock kinds) + 6 completion (3 solvers x 2 thread
+# counts) + 3 precision ablation.
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 37 ]; then
-  echo "ci: expected >= 37 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 39 ]; then
+  echo "ci: expected >= 39 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
+
+# Checkpointing must stay cheap. Every checkpointed fig5 record carries
+# the per-trial serialization + fsync cost in checkpoint_time; gate it at
+# 5% of that record's total_seconds rather than ratio-checking against an
+# aging baseline (the cost is wall-clock-noisy, the bound is the contract).
+python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+checked = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if rec.get("bench") != "Figure 5":
+            continue
+        if int(rec.get("checkpoint_every", 0)) != 5:
+            continue
+        checked += 1
+        ct = float(rec["checkpoint_time"])
+        total = float(rec["total_seconds"])
+        if ct > 0.05 * total:
+            raise SystemExit(
+                f"ci: checkpoint overhead {ct:.4f}s exceeds 5% of "
+                f"{total:.4f}s total for impl={rec.get('impl')}")
+        print(f"ci: checkpoint overhead impl={rec.get('impl')}: "
+              f"{ct:.4f}s of {total:.4f}s "
+              f"({100 * ct / total:.1f}%, {rec['checkpoint_bytes']} bytes)")
+if checked == 0:
+    raise SystemExit("ci: no checkpointed fig5 records found")
+EOF
 
 # Narrow value streams must actually shrink the bytes a launch moves, and
 # the accuracy contracts must hold on the smoke tensor: mixed tracks the
@@ -143,8 +264,8 @@ with open(sys.argv[1]) as f:
         rec = json.loads(line)
         if "csf_bytes" not in rec or rec.get("bench") != "Figure 5":
             continue
-        key = (rec.get("rank"), rec.get("impl"), rec.get("threads"),
-               rec.get("schedule"))
+        key = (rec.get("preset"), rec.get("scale"), rec.get("rank"),
+               rec.get("impl"), rec.get("threads"), rec.get("schedule"))
         bytes_by_key.setdefault(key, {})[rec.get("csf_layout")] = \
             int(rec["csf_bytes"])
 pairs = 0
@@ -232,5 +353,18 @@ echo "ci: workstealing smoke recorded $WS_STEALS steals"
 echo "== bench compare vs bench/baseline.json =="
 python3 tools/bench_compare.py bench/baseline.json "$SMOKE_JSON" \
   --threshold 3.0
+
+# Sanitized tier-1: the whole gtest suite under ASan + UBSan. Bench and
+# examples are skipped (the suite covers the library; sanitized bench
+# timings are meaningless anyway). Set SPTD_CI_SKIP_ASAN=1 for a quick
+# local loop.
+if [ "${SPTD_CI_SKIP_ASAN:-0}" != "1" ]; then
+  echo "== sanitizer build + ctest (address,undefined) =="
+  ASAN_BUILD="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_BUILD" -S . -DSPTD_SANITIZE=address,undefined \
+    -DSPTD_BUILD_BENCH=OFF -DSPTD_BUILD_EXAMPLES=OFF
+  cmake --build "$ASAN_BUILD" -j"$JOBS"
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure -j"$JOBS"
+fi
 
 echo "== ok ($RECORDS bench records) =="

@@ -26,11 +26,23 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-SparseTensor load(const std::string& path) {
+SparseTensor load(const std::string& path, bool skip_bad_lines = false) {
   if (ends_with(path, ".bin")) {
     return read_bin_file(path);
   }
-  return read_tns_file(path);
+  TnsReadOptions ropts;
+  ropts.skip_bad_lines = skip_bad_lines;
+  TnsReadStats stats;
+  SparseTensor t = read_tns_file(path, ropts, &stats);
+  if (stats.dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: dropped %llu malformed line%s from %s "
+                 "(first: %s)\n",
+                 static_cast<unsigned long long>(stats.dropped),
+                 stats.dropped == 1 ? "" : "s", path.c_str(),
+                 stats.first_error.c_str());
+  }
+  return t;
 }
 
 void store(const SparseTensor& t, const std::string& path) {
@@ -135,9 +147,12 @@ int cmd_stats(int argc, const char* const* argv) {
 int cmd_validate(int argc, const char* const* argv) {
   Options cli("sptd validate",
               "check a tensor file for structural problems");
+  cli.add_flag("skip-bad-lines",
+               "drop malformed .tns lines (counted) instead of failing");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "validate: need a tensor file");
-  const SparseTensor t = load(cli.positional().front());
+  const SparseTensor t =
+      load(cli.positional().front(), cli.get_bool("skip-bad-lines"));
   t.validate();  // throws on out-of-range indices / non-finite values
 
   // Duplicate coordinates (legal but usually an upstream bug).
@@ -175,10 +190,13 @@ int cmd_validate(int argc, const char* const* argv) {
 
 int cmd_convert(int argc, const char* const* argv) {
   Options cli("sptd convert", "convert between .tns and .bin");
+  cli.add_flag("skip-bad-lines",
+               "drop malformed .tns lines (counted) instead of failing");
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(cli.positional().size() == 2,
              "convert: need <input> <output>");
-  const SparseTensor t = load(cli.positional()[0]);
+  const SparseTensor t =
+      load(cli.positional()[0], cli.get_bool("skip-bad-lines"));
   store(t, cli.positional()[1]);
   std::printf("wrote %llu nonzeros to %s\n",
               static_cast<unsigned long long>(t.nnz()),
@@ -228,6 +246,7 @@ int cmd_cpd(int argc, const char* const* argv) {
   cli.add("seed", "23", "init seed");
   cli.add("output", "", "write the Kruskal model to this path");
   cli.add_flag("nonneg", "non-negative CP");
+  add_resilience_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "cpd: need a tensor file");
   SparseTensor t = load(cli.positional().front());
@@ -253,6 +272,7 @@ int cmd_cpd(int argc, const char* const* argv) {
   }
   opts.nonnegative = cli.get_bool("nonneg");
   opts.precision = parse_precision(cli.get_string("precision"));
+  opts.resilience = resilience_from_flags(cli);
   apply_impl_variant(find_impl_variant(cli.get_string("impl")), opts);
 
   const std::uint64_t steals_before = work_steal_count();
@@ -273,6 +293,10 @@ int cmd_cpd(int argc, const char* const* argv) {
               format_bytes(r.csf_bytes).c_str(),
               format_bytes(r.value_bytes).c_str(),
               precision_name(opts.precision));
+  if (const std::string rs = resilience_summary(r.resilience);
+      !rs.empty()) {
+    std::printf("  %s\n", rs.c_str());
+  }
   if (const std::string out = cli.get_string("output"); !out.empty()) {
     write_model_file(r.model, out);
     std::printf("model written to %s\n", out.c_str());
@@ -294,6 +318,7 @@ int cmd_tucker(int argc, const char* const* argv) {
           "value-stream precision: f64 | f32 | mixed (fp32 streams, "
           "fp64 accumulation)");
   cli.add("seed", "17", "init seed");
+  add_resilience_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "tucker: need a tensor file");
   const SparseTensor t = load(cli.positional().front());
@@ -318,11 +343,16 @@ int cmd_tucker(int argc, const char* const* argv) {
   opts.csf_layout = parse_csf_layout(cli.get_string("csf-layout"));
   opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
   opts.precision = parse_precision(cli.get_string("precision"));
+  opts.resilience = resilience_from_flags(cli);
 
   const TuckerResult r = tucker_hooi(t, opts);
   std::printf("fit %.6f after %d iterations (core %s)\n",
               r.fit_history.back(), r.iterations,
               cli.get_string("core").c_str());
+  if (const std::string rs = resilience_summary(r.resilience);
+      !rs.empty()) {
+    std::printf("  %s\n", rs.c_str());
+  }
   return 0;
 }
 
@@ -347,6 +377,7 @@ int cmd_complete(int argc, const char* const* argv) {
           "value-stream precision: f64 | f32 | mixed (fp32 value reads, "
           "fp64 updates)");
   cli.add("seed", "23", "seed");
+  add_resilience_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "complete: need a tensor file");
   const SparseTensor t = load(cli.positional().front());
@@ -374,6 +405,7 @@ int cmd_complete(int argc, const char* const* argv) {
     opts.use_fixed_kernels = (k == "fixed");
   }
   opts.precision = parse_precision(cli.get_string("precision"));
+  opts.resilience = resilience_from_flags(cli);
   const std::uint64_t steals_before = work_steal_count();
   const CompletionResult r = complete_tensor(train, &test, opts);
   if (r.val_rmse.empty()) {
@@ -395,6 +427,10 @@ int cmd_complete(int argc, const char* const* argv) {
     std::printf("  steals    %8llu\n",
                 static_cast<unsigned long long>(work_steal_count() -
                                                 steals_before));
+  }
+  if (const std::string rs = resilience_summary(r.resilience);
+      !rs.empty()) {
+    std::printf("  %s\n", rs.c_str());
   }
   return 0;
 }
