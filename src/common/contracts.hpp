@@ -1,0 +1,85 @@
+#pragma once
+/// \file contracts.hpp
+/// \brief Concurrency-contract annotations for ThreadSanitizer builds.
+///
+/// The racy-by-design parallel paths (privatized accumulators, mutex
+/// pools, the work-stealing CAS deques, CCD's in-place residual folds)
+/// are validated under `SPTD_SANITIZE=thread` by tests/stress_concurrency
+/// — a std::thread harness, because TSan cannot model libgomp's barriers
+/// and team synchronization (see tools/tsan.supp for the policy). Two
+/// kinds of sites need help from the source side:
+///
+///  * Synchronization TSan cannot see. `omp_set_lock`/`omp_unset_lock`
+///    order memory through libgomp internals that are invisible to the
+///    instrumented build, so data protected *correctly* by an OmpLock
+///    would still be reported. `SPTD_TSAN_ACQUIRE`/`SPTD_TSAN_RELEASE`
+///    teach TSan the acquire/release edge explicitly (they expand to the
+///    libtsan dynamic annotations under TSan and to nothing otherwise).
+///    Every use must cite why the underlying synchronization is real.
+///
+///  * Intentionally benign races. `SPTD_TSAN_BENIGN_RACE` documents a
+///    location where unsynchronized concurrent access is part of the
+///    design AND tolerating a stale read is proven harmless (e.g. a
+///    monotonic diagnostic counter read while workers still run). There
+///    are deliberately no such sites in the library today: the counters
+///    (work_steal_count, sort_fastpath_hits, SliceSchedule::steals) are
+///    all relaxed atomics — ordinary C++ atomics TSan models natively —
+///    and are only *differenced* from serial code around a launch. The
+///    macro exists so a future benign race is annotated and inventoried
+///    here instead of silently suppressed in tools/tsan.supp.
+///
+/// Detection: gcc defines __SANITIZE_THREAD__; clang exposes
+/// __has_feature(thread_sanitizer). `SPTD_TSAN_ENABLED` is 1 in exactly
+/// those builds (the CMake side additionally rejects combining thread
+/// with address/leak sanitizers, which are runtime-incompatible).
+
+#if defined(__SANITIZE_THREAD__)
+#define SPTD_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPTD_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef SPTD_TSAN_ENABLED
+#define SPTD_TSAN_ENABLED 0
+#endif
+
+#if SPTD_TSAN_ENABLED
+
+// The dynamic-annotation entry points exported by libtsan. Declared here
+// instead of including a sanitizer header so non-sanitizer builds never
+// see sanitizer-specific includes.
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line, const void* addr);
+void AnnotateHappensAfter(const char* file, int line, const void* addr);
+void AnnotateBenignRaceSized(const char* file, int line, const void* addr,
+                             unsigned long size, const char* description);
+}
+
+/// Release edge on \p addr: everything written before this point is
+/// visible to the thread that performs SPTD_TSAN_ACQUIRE(addr) next.
+#define SPTD_TSAN_RELEASE(addr) \
+  AnnotateHappensBefore(__FILE__, __LINE__, (addr))
+
+/// Acquire edge on \p addr (pairs with SPTD_TSAN_RELEASE).
+#define SPTD_TSAN_ACQUIRE(addr) \
+  AnnotateHappensAfter(__FILE__, __LINE__, (addr))
+
+/// Declares [addr, addr+size) intentionally racy; \p why is mandatory
+/// prose shown in would-be reports. Use only for documented-benign races
+/// — never to silence a finding that has not been argued harmless.
+#define SPTD_TSAN_BENIGN_RACE(addr, size, why) \
+  AnnotateBenignRaceSized(__FILE__, __LINE__, (addr), (size), (why))
+
+/// Marks a function whose body TSan must not instrument. Reserved for
+/// cases where annotation cannot express the contract; cite why.
+#define SPTD_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
+
+#else  // !SPTD_TSAN_ENABLED
+
+#define SPTD_TSAN_RELEASE(addr) ((void)0)
+#define SPTD_TSAN_ACQUIRE(addr) ((void)0)
+#define SPTD_TSAN_BENIGN_RACE(addr, size, why) ((void)0)
+#define SPTD_NO_SANITIZE_THREAD
+
+#endif  // SPTD_TSAN_ENABLED

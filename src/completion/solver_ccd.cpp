@@ -125,7 +125,7 @@ class CcdSolver final : public CompletionSolver {
 
     ms.schedule.reset();
     parallel_region(ws_.nthreads(), [&](int tid, int) {
-      std::vector<val_t>& buf = ws_.slice_buffer(tid);
+      aligned_vector<val_t>& buf = ws_.slice_buffer(tid);
       ms.schedule.for_ranges(tid, [&](nnz_t begin, nnz_t end) {
         for (nnz_t i = begin; i < end; ++i) {
           const nnz_t lo = ms.slice_ptr[i];

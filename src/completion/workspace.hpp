@@ -39,7 +39,7 @@ struct ModeSlices {
   SliceSchedule schedule;        ///< row distribution over the team
   /// fp32 copy of grouped.vals(), built only under f32/mixed precision
   /// (empty under f64): the value stream the ALS row passes read.
-  std::vector<float> vals_f32;
+  aligned_vector<float> vals_f32;
 };
 
 /// The SGD stratum grid: each mode's index space is cut into S blocks by
@@ -112,7 +112,7 @@ class CompletionWorkspace {
 
   /// Per-thread spill buffer for slice-length temporaries (CCD++ caches
   /// the "other factors" products of a slice between its two passes).
-  [[nodiscard]] std::vector<val_t>& slice_buffer(int tid) {
+  [[nodiscard]] aligned_vector<val_t>& slice_buffer(int tid) {
     return slice_buffers_[static_cast<std::size_t>(tid)];
   }
 
@@ -122,11 +122,11 @@ class CompletionWorkspace {
   idx_t kernel_width_ = 0;
   std::vector<ModeSlices> slices_;
   SliceSchedule nnz_schedule_;
-  std::vector<float> train_vals_f32_;
+  aligned_vector<float> train_vals_f32_;
   StratumGrid strata_;
   aligned_vector<val_t> residual_;
   std::vector<la::Matrix> scratch_;
-  std::vector<std::vector<val_t>> slice_buffers_;
+  std::vector<aligned_vector<val_t>> slice_buffers_;
 };
 
 }  // namespace sptd

@@ -31,6 +31,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/precision.hpp"
 #include "sort/sort.hpp"
@@ -236,8 +237,8 @@ class CsfTensor {
   CsfLayout layout_;
   std::vector<PtrStore> fptrs_;  ///< levels 0..order-2
   std::vector<FidStore> fids_;   ///< levels 0..order-1
-  std::vector<val_t> vals_;
-  mutable std::vector<float> vals_f32_;  ///< lazy precision!=f64 stream
+  aligned_vector<val_t> vals_;
+  mutable aligned_vector<float> vals_f32_;  ///< lazy precision!=f64 stream
   std::vector<nnz_t> root_nnz_prefix_;
 };
 

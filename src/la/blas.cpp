@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "la/kernels.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/reduce.hpp"
@@ -69,7 +70,7 @@ void ata(const MatrixT<T>& a, Matrix& out, int nthreads) {
 
   // Reduce the compact accumulators, then scatter rows into the (padded)
   // output and mirror the strictly-upper triangle into the lower.
-  std::vector<val_t> reduced(rank_sz * rank_sz, val_t{0});
+  aligned_vector<val_t> reduced(rank_sz * rank_sz, val_t{0});
   partials.reduce_into(reduced, nthreads);
   for (idx_t j = 0; j < rank; ++j) {
     std::memcpy(out.row_ptr(j), reduced.data() + static_cast<std::size_t>(j) * rank_sz,
@@ -179,7 +180,7 @@ val_t fro_inner(const Matrix& a, const Matrix& b, int nthreads) {
              "fro_inner: shape mismatch");
   // Identical shapes share a leading dimension and zero padding, so the
   // physical buffers' inner product equals the logical one.
-  std::vector<val_t> partials(static_cast<std::size_t>(nthreads), val_t{0});
+  aligned_vector<val_t> partials(static_cast<std::size_t>(nthreads), val_t{0});
   parallel_region(nthreads, [&](int tid, int nt) {
     const Range r = block_partition(a.size(), nt, tid);
     const val_t* SPTD_RESTRICT pa = a.data();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/team.hpp"
@@ -59,7 +60,7 @@ void normalize_columns(Matrix& a, std::span<val_t> lambda, MatNorm which,
   }
 
   // Phase 3: scale columns.
-  std::vector<val_t> inv(rank);
+  aligned_vector<val_t> inv(rank);
   for (idx_t j = 0; j < rank; ++j) {
     inv[j] = val_t{1} / lambda[j];
   }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "common/aligned.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/team.hpp"
 
@@ -1450,7 +1451,7 @@ void mttkrp_coo(const SparseTensor& coo,
 
   parallel_region(nthreads, [&](int tid, int nt) {
     const Range r = block_partition(coo.nnz(), nt, tid);
-    std::vector<val_t> tmp(rank);
+    aligned_vector<val_t> tmp(rank);
     for (nnz_t x = r.begin; x < r.end; ++x) {
       const val_t v = coo.vals()[x];
       for (idx_t j = 0; j < rank; ++j) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <string>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "parallel/partition.hpp"
@@ -102,7 +103,7 @@ void mttkrp_tiled(const TiledTensor& tiled,
 
   parallel_region(nthreads, [&](int tid, int) {
     const auto [lo, hi] = tiled.tile_extent(tid);
-    std::vector<val_t> tmp(rank);
+    aligned_vector<val_t> tmp(rank);
     for (nnz_t x = lo; x < hi; ++x) {
       const val_t v = t.vals()[x];
       for (idx_t j = 0; j < rank; ++j) {

@@ -32,6 +32,7 @@
 #include <omp.h>
 
 #include "common/aligned.hpp"
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 
@@ -127,6 +128,13 @@ class FifoSyncLock {
 };
 
 /// The reference implementation's lock: omp_lock_t.
+///
+/// TSan contract: omp_set/unset_lock synchronize through libgomp
+/// internals the instrumented build cannot see, so data correctly
+/// guarded by this lock would still be reported as racing. The annotate
+/// macros declare the acquire/release edge the lock really provides
+/// (lock() is an acquire of everything published by the previous
+/// unlock(); no-ops outside SPTD_SANITIZE=thread builds).
 class OmpLock {
  public:
   OmpLock() { omp_init_lock(&lock_); }
@@ -134,8 +142,14 @@ class OmpLock {
   OmpLock(const OmpLock&) = delete;
   OmpLock& operator=(const OmpLock&) = delete;
 
-  void lock() { omp_set_lock(&lock_); }
-  void unlock() { omp_unset_lock(&lock_); }
+  void lock() {
+    omp_set_lock(&lock_);
+    SPTD_TSAN_ACQUIRE(&lock_);
+  }
+  void unlock() {
+    SPTD_TSAN_RELEASE(&lock_);
+    omp_unset_lock(&lock_);
+  }
 
  private:
   omp_lock_t lock_;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/team.hpp"
@@ -108,6 +109,10 @@ class SliceSchedule {
                   std::memory_order_relaxed);
     steals_.store(other.steals_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
+    generation_.store(other.generation_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    entries_.store(other.entries_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
     return *this;
   }
 
@@ -141,11 +146,17 @@ class SliceSchedule {
   /// every work-stealing deque is reseeded with its owner's chunks. Must
   /// be called (from serial code) before every parallel region that
   /// consumes a dynamic or work-stealing schedule; a no-op for the
-  /// precomputed policies.
+  /// precomputed policies. Each call opens a new launch *generation* —
+  /// at most nthreads() workers may enter for_ranges() per generation,
+  /// which is how reuse-without-reset is caught (see generation()).
   void reset() const {
     if (policy_ == SchedulePolicy::kDynamic) {
+      generation_.fetch_add(1, std::memory_order_relaxed);
+      entries_.store(0, std::memory_order_relaxed);
       cursor_.store(0, std::memory_order_relaxed);
     } else if (policy_ == SchedulePolicy::kWorkStealing) {
+      generation_.fetch_add(1, std::memory_order_relaxed);
+      entries_.store(0, std::memory_order_relaxed);
       for (int t = 0; t < nthreads_; ++t) {
         deques_[static_cast<std::size_t>(t)].cur.store(
             pack(owner_first_[static_cast<std::size_t>(t)],
@@ -153,6 +164,13 @@ class SliceSchedule {
             std::memory_order_relaxed);
       }
     }
+  }
+
+  /// Number of reset() calls this schedule has seen (runtime policies
+  /// only; the precomputed policies have no generations). Diagnostic
+  /// counterpart of the launch-entry contract below.
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
   }
 
   /// Invokes fn(begin, end) for every contiguous slice range assigned to
@@ -172,6 +190,7 @@ class SliceSchedule {
       }
       return;
     }
+    enforce_reset_contract();
     if (policy_ == SchedulePolicy::kDynamic) {
       for (;;) {
         const nnz_t begin =
@@ -202,6 +221,25 @@ class SliceSchedule {
   }
 
  private:
+  /// The runtime-policy reuse guard: at most nthreads_ workers may enter
+  /// for_ranges() between reset() calls. A second launch that forgot to
+  /// reset() pushes the entry count past the team size and fails here —
+  /// loudly, instead of silently executing zero iterations against an
+  /// exhausted cursor / drained deques (the historical failure mode of
+  /// cached MttkrpPlan schedules). The check is one relaxed fetch_add per
+  /// worker per launch — noise next to the per-chunk atomics these
+  /// policies already pay — so it stays on in release builds; inside a
+  /// parallel region the throw escalates to std::terminate, i.e. the
+  /// contract violation aborts rather than corrupts.
+  void enforce_reset_contract() const {
+    const std::uint32_t n = entries_.fetch_add(1, std::memory_order_relaxed);
+    SPTD_CHECK(n < static_cast<std::uint32_t>(nthreads_),
+               "SliceSchedule consumed by more workers than the team size: "
+               "dynamic/work-stealing schedules must be reset() before "
+               "every parallel region (generation " +
+                   std::to_string(generation()) + ", see ROADMAP contracts)");
+  }
+
   /// One thread's deque: the unclaimed chunk-index window [lo, hi), both
   /// cursors packed into a single word so a claim is one CAS and the
   /// lo/hi race at the last chunk cannot double-issue it. Padded so
@@ -235,6 +273,9 @@ class SliceSchedule {
   std::unique_ptr<Deque[]> deques_;
   mutable std::atomic<nnz_t> cursor_{0};
   mutable std::atomic<std::uint64_t> steals_{0};
+  // Launch-generation contract state (see enforce_reset_contract()).
+  mutable std::atomic<std::uint64_t> generation_{0};
+  mutable std::atomic<std::uint32_t> entries_{0};
 };
 
 /// The execution side of the plan layer: a fixed team size plus the

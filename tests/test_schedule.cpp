@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -154,6 +155,54 @@ TEST(SliceSchedule, WorkStealingReusableAfterReset) {
   const SliceSchedule sched(SchedulePolicy::kWorkStealing, total, prefix, 4);
   expect_exact_coverage(sched, total, 4);
   expect_exact_coverage(sched, total, 4);
+}
+
+TEST(SliceSchedule, ReuseWithoutResetThrowsForRuntimePolicies) {
+  // The launch-generation guard behind the reset() contract: a
+  // dynamic/work-stealing schedule admits at most nthreads workers per
+  // generation, so forgetting reset() before the next parallel region
+  // throws instead of silently iterating nothing (or double-issuing).
+  const nnz_t total = 64;
+  const auto prefix = uniform_prefix(total);
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kDynamic, SchedulePolicy::kWorkStealing}) {
+    const SliceSchedule sched(policy, total, prefix, 4);
+    sched.reset();
+    for (int tid = 0; tid < 4; ++tid) {
+      sched.for_ranges(tid, [](nnz_t, nnz_t) {});
+    }
+    EXPECT_THROW(sched.for_ranges(0, [](nnz_t, nnz_t) {}), Error)
+        << schedule_policy_name(policy);
+    // reset() opens a fresh generation and the schedule works again.
+    expect_exact_coverage(sched, total, 4);
+  }
+}
+
+TEST(SliceSchedule, ResetAdvancesLaunchGeneration) {
+  const SliceSchedule sched(SchedulePolicy::kDynamic, 16, {}, 2);
+  const std::uint64_t g0 = sched.generation();
+  sched.reset();
+  sched.reset();
+  EXPECT_EQ(sched.generation(), g0 + 2);
+}
+
+TEST(SliceSchedule, PrecomputedPoliciesHaveNoEntryBudget) {
+  // Static/weighted bounds are pure functions of tid: re-entering
+  // without reset() is harmless and must stay legal (kernels re-read
+  // bounds freely), so the generation guard applies only to the
+  // stateful runtime policies.
+  const nnz_t total = 64;
+  const auto prefix = uniform_prefix(total);
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kStatic, SchedulePolicy::kWeighted}) {
+    const SliceSchedule sched(policy, total, prefix, 4);
+    for (int round = 0; round < 3; ++round) {
+      for (int tid = 0; tid < 4; ++tid) {
+        EXPECT_NO_THROW(sched.for_ranges(tid, [](nnz_t, nnz_t) {}))
+            << schedule_policy_name(policy);
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------- work stealing

@@ -51,6 +51,14 @@ DEFAULT_METRICS = [
     "csf_bytes",
     "value_bytes",
     "fit_gap_vs_f64",
+    # Phase timings of the TTMc ablation (COO walk vs CSF walk) and the
+    # deterministic halo volume of the dist-grid ablation. These are
+    # measurements: leaving them unregistered would silently fold them
+    # into record identity, where a wall-clock timing never matches its
+    # baseline and the records pair with nothing.
+    "coo_seconds",
+    "csf_seconds",
+    "comm_bytes",
 ]
 
 # Higher-is-better quality metrics, gated on their deficit from the ideal
@@ -78,6 +86,42 @@ DEFAULT_COUNTERS = [
     "rollbacks",
     "checkpoint_bytes",
     "checkpoint_time",
+]
+
+# Identity fields: everything a bench may emit that is neither a metric
+# nor a counter. This list changes nothing about how records pair — the
+# identity key is still "every field not excluded above" — it exists so
+# the pairing contract is EXPLICIT: tools/sptd_lint.py (rule
+# bench-field-registry) fails CI when a bench emits a field that appears
+# in none of the four lists, which is how an unregistered measurement
+# would otherwise silently become identity and never pair (see
+# coo_seconds above for the failure mode). Adding a bench field means
+# deciding, here, whether it identifies the measurement or is one.
+KNOWN_IDENTITY_FIELDS = [
+    "alg",
+    "bench",
+    "checkpoint_every",
+    "chunk",
+    "config",
+    "core",
+    "csf",
+    "csf_layout",
+    "grid",
+    "impl",
+    "kernel_width",
+    "kernels",
+    "lock",
+    "precision",
+    "preset",
+    "rank",
+    "reorder",
+    "row_access",
+    "scale",
+    "schedule",
+    "strategies",
+    "threads",
+    "tile_policy",
+    "zipf",
 ]
 
 

@@ -13,11 +13,25 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc)"
 
+echo "== sptd_lint: self-test + tree =="
+# First its own fixtures (a linter that stopped finding its seeded
+# violations gates nothing), then the repo contracts on the real tree.
+# Runs before the build: a contract violation should fail in seconds.
+python3 tools/sptd_lint.py --self-test
+python3 tools/sptd_lint.py
+
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S .
 
 echo "== build (-j$JOBS) =="
 cmake --build "$BUILD_DIR" -j"$JOBS"
+
+echo "== clang-tidy gate =="
+# Zero-findings gate over the curated .clang-tidy profile, using the
+# compile database the configure step just exported. On machines with no
+# clang-tidy (this repo's usual gcc-only container) the runner skips
+# loudly and green; where LLVM is installed, any finding fails CI.
+tools/run_tidy.sh "$BUILD_DIR"
 
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
@@ -365,6 +379,23 @@ if [ "${SPTD_CI_SKIP_ASAN:-0}" != "1" ]; then
     -DSPTD_BUILD_BENCH=OFF -DSPTD_BUILD_EXAMPLES=OFF
   cmake --build "$ASAN_BUILD" -j"$JOBS"
   ctest --test-dir "$ASAN_BUILD" --output-on-failure -j"$JOBS"
+fi
+
+# ThreadSanitizer over the std::thread concurrency stress harness. Only
+# stress_concurrency is built and run: TSan cannot model libgomp's
+# barriers (gcc ships no instrumented OpenMP runtime), so the OpenMP
+# suites would drown real races in false positives — the harness drives
+# the same deques, lock pools, reduction buffers and checkpoint overlap
+# with raw std::thread instead (see tools/tsan.supp for the policy).
+# Set SPTD_CI_SKIP_TSAN=1 for a quick local loop.
+if [ "${SPTD_CI_SKIP_TSAN:-0}" != "1" ]; then
+  echo "== sanitizer build + stress harness (thread) =="
+  TSAN_BUILD="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_BUILD" -S . -DSPTD_SANITIZE=thread \
+    -DSPTD_BUILD_BENCH=OFF -DSPTD_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_BUILD" --target stress_concurrency -j"$JOBS"
+  TSAN_OPTIONS="suppressions=$PWD/tools/tsan.supp" \
+    "$TSAN_BUILD/stress_concurrency"
 fi
 
 echo "== ok ($RECORDS bench records) =="

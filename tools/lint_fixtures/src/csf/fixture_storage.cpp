@@ -1,0 +1,23 @@
+// Seeded violations: unaligned value arrays in a hot directory. Raw
+// fids()/fptr() calls below must NOT be reported — this file is inside
+// src/csf, the layer that owns them. Never compiled.
+
+#include <vector>
+
+struct FixtureStore {
+  std::vector<val_t> vals;        // VIOLATION unaligned-value-array
+  std::vector<float> vals_f32;    // VIOLATION unaligned-value-array
+  std::vector<int> counts;        // fine: not a value stream
+  aligned_vector<val_t> aligned;  // fine: the required type
+};
+
+void owner_access(const CsfTensor& csf) {
+  const auto& ids = csf.fids(0);  // fine: inside src/csf
+  (void)ids;
+}
+
+void waived_scratch() {
+  // sptd-lint: allow(unaligned-value-array) cold path, alignment irrelevant
+  std::vector<val_t> tmp(8);
+  (void)tmp;
+}

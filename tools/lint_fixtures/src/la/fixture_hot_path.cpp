@@ -1,0 +1,35 @@
+// Seeded violations: OpenMP runtime use and type-erased dispatch in a
+// kernel directory. Never compiled.
+
+#include <functional>
+#include <omp.h>
+
+double hot_dispatch(const std::function<double(double)>& f) {  // VIOLATION std-function-hot-path
+  double acc = 0.0;
+  int n = omp_get_max_threads();  // VIOLATION omp-outside-parallel
+#pragma omp parallel for reduction(+ : acc)  // VIOLATION omp-outside-parallel
+  for (int i = 0; i < n; ++i) {
+    acc += f(static_cast<double>(i));
+  }
+  return acc;
+}
+
+double simd_ok(const double* x, int n) {
+  double acc = 0.0;
+  // A pure vectorization hint is exempt: no runtime interaction.
+#pragma omp simd reduction(+ : acc)
+  for (int i = 0; i < n; ++i) {
+    acc += x[i];
+  }
+  return acc;
+}
+
+double waived(const double* x, int n) {
+  double acc = 0.0;
+  // sptd-lint: allow(omp-outside-parallel) fixture for the marker path
+#pragma omp parallel for reduction(+ : acc)
+  for (int i = 0; i < n; ++i) {
+    acc += x[i];
+  }
+  return acc;
+}

@@ -1,0 +1,14 @@
+// Seeded violations: raw wide accessors outside src/csf. Never compiled.
+
+void walk_raw(const CsfTensor& csf) {
+  const auto& ids = csf.fids(1);    // VIOLATION wide-accessor
+  const auto* ptr = (&csf)->fptr(0);  // VIOLATION wide-accessor
+  (void)ids;
+  (void)ptr;
+}
+
+void walk_waived(const CsfTensor& csf) {
+  // sptd-lint: allow(wide-accessor) test asserts the throw on narrow levels
+  const auto& ids = csf.fids(1);
+  (void)ids;
+}

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Repo-contract linter: greppable rules CI enforces on every commit.
+
+The contracts in ROADMAP.md that can be stated as "this pattern must not
+appear outside that directory" are checked here, so violating one fails
+CI instead of waiting for a reviewer to remember it. The rules:
+
+  wide-accessor         .fids( / ->fids( / .fptr( / ->fptr( outside
+                        src/csf/. The wide accessors throw on
+                        narrow-width levels by contract; code outside
+                        the CSF layer must go through the width-checked
+                        visitors (with_fids/with_fptr) instead of
+                        assuming the index stream is u64.
+  omp-outside-parallel  omp_* runtime calls or `#pragma omp` outside
+                        src/parallel/. The parallel/ layer owns team
+                        shape, first-touch ordering and schedule state;
+                        a stray `#pragma omp parallel` elsewhere
+                        bypasses init_parallel_runtime() and the
+                        reset() contract. `#pragma omp simd` is exempt:
+                        it is a vectorization hint with no runtime
+                        interaction.
+  std-function-hot-path std::function in src/la/ or src/mttkrp/. A
+                        type-erased call in the kernel hot path defeats
+                        inlining and allocates; dispatch there is by
+                        template or function pointer.
+  unaligned-value-array std::vector<val_t> / std::vector<float> in the
+                        hot directories (src/csf, src/la, src/mttkrp,
+                        src/parallel, src/completion). Value streams and
+                        accumulators there must be aligned_vector<> so
+                        rows start on the 64-byte line the SIMD kernels
+                        and first-touch policy assume.
+  bench-field-registry  every .field("name" emitted by bench/ must
+                        appear in one of tools/bench_compare.py's
+                        registries (DEFAULT_METRICS,
+                        DEFAULT_DEFICIT_METRICS, DEFAULT_COUNTERS,
+                        KNOWN_IDENTITY_FIELDS). An unregistered field
+                        silently becomes part of record identity; if it
+                        varies run to run, the record never pairs with
+                        its baseline and the gate checks nothing.
+
+A violation a human has judged acceptable is waived at the site with a
+marker comment on the same line or the line above:
+
+    // sptd-lint: allow(rule-id) <reason>
+
+Usage:
+    tools/sptd_lint.py [--root DIR]   lint the tree (exit 1 on findings)
+    tools/sptd_lint.py --self-test    run against tools/lint_fixtures/
+                                      and verify every rule both fires
+                                      and honors its allow marker
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
+
+HOT_DIRS = ("src/csf", "src/la", "src/mttkrp", "src/parallel",
+            "src/completion")
+
+ALLOW_RE = re.compile(r"sptd-lint:\s*allow\(([a-z0-9-]+)\)")
+
+REGISTRY_LISTS = ("DEFAULT_METRICS", "DEFAULT_DEFICIT_METRICS",
+                  "DEFAULT_COUNTERS", "KNOWN_IDENTITY_FIELDS")
+
+
+class Finding:
+    def __init__(self, rule, path, lineno, message):
+        self.rule = rule
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def iter_source_files(root, top):
+    base = os.path.join(root, top)
+    for dirpath, _, names in os.walk(base):
+        for name in sorted(names):
+            if name.endswith(CXX_EXTENSIONS):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root)
+
+
+def read_lines(root, rel):
+    with open(os.path.join(root, rel), "r", encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def allowed(rule, lines, idx):
+    """True when line idx or the line above carries an allow marker."""
+    for probe in (idx, idx - 1):
+        if probe >= 0:
+            m = ALLOW_RE.search(lines[probe])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def scan_pattern(root, rel, lines, rule, pattern, message, findings,
+                 exempt=None):
+    for idx, line in enumerate(lines):
+        m = pattern.search(line)
+        if not m:
+            continue
+        if exempt is not None and exempt.search(line):
+            continue
+        if allowed(rule, lines, idx):
+            continue
+        findings.append(Finding(rule, rel, idx + 1, message))
+
+
+WIDE_ACCESSOR_RE = re.compile(r"(\.|->)f(ids|ptr)\s*\(")
+OMP_RE = re.compile(r"\bomp_[a-z_]+\s*\(|#\s*pragma\s+omp\b")
+OMP_SIMD_RE = re.compile(r"#\s*pragma\s+omp\s+simd\b")
+STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
+UNALIGNED_RE = re.compile(r"\bstd::vector<\s*(val_t|float)\s*>")
+FIELD_RE = re.compile(r'\.field\(\s*"([^"]+)"')
+
+
+def in_dir(rel, top):
+    return rel == top or rel.startswith(top.rstrip("/") + "/")
+
+
+def lint_sources(root):
+    findings = []
+    for rel in iter_source_files(root, "src"):
+        lines = read_lines(root, rel)
+        if not in_dir(rel, "src/csf"):
+            scan_pattern(
+                root, rel, lines, "wide-accessor", WIDE_ACCESSOR_RE,
+                "raw fids()/fptr() outside src/csf: these throw on "
+                "narrow levels; use the width-checked visitors",
+                findings)
+        if not in_dir(rel, "src/parallel"):
+            scan_pattern(
+                root, rel, lines, "omp-outside-parallel", OMP_RE,
+                "OpenMP runtime use outside src/parallel: route team "
+                "shape and scheduling through the parallel/ layer",
+                findings, exempt=OMP_SIMD_RE)
+        if in_dir(rel, "src/la") or in_dir(rel, "src/mttkrp"):
+            scan_pattern(
+                root, rel, lines, "std-function-hot-path",
+                STD_FUNCTION_RE,
+                "std::function in a kernel hot path: dispatch by "
+                "template or function pointer",
+                findings)
+        if any(in_dir(rel, d) for d in HOT_DIRS):
+            scan_pattern(
+                root, rel, lines, "unaligned-value-array", UNALIGNED_RE,
+                "hot-path value array is std::vector: use "
+                "aligned_vector<> so rows start on a cache line",
+                findings)
+    return findings
+
+
+def registered_bench_fields(root):
+    """Union of the four registry lists in tools/bench_compare.py."""
+    path = os.path.join(root, "tools", "bench_compare.py")
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    fields = set()
+    for name in REGISTRY_LISTS:
+        m = re.search(rf"^{name}\s*=\s*\[(.*?)\]", text,
+                      re.DOTALL | re.MULTILINE)
+        if m is None:
+            raise SystemExit(
+                f"{path}: registry list {name} not found; "
+                "sptd_lint.py and bench_compare.py are out of sync")
+        fields.update(re.findall(r'"([^"]+)"', m.group(1)))
+    return fields
+
+
+def lint_bench_fields(root):
+    findings = []
+    registered = registered_bench_fields(root)
+    bench_dir = os.path.join(root, "bench")
+    if not os.path.isdir(bench_dir):
+        return findings
+    for rel in iter_source_files(root, "bench"):
+        lines = read_lines(root, rel)
+        for idx, line in enumerate(lines):
+            for m in FIELD_RE.finditer(line):
+                name = m.group(1)
+                if name in registered:
+                    continue
+                if allowed("bench-field-registry", lines, idx):
+                    continue
+                findings.append(Finding(
+                    "bench-field-registry", rel, idx + 1,
+                    f'bench field "{name}" is not registered in '
+                    "tools/bench_compare.py (metric, deficit metric, "
+                    "counter, or KNOWN_IDENTITY_FIELDS)"))
+    return findings
+
+
+def lint(root):
+    return lint_sources(root) + lint_bench_fields(root)
+
+
+# --self-test: every (rule, relative-path) pair that MUST be reported
+# when linting tools/lint_fixtures/, with the count of findings expected
+# in that file. The fixtures also seed allow-marked and exempt sites
+# (omp simd, registered fields, code inside src/csf) that must NOT be
+# reported; the exact-match check below catches both missed violations
+# and false positives.
+EXPECTED_FIXTURE_FINDINGS = {
+    ("wide-accessor", "src/mttkrp/fixture_contracts.cpp"): 2,
+    ("omp-outside-parallel", "src/la/fixture_hot_path.cpp"): 2,
+    ("std-function-hot-path", "src/la/fixture_hot_path.cpp"): 1,
+    ("unaligned-value-array", "src/csf/fixture_storage.cpp"): 2,
+    ("bench-field-registry", "bench/bench_fixture.cpp"): 1,
+}
+
+
+def self_test():
+    here = os.path.dirname(os.path.abspath(__file__))
+    fixture_root = os.path.join(here, "lint_fixtures")
+    findings = lint(fixture_root)
+    got = {}
+    for f in findings:
+        key = (f.rule, f.path.replace(os.sep, "/"))
+        got[key] = got.get(key, 0) + 1
+    ok = True
+    for key, want in sorted(EXPECTED_FIXTURE_FINDINGS.items()):
+        have = got.pop(key, 0)
+        if have != want:
+            ok = False
+            print(f"self-test: {key[1]} [{key[0]}]: expected {want} "
+                  f"finding(s), got {have}", file=sys.stderr)
+    for key, have in sorted(got.items()):
+        ok = False
+        print(f"self-test: unexpected finding {key[1]} [{key[0]}] "
+              f"x{have} (false positive or stale fixture)",
+              file=sys.stderr)
+    if ok:
+        print(f"self-test: ok ({len(findings)} seeded violations "
+              "reported, allow markers and exemptions honored)")
+        return 0
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="tree to lint (default: the repo containing "
+                         "this script)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint tools/lint_fixtures/ and verify the "
+                         "seeded violations are found")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = lint(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"sptd_lint: {len(findings)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("sptd_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
