@@ -10,8 +10,21 @@
 ///        degrading beyond it — the paper's observation that the 36-core
 ///        box went bad once Qthreads workers + OpenMP threads exceeded
 ///        the cores.
+///
+///        --concurrent N adds the scenario the pool backend exists for:
+///        N whole CP-ALS runs sharing one process, each asking for a full
+///        hardware-sized team. Under --backend omp every run's regions
+///        wake a private libgomp team (N x T threads on T cores — the
+///        in-process flavour of the paper's two-runtime conflict); under
+///        --backend pool every region multiplexes onto the one persistent
+///        worker pool, so the box never oversubscribes. The recorded
+///        wall seconds (start of first run to last join) is what ci.sh
+///        gates pool-vs-omp composition on.
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -22,6 +35,9 @@ int main(int argc, char** argv) {
   Options cli("bench_ablation_oversubscribe",
               "phase interference under thread oversubscription");
   add_common_flags(cli, "yelp", "0.01", "5", "1,2,4,8,16,32");
+  cli.add("concurrent", "0",
+          "run N whole CP-ALS decompositions concurrently in this process "
+          "(0 = skip); the composition scenario the pool backend targets");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
@@ -87,6 +103,67 @@ int main(int argc, char** argv) {
     std::printf("%8d %12.4f %12.4f %12.4f\n", t, mttkrp_s, inv.seconds(),
                 nrm.seconds());
     std::fflush(stdout);
+    emit_json_record(cli, "ablation_oversubscribe",
+                     bench::JsonRecord()
+                         .field("config", "phases")
+                         .field("threads", std::int64_t{t})
+                         .field("MTTKRP", mttkrp_s)
+                         .field("INVERSE", inv.seconds())
+                         .field("MAT NORM", nrm.seconds()));
+  }
+
+  // Composition scenario: N whole decompositions share the process, each
+  // asking for a hardware-sized team. omp wakes N private libgomp teams
+  // (the in-process analogue of the paper's Qthreads-vs-OpenMP conflict);
+  // pool multiplexes every region onto the one persistent worker set.
+  const int concurrent = static_cast<int>(cli.get_int("concurrent"));
+  if (concurrent >= 1) {
+    // Per-run team = the sweep's largest team, floored at 2: a team of
+    // one takes the inline shortcut on every backend and launches
+    // nothing, so on a 1-core box the scenario would measure no team
+    // machinery at all. With >= 2 the omp path wakes concurrent * team
+    // threads while pool multiplexes them onto its fixed worker set —
+    // the larger the requested teams, the starker the gap.
+    const int team =
+        std::max(2, *std::max_element(threads.begin(), threads.end()));
+    CpalsOptions co;
+    co.rank = rank;
+    co.max_iterations = iters;
+    co.tolerance = 0.0;
+    co.nthreads = team;
+    apply_kernel_flags(cli, co);
+
+    // Private tensor copies built before the clock starts: the measured
+    // window is decomposition work (sort/CSF build + iterations), the
+    // same under either backend.
+    std::vector<SparseTensor> copies(static_cast<std::size_t>(concurrent),
+                                     x);
+    WallTimer wall;
+    wall.start();
+    std::vector<std::thread> runs;
+    runs.reserve(static_cast<std::size_t>(concurrent));
+    for (int r = 0; r < concurrent; ++r) {
+      runs.emplace_back([&, r] {
+        cp_als(copies[static_cast<std::size_t>(r)], co);
+      });
+    }
+    for (std::thread& r : runs) {
+      r.join();
+    }
+    wall.stop();
+
+    const std::string config =
+        "concurrent-" + std::to_string(concurrent);
+    std::printf("# %d concurrent CP-ALS runs x %d threads each "
+                "(backend %s): %.4f s wall\n",
+                concurrent, team, parallel_backend_name(co.backend),
+                wall.seconds());
+    std::fflush(stdout);
+    emit_json_record(cli, "ablation_oversubscribe",
+                     bench::JsonRecord()
+                         .field("config", config)
+                         .field("threads", std::int64_t{team})
+                         .field("seconds", wall.seconds()));
   }
   return 0;
 }

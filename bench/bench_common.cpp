@@ -32,6 +32,9 @@ void add_common_flags(Options& cli, const char* default_preset,
   cli.add("precision", "f64",
           "value-stream precision: f64 | f32 | mixed (fp32 streams, "
           "fp64 accumulation)");
+  cli.add("backend", parallel_backend_name(default_parallel_backend()),
+          "parallel backend: omp | pool (persistent std::thread workers; "
+          "composes across concurrent runs in one process)");
   cli.add("json", "",
           "append one JSON record per measurement to this file");
   cli.add("checkpoint-every", "0",
@@ -66,6 +69,10 @@ bool fixed_kernels_flag(const Options& cli) {
 
 }  // namespace
 
+ParallelBackendKind backend_flag(const Options& cli) {
+  return parse_parallel_backend(cli.get_string("backend"));
+}
+
 int chunk_flag(const Options& cli) {
   const auto chunk = cli.get_int("chunk");
   SPTD_CHECK(chunk >= 1, "--chunk must be >= 1 (claims per thread)");
@@ -78,6 +85,8 @@ void apply_kernel_flags(const Options& cli, MttkrpOptions& opts) {
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
   opts.csf_layout = csf_layout_flag(cli);
   opts.precision = precision_flag(cli);
+  opts.backend = backend_flag(cli);
+  set_parallel_backend(opts.backend);
 }
 
 void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
@@ -86,6 +95,8 @@ void apply_kernel_flags(const Options& cli, CpalsOptions& opts) {
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
   opts.csf_layout = csf_layout_flag(cli);
   opts.precision = precision_flag(cli);
+  opts.backend = backend_flag(cli);
+  set_parallel_backend(opts.backend);
   opts.resilience.checkpoint_every =
       static_cast<int>(cli.get_int("checkpoint-every"));
   if (opts.resilience.checkpoint_every > 0) {
@@ -102,6 +113,8 @@ void apply_kernel_flags(const Options& cli, DistOptions& opts) {
   opts.use_fixed_kernels = fixed_kernels_flag(cli);
   opts.csf_layout = csf_layout_flag(cli);
   opts.precision = precision_flag(cli);
+  opts.backend = backend_flag(cli);
+  set_parallel_backend(opts.backend);
 }
 
 namespace {
@@ -187,6 +200,10 @@ void emit_json_record(const Options& cli, const char* bench,
       .field("chunk", cli.get_int("chunk"))
       .field("kernels", cli.get_string("kernels"))
       .field("csf_layout", cli.get_string("csf-layout"))
+      // Identity: pool and omp runs of the same config are different
+      // executions (different team launch machinery) and must pair with
+      // their own baseline rows.
+      .field("backend", cli.get_string("backend"))
       // Identity, not a counter: a checkpointed run and a plain run are
       // different configurations and must pair separately, so checkpoint
       // overhead never reads as a perf regression of the plain config.

@@ -40,6 +40,10 @@ CsfLayout csf_layout_flag(const Options& cli);
 /// The --precision flag, parsed (f64 | f32 | mixed; common/precision.hpp).
 Precision precision_flag(const Options& cli);
 
+/// The --backend flag, parsed (omp | pool; parallel/backend.hpp). The
+/// default comes from SPTD_BACKEND (omp when unset).
+ParallelBackendKind backend_flag(const Options& cli);
+
 /// The --chunk flag, validated (>= 1) before any unsigned conversion can
 /// wrap a negative value into a huge chunk target.
 int chunk_flag(const Options& cli);

@@ -5,7 +5,7 @@
 /// The racy-by-design parallel paths (privatized accumulators, mutex
 /// pools, the work-stealing CAS deques, CCD's in-place residual folds)
 /// are validated under `SPTD_SANITIZE=thread` by tests/stress_concurrency
-/// — a std::thread harness, because TSan cannot model libgomp's barriers
+/// — a raw-thread harness, because TSan cannot model libgomp's barriers
 /// and team synchronization (see tools/tsan.supp for the policy). Two
 /// kinds of sites need help from the source side:
 ///
@@ -16,6 +16,14 @@
 ///    teach TSan the acquire/release edge explicitly (they expand to the
 ///    libtsan dynamic annotations under TSan and to nothing otherwise).
 ///    Every use must cite why the underlying synchronization is real.
+///    OmpLock is the only lock that needs this: the pool parallel
+///    backend (src/parallel/backend.cpp) and its FutexLock synchronize
+///    entirely through std::atomic wait/notify, std::mutex, and
+///    std::condition_variable — primitives TSan models natively — so the
+///    pool's parking/wakeup and task hand-off edges carry no annotations
+///    by design, and stress_concurrency drives the pool backend's
+///    parallel_region directly under TSan (unlike the omp backend's,
+///    which TSan cannot follow through libgomp).
 ///
 ///  * Intentionally benign races. `SPTD_TSAN_BENIGN_RACE` documents a
 ///    location where unsynchronized concurrent access is part of the

@@ -106,6 +106,7 @@ CompletionResult complete_tensor(const SparseTensor& train,
     SPTD_CHECK(validation->order() == train.order(),
                "complete_tensor: validation order mismatch");
   }
+  set_parallel_backend(options.backend);
   init_parallel_runtime();
 
   const int order = train.order();

@@ -25,6 +25,7 @@
 #include "common/precision.hpp"
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
+#include "parallel/backend.hpp"
 #include "parallel/schedule.hpp"
 #include "resilience/resilience.hpp"
 #include "tensor/coo.hpp"
@@ -85,6 +86,11 @@ struct CompletionOptions {
   /// rounds every factor through fp32 after each epoch (the pure-fp32
   /// ablation endpoint mixed is judged against).
   Precision precision = Precision::kF64;
+  /// Parallel backend (parallel/backend.hpp): omp (default) or pool.
+  /// The completion driver applies this process-wide via
+  /// set_parallel_backend() before building the workspace; defaults from
+  /// SPTD_BACKEND.
+  ParallelBackendKind backend = default_parallel_backend();
 
   /// Checkpoint/restart, numeric-health guards, and fault injection
   /// (inert by default). Checkpoints carry the best-validation model and

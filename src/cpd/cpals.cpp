@@ -108,6 +108,7 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
   SPTD_CHECK(options.rank >= 1, "cp_als: rank must be >= 1");
   SPTD_CHECK(options.max_iterations >= 1, "cp_als: need >= 1 iteration");
   SPTD_CHECK(options.nthreads >= 1, "cp_als: nthreads must be >= 1");
+  set_parallel_backend(options.backend);
   init_parallel_runtime();
 
   const CsfTensor& first = csf_set.csfs().front();
@@ -188,6 +189,7 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
   mopts.use_fixed_kernels = options.use_fixed_kernels;
   mopts.csf_layout = options.csf_layout;
   mopts.precision = options.precision;
+  mopts.backend = options.backend;
   // All scheduling decisions — representation/level per mode, sync
   // strategy, slice bounds, tile boundaries, reduction buffers — are
   // frozen here; the iteration loop below is pure execution.
@@ -374,6 +376,8 @@ CpalsResult cp_als_csf(const CsfSet& csf_set, val_t tensor_norm_sq,
 
 CpalsResult cp_als(SparseTensor& tensor, const CpalsOptions& options) {
   SPTD_CHECK(tensor.nnz() > 0, "cp_als: empty tensor");
+  // Backend first: CSF sorting below already runs parallel regions.
+  set_parallel_backend(options.backend);
   init_parallel_runtime();
   const val_t norm_sq = tensor.norm_sq();
 

@@ -55,6 +55,10 @@ struct CpalsOptions {
   /// through fp32 (fits within 1e-3). Solves, norms, Grams, and the fit
   /// always run fp64.
   Precision precision = Precision::kF64;
+  /// Parallel backend (parallel/backend.hpp): omp (default) or pool.
+  /// cp_als applies this process-wide via set_parallel_backend() before
+  /// building CSF/plan state; defaults from SPTD_BACKEND.
+  ParallelBackendKind backend = default_parallel_backend();
 
   /// Compute the fit every iteration even when tolerance == 0 (the fit is
   /// one of the paper's timed routines, so the default keeps it on).

@@ -91,6 +91,7 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
   SPTD_CHECK(options.rank >= 1, "dist_cp_als: rank must be >= 1");
   SPTD_CHECK(options.max_iterations >= 1,
              "dist_cp_als: need >= 1 iteration");
+  set_parallel_backend(options.backend);
   init_parallel_runtime();
 
   const idx_t rank = options.rank;
@@ -150,6 +151,7 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
   mopts.use_fixed_kernels = options.use_fixed_kernels;
   mopts.csf_layout = options.csf_layout;
   mopts.precision = options.precision;
+  mopts.backend = options.backend;
   std::vector<std::unique_ptr<CsfSet>> sets(nlocales);
   std::vector<std::unique_ptr<MttkrpPlan>> plans(nlocales);
   for (std::size_t l = 0; l < nlocales; ++l) {

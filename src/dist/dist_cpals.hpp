@@ -25,6 +25,7 @@
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
 #include "csf/csf.hpp"
+#include "parallel/backend.hpp"
 #include "parallel/schedule.hpp"
 #include "resilience/resilience.hpp"
 #include "tensor/coo.hpp"
@@ -57,6 +58,10 @@ struct DistOptions {
   /// (MttkrpOptions::precision); the reductions, solves, and fit always
   /// run fp64 — only the local kernels change what they stream.
   Precision precision = Precision::kF64;
+  /// Parallel backend (parallel/backend.hpp): omp (default) or pool.
+  /// Applied process-wide by the dist driver via set_parallel_backend()
+  /// before locale plans are built; defaults from SPTD_BACKEND.
+  ParallelBackendKind backend = default_parallel_backend();
 
   /// Checkpoint/restart, numeric-health guards, and fault injection
   /// (inert by default). `--inject locale-fail:k` kills locale k's CSF set

@@ -1445,6 +1445,7 @@ void mttkrp_coo(const SparseTensor& coo,
              "mttkrp_coo: bad output shape");
 
   const int nthreads = opts.nthreads;
+  set_parallel_backend(opts.backend);  // before the pool captures a flavor
   out.zero_parallel(nthreads);
   AnyMutexPool pool(opts.lock_kind);
   const auto out_ind = coo.ind(mode);

@@ -29,6 +29,7 @@
 #include "la/kernels.hpp"
 #include "la/matrix.hpp"
 #include "mttkrp/row_access.hpp"
+#include "parallel/backend.hpp"
 #include "parallel/locks.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/schedule.hpp"
@@ -97,6 +98,14 @@ struct MttkrpOptions {
   /// (they exist to measure access idioms, not bandwidth). The output
   /// matrix is fp64 under every precision (deposits widen).
   Precision precision = Precision::kF64;
+  /// Which parallel backend executes the team regions (parallel/
+  /// backend.hpp): omp (the default; behavior-identical to the
+  /// pre-backend tree) or pool (persistent worker threads that compose
+  /// across concurrent decompositions in one process). Applied
+  /// process-wide by MttkrpPlan / the drivers via set_parallel_backend()
+  /// before workspaces build their lock pools. Defaults from the
+  /// SPTD_BACKEND environment variable.
+  ParallelBackendKind backend = default_parallel_backend();
 };
 
 /// The compile-time kernel width an MTTKRP plan will select for \p rank

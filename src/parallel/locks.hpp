@@ -20,11 +20,22 @@
 ///    distinguishing observable. Implemented as a ticket spin lock.
 ///  * `OmpLock` — omp_lock_t, what the reference C SPLATT uses.
 ///
+/// Since the backend split (parallel/backend.hpp) the `omp` legend entry
+/// maps to `BackendLock`: the backend-provided lock flavor. Under the omp
+/// backend it is omp_lock_t exactly as before; under the pool backend —
+/// where depending on libgomp for the hottest lock would be absurd — it
+/// is `FutexLock`, a spin-then-park mutex on a std::atomic word (the
+/// std::thread analogue of omp_lock_t: brief spin, then a futex sleep,
+/// matching the passive-wait contract). The flavor is captured when the
+/// pool is constructed, which is why drivers apply `--backend` before
+/// building workspaces.
+///
 /// All locks satisfy the same Lockable concept (`lock()`/`unlock()`), are
 /// default-constructible, and are cache-line padded inside MutexPool.
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -35,6 +46,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "parallel/backend.hpp"
 
 namespace sptd {
 
@@ -155,6 +167,101 @@ class OmpLock {
   omp_lock_t lock_;
 };
 
+/// Spin-then-park mutex on one atomic word: 0 = free, 1 = locked,
+/// 2 = locked with (possible) sleepers. A contended acquire spins briefly,
+/// then parks on the word itself (std::atomic wait/notify — a futex on
+/// Linux). This is the pool backend's stand-in for omp_lock_t: same cost
+/// profile (user-space fast path, OS-parked waiters under contention),
+/// zero libgomp involvement. All synchronization is plain C++ atomics, so
+/// TSan models it natively — no SPTD_TSAN_* annotations needed, unlike
+/// OmpLock above (contracts.hpp documents the split).
+class FutexLock {
+ public:
+  FutexLock() = default;
+  FutexLock(const FutexLock&) = delete;
+  FutexLock& operator=(const FutexLock&) = delete;
+
+  void lock() {
+    std::uint32_t expected = 0;
+    if (state_.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;  // uncontended fast path
+    }
+    for (;;) {
+      // Brief spin while the lock looks about to free up.
+      for (int i = 0; i < 64; ++i) {
+        expected = 0;
+        if (state_.compare_exchange_weak(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      // Advertise a sleeper (state 2) and park until the word changes.
+      // Taking the lock from state 2 keeps the sleeper flag so unlock
+      // keeps waking until the queue truly drains.
+      std::uint32_t cur = state_.load(std::memory_order_relaxed);
+      if (cur == 0) continue;
+      if (cur == 1 &&
+          !state_.compare_exchange_strong(cur, 2, std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
+        continue;
+      }
+      state_.wait(2, std::memory_order_relaxed);
+      expected = 0;
+      if (state_.compare_exchange_strong(expected, 2,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  void unlock() {
+    if (state_.exchange(0, std::memory_order_release) == 2) {
+      state_.notify_one();
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> state_{0};
+};
+
+/// The lock the `omp` LockKind resolves to: the active backend's native
+/// flavor, captured at construction (workspaces build their pools after
+/// drivers apply `--backend`, so the capture point is right). Under the
+/// omp backend this is omp_lock_t exactly as before the backend split —
+/// numerics and timing of every existing `--locks omp` run are unchanged.
+class BackendLock {
+ public:
+  BackendLock() : omp_backed_(parallel_backend() == ParallelBackendKind::kOmp) {}
+
+  void lock() {
+    if (omp_backed_) {
+      omp_.lock();
+    } else {
+      futex_.lock();
+    }
+  }
+
+  void unlock() {
+    if (omp_backed_) {
+      omp_.unlock();
+    } else {
+      futex_.unlock();
+    }
+  }
+
+ private:
+  bool omp_backed_;
+  OmpLock omp_;
+  FutexLock futex_;
+};
+
 /// Number of locks in a pool. SPLATT uses a fixed pool and hashes row ids
 /// into it; 1024 keeps the pool L2-resident while making collisions rare.
 inline constexpr std::size_t kMutexPoolSize = 1024;
@@ -196,7 +303,7 @@ class AnyMutexPool {
   MutexPool<SyncVarLock> sync_;
   MutexPool<AtomicSpinLock> atomic_;
   MutexPool<FifoSyncLock> fifo_;
-  MutexPool<OmpLock> omp_;
+  MutexPool<BackendLock> omp_;  // backend-provided flavor (see BackendLock)
 };
 
 /// RAII guard over a pool slot.

@@ -7,6 +7,14 @@
 /// the copies are summed afterwards. This is the "no-lock" path the paper's
 /// NELL-2 runs always take (Section V-D2). The privatize-or-lock decision
 /// itself lives in mttkrp/ (see mttkrp::should_privatize).
+///
+/// Backend note: clear() and reduce_into() launch their strided passes
+/// through parallel_region, so they route through whichever backend
+/// (parallel/backend.hpp) is active — no backend-specific code here. The
+/// reduction itself is order-deterministic regardless of backend: each
+/// destination element sums its per-thread contributions t = 0..n-1 in
+/// fixed index order, which is what makes privatized runs bitwise
+/// comparable across omp and pool at a fixed team size.
 
 #include <cstring>
 #include <span>

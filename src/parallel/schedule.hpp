@@ -281,10 +281,12 @@ class SliceSchedule {
 /// The execution side of the plan layer: a fixed team size plus the
 /// scheduling policy its schedules are built with.
 ///
-/// OpenMP keeps its worker pool alive between regions, so "owning" the
-/// team means pinning its size and runtime settings once (dynamic-threads
-/// off, nesting off, passive idle) instead of re-negotiating them per
-/// kernel call; every region this context launches reuses those workers.
+/// Both backends (parallel/backend.hpp) keep their worker pool alive
+/// between regions — libgomp's team under `omp`, the persistent
+/// std::thread pool under `pool` — so "owning" the team means pinning
+/// its size and runtime settings once (dynamic-threads off, nesting off,
+/// passive idle) instead of re-negotiating them per kernel call; every
+/// region this context launches reuses those workers.
 class ParallelContext {
  public:
   explicit ParallelContext(int nthreads,
@@ -300,9 +302,15 @@ class ParallelContext {
   }
 
   /// Runs \p body(tid, nthreads) on the team (non-owning dispatch).
+  /// Forwards through TeamBodyRef explicitly: routing via the owning
+  /// cold-path parallel_region overload would allocate a type-erased
+  /// wrapper on every cached-plan iteration, exactly the regression the
+  /// std-function-hot-path lint rule (which covers src/parallel) exists
+  /// to catch.
   template <typename F>
   void run(F&& body) const {
-    parallel_region(nthreads_, body);
+    detail::TeamBodyRef ref(body);
+    detail::parallel_region_ref(nthreads_, ref);
   }
 
   /// Runs \p fn(begin, end, tid) over every range of \p schedule.

@@ -5,17 +5,19 @@
 #include <omp.h>
 
 #include "common/error.hpp"
+#include "parallel/backend.hpp"
 
 namespace sptd {
 
 int hardware_threads() {
-  // omp_get_max_threads() initializes libgomp, which latches
-  // OMP_WAIT_POLICY forever — so the runtime setup (which sets that env
-  // var) must run first. Before this ordering existed, every CLI path
-  // that sized its team from hardware_threads() silently lost the
-  // passive-wait mitigation below.
-  init_parallel_runtime();
-  return omp_get_max_threads();
+  // Routed through the active backend. Both backends answer with
+  // omp_get_max_threads() (so OMP_NUM_THREADS means the same thing
+  // everywhere) and both call init_parallel_runtime() first: querying
+  // OpenMP initializes libgomp, which latches OMP_WAIT_POLICY forever —
+  // the runtime setup (which sets that env var) must win the race.
+  // Before this ordering existed, every CLI path that sized its team
+  // from hardware_threads() silently lost the passive-wait mitigation.
+  return active_parallel_backend().max_threads();
 }
 
 void init_parallel_runtime() {
@@ -27,21 +29,26 @@ void init_parallel_runtime() {
   // user-set OMP_WAIT_POLICY wins (overwrite=0). Only effective when the
   // setenv happens before the OpenMP runtime initializes, so this runs
   // once, before the first omp_* call of the process (hardware_threads()
-  // and every other entry point funnel through here first).
+  // and every other entry point funnel through here first). The pool
+  // backend preserves the same ordering: its max_threads() query and the
+  // omp backend's team launch both pass through here first.
   static const bool once = [] {
     setenv("OMP_WAIT_POLICY", "passive", /*overwrite=*/0);
     omp_set_dynamic(0);
     // Nested parallelism is never used by the kernels; benches sweep team
     // sizes explicitly. Keeping nesting off avoids accidental explosion
-    // when a parallel_region is entered from a parallel caller.
+    // when a parallel_region is entered from a parallel caller. The pool
+    // backend mirrors this: nested regions run serialized as body(0, 1).
     omp_set_max_active_levels(1);
     return true;
   }();
   (void)once;
 }
 
-void parallel_region(int nthreads,
-                     const std::function<void(int, int)>& body) {
+void parallel_region(
+    int nthreads,
+    // sptd-lint: allow(std-function-hot-path) cold-path overload by design
+    const std::function<void(int, int)>& body) {
   detail::parallel_region_ref(nthreads, detail::TeamBodyRef(body));
 }
 
@@ -50,17 +57,18 @@ namespace detail {
 void parallel_region_ref(int nthreads, TeamBodyRef body) {
   SPTD_CHECK(nthreads >= 1, "parallel_region requires nthreads >= 1");
   if (nthreads == 1) {
+    // Inline shortcut shared by every backend: a team of one is not a
+    // region (matches OpenMP, where num_threads(1) still forks a team
+    // but our pre-backend code already inlined it; keeping the inline
+    // here keeps both backends bitwise-identical to that behavior).
     body(0, 1);
     return;
   }
-#pragma omp parallel num_threads(nthreads)
-  {
-    body(omp_get_thread_num(), omp_get_num_threads());
-  }
+  active_parallel_backend().run_team(nthreads, body);
 }
 
 }  // namespace detail
 
-int current_thread_id() { return omp_get_thread_num(); }
+int current_thread_id() { return active_parallel_backend().team_rank(); }
 
 }  // namespace sptd

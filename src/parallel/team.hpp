@@ -1,12 +1,15 @@
 #pragma once
 /// \file team.hpp
-/// \brief Thin thread-team abstraction over OpenMP.
+/// \brief Thin thread-team abstraction over pluggable parallel backends.
 ///
 /// The paper contrasts Chapel's `coforall tid in 0..numTasks-1` with
 /// OpenMP's `#pragma omp parallel`. Both map onto this helper: a parallel
 /// region of an explicit number of workers, each invoked with (tid, nthreads).
 /// Kernels never touch OpenMP pragmas directly, which keeps the
-/// "tasking layer" swappable and testable.
+/// "tasking layer" swappable and testable — and since the backend split
+/// (parallel/backend.hpp) the layer underneath is swappable too: the same
+/// region runs on libgomp (`--backend omp`, the default) or on the
+/// persistent std::thread pool (`--backend pool`).
 
 #include <concepts>
 #include <functional>
@@ -32,11 +35,13 @@ void init_parallel_runtime();
 /// body(tid, nthreads) with tid in [0, nthreads). Equivalent to the paper's
 /// `coforall` / `omp parallel num_threads(n)` pair (Listings 1-2).
 ///
-/// Cold-path form: type-erases through std::function (one allocation per
-/// call for capturing lambdas). Hot loops use the template overload below,
-/// which dispatches through a non-owning reference instead.
-void parallel_region(int nthreads,
-                     const std::function<void(int tid, int nthreads)>& body);
+/// Cold-path form: type-erases through an owning function wrapper (one
+/// allocation per call for capturing lambdas). Hot loops use the template
+/// overload below, which dispatches through a non-owning reference instead.
+void parallel_region(
+    int nthreads,
+    // sptd-lint: allow(std-function-hot-path) cold-path overload by design
+    const std::function<void(int tid, int nthreads)>& body);
 
 namespace detail {
 
@@ -63,13 +68,15 @@ class TeamBodyRef {
   void (*invoke_)(void*, int, int);
 };
 
-/// Out-of-line launcher keeping the OpenMP pragma in team.cpp.
+/// Out-of-line launcher: inlines the single-thread case, then dispatches
+/// to the active ParallelBackend (backend.cpp owns the OpenMP pragma and
+/// the std::thread pool).
 void parallel_region_ref(int nthreads, TeamBodyRef body);
 
 }  // namespace detail
 
 /// Hot-path overload: any callable, dispatched without owning type erasure.
-/// Exact-match std::function arguments still select the overload above.
+/// Exact-match owning-wrapper arguments still select the overload above.
 template <typename F>
 void parallel_region(int nthreads, F&& body) {
   detail::TeamBodyRef ref(body);

@@ -36,6 +36,7 @@
 #include "la/matrix.hpp"
 #include "la/norms.hpp"
 #include "mttkrp/mttkrp.hpp"
+#include "parallel/backend.hpp"
 #include "parallel/schedule.hpp"
 #include "parallel/team.hpp"
 #include "resilience/checkpoint.hpp"

@@ -21,6 +21,7 @@
 #include "common/types.hpp"
 #include "csf/csf.hpp"
 #include "la/matrix.hpp"
+#include "parallel/backend.hpp"
 #include "parallel/schedule.hpp"
 #include "resilience/resilience.hpp"
 #include "tensor/coo.hpp"
@@ -70,6 +71,10 @@ struct TuckerOptions {
   /// through fp32 per HOOI sweep. The COO fallback (use_csf = false) and
   /// all dense linear algebra (Gram, eigen, core) always run fp64.
   Precision precision = Precision::kF64;
+  /// Parallel backend (parallel/backend.hpp): omp (default) or pool.
+  /// tucker_hooi applies this process-wide via set_parallel_backend()
+  /// before building the CSF set; defaults from SPTD_BACKEND.
+  ParallelBackendKind backend = default_parallel_backend();
 
   /// Checkpoint/restart, numeric-health guards, and fault injection
   /// (inert by default). Resume requires at least one HOOI iteration left

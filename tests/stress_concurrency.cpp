@@ -1,9 +1,12 @@
 // Concurrency stress harness for the lock-free and locked primitives the
-// parallel MTTKRP variants are built on. Every test here drives the
-// primitives with raw std::thread — never parallel_region — because this
-// binary is what the SPTD_SANITIZE=thread CI job runs, and ThreadSanitizer
-// cannot model libgomp's barriers and team handshakes (tools/tsan.supp
-// documents that policy). The assertions are written so that a protocol
+// parallel MTTKRP variants are built on. The primitive tests drive the
+// code with raw std::thread — never an omp-backed parallel_region —
+// because this binary is what the SPTD_SANITIZE=thread CI job runs, and
+// ThreadSanitizer cannot model libgomp's barriers and team handshakes
+// (tools/tsan.supp documents that policy). The PoolBackendStress section
+// at the bottom is the exception that proves the rule: the pool backend
+// synchronizes through std primitives TSan models natively, so its
+// parallel_region teams run fully instrumented. The assertions are written so that a protocol
 // bug surfaces twice: as a failed count/bitwise check here, and as a data
 // race under TSan — double-issued work-stealing chunks, for example, make
 // two threads write the same plain (unsynchronized) array slot.
@@ -28,7 +31,9 @@
 
 #include "common/contracts.hpp"
 #include "la/matrix.hpp"
+#include "parallel/backend.hpp"
 #include "parallel/locks.hpp"
+#include "parallel/team.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/schedule.hpp"
 #include "resilience/checkpoint.hpp"
@@ -434,6 +439,170 @@ TEST(CounterStress, StealCountersAreExactUnderContention) {
   EXPECT_EQ(sched.steals() - sched_before,
             work_steal_count() - global_before);
   EXPECT_GT(sched.steals(), sched_before);
+}
+
+// ------------------------------------------------------ pool backend
+
+// Unlike the omp backend, the pool backend (parallel/backend.cpp) and its
+// FutexLock synchronize entirely through std::atomic wait/notify,
+// std::mutex, and std::condition_variable — primitives TSan models
+// natively — so this section drives real parallel_region teams under the
+// instrumented build with no annotations and no suppressions. A protocol
+// bug in the task hand-off (a tid issued twice, a submitter returning
+// before every worker dereferenced the stack-allocated task) surfaces as
+// a plain-array race under TSan and as a count mismatch here.
+
+/// Scoped pool-backend selection; restores the prior backend so the rest
+/// of the binary (and ctest ordering) stays on its default.
+class PoolBackendSection {
+ public:
+  PoolBackendSection() : prior_(parallel_backend()) {
+    set_parallel_backend(ParallelBackendKind::kPool);
+  }
+  ~PoolBackendSection() { set_parallel_backend(prior_); }
+  PoolBackendSection(const PoolBackendSection&) = delete;
+  PoolBackendSection& operator=(const PoolBackendSection&) = delete;
+
+ private:
+  ParallelBackendKind prior_;
+};
+
+// Every tid of every region runs exactly once, and the region's writes
+// are visible to the submitter after the join: each team member writes a
+// PLAIN slot keyed by (round, tid); a double-issued tid is a TSan race
+// on that slot, a lost tid a zero in the count check.
+TEST(PoolBackendStress, TeamTidsExactlyOnceAcrossRepeatedRegions) {
+  PoolBackendSection section;
+  constexpr int kTeam = 8;
+  std::vector<int> hits(static_cast<std::size_t>(kRounds) * kTeam, 0);
+  for (int round = 0; round < kRounds; ++round) {
+    parallel_region(kTeam, [&, round](int tid, int nt) {
+      ASSERT_EQ(nt, kTeam);
+      hits[static_cast<std::size_t>(round) * kTeam +
+           static_cast<std::size_t>(tid)] += 1;
+    });
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "slot " << i;
+  }
+}
+
+// Concurrent submitters: raw threads each push their own team through the
+// one shared pool — the composability mechanism (two decompositions in
+// one process share workers instead of oversubscribing). Per-submitter
+// plain arrays catch cross-task tid leakage as both a race and a count.
+TEST(PoolBackendStress, ConcurrentSubmittersShareOnePool) {
+  PoolBackendSection section;
+  constexpr int kSubmitters = 3;
+  constexpr int kTeam = 4;
+  std::vector<std::vector<int>> hits(
+      kSubmitters, std::vector<int>(static_cast<std::size_t>(kRounds) * kTeam,
+                                    0));
+  run_threads(kSubmitters, [&](int s) {
+    for (int round = 0; round < kRounds; ++round) {
+      parallel_region(kTeam, [&, s, round](int tid, int) {
+        hits[static_cast<std::size_t>(s)]
+            [static_cast<std::size_t>(round) * kTeam +
+             static_cast<std::size_t>(tid)] += 1;
+      });
+    }
+  });
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (std::size_t i = 0; i < hits[static_cast<std::size_t>(s)].size();
+         ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(s)][i], 1)
+          << "submitter " << s << " slot " << i;
+    }
+  }
+}
+
+// FutexLock under real pool teams: plain counters survive contended
+// lock/unlock cycles from a multiplexed team. Mirrors MutexPoolStress
+// but through parallel_region, so the lock is exercised with the exact
+// parking interleavings the pool produces.
+TEST(PoolBackendStress, FutexLockExcludesUnderPoolTeams) {
+  PoolBackendSection section;
+  FutexLock lock;
+  long counter = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    parallel_region(kThreads, [&](int, int) {
+      for (int i = 0; i < 500; ++i) {
+        lock.lock();
+        counter += 1;
+        lock.unlock();
+      }
+    });
+  }
+  EXPECT_EQ(counter, static_cast<long>(kRounds) * kThreads * 500);
+}
+
+// BackendLock resolves to the futex flavor under the pool backend; the
+// AnyMutexPool(kOmp) path is what MTTKRP workspaces actually build, so
+// stress that resolution end to end.
+TEST(PoolBackendStress, BackendLockPoolFlavorExcludes) {
+  PoolBackendSection section;
+  AnyMutexPool pool(LockKind::kOmp);
+  std::vector<long> counters(8, 0);
+  parallel_region(kThreads, [&](int tid, int) {
+    for (int i = 0; i < 2000; ++i) {
+      const idx_t slot = static_cast<idx_t>((i + tid) % 8);
+      pool.lock(slot);
+      counters[static_cast<std::size_t>(slot)] += 1;
+      pool.unlock(slot);
+    }
+  });
+  const long total = std::accumulate(counters.begin(), counters.end(), 0L);
+  EXPECT_EQ(total, static_cast<long>(kThreads) * 2000);
+}
+
+// The privatize-and-reduce path through real pool teams: per-thread
+// replicas written inside parallel_region, reduced after the join, must
+// match the serial sum bitwise (fixed t-order reduction).
+TEST(PoolBackendStress, PrivatizedReductionBitwiseUnderPoolTeams) {
+  PoolBackendSection section;
+  const nnz_t length = 512;
+  PrivateBuffers bufs(kThreads, length);
+  bufs.clear(kThreads);
+  parallel_region(kThreads, [&](int tid, int) {
+    std::span<val_t> mine = bufs.buffer(tid);
+    for (nnz_t i = 0; i < length; ++i) {
+      mine[i] += static_cast<val_t>(tid + 1) / static_cast<val_t>(i + 1);
+    }
+  });
+  aligned_vector<val_t> out(static_cast<std::size_t>(length), 0.0);
+  bufs.reduce_into({out.data(), out.size()}, kThreads);
+
+  aligned_vector<val_t> expected(static_cast<std::size_t>(length), 0.0);
+  for (int t = 0; t < kThreads; ++t) {
+    for (nnz_t i = 0; i < length; ++i) {
+      expected[static_cast<std::size_t>(i)] +=
+          static_cast<val_t>(t + 1) / static_cast<val_t>(i + 1);
+    }
+  }
+  for (nnz_t i = 0; i < length; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)],
+              expected[static_cast<std::size_t>(i)])
+        << "lane " << i;
+  }
+}
+
+// Nested regions from inside a pool team serialize (matching
+// omp_set_max_active_levels(1)); the inner bodies run on the enclosing
+// worker with tid 0 and must not deadlock against the shared pool.
+TEST(PoolBackendStress, NestedRegionsSerializeWithoutDeadlock) {
+  PoolBackendSection section;
+  std::atomic<int> inner_runs{0};
+  std::atomic<int> bad{0};
+  for (int round = 0; round < kRounds; ++round) {
+    parallel_region(kThreads, [&](int, int) {
+      parallel_region(kThreads, [&](int tid, int nt) {
+        inner_runs.fetch_add(1, std::memory_order_relaxed);
+        if (tid != 0 || nt != 1) bad.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  EXPECT_EQ(inner_runs.load(), kRounds * kThreads);
+  EXPECT_EQ(bad.load(), 0);
 }
 
 }  // namespace

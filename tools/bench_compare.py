@@ -99,6 +99,7 @@ DEFAULT_COUNTERS = [
 # deciding, here, whether it identifies the measurement or is one.
 KNOWN_IDENTITY_FIELDS = [
     "alg",
+    "backend",
     "bench",
     "checkpoint_every",
     "chunk",

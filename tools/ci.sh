@@ -36,6 +36,14 @@ tools/run_tidy.sh "$BUILD_DIR"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
+echo "== ctest under the pool backend =="
+# The whole suite again with SPTD_BACKEND=pool: every parallel_region in
+# every test runs on the persistent std::thread pool instead of libgomp.
+# Tests that pin a backend themselves (test_backend, the pool stress
+# section) are unaffected; everything else proves backend-independence.
+SPTD_BACKEND=pool ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j"$JOBS"
+
 echo "== resilience smoke: kill mid-run, resume, bitwise-equal model =="
 # A SIGKILLed single-thread f64 run, resumed from its newest checkpoint,
 # must produce a model file byte-identical to the uninterrupted run's.
@@ -164,6 +172,12 @@ rm -f "$SMOKE_JSON"
 "$BUILD_DIR/bench_fig4_locks" \
   --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 2 \
   --schedule workstealing --json "$SMOKE_JSON"
+# The same fig5 smoke on the pool backend: identical decompositions, the
+# persistent std::thread pool running every region. Records pair against
+# their own backend=pool baseline rows (backend is an identity field).
+"$BUILD_DIR/bench_fig5_routines" \
+  --preset yelp --scale 0.002 --iters 2 --trials 1 --threads-list 1,2 \
+  --schedule weighted --backend pool --json "$SMOKE_JSON"
 # The same fig5 smoke with mid-run checkpointing on: records carry
 # checkpoint_time/checkpoint_bytes, and the overhead gate below bounds the
 # cost at 5% of total_seconds. Single-threaded and 10 iterations so the
@@ -195,14 +209,26 @@ echo "== precision smoke: bench_ablation_precision (f64, f32, mixed) =="
   --preset yelp --scale 0.002 --rank 8 --iters 5 \
   --threads-list 2 --json "$SMOKE_JSON"
 
+echo "== oversubscribe smoke: composition scenario (omp vs pool) =="
+# Phase rows plus one concurrent-decompositions row per backend: two
+# whole CP-ALS runs sharing the process, each asking for the sweep's
+# largest team. These rows ride into the baseline; the >= 1.3x
+# composition gate below runs on dedicated probe files.
+for BK in omp pool; do
+  "$BUILD_DIR/bench_ablation_oversubscribe" \
+    --preset yelp --scale 0.002 --iters 40 --threads-list 2,8 \
+    --concurrent 2 --backend "$BK" --json "$SMOKE_JSON"
+done
+
 # The smoke runs must have produced one JSON record per configuration:
 # 8 weighted fig5 + 4 wide-layout fig5 + 4 workstealing fig5 + 8
 # narrow-precision fig5 (mixed + f32) + 2 checkpointed fig5 + 4
-# workstealing fig4 (lock kinds) + 6 completion (3 solvers x 2 thread
-# counts) + 3 precision ablation.
+# workstealing fig4 (lock kinds) + 4 pool-backend fig5 + 6 completion
+# (3 solvers x 2 thread counts) + 3 precision ablation + 6
+# oversubscribe (2 backends x (2 phase rows + 1 concurrent)).
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 39 ]; then
-  echo "ci: expected >= 39 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 49 ]; then
+  echo "ci: expected >= 49 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
 
@@ -358,6 +384,80 @@ if [ "$WS_STEALS" -lt 1 ]; then
   exit 1
 fi
 echo "ci: workstealing smoke recorded $WS_STEALS steals"
+
+# Pool-backend contracts, measured on dedicated probe runs (never the
+# baseline-bound smoke rows — wall-clock gates and trajectory rows have
+# different noise disciplines):
+#  * Composition: two concurrent CP-ALS runs sharing the process must be
+#    >= 1.3x faster wall-clock under pool than under omp — omp wakes a
+#    private libgomp team per run (oversubscription), pool multiplexes
+#    both onto one worker set.
+#  * Parity: a single-run MTTKRP sweep at 2 threads under pool must be
+#    within 10% of omp (min over attempts on both sides — the shared box
+#    makes any single timing noisy).
+# Retried like the steal gate: one noisy attempt is timing luck, five
+# failures is a regression.
+echo "== pool backend gates: composition (>= 1.3x) + parity (<= 1.10x) =="
+PROBE_OMP="$BUILD_DIR/backend_probe_omp.json"
+PROBE_POOL="$BUILD_DIR/backend_probe_pool.json"
+COMP_OK=0
+PAR_OK=0
+OMP_MTTKRP_MIN=inf
+POOL_MTTKRP_MIN=inf
+for attempt in 1 2 3 4 5; do
+  rm -f "$PROBE_OMP" "$PROBE_POOL"
+  "$BUILD_DIR/bench_ablation_oversubscribe" \
+    --preset yelp --scale 0.002 --iters 40 --threads-list 2,8 \
+    --concurrent 2 --backend omp --json "$PROBE_OMP" > /dev/null
+  "$BUILD_DIR/bench_ablation_oversubscribe" \
+    --preset yelp --scale 0.002 --iters 40 --threads-list 2,8 \
+    --concurrent 2 --backend pool --json "$PROBE_POOL" > /dev/null
+  GATE_EVAL="$(python3 - "$PROBE_OMP" "$PROBE_POOL" \
+      "$OMP_MTTKRP_MIN" "$POOL_MTTKRP_MIN" <<'EOF'
+import json, sys
+
+def load(path):
+    comp, mttkrp = None, None
+    with open(path) as f:
+        for line in f:
+            rec = json.loads(line)
+            if rec.get("config") == "concurrent-2":
+                comp = float(rec["seconds"])
+            if rec.get("config") == "phases" and rec.get("threads") == 2:
+                mttkrp = float(rec["MTTKRP"])
+    if comp is None or mttkrp is None:
+        raise SystemExit("ci: backend probe missing expected records")
+    return comp, mttkrp
+
+omp_comp, omp_mttkrp = load(sys.argv[1])
+pool_comp, pool_mttkrp = load(sys.argv[2])
+omp_min = min(float(sys.argv[3]), omp_mttkrp)
+pool_min = min(float(sys.argv[4]), pool_mttkrp)
+comp_ok = int(pool_comp * 1.3 <= omp_comp)
+par_ok = int(pool_min <= 1.10 * omp_min)
+print(f"COMP_OK={comp_ok} PAR_OK={par_ok} "
+      f"OMP_MTTKRP_MIN={omp_min} POOL_MTTKRP_MIN={pool_min} "
+      f"COMP_RATIO={omp_comp / pool_comp:.2f} "
+      f"PAR_RATIO={pool_min / omp_min:.2f}")
+EOF
+)"
+  eval "$GATE_EVAL"
+  if [ "$COMP_OK" = 1 ] && [ "$PAR_OK" = 1 ]; then
+    break
+  fi
+done
+if [ "$COMP_OK" != 1 ]; then
+  echo "ci: pool composition gate failed: concurrent runs only" \
+    "${COMP_RATIO}x faster under pool (need >= 1.3x)" >&2
+  exit 1
+fi
+if [ "$PAR_OK" != 1 ]; then
+  echo "ci: pool MTTKRP parity gate failed: pool/omp ratio" \
+    "${PAR_RATIO} (need <= 1.10)" >&2
+  exit 1
+fi
+echo "ci: pool composition ${COMP_RATIO}x faster, MTTKRP parity ratio" \
+  "${PAR_RATIO}"
 
 # Perf-regression gate against the checked-in baseline. The smoke tensor
 # is tiny and the box is shared, so the gate is loose (4x): it exists to

@@ -33,3 +33,25 @@ double waived(const double* x, int n) {
   }
   return acc;
 }
+
+#include <thread>
+
+void rogue_team(double* x, int n) {
+  std::thread t([x, n] {  // VIOLATION omp-outside-parallel (raw thread)
+    for (int i = 0; i < n; ++i) x[i] *= 2.0;
+  });
+  t.join();
+}
+
+void this_thread_ok() {
+  // std::this_thread must NOT match the raw-thread pattern.
+  std::this_thread::yield();
+}
+
+void waived_thread(double* x, int n) {
+  // sptd-lint: allow(omp-outside-parallel) fixture for the marker path
+  std::thread t([x, n] {
+    for (int i = 0; i < n; ++i) x[i] += 1.0;
+  });
+  t.join();
+}

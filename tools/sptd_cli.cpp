@@ -244,6 +244,9 @@ int cmd_cpd(int argc, const char* const* argv) {
           "value-stream precision: f64 | f32 | mixed (fp32 streams, "
           "fp64 accumulation)");
   cli.add("seed", "23", "init seed");
+  cli.add("backend", parallel_backend_name(default_parallel_backend()),
+          "parallel backend: omp | pool (persistent std::thread "
+          "workers; composes across concurrent runs)");
   cli.add("output", "", "write the Kruskal model to this path");
   cli.add_flag("nonneg", "non-negative CP");
   add_resilience_flags(cli);
@@ -272,6 +275,7 @@ int cmd_cpd(int argc, const char* const* argv) {
   }
   opts.nonnegative = cli.get_bool("nonneg");
   opts.precision = parse_precision(cli.get_string("precision"));
+  opts.backend = parse_parallel_backend(cli.get_string("backend"));
   opts.resilience = resilience_from_flags(cli);
   apply_impl_variant(find_impl_variant(cli.get_string("impl")), opts);
 
@@ -318,6 +322,9 @@ int cmd_tucker(int argc, const char* const* argv) {
           "value-stream precision: f64 | f32 | mixed (fp32 streams, "
           "fp64 accumulation)");
   cli.add("seed", "17", "init seed");
+  cli.add("backend", parallel_backend_name(default_parallel_backend()),
+          "parallel backend: omp | pool (persistent std::thread "
+          "workers; composes across concurrent runs)");
   add_resilience_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "tucker: need a tensor file");
@@ -343,6 +350,7 @@ int cmd_tucker(int argc, const char* const* argv) {
   opts.csf_layout = parse_csf_layout(cli.get_string("csf-layout"));
   opts.schedule = parse_schedule_policy(cli.get_string("schedule"));
   opts.precision = parse_precision(cli.get_string("precision"));
+  opts.backend = parse_parallel_backend(cli.get_string("backend"));
   opts.resilience = resilience_from_flags(cli);
 
   const TuckerResult r = tucker_hooi(t, opts);
@@ -377,6 +385,9 @@ int cmd_complete(int argc, const char* const* argv) {
           "value-stream precision: f64 | f32 | mixed (fp32 value reads, "
           "fp64 updates)");
   cli.add("seed", "23", "seed");
+  cli.add("backend", parallel_backend_name(default_parallel_backend()),
+          "parallel backend: omp | pool (persistent std::thread "
+          "workers; composes across concurrent runs)");
   add_resilience_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "complete: need a tensor file");
@@ -405,6 +416,7 @@ int cmd_complete(int argc, const char* const* argv) {
     opts.use_fixed_kernels = (k == "fixed");
   }
   opts.precision = parse_precision(cli.get_string("precision"));
+  opts.backend = parse_parallel_backend(cli.get_string("backend"));
   opts.resilience = resilience_from_flags(cli);
   const std::uint64_t steals_before = work_steal_count();
   const CompletionResult r = complete_tensor(train, &test, opts);

@@ -11,18 +11,27 @@ CI instead of waiting for a reviewer to remember it. The rules:
                         the CSF layer must go through the width-checked
                         visitors (with_fids/with_fptr) instead of
                         assuming the index stream is u64.
-  omp-outside-parallel  omp_* runtime calls or `#pragma omp` outside
+  omp-outside-parallel  omp_* runtime calls, `#pragma omp`, or direct
+                        std::thread/std::jthread construction outside
                         src/parallel/. The parallel/ layer owns team
                         shape, first-touch ordering and schedule state;
                         a stray `#pragma omp parallel` elsewhere
                         bypasses init_parallel_runtime() and the
-                        reset() contract. `#pragma omp simd` is exempt:
+                        reset() contract, and a hand-rolled std::thread
+                        elsewhere bypasses the backend seam
+                        (parallel/backend.hpp) — the pool backend's
+                        whole point is that library code never spawns
+                        its own threads. `#pragma omp simd` is exempt:
                         it is a vectorization hint with no runtime
-                        interaction.
-  std-function-hot-path std::function in src/la/ or src/mttkrp/. A
-                        type-erased call in the kernel hot path defeats
-                        inlining and allocates; dispatch there is by
-                        template or function pointer.
+                        interaction. (Benches and tests may use raw
+                        threads; the rule scans src/ only.)
+  std-function-hot-path std::function in src/la/, src/mttkrp/, or
+                        src/parallel/. A type-erased call in the kernel
+                        hot path defeats inlining and allocates;
+                        dispatch there is by template, function
+                        pointer, or TeamBodyRef. The one sanctioned
+                        use — parallel_region's cold-path overload —
+                        carries an allow marker.
   unaligned-value-array std::vector<val_t> / std::vector<float> in the
                         hot directories (src/csf, src/la, src/mttkrp,
                         src/parallel, src/completion). Value streams and
@@ -118,6 +127,9 @@ WIDE_ACCESSOR_RE = re.compile(r"(\.|->)f(ids|ptr)\s*\(")
 OMP_RE = re.compile(r"\bomp_[a-z_]+\s*\(|#\s*pragma\s+omp\b")
 OMP_SIMD_RE = re.compile(r"#\s*pragma\s+omp\s+simd\b")
 STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
+# std::this_thread does not match: after "std::" the pattern requires
+# "thread" or "jthread" immediately.
+STD_THREAD_RE = re.compile(r"\bstd::j?thread\b")
 UNALIGNED_RE = re.compile(r"\bstd::vector<\s*(val_t|float)\s*>")
 FIELD_RE = re.compile(r'\.field\(\s*"([^"]+)"')
 
@@ -142,7 +154,14 @@ def lint_sources(root):
                 "OpenMP runtime use outside src/parallel: route team "
                 "shape and scheduling through the parallel/ layer",
                 findings, exempt=OMP_SIMD_RE)
-        if in_dir(rel, "src/la") or in_dir(rel, "src/mttkrp"):
+            scan_pattern(
+                root, rel, lines, "omp-outside-parallel", STD_THREAD_RE,
+                "raw std::thread outside src/parallel: spawn teams "
+                "through parallel_region so the backend seam "
+                "(parallel/backend.hpp) stays in charge",
+                findings)
+        if (in_dir(rel, "src/la") or in_dir(rel, "src/mttkrp")
+                or in_dir(rel, "src/parallel")):
             scan_pattern(
                 root, rel, lines, "std-function-hot-path",
                 STD_FUNCTION_RE,
@@ -210,8 +229,9 @@ def lint(root):
 # and false positives.
 EXPECTED_FIXTURE_FINDINGS = {
     ("wide-accessor", "src/mttkrp/fixture_contracts.cpp"): 2,
-    ("omp-outside-parallel", "src/la/fixture_hot_path.cpp"): 2,
+    ("omp-outside-parallel", "src/la/fixture_hot_path.cpp"): 3,
     ("std-function-hot-path", "src/la/fixture_hot_path.cpp"): 1,
+    ("std-function-hot-path", "src/parallel/fixture_context.cpp"): 1,
     ("unaligned-value-array", "src/csf/fixture_storage.cpp"): 2,
     ("bench-field-registry", "bench/bench_fixture.cpp"): 1,
 }
