@@ -156,13 +156,17 @@ class PoolBackend final : public ParallelBackend {
       return task.done.load(std::memory_order_acquire) == nthreads &&
              task.refs.load(std::memory_order_acquire) == 0;
     };
+    // The lock-free spin is only a hint: a worker inside claim_task can
+    // still find the task listed (its relaxed read of the cursor may lag)
+    // and bump refs under mu_ after settled() read refs==0 here. The
+    // authoritative check happens under mu_ — refs only ever rises inside
+    // claim_task's critical section, so a settled() that holds while we
+    // hold mu_ cannot be invalidated once the erase in the same critical
+    // section hides the task from every later scan.
     for (int i = 0; i < kSpinIters && !settled(); ++i) cpu_relax();
-    if (!settled()) {
+    {
       std::unique_lock<std::mutex> lk(mu_);
       cv_done_.wait(lk, settled);
-    }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
       for (std::size_t i = 0; i < active_.size(); ++i) {
         if (active_[i] == &task) {
           active_.erase(active_.begin() +

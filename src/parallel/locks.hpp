@@ -188,36 +188,27 @@ class FutexLock {
                                        std::memory_order_relaxed)) {
       return;  // uncontended fast path
     }
-    for (;;) {
-      // Brief spin while the lock looks about to free up.
-      for (int i = 0; i < 64; ++i) {
-        expected = 0;
-        if (state_.compare_exchange_weak(expected, 1,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed)) {
-          return;
-        }
-#if defined(__x86_64__) || defined(__i386__)
-        __builtin_ia32_pause();
-#endif
-      }
-      // Advertise a sleeper (state 2) and park until the word changes.
-      // Taking the lock from state 2 keeps the sleeper flag so unlock
-      // keeps waking until the queue truly drains.
-      std::uint32_t cur = state_.load(std::memory_order_relaxed);
-      if (cur == 0) continue;
-      if (cur == 1 &&
-          !state_.compare_exchange_strong(cur, 2, std::memory_order_relaxed,
-                                          std::memory_order_relaxed)) {
-        continue;
-      }
-      state_.wait(2, std::memory_order_relaxed);
+    // Brief spin while the lock looks about to free up.
+    for (int i = 0; i < 64; ++i) {
       expected = 0;
-      if (state_.compare_exchange_strong(expected, 2,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed)) {
+      if (state_.compare_exchange_weak(expected, 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
         return;
       }
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    // Contended slow path, Drepper's "mutex3": from here on this thread
+    // only ever acquires by installing 2, never 1. An exchange that finds
+    // 0 takes the lock while conservatively keeping the sleeper encoding
+    // (worst case one spurious notify at unlock); anything else re-marks
+    // the word contended and parks. The invariant matters: a parked
+    // waiter that is not the one notify_one picked must find state 2 on
+    // the next unlock, or that unlock skips the wake and strands it.
+    while (state_.exchange(2, std::memory_order_acquire) != 0) {
+      state_.wait(2, std::memory_order_relaxed);
     }
   }
 

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -534,6 +535,37 @@ TEST(PoolBackendStress, FutexLockExcludesUnderPoolTeams) {
     });
   }
   EXPECT_EQ(counter, static_cast<long>(kRounds) * kThreads * 500);
+}
+
+// Regression for a lost-wakeup in FutexLock's park path: with two
+// waiters parked on state 2, unlock zeroes the word and wakes one; if a
+// newcomer (or the woken waiter retrying its spin phase) then acquires
+// via CAS 0->1, the sleeper encoding is erased and every later unlock
+// skips the notify — the second sleeper stays parked forever. The fix is
+// Drepper's mutex3 shape: once contended, acquire only by installing 2.
+// Raw oversubscribed threads plus a dwell longer than the spin window
+// force real parking with multiple sleepers; under the old code this
+// test can hang on multi-core machines (caught by the ctest timeout),
+// under the fix it terminates with exact counts.
+TEST(PoolBackendStress, FutexLockNoLostWakeupWithParkedSleepers) {
+  FutexLock lock;
+  constexpr int kHammer = 8;   // > cores: waiters genuinely park
+  constexpr int kIters = 400;
+  long counter = 0;
+  run_threads(kHammer, [&](int tid) {
+    for (int i = 0; i < kIters; ++i) {
+      lock.lock();
+      counter += 1;
+      // Periodically dwell past the 64-iteration spin window so the
+      // other threads fall through to the futex wait and pile up as
+      // sleepers before this unlock starts the wake chain.
+      if ((i & 31) == tid) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      lock.unlock();
+    }
+  });
+  EXPECT_EQ(counter, static_cast<long>(kHammer) * kIters);
 }
 
 // BackendLock resolves to the futex flavor under the pool backend; the

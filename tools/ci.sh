@@ -232,11 +232,33 @@ if [ "$RECORDS" -lt 49 ]; then
   exit 1
 fi
 
+# Wall-clock threshold gates (checkpoint overhead, pool composition and
+# parity below) compare short probe runs, so on shared, throttled, or
+# low-core runners they are load-sensitive: there they only warn.
+# Structural and determinism gates (record counts, byte sizes, fit gaps,
+# convergence) stay hard everywhere. SPTD_CI_PERF_GATES=hard|advisory
+# overrides the autodetect (default: hard on >= 8 cores, advisory below).
+PERF_GATES="${SPTD_CI_PERF_GATES:-}"
+if [ -z "$PERF_GATES" ]; then
+  if [ "$(nproc)" -ge 8 ]; then PERF_GATES=hard; else PERF_GATES=advisory; fi
+fi
+perf_gate_fail() {
+  if [ "$PERF_GATES" = hard ]; then
+    echo "ci: $*" >&2
+    exit 1
+  fi
+  echo "ci: WARNING (advisory perf gate on non-dedicated runner): $*" >&2
+}
+
 # Checkpointing must stay cheap. Every checkpointed fig5 record carries
 # the per-trial serialization + fsync cost in checkpoint_time; gate it at
 # 5% of that record's total_seconds rather than ratio-checking against an
-# aging baseline (the cost is wall-clock-noisy, the bound is the contract).
-python3 - "$SMOKE_JSON" <<'EOF'
+# aging baseline (the cost is wall-clock-noisy, the bound is the
+# contract). Exit 10 marks an overhead violation — a wall-clock gate that
+# perf_gate_fail demotes to a warning on non-dedicated runners; a missing
+# record stays a hard structural failure.
+CKPT_RC=0
+python3 - "$SMOKE_JSON" <<'EOF' || CKPT_RC=$?
 import json, sys
 checked = 0
 with open(sys.argv[1]) as f:
@@ -250,15 +272,21 @@ with open(sys.argv[1]) as f:
         ct = float(rec["checkpoint_time"])
         total = float(rec["total_seconds"])
         if ct > 0.05 * total:
-            raise SystemExit(
-                f"ci: checkpoint overhead {ct:.4f}s exceeds 5% of "
-                f"{total:.4f}s total for impl={rec.get('impl')}")
+            print(f"ci: checkpoint overhead {ct:.4f}s exceeds 5% of "
+                  f"{total:.4f}s total for impl={rec.get('impl')}",
+                  file=sys.stderr)
+            sys.exit(10)
         print(f"ci: checkpoint overhead impl={rec.get('impl')}: "
               f"{ct:.4f}s of {total:.4f}s "
               f"({100 * ct / total:.1f}%, {rec['checkpoint_bytes']} bytes)")
 if checked == 0:
     raise SystemExit("ci: no checkpointed fig5 records found")
 EOF
+if [ "$CKPT_RC" = 10 ]; then
+  perf_gate_fail "checkpoint overhead exceeded its 5% bound (see above)"
+elif [ "$CKPT_RC" != 0 ]; then
+  exit "$CKPT_RC"
+fi
 
 # Narrow value streams must actually shrink the bytes a launch moves, and
 # the accuracy contracts must hold on the smoke tensor: mixed tracks the
@@ -396,8 +424,11 @@ echo "ci: workstealing smoke recorded $WS_STEALS steals"
 #    within 10% of omp (min over attempts on both sides — the shared box
 #    makes any single timing noisy).
 # Retried like the steal gate: one noisy attempt is timing luck, five
-# failures is a regression.
-echo "== pool backend gates: composition (>= 1.3x) + parity (<= 1.10x) =="
+# failures is a regression. Both are wall-clock gates, so perf_gate_fail
+# (defined with the PERF_GATES autodetect above) demotes them to
+# warnings on non-dedicated runners.
+echo "== pool backend gates: composition (>= 1.3x) + parity (<= 1.10x)" \
+  "[$PERF_GATES] =="
 PROBE_OMP="$BUILD_DIR/backend_probe_omp.json"
 PROBE_POOL="$BUILD_DIR/backend_probe_pool.json"
 COMP_OK=0
@@ -447,14 +478,12 @@ EOF
   fi
 done
 if [ "$COMP_OK" != 1 ]; then
-  echo "ci: pool composition gate failed: concurrent runs only" \
-    "${COMP_RATIO}x faster under pool (need >= 1.3x)" >&2
-  exit 1
+  perf_gate_fail "pool composition gate failed: concurrent runs only" \
+    "${COMP_RATIO}x faster under pool (need >= 1.3x)"
 fi
 if [ "$PAR_OK" != 1 ]; then
-  echo "ci: pool MTTKRP parity gate failed: pool/omp ratio" \
-    "${PAR_RATIO} (need <= 1.10)" >&2
-  exit 1
+  perf_gate_fail "pool MTTKRP parity gate failed: pool/omp ratio" \
+    "${PAR_RATIO} (need <= 1.10)"
 fi
 echo "ci: pool composition ${COMP_RATIO}x faster, MTTKRP parity ratio" \
   "${PAR_RATIO}"
@@ -464,9 +493,13 @@ echo "ci: pool composition ${COMP_RATIO}x faster, MTTKRP parity ratio" \
 # catch order-of-magnitude regressions (an accidentally deoptimized hot
 # loop), not jitter. Refresh bench/baseline.json with the same two
 # invocations above when the hardware or the expected performance changes.
+# --min-seconds 1e-3: sub-millisecond phase timings (MAT NORM and friends
+# on the smoke tensor) are scheduler noise on a shared box — a 30 us
+# baseline against a 140 us candidate is a 4x "regression" that says
+# nothing; the ms-and-up metrics (MTTKRP, TOTAL) carry the gate.
 echo "== bench compare vs bench/baseline.json =="
 python3 tools/bench_compare.py bench/baseline.json "$SMOKE_JSON" \
-  --threshold 3.0
+  --threshold 3.0 --min-seconds 1e-3
 
 # Sanitized tier-1: the whole gtest suite under ASan + UBSan. Bench and
 # examples are skipped (the suite covers the library; sanitized bench
