@@ -1,8 +1,18 @@
+/// \file dist_cpals.cpp
+/// \brief Distributed CP-ALS driver: tensor partitioning, the replicated
+///        ALS loop over a DistTransport, and the transport dispatch.
+///
+/// The fork launcher lives in launcher.cpp, the shared-memory transport in
+/// transport_shm.cpp, rollback selection in recovery.cpp, and the MPI
+/// transport (configure-gated) in transport_mpi.cpp; internal.hpp is the
+/// seam between them.
+
 #include "dist/dist_cpals.hpp"
 
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <csignal>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -12,6 +22,7 @@
 #include "common/rng.hpp"
 #include "cpd/cpals.hpp"
 #include "csf/csf.hpp"
+#include "dist/internal.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "la/norms.hpp"
@@ -78,27 +89,19 @@ std::vector<idx_t> block_boundaries(const SparseTensor& x, int mode,
 
 }  // namespace
 
-DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
-  const int order = x.order();
-  SPTD_CHECK(x.nnz() > 0, "dist_cp_als: empty tensor");
-  SPTD_CHECK(static_cast<int>(options.grid.size()) == order,
-             "dist_cp_als: grid must have one extent per mode");
-  for (int m = 0; m < order; ++m) {
-    const idx_t g = options.grid[static_cast<std::size_t>(m)];
-    SPTD_CHECK(g >= 1 && g <= x.dim(m),
-               "dist_cp_als: grid extent out of [1, dims[m]]");
-  }
-  SPTD_CHECK(options.rank >= 1, "dist_cp_als: rank must be >= 1");
-  SPTD_CHECK(options.max_iterations >= 1,
-             "dist_cp_als: need >= 1 iteration");
-  set_parallel_backend(options.backend);
-  init_parallel_runtime();
+namespace dist {
 
-  const idx_t rank = options.rank;
-  const dims_t& dims = x.dims();
-  std::size_t nlocales = 1;
+std::string dist_rank_kind(std::size_t rank) {
+  return "dist-rank" + std::to_string(rank);
+}
+
+DistPartition partition_tensor(const SparseTensor& x,
+                               const DistOptions& options) {
+  const int order = x.order();
+  DistPartition part;
+  part.nlocales = 1;
   for (const idx_t g : options.grid) {
-    nlocales *= g;
+    part.nlocales *= g;
   }
 
   // Locale of a nonzero: mixed-radix over per-mode block ids (mode 0
@@ -118,10 +121,9 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
     }
   }
 
-  std::vector<SparseTensor> blocks;
-  blocks.reserve(nlocales);
-  for (std::size_t l = 0; l < nlocales; ++l) {
-    blocks.emplace_back(x.dims());
+  part.blocks.reserve(part.nlocales);
+  for (std::size_t l = 0; l < part.nlocales; ++l) {
+    part.blocks.emplace_back(x.dims());
   }
   std::array<idx_t, kMaxOrder> coord{};
   for (nnz_t n = 0; n < x.nnz(); ++n) {
@@ -132,18 +134,28 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
       locale = locale * options.grid[static_cast<std::size_t>(m)] +
                block_of[static_cast<std::size_t>(m)][i];
     }
-    blocks[locale].push_back(
+    part.blocks[locale].push_back(
         {coord.data(), static_cast<std::size_t>(order)}, x.vals()[n]);
   }
 
-  DistResult result;
-  result.locale_nnz.reserve(nlocales);
-  for (const SparseTensor& b : blocks) {
-    result.locale_nnz.push_back(b.nnz());
+  part.locale_nnz.reserve(part.nlocales);
+  for (const SparseTensor& b : part.blocks) {
+    part.locale_nnz.push_back(b.nnz());
   }
+  return part;
+}
 
-  // Each locale is serial (the simulation models locale-level parallelism,
-  // not intra-locale threading), with its own CSF set and execution plan.
+DistResult run_dist_loop(const LoopConfig& cfg, DistTransport& tr) {
+  const DistOptions& options = *cfg.options;
+  const dims_t& dims = *cfg.dims;
+  DistPartition& part = *cfg.part;
+  const int order = static_cast<int>(dims.size());
+  const idx_t rank = options.rank;
+  const std::size_t nlocales = part.nlocales;
+
+  // Each locale is serial (locale-level parallelism is the process/locale
+  // grid itself, not intra-locale threading), with its own CSF set and
+  // execution plan.
   MttkrpOptions mopts;
   mopts.nthreads = 1;
   mopts.schedule = options.schedule;
@@ -154,69 +166,147 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
   mopts.backend = options.backend;
   std::vector<std::unique_ptr<CsfSet>> sets(nlocales);
   std::vector<std::unique_ptr<MttkrpPlan>> plans(nlocales);
-  for (std::size_t l = 0; l < nlocales; ++l) {
-    if (blocks[l].nnz() == 0) {
-      continue;  // empty locale: contributes nothing, moves nothing real
-    }
-    sets[l] = std::make_unique<CsfSet>(blocks[l], CsfPolicy::kTwoMode, 1,
-                                       nullptr, SortVariant::kAllOpts,
+  auto build_plan = [&](std::size_t l) {
+    sets[l] = std::make_unique<CsfSet>(part.blocks[l], CsfPolicy::kTwoMode,
+                                       1, nullptr, SortVariant::kAllOpts,
                                        options.csf_layout);
     plans[l] = std::make_unique<MttkrpPlan>(*sets[l], rank, mopts);
+  };
+  for (const std::size_t l : cfg.owned) {
+    if (part.blocks[l].nnz() == 0) {
+      continue;  // empty locale: contributes nothing, moves nothing real
+    }
+    build_plan(l);
+    tr.beat();
   }
 
-  // Factor initialization and ALS updates mirror cp_als_csf with one
-  // thread exactly; only the MTTKRP is assembled from locale partials.
-  const val_t tensor_norm_sq = x.norm_sq();
-  Rng rng(options.seed);
+  DistResult result;
+  result.locale_nnz = part.locale_nnz;
   KruskalModel& model = result.model;
-  model.lambda.assign(rank, val_t{1});
-  model.factors.reserve(static_cast<std::size_t>(order));
-  for (int m = 0; m < order; ++m) {
-    model.factors.push_back(
-        la::Matrix::random(dims[static_cast<std::size_t>(m)], rank, rng));
-  }
-  result.comm.reduce_bytes.assign(static_cast<std::size_t>(order), 0);
-  result.comm.broadcast_bytes.assign(static_cast<std::size_t>(order), 0);
   const CommVolume per_iteration =
       predict_comm_volume(dims, options.grid, rank);
 
-  ResilienceContext rctx(options.resilience, "dist", options.seed);
+  ResilienceContext rctx(options.resilience, cfg.checkpoint_kind.c_str(),
+                         options.seed);
   int it = 0;
-  if (std::optional<Checkpoint> ck = rctx.try_resume()) {
-    SPTD_CHECK(ck->factors.size() == static_cast<std::size_t>(order),
-               "dist resume: checkpoint order mismatch");
+
+  // Factor initialization and ALS updates mirror cp_als_csf with one
+  // thread exactly; only the MTTKRP is assembled from locale partials.
+  auto init_state = [&] {
+    Rng rng(options.seed);
+    model.lambda.assign(rank, val_t{1});
+    model.factors.clear();
+    model.factors.reserve(static_cast<std::size_t>(order));
     for (int m = 0; m < order; ++m) {
-      const la::Matrix& f = ck->factors[static_cast<std::size_t>(m)];
-      SPTD_CHECK(f.rows() == dims[static_cast<std::size_t>(m)] &&
-                     f.cols() == rank,
-                 "dist resume: checkpoint factor shape mismatch");
+      model.factors.push_back(
+          la::Matrix::random(dims[static_cast<std::size_t>(m)], rank, rng));
     }
-    const std::vector<double>* lam = ck->find_series("lambda");
-    SPTD_CHECK(lam != nullptr &&
-                   lam->size() == static_cast<std::size_t>(rank),
-               "dist resume: checkpoint lambda missing or wrong rank");
-    model.factors = std::move(ck->factors);
-    for (idx_t r = 0; r < rank; ++r) {
-      model.lambda[static_cast<std::size_t>(r)] =
-          static_cast<val_t>((*lam)[static_cast<std::size_t>(r)]);
-    }
-    if (const std::vector<double>* fh = ck->find_series("fit_history")) {
-      result.fit_history = *fh;
-      double best_loss = std::numeric_limits<double>::infinity();
-      for (const double f : *fh) best_loss = std::min(best_loss, 1.0 - f);
-      rctx.health().seed_trend(best_loss);
-    }
-    it = ck->iteration;
-    result.iterations = it;
-    // The comm counters are an invariant of the iteration count (every
-    // iteration moves the same predicted volume), so the resumed totals
-    // are reconstructed rather than serialized.
+    result.fit_history.clear();
+    result.comm.reduce_bytes.assign(static_cast<std::size_t>(order), 0);
+    result.comm.broadcast_bytes.assign(static_cast<std::size_t>(order), 0);
+    result.iterations = 0;
+    it = 0;
+  };
+  init_state();
+
+  // The comm counters are an invariant of the iteration count (every
+  // iteration moves the same predicted volume), so restored totals are
+  // reconstructed rather than serialized.
+  auto reconstruct_comm = [&] {
     for (std::size_t m = 0; m < static_cast<std::size_t>(order); ++m) {
       result.comm.reduce_bytes[m] =
           per_iteration.reduce_bytes[m] * static_cast<std::uint64_t>(it);
       result.comm.broadcast_bytes[m] =
           per_iteration.broadcast_bytes[m] * static_cast<std::uint64_t>(it);
     }
+  };
+
+  auto apply_checkpoint = [&](Checkpoint&& ck) {
+    SPTD_CHECK(ck.factors.size() == static_cast<std::size_t>(order),
+               "dist restore: checkpoint order mismatch");
+    for (int m = 0; m < order; ++m) {
+      const la::Matrix& f = ck.factors[static_cast<std::size_t>(m)];
+      SPTD_CHECK(f.rows() == dims[static_cast<std::size_t>(m)] &&
+                     f.cols() == rank,
+                 "dist restore: checkpoint factor shape mismatch");
+    }
+    const std::vector<double>* lam = ck.find_series("lambda");
+    SPTD_CHECK(lam != nullptr &&
+                   lam->size() == static_cast<std::size_t>(rank),
+               "dist restore: checkpoint lambda missing or wrong rank");
+    model.factors = std::move(ck.factors);
+    for (idx_t r = 0; r < rank; ++r) {
+      model.lambda[static_cast<std::size_t>(r)] =
+          static_cast<val_t>((*lam)[static_cast<std::size_t>(r)]);
+    }
+    if (const std::vector<double>* fh = ck.find_series("fit_history")) {
+      result.fit_history = *fh;
+    } else {
+      result.fit_history.clear();
+    }
+    it = ck.iteration;
+    result.iterations = it;
+    reconstruct_comm();
+  };
+
+  // Rebuild the loss trend identically on every rank from the restored
+  // history — survivors carrying stale pre-crash trend state would
+  // otherwise make different rollback decisions than a respawned rank
+  // during replay and desynchronize the collectives.
+  auto reseed_health = [&] {
+    rctx.health().reset();
+    if (!result.fit_history.empty()) {
+      double best_loss = std::numeric_limits<double>::infinity();
+      for (const double f : result.fit_history) {
+        best_loss = std::min(best_loss, 1.0 - f);
+      }
+      rctx.health().seed_trend(best_loss);
+    }
+  };
+
+  auto apply_rejoin = [&](const RejoinPoint& rp) {
+    bool restored = false;
+    if (!rp.checkpoint_path.empty()) {
+      try {
+        if (std::optional<Checkpoint> ck =
+                load_checkpoint_file(rp.checkpoint_path)) {
+          SPTD_CHECK(ck->iteration == rp.iteration,
+                     "dist rejoin: rollback iteration mismatch");
+          rctx.recovery_rng().set_state(ck->rng_state);
+          apply_checkpoint(std::move(*ck));
+          rctx.counters().resumed_from = it;
+          restored = true;
+          log_info("resilience: " + cfg.checkpoint_kind +
+                   " rejoined from iteration " + std::to_string(it));
+        }
+      } catch (const Error& e) {
+        log_warn("dist rejoin: rollback checkpoint unusable: " +
+                 std::string(e.what()));
+      }
+    }
+    if (!restored && rp.iteration == 0 && rp.checkpoint_path.empty()) {
+      // No snapshot existed (checkpointing off or nothing written yet):
+      // deterministic reinit from the seed, replay from iteration 0.
+      init_state();
+      restored = true;
+    }
+    if (!restored) {
+      // The launcher validated the file before publishing it; losing it
+      // here means this rank's view diverged from its peers' — replaying
+      // from scratch would desynchronize the collectives, so fail loudly.
+      throw Error("dist rejoin: rollback checkpoint " + rp.checkpoint_path +
+                  " disappeared or failed validation");
+    }
+    reseed_health();
+  };
+
+  // Adopt the current epoch. shm: returns the launcher's rollback preset
+  // after a recovery (and for --resume, preset pre-fork); sim/mpi: none.
+  if (std::optional<RejoinPoint> rp = tr.rejoin()) {
+    apply_rejoin(*rp);
+  } else if (std::optional<Checkpoint> ck = rctx.try_resume()) {
+    apply_checkpoint(std::move(*ck));
+    reseed_health();
   }
 
   // Grams are recomputed (deterministic serial la::ata), not serialized:
@@ -225,9 +315,14 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
   grams.reserve(static_cast<std::size_t>(order));
   for (int m = 0; m < order; ++m) {
     grams.emplace_back(rank, rank);
-    la::ata(model.factors[static_cast<std::size_t>(m)],
-            grams[static_cast<std::size_t>(m)], 1);
   }
+  auto refresh_grams = [&] {
+    for (int m = 0; m < order; ++m) {
+      la::ata(model.factors[static_cast<std::size_t>(m)],
+              grams[static_cast<std::size_t>(m)], 1);
+    }
+  };
+  refresh_grams();
 
   const bool guard = rctx.health().enabled();
   struct GoodState {
@@ -237,143 +332,232 @@ DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
     CommVolume comm;
     int iteration = 0;
   } good;
-  if (guard) {
+  auto snapshot_good = [&] {
     good = {model.factors, model.lambda, result.fit_history, result.comm,
             it};
-  }
+  };
+  if (guard) snapshot_good();
 
   la::Matrix v(rank, rank);
   la::Matrix fit_m;  // last mode's assembled MTTKRP, kept for the fit
   PrivateBuffers fit_partials(1, static_cast<nnz_t>(rank));
-  while (it < options.max_iterations) {
-    if (FaultInjector* inj = rctx.injector()) {
-      // A killed locale loses its in-memory CSF set and execution plan —
-      // the analogue of a node dropping out of the grid.
-      for (std::size_t l = 0; l < nlocales; ++l) {
-        if (inj->kill_locale(l, nlocales, it, options.max_iterations)) {
-          sets[l].reset();
-          plans[l].reset();
-        }
-      }
-    }
-    // Failure detection + restart: a locale that owns nonzeros but has no
-    // plan is down. Its block is still resident (the simulated analogue of
-    // re-reading the locale's partition from durable storage), so the CSF
-    // set and plan rebuild deterministically and the recovered run matches
-    // the clean run bitwise.
-    for (std::size_t l = 0; l < nlocales; ++l) {
-      if (!plans[l] && blocks[l].nnz() > 0) {
-        sets[l] = std::make_unique<CsfSet>(blocks[l], CsfPolicy::kTwoMode,
-                                           1, nullptr, SortVariant::kAllOpts,
-                                           options.csf_layout);
-        plans[l] = std::make_unique<MttkrpPlan>(*sets[l], rank, mopts);
-        ++rctx.counters().locale_restarts;
-        log_warn("[resilience] dist: restarted locale " +
-                 std::to_string(l) + " at iteration " + std::to_string(it));
-      }
-    }
-
-    for (int m = 0; m < order; ++m) {
-      const idx_t m_dim = dims[static_cast<std::size_t>(m)];
-      la::Matrix out_view(m_dim, rank);
-
-      // Layer-wise all-reduce of partial MTTKRPs, simulated as a sum in
-      // locale order (one locale executes straight into the output).
-      if (nlocales == 1) {
-        plans[0]->execute(model.factors, m, out_view);
-      } else {
-        out_view.fill(val_t{0});
-        la::Matrix partial(m_dim, rank);
-        for (std::size_t l = 0; l < nlocales; ++l) {
-          if (!plans[l]) continue;
-          plans[l]->execute(model.factors, m, partial);
-          // Same shape implies the same padded stride; padding lanes are
-          // zero, so summing the physical buffers is the logical sum.
-          val_t* dst = out_view.data();
-          const val_t* src = partial.data();
-          const std::size_t n = out_view.size();
-          for (std::size_t i = 0; i < n; ++i) {
-            dst[i] += src[i];
+  bool finished = false;
+  while (!finished) {
+    try {
+      while (it < options.max_iterations) {
+        tr.beat();
+        if (FaultInjector* inj = rctx.injector()) {
+          if (tr.kind() == TransportKind::kShm) {
+            // Real rank death: SIGKILL ourselves mid-iteration. The
+            // shared-memory token claim is one-shot across respawns, so
+            // the victim replaying this iteration after recovery lives.
+            for (const std::size_t l : cfg.owned) {
+              if (inj->rank_kill_due(l, nlocales, it,
+                                     options.max_iterations) &&
+                  tr.claim_kill_token()) {
+                log_warn("fault: rank-kill of rank " + std::to_string(l) +
+                         " at iteration " + std::to_string(it));
+                std::raise(SIGKILL);
+              }
+            }
+          } else {
+            // A killed locale loses its in-memory CSF set and execution
+            // plan — the analogue of a node dropping out of the grid.
+            for (const std::size_t l : cfg.owned) {
+              if (inj->kill_locale(l, nlocales, it,
+                                   options.max_iterations)) {
+                sets[l].reset();
+                plans[l].reset();
+              }
+            }
           }
         }
-      }
-      result.comm.reduce_bytes[static_cast<std::size_t>(m)] +=
-          per_iteration.reduce_bytes[static_cast<std::size_t>(m)];
-      result.comm.broadcast_bytes[static_cast<std::size_t>(m)] +=
-          per_iteration.broadcast_bytes[static_cast<std::size_t>(m)];
-
-      if (m == order - 1) {
-        fit_m = out_view;
-      }
-      la::gram_hadamard(grams, m, v);
-      la::solve_normal_equations(v, out_view, 1);
-      la::Matrix& factor = model.factors[static_cast<std::size_t>(m)];
-      factor = std::move(out_view);
-      la::normalize_columns(factor, model.lambda,
-                            it == 0 ? la::MatNorm::kTwo : la::MatNorm::kMax,
-                            1);
-      la::ata(factor, grams[static_cast<std::size_t>(m)], 1);
-    }
-
-    if (FaultInjector* inj = rctx.injector()) {
-      inj->corrupt_factors(model.factors, it);
-    }
-
-    const val_t inner = detail::fit_inner_product(
-        fit_m, model.factors[static_cast<std::size_t>(order - 1)],
-        model.lambda, 1, fit_partials);
-    const val_t norm_z = detail::model_norm_sq(grams, model.lambda);
-    val_t residual_sq = tensor_norm_sq + norm_z - 2 * inner;
-    if (residual_sq < val_t{0}) residual_sq = 0;
-    const double fit =
-        (tensor_norm_sq > val_t{0})
-            ? 1.0 - std::sqrt(static_cast<double>(residual_sq)) /
-                        std::sqrt(static_cast<double>(tensor_norm_sq))
-            : 0.0;
-
-    if (guard) {
-      const HealthIssue issue =
-          rctx.health().inspect(model.factors, model.lambda, 1.0 - fit);
-      if (issue != HealthIssue::kNone) {
-        rctx.fail_or_retry(issue, it);  // throws when retries are exhausted
-        model.factors = good.factors;
-        model.lambda = good.lambda;
-        result.fit_history = good.fit_history;
-        result.comm = good.comm;
-        it = good.iteration;
-        perturb_factors(model.factors, rctx.recovery_rng());
-        for (int m = 0; m < order; ++m) {
-          la::ata(model.factors[static_cast<std::size_t>(m)],
-                  grams[static_cast<std::size_t>(m)], 1);
+        // Failure detection + restart: a locale that owns nonzeros but has
+        // no plan is down. Its block is still resident (the simulated
+        // analogue of re-reading the locale's partition from durable
+        // storage), so the CSF set and plan rebuild deterministically and
+        // the recovered run matches the clean run bitwise.
+        for (const std::size_t l : cfg.owned) {
+          if (!plans[l] && part.blocks[l].nnz() > 0) {
+            build_plan(l);
+            ++rctx.counters().locale_restarts;
+            log_warn("[resilience] dist: restarted locale " +
+                     std::to_string(l) + " at iteration " +
+                     std::to_string(it));
+          }
         }
-        continue;
+
+        for (int m = 0; m < order; ++m) {
+          const idx_t m_dim = dims[static_cast<std::size_t>(m)];
+          la::Matrix out_view(m_dim, rank);
+
+          // Layer-wise all-reduce of partial MTTKRPs, summed in locale
+          // order by the transport (one locale executes straight into the
+          // output — nothing moves on any transport).
+          if (nlocales == 1) {
+            plans[0]->execute(model.factors, m, out_view);
+          } else {
+            std::vector<la::Matrix> partial_store;
+            partial_store.reserve(cfg.owned.size());
+            std::vector<const la::Matrix*> partials(nlocales, nullptr);
+            for (const std::size_t l : cfg.owned) {
+              if (!plans[l]) continue;
+              partial_store.emplace_back(m_dim, rank);
+              plans[l]->execute(model.factors, m, partial_store.back());
+              // Same shape implies the same padded stride; padding lanes
+              // are zero, so summing physical buffers is the logical sum.
+              partials[l] = &partial_store.back();
+            }
+            tr.allreduce(
+                static_cast<std::uint64_t>(it) *
+                        static_cast<std::uint64_t>(order) +
+                    static_cast<std::uint64_t>(m),
+                m, partials, out_view);
+          }
+          result.comm.reduce_bytes[static_cast<std::size_t>(m)] +=
+              per_iteration.reduce_bytes[static_cast<std::size_t>(m)];
+          result.comm.broadcast_bytes[static_cast<std::size_t>(m)] +=
+              per_iteration.broadcast_bytes[static_cast<std::size_t>(m)];
+
+          if (m == order - 1) {
+            fit_m = out_view;
+          }
+          la::gram_hadamard(grams, m, v);
+          la::solve_normal_equations(v, out_view, 1);
+          la::Matrix& factor = model.factors[static_cast<std::size_t>(m)];
+          factor = std::move(out_view);
+          la::normalize_columns(
+              factor, model.lambda,
+              it == 0 ? la::MatNorm::kTwo : la::MatNorm::kMax, 1);
+          la::ata(factor, grams[static_cast<std::size_t>(m)], 1);
+          tr.beat();
+        }
+
+        if (FaultInjector* inj = rctx.injector()) {
+          inj->corrupt_factors(model.factors, it);
+        }
+
+        const val_t inner = detail::fit_inner_product(
+            fit_m, model.factors[static_cast<std::size_t>(order - 1)],
+            model.lambda, 1, fit_partials);
+        const val_t norm_z = detail::model_norm_sq(grams, model.lambda);
+        val_t residual_sq = cfg.tensor_norm_sq + norm_z - 2 * inner;
+        if (residual_sq < val_t{0}) residual_sq = 0;
+        const double fit =
+            (cfg.tensor_norm_sq > val_t{0})
+                ? 1.0 - std::sqrt(static_cast<double>(residual_sq)) /
+                            std::sqrt(static_cast<double>(
+                                cfg.tensor_norm_sq))
+                : 0.0;
+
+        if (guard) {
+          const HealthIssue issue =
+              rctx.health().inspect(model.factors, model.lambda, 1.0 - fit);
+          if (issue != HealthIssue::kNone) {
+            rctx.fail_or_retry(issue, it);  // throws when out of retries
+            model.factors = good.factors;
+            model.lambda = good.lambda;
+            result.fit_history = good.fit_history;
+            result.comm = good.comm;
+            it = good.iteration;
+            perturb_factors(model.factors, rctx.recovery_rng());
+            refresh_grams();
+            continue;
+          }
+          rctx.note_healthy();
+        }
+
+        result.fit_history.push_back(fit);
+        ++it;
+        result.iterations = it;
+        if (guard) snapshot_good();
+
+        if (it < options.max_iterations && rctx.checkpoint_due(it)) {
+          Checkpoint ck;
+          ck.iteration = it;
+          ck.factors = model.factors;
+          ck.set_series("lambda",
+                        std::vector<double>(model.lambda.begin(),
+                                            model.lambda.end()));
+          ck.set_series("fit_history", result.fit_history);
+          rctx.save_checkpoint(std::move(ck));
+        }
       }
-      rctx.note_healthy();
-    }
-
-    result.fit_history.push_back(fit);
-    ++it;
-    result.iterations = it;
-    if (guard) {
-      good.factors = model.factors;
-      good.lambda = model.lambda;
-      good.fit_history = result.fit_history;
-      good.comm = result.comm;
-      good.iteration = it;
-    }
-
-    if (it < options.max_iterations && rctx.checkpoint_due(it)) {
-      Checkpoint ck;
-      ck.iteration = it;
-      ck.factors = model.factors;
-      ck.set_series("lambda", std::vector<double>(model.lambda.begin(),
-                                                  model.lambda.end()));
-      ck.set_series("fit_history", result.fit_history);
-      rctx.save_checkpoint(std::move(ck));
+      rctx.finish(result.resilience);
+      if (cfg.on_complete) cfg.on_complete(result);
+      tr.finalize();
+      finished = true;
+    } catch (const RecoveryInterrupt&) {
+      // A peer died; the launcher bumped the epoch and published a
+      // rollback point. Adopt it, quiesce with the other survivors and
+      // the respawned rank, restore, and replay.
+      if (std::optional<RejoinPoint> rp = tr.rejoin()) {
+        apply_rejoin(*rp);
+      } else {
+        init_state();
+        reseed_health();
+      }
+      refresh_grams();
+      if (guard) snapshot_good();
     }
   }
-  rctx.finish(result.resilience);
   return result;
+}
+
+}  // namespace dist
+
+DistResult dist_cp_als(const SparseTensor& x, const DistOptions& options) {
+  const int order = x.order();
+  SPTD_CHECK(x.nnz() > 0, "dist_cp_als: empty tensor");
+  SPTD_CHECK(static_cast<int>(options.grid.size()) == order,
+             "dist_cp_als: grid must have one extent per mode");
+  for (int m = 0; m < order; ++m) {
+    const idx_t g = options.grid[static_cast<std::size_t>(m)];
+    SPTD_CHECK(g >= 1 && g <= x.dim(m),
+               "dist_cp_als: grid extent out of [1, dims[m]]");
+  }
+  SPTD_CHECK(options.rank >= 1, "dist_cp_als: rank must be >= 1");
+  SPTD_CHECK(options.max_iterations >= 1,
+             "dist_cp_als: need >= 1 iteration");
+  if (options.transport == TransportKind::kMpi) {
+    SPTD_CHECK(mpi_transport_available(),
+               "dist_cp_als: this build has no MPI transport (configure "
+               "with MPI available)");
+  }
+  set_parallel_backend(options.backend);
+  if (options.transport != TransportKind::kShm) {
+    // The shm launcher forks; a live thread pool does not survive fork,
+    // and every locale is single-threaded anyway, so the runtime is only
+    // initialized for the in-process transports.
+    init_parallel_runtime();
+  }
+
+  dist::DistPartition part = dist::partition_tensor(x, options);
+
+  switch (options.transport) {
+    case TransportKind::kShm:
+      return dist::run_shm_dist(x, options, part);
+    case TransportKind::kMpi:
+#ifdef SPTD_HAVE_MPI
+      return dist::run_mpi_dist(x, options, part);
+#else
+      throw Error("dist_cp_als: MPI transport not built");  // unreachable
+#endif
+    case TransportKind::kSim:
+      break;
+  }
+
+  dist::SimTransport tr(part.nlocales);
+  dist::LoopConfig cfg;
+  cfg.options = &options;
+  cfg.dims = &x.dims();
+  cfg.tensor_norm_sq = x.norm_sq();
+  cfg.part = &part;
+  cfg.owned.resize(part.nlocales);
+  for (std::size_t l = 0; l < part.nlocales; ++l) {
+    cfg.owned[l] = l;
+  }
+  return dist::run_dist_loop(cfg, tr);
 }
 
 }  // namespace sptd

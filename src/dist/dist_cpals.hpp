@@ -10,14 +10,21 @@
 /// only within mode-m "layers" (locales sharing g_m): each layer reduces
 /// its partial MTTKRP rows and broadcasts the updated factor rows back.
 ///
-/// This module *simulates* that algorithm on shared memory: the tensor is
-/// really partitioned per locale (each with its own CSF set and execution
-/// plan), partial MTTKRPs are really summed in locale order, and every
-/// inter-locale transfer the real algorithm would make is accounted in
-/// bytes — so grid-shape trade-offs (the 1-D vs N-D volume gap) are
-/// measurable without a cluster. The mathematics is unchanged: fits match
-/// the shared-memory driver exactly for one locale and to reduction-order
-/// round-off for any grid.
+/// The driver runs the algorithm over a pluggable communication seam
+/// (dist/transport.hpp): every rank executes the identical replicated ALS
+/// loop and only the locale-order all-reduce of MTTKRP partials is
+/// transport-specific. `--transport sim` (the default) keeps the original
+/// in-process byte-accounting simulation — the tensor is really
+/// partitioned per locale (each with its own CSF set and execution plan)
+/// and every inter-locale transfer the real algorithm would make is
+/// accounted in bytes, so grid-shape trade-offs (the 1-D vs N-D volume
+/// gap) are measurable without a cluster. `--transport shm` forks one real
+/// process per locale over a shared-memory ring (heartbeat death
+/// detection, SIGKILL recovery from checkpoint); `--transport mpi` runs
+/// one MPI rank per locale when built with MPI. All transports sum in
+/// locale order, so fits match across transports bitwise at f64 with one
+/// thread per locale, and match the shared-memory driver exactly for one
+/// locale.
 
 #include <vector>
 
@@ -25,6 +32,7 @@
 #include "common/types.hpp"
 #include "cpd/kruskal.hpp"
 #include "csf/csf.hpp"
+#include "dist/transport.hpp"
 #include "parallel/backend.hpp"
 #include "parallel/schedule.hpp"
 #include "resilience/resilience.hpp"
@@ -60,8 +68,24 @@ struct DistOptions {
   Precision precision = Precision::kF64;
   /// Parallel backend (parallel/backend.hpp): omp (default) or pool.
   /// Applied process-wide by the dist driver via set_parallel_backend()
-  /// before locale plans are built; defaults from SPTD_BACKEND.
+  /// before locale plans are built; defaults from SPTD_BACKEND. Under the
+  /// shm transport each forked locale is strictly single-threaded (the
+  /// runtime is never initialized in children — fork and thread pools
+  /// don't mix).
   ParallelBackendKind backend = default_parallel_backend();
+
+  /// Communication backend: sim (in-process simulation, the default),
+  /// shm (fork-per-locale over a shared-memory ring), or mpi (one MPI
+  /// rank per locale; requires an MPI build).
+  TransportKind transport = TransportKind::kSim;
+  /// Per-operation deadline for shm collective waits, in seconds. A wait
+  /// that exhausts its exponential-backoff retries past this bound throws
+  /// TransportError. Must cover a respawned rank's CSF rebuild + replay
+  /// lag, not just one reduce.
+  double comm_deadline_s = 60.0;
+  /// Launcher-side rank-death threshold: a child whose heartbeat counter
+  /// stalls this long is declared dead and SIGKILLed into recovery.
+  double heartbeat_timeout_s = 30.0;
 
   /// Checkpoint/restart, numeric-health guards, and fault injection
   /// (inert by default). `--inject locale-fail:k` kills locale k's CSF set
@@ -91,9 +115,14 @@ struct DistResult {
   std::vector<double> fit_history;  ///< fit after each iteration
   int iterations = 0;
   std::vector<nnz_t> locale_nnz;    ///< nonzeros owned per locale
-  CommVolume comm;                  ///< total bytes over all iterations
+  CommVolume comm;                  ///< modeled total bytes, all iterations
+  /// Bytes/seconds the transport actually moved/spent per collective
+  /// phase. Zero under sim (nothing real moves); under shm/mpi it counts
+  /// physical buffers and recovery replay, so it can exceed the model.
+  CommMeasured comm_measured;
   /// Checkpoint/recovery activity observed during the run (including
-  /// locale_restarts, the simulated node-failure recoveries).
+  /// locale_restarts: simulated rebuilds under sim, real respawns under
+  /// shm).
   ResilienceCounters resilience;
 };
 
@@ -108,7 +137,8 @@ CommVolume predict_comm_volume(const dims_t& dims, const dims_t& grid,
 /// Runs CP-ALS over a locale grid. \p opts.grid must have one extent per
 /// mode, each in [1, dims[m]]. Runs exactly max_iterations iterations;
 /// the fit trajectory matches cp_als (1 thread, same seed) up to partial-
-/// sum reduction order — bitwise for a single locale.
+/// sum reduction order — bitwise for a single locale, and bitwise across
+/// transports for any grid (all transports reduce in locale order).
 DistResult dist_cp_als(const SparseTensor& x, const DistOptions& opts);
 
 }  // namespace sptd

@@ -1,0 +1,103 @@
+/// \file recovery.cpp
+/// \brief Rollback-point selection: newest valid per-rank checkpoint.
+
+#include "dist/recovery.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "dist/internal.hpp"
+#include "resilience/checkpoint.hpp"
+
+namespace sptd::dist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Parses "<kind>-<digits>.ckpt" for one of the per-rank kinds; returns
+/// the (iteration, rank) on match. Mirrors load_latest's digits-only rule,
+/// which is also what keeps plain "dist-..." sim files and
+/// "dist-rank<r>-..." files from ever colliding.
+bool parse_rank_checkpoint(const std::string& name, std::size_t nranks,
+                           int& iteration, std::size_t& rank) {
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const std::string prefix = dist_rank_kind(r) + "-";
+    if (name.size() <= prefix.size() + 5 || name.rfind(prefix, 0) != 0 ||
+        name.substr(name.size() - 5) != ".ckpt") {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - 5);
+    char* end = nullptr;
+    const long iter = std::strtol(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size()) continue;
+    iteration = static_cast<int>(iter);
+    rank = r;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RollbackPlan select_rollback(const std::string& dir, std::size_t nranks) {
+  RollbackPlan plan;
+  if (dir.empty()) return plan;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return plan;
+
+  // All ranks' candidates in one pile, newest iteration first; rank as a
+  // deterministic tie-break so every recovery of the same on-disk state
+  // picks the same file.
+  std::vector<std::pair<std::pair<int, std::size_t>, std::string>>
+      candidates;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    int iteration = 0;
+    std::size_t rank = 0;
+    if (!parse_rank_checkpoint(name, nranks, iteration, rank)) continue;
+    candidates.emplace_back(std::make_pair(iteration, rank),
+                            entry.path().string());
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.first != b.first.first) {
+                return a.first.first > b.first.first;  // newest iteration
+              }
+              if (a.first.second != b.first.second) {
+                return a.first.second < b.first.second;  // lowest rank
+              }
+              return a.second < b.second;
+            });
+
+  for (const auto& [key, path] : candidates) {
+    try {
+      if (std::optional<Checkpoint> ck = load_checkpoint_file(path)) {
+        if (ck->iteration != key.first) {
+          log_warn("dist recovery: skipping " + path +
+                   ": iteration mismatch");
+          continue;
+        }
+        plan.iteration = key.first;
+        plan.checkpoint_path = path;
+        return plan;
+      }
+    } catch (const Error& e) {
+      log_warn("dist recovery: skipping invalid " + path + ": " + e.what());
+    }
+  }
+  if (!candidates.empty()) {
+    log_warn("dist recovery: no usable snapshot among " +
+             std::to_string(candidates.size()) +
+             " checkpoint files; replaying from scratch");
+  }
+  return plan;
+}
+
+}  // namespace sptd::dist

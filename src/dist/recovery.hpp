@@ -1,0 +1,34 @@
+#pragma once
+/// \file recovery.hpp
+/// \brief Rollback-point selection for distributed recovery.
+///
+/// The replicated-loop design makes any rank's checkpoint a valid global
+/// restart point: every rank snapshots the identical factor state (only
+/// the MTTKRP partials are local, and those are never checkpointed). So
+/// the launcher recovers by scanning all per-rank snapshot files
+/// ("dist-rank<r>-<iteration>.ckpt") and picking the newest one that
+/// passes validation — typically the dead rank's own latest file, but a
+/// survivor's equally good copy covers a victim whose disk state is torn.
+
+#include <cstddef>
+#include <string>
+
+namespace sptd::dist {
+
+/// Where the launcher rolls the grid back to after a rank death: restore
+/// every rank from \p checkpoint_path when non-empty; otherwise replay
+/// from scratch (deterministic reinit from the seed, iteration 0).
+struct RollbackPlan {
+  int iteration = 0;
+  std::string checkpoint_path;
+};
+
+/// Scans \p dir for per-rank dist checkpoints of ranks 0..nranks-1 and
+/// returns the newest (highest iteration) file that deserializes and
+/// passes its checksum; invalid files are skipped with a warning. Returns
+/// {0, ""} when no usable snapshot exists (including when \p dir is
+/// empty/missing — a run without checkpointing still recovers, it just
+/// replays everything).
+RollbackPlan select_rollback(const std::string& dir, std::size_t nranks);
+
+}  // namespace sptd::dist

@@ -1,0 +1,164 @@
+#pragma once
+/// \file shm_ring.hpp
+/// \brief The shared-memory ring ShmTransport synchronizes over.
+///
+/// A ring is a flat byte region (an anonymous MAP_SHARED mapping under the
+/// fork launcher; plain heap memory under the threaded stress harness —
+/// the protocol is process-agnostic) holding:
+///
+///   * a control header: recovery epoch, rollback point, abort flag, the
+///     one-shot rank-kill token, and the launcher's respawn counter;
+///   * per-rank cache-line-aligned atomics: publish sequence, heartbeat,
+///     adopted epoch, finished flag;
+///   * one broadcast sequence word;
+///   * per-rank reduce slots and one broadcast buffer of `slot_doubles`
+///     doubles each.
+///
+/// Publication protocol: a writer fills its buffer, then release-stores a
+/// tag into its sequence word; readers acquire-poll for the exact tag.
+/// Tags pack (epoch, operation id), so a publish from before a recovery
+/// epoch can never satisfy a waiter from after it — stale data is
+/// unmatchable by construction, and a torn read during an epoch change is
+/// caught by re-checking the sequence word (seqlock style) after copying.
+///
+/// Every atomic here is a lock-free std::atomic<uint64_t> (address-free on
+/// the targets we build for), which is what makes the same words valid
+/// across fork'd processes and across threads alike.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sptd {
+
+/// One cache-line-isolated atomic word (avoids false sharing between
+/// ranks' publish/heartbeat words during concurrent layer reduces).
+struct alignas(64) RingWord {
+  std::atomic<std::uint64_t> v;
+};
+
+class ShmRing {
+ public:
+  /// Longest rollback checkpoint path the control header can carry.
+  static constexpr std::size_t kPathMax = 512;
+  /// Operation ids must stay below 2^40 so (epoch, op) packs into a tag
+  /// word (24 bits of epoch above 40 bits of op — both absurdly generous).
+  static constexpr std::uint64_t kMaxOp = (1ULL << 40) - 2;
+
+  struct Header {
+    std::atomic<std::uint64_t> epoch;       ///< recovery generation
+    std::atomic<std::uint64_t> abort;       ///< a rank hit a fatal error
+    std::atomic<std::uint64_t> kill_token;  ///< rank-kill one-shot claim
+    std::atomic<std::uint64_t> restarts;    ///< launcher respawn count
+    std::atomic<std::int64_t> rollback_iter;
+    std::atomic<std::uint64_t> have_rollback;
+    /// Written by the launcher before it bumps the epoch; readers copy it
+    /// and re-check the epoch afterwards for consistency.
+    char rollback_path[kPathMax];
+  };
+
+  static std::size_t bytes_needed(std::size_t nranks,
+                                  std::size_t slot_doubles) {
+    return header_bytes() + words_bytes(nranks) +
+           (nranks + 1) * slot_doubles * sizeof(double);
+  }
+
+  /// Wraps \p mem (at least bytes_needed() bytes, 64-byte aligned). With
+  /// \p init, placement-constructs every atomic to zero — call exactly
+  /// once, before any other party touches the region (pre-fork, or before
+  /// threads launch).
+  ShmRing(void* mem, std::size_t nranks, std::size_t slot_doubles,
+          bool init)
+      : nranks_(nranks), slot_doubles_(slot_doubles) {
+    auto* base = static_cast<unsigned char*>(mem);
+    SPTD_CHECK((reinterpret_cast<std::uintptr_t>(base) % 64) == 0,
+               "ShmRing: region must be 64-byte aligned");
+    hdr_ = reinterpret_cast<Header*>(base);
+    words_ = reinterpret_cast<RingWord*>(base + header_bytes());
+    data_ = reinterpret_cast<double*>(base + header_bytes() +
+                                      words_bytes(nranks));
+    if (init) {
+      new (hdr_) Header{};
+      std::memset(hdr_->rollback_path, 0, kPathMax);
+      const std::size_t nwords = word_count(nranks);
+      for (std::size_t i = 0; i < nwords; ++i) {
+        new (&words_[i]) RingWord{};
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t nranks() const { return nranks_; }
+  [[nodiscard]] std::size_t slot_doubles() const { return slot_doubles_; }
+
+  Header& header() { return *hdr_; }
+
+  /// Packs (epoch, op) into one tag word; +1 keeps a zero-initialized
+  /// sequence word from ever matching a real operation.
+  static std::uint64_t tag(std::uint64_t epoch, std::uint64_t op) {
+    return (epoch << 40) | (op + 1);
+  }
+
+  std::atomic<std::uint64_t>& seq(std::size_t r) { return word(0, r); }
+  std::atomic<std::uint64_t>& heartbeat(std::size_t r) {
+    return word(1, r);
+  }
+  std::atomic<std::uint64_t>& rank_epoch(std::size_t r) {
+    return word(2, r);
+  }
+  std::atomic<std::uint64_t>& finished(std::size_t r) { return word(3, r); }
+  std::atomic<std::uint64_t>& bcast_seq() {
+    return words_[4 * nranks_].v;
+  }
+
+  double* slot(std::size_t r) { return data_ + r * slot_doubles_; }
+  double* bcast() { return data_ + nranks_ * slot_doubles_; }
+
+ private:
+  static std::size_t header_bytes() {
+    return (sizeof(Header) + 63) / 64 * 64;
+  }
+  static std::size_t word_count(std::size_t nranks) {
+    return 4 * nranks + 1;  // seq, heartbeat, rank_epoch, finished; bcast
+  }
+  static std::size_t words_bytes(std::size_t nranks) {
+    return word_count(nranks) * sizeof(RingWord);
+  }
+  std::atomic<std::uint64_t>& word(std::size_t kind, std::size_t r) {
+    return words_[kind * nranks_ + r].v;
+  }
+
+  std::size_t nranks_;
+  std::size_t slot_doubles_;
+  Header* hdr_ = nullptr;
+  RingWord* words_ = nullptr;
+  double* data_ = nullptr;
+};
+
+/// Best-effort wakeup doorbells (one eventfd per rank) layered under the
+/// ring's polling waits: publishers kick after every release-store so
+/// waiters sleep in poll(2) instead of burning exponential-backoff
+/// nanosleeps. Purely an optimization — correctness lives entirely in the
+/// sequence tags, so a missed or spurious kick only costs one poll
+/// timeout. Falls back to plain sleeping when eventfd is unavailable.
+class Doorbells {
+ public:
+  explicit Doorbells(std::size_t n);
+  ~Doorbells();
+  Doorbells(const Doorbells&) = delete;
+  Doorbells& operator=(const Doorbells&) = delete;
+
+  /// Wakes every rank (write 1 to each doorbell; EAGAIN ignored).
+  void kick_all();
+  /// Blocks rank \p r for up to \p timeout_us or until kicked; drains the
+  /// doorbell so the next wait actually sleeps.
+  void wait(std::size_t r, int timeout_us);
+
+ private:
+  std::vector<int> fds_;
+};
+
+}  // namespace sptd

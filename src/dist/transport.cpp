@@ -1,0 +1,56 @@
+/// \file transport.cpp
+/// \brief Transport-kind helpers, SimTransport, and the no-MPI stubs.
+
+#include "dist/transport.hpp"
+
+#include "dist/internal.hpp"
+
+namespace sptd {
+
+TransportKind parse_transport(const std::string& name) {
+  if (name == "sim") return TransportKind::kSim;
+  if (name == "shm") return TransportKind::kShm;
+  if (name == "mpi") return TransportKind::kMpi;
+  throw Error("unknown transport '" + name + "' (expected sim|shm|mpi)");
+}
+
+const char* transport_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kShm:
+      return "shm";
+    case TransportKind::kMpi:
+      return "mpi";
+  }
+  return "?";
+}
+
+#ifndef SPTD_HAVE_MPI
+bool mpi_transport_available() { return false; }
+int mpi_world_rank() { return 0; }
+#endif
+
+namespace dist {
+
+void SimTransport::allreduce(std::uint64_t /*op*/, int /*mode*/,
+                             const std::vector<const la::Matrix*>& partials,
+                             la::Matrix& out) {
+  SPTD_CHECK(partials.size() == nranks_,
+             "SimTransport: partial count does not match rank count");
+  out.fill(0);
+  // Locale-order sum over physical buffers (padding lanes are zero), the
+  // same order every transport uses — this is the determinism contract.
+  val_t* dst = out.data();
+  const std::size_t n = out.size();
+  for (std::size_t r = 0; r < nranks_; ++r) {
+    if (partials[r] == nullptr) continue;  // empty locale
+    const val_t* src = partials[r]->data();
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] += src[i];
+    }
+  }
+}
+
+}  // namespace dist
+}  // namespace sptd

@@ -1,0 +1,138 @@
+#pragma once
+/// \file transport.hpp
+/// \brief DistTransport — the communication seam of the distributed
+///        CP-ALS driver.
+///
+/// The driver (dist_cpals.cpp) runs one replicated ALS loop per process:
+/// every rank holds the full factor set, executes the MTTKRP of its own
+/// tensor block, and hands the per-rank partials to a DistTransport whose
+/// only job is the locale-order all-reduce. Three implementations share
+/// the seam:
+///
+///   SimTransport  in-process sum over all ranks (the original simulation;
+///                 the unit-testable default — zero real bytes move)
+///   ShmTransport  one process per locale over a shared-memory ring
+///                 (fork launcher, heartbeats, rank-death recovery)
+///   MpiTransport  one MPI rank per locale (built only when find_package
+///                 (MPI) succeeds at configure time)
+///
+/// All three sum the partials in locale order 0..P-1, so the fit
+/// trajectory is bitwise-identical across transports at f64 with one
+/// thread per locale — the determinism contract the recovery tests and
+/// the ci.sh bitwise `cmp` gates rely on.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/matrix.hpp"
+
+namespace sptd {
+
+/// Which communication backend a distributed run uses.
+enum class TransportKind { kSim, kShm, kMpi };
+
+/// Parses "sim" | "shm" | "mpi". Throws sptd::Error otherwise.
+TransportKind parse_transport(const std::string& name);
+const char* transport_name(TransportKind kind);
+
+/// True when MpiTransport was compiled in (find_package(MPI) succeeded).
+bool mpi_transport_available();
+
+/// World rank once MpiTransport has initialized MPI; 0 in every other
+/// configuration. Lets the CLI print and write output from one rank only.
+int mpi_world_rank();
+
+/// Bytes and wall-clock seconds the transport *actually* moved/spent, per
+/// collective phase, accumulated over the whole run (including recovery
+/// replay). SimTransport leaves this zero — it moves nothing real; the
+/// modeled volume lives in DistResult::comm. Shm/Mpi account physical
+/// buffers (rows * padded ld), so measured >= model even before replay.
+struct CommMeasured {
+  std::uint64_t reduce_bytes = 0;
+  std::uint64_t broadcast_bytes = 0;
+  double reduce_seconds = 0.0;
+  double broadcast_seconds = 0.0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return reduce_bytes + broadcast_bytes;
+  }
+};
+
+/// Where a rank re-enters the iteration space after adopting a recovery
+/// epoch: restore from \p checkpoint_path when non-empty, otherwise
+/// re-initialize from the seed and replay from \p iteration (then 0).
+struct RejoinPoint {
+  int iteration = 0;
+  std::string checkpoint_path;
+};
+
+/// Thrown inside a transport wait when a recovery epoch begins (a peer
+/// rank died and the launcher bumped the epoch). Not an error: the driver
+/// catches it, calls rejoin(), restores state, and continues. Deliberately
+/// not derived from sptd::Error so generic error handling never swallows
+/// a recovery in progress.
+struct RecoveryInterrupt {};
+
+/// A transport operation failed structurally: a per-operation deadline
+/// expired after exponential-backoff retries, or a peer reported a fatal
+/// error. Carries enough context to tell *which* collective died.
+class TransportError : public Error {
+ public:
+  TransportError(TransportKind kind, std::size_t rank, std::uint64_t op,
+                 const std::string& what_happened)
+      : Error(std::string("dist transport (") + transport_name(kind) +
+              ", rank " + std::to_string(rank) + ", op " +
+              std::to_string(op) + "): " + what_happened) {}
+};
+
+/// The communication seam. One instance per process; `allreduce` is the
+/// layer reduce + broadcast of one mode's MTTKRP partials, summed in
+/// locale order into \p out on every rank.
+class DistTransport {
+ public:
+  virtual ~DistTransport() = default;
+
+  [[nodiscard]] virtual TransportKind kind() const = 0;
+  [[nodiscard]] virtual std::size_t nranks() const = 0;
+
+  /// Locale-order all-reduce of operation \p op (globally increasing per
+  /// rank: iteration * order + mode). \p partials has one slot per rank;
+  /// non-null exactly for the ranks this process computed (all of them
+  /// under sim, one under shm/mpi; null for empty locales everywhere).
+  /// On return \p out holds sum of all ranks' partials, identical bytes
+  /// on every rank. May throw RecoveryInterrupt (shm) or TransportError.
+  virtual void allreduce(std::uint64_t op, int mode,
+                         const std::vector<const la::Matrix*>& partials,
+                         la::Matrix& out) = 0;
+
+  /// Adopts the current recovery epoch and reports where to resume.
+  /// nullopt = fresh start (sim/mpi always; shm at epoch 0 with no
+  /// preset resume point). Called by the driver at startup and after
+  /// every RecoveryInterrupt.
+  virtual std::optional<RejoinPoint> rejoin() { return std::nullopt; }
+
+  /// One-shot claim of the rank-kill fault token. The shm transport backs
+  /// this with shared memory so a respawned victim replaying the kill
+  /// iteration does not kill itself again; elsewhere the FaultInjector's
+  /// own one-shot state suffices.
+  virtual bool claim_kill_token() { return true; }
+
+  /// Liveness signal for heartbeat-based death detection; called by the
+  /// driver between compute phases, and by shm waits on every poll.
+  virtual void beat() {}
+
+  /// Completion barrier: returns only when every rank has finished the
+  /// final iteration in the same epoch (shm); no-op elsewhere. May throw
+  /// RecoveryInterrupt if a rank dies while the barrier forms.
+  virtual void finalize() {}
+
+  [[nodiscard]] const CommMeasured& measured() const { return measured_; }
+
+ protected:
+  CommMeasured measured_;
+};
+
+}  // namespace sptd

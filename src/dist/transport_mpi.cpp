@@ -1,0 +1,201 @@
+/// \file transport_mpi.cpp
+/// \brief One-MPI-rank-per-locale transport. Compiled only when the build
+///        found MPI (SPTD_HAVE_MPI); every other build uses the stubs in
+///        transport.cpp and dist_cp_als refuses `--transport mpi` upfront.
+///
+/// The collective keeps the same determinism contract as sim and shm: the
+/// partial MTTKRP buffers are gathered to rank 0, summed there in locale
+/// order 0..P-1 (skipping empty locales), and the result broadcast back —
+/// NOT MPI_Allreduce, whose reduction order is implementation-defined and
+/// would break the bitwise cross-transport guarantee.
+///
+/// Rank death is not survivable here (a failed rank aborts the MPI job, as
+/// plain MPI semantics dictate); the shm transport is the one that
+/// exercises kill/respawn recovery. Resume works: every rank runs the same
+/// deterministic rollback selection against the shared checkpoint
+/// directory, so all ranks restore the same snapshot.
+
+#ifdef SPTD_HAVE_MPI
+
+#include <mpi.h>
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "dist/internal.hpp"
+#include "dist/recovery.hpp"
+#include "dist/transport.hpp"
+
+namespace sptd {
+
+bool mpi_transport_available() { return true; }
+
+int mpi_world_rank() {
+  int inited = 0;
+  MPI_Initialized(&inited);
+  if (inited == 0) return 0;
+  int rank = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  return rank;
+}
+
+namespace dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void mpi_check(int rc, const char* what) {
+  SPTD_CHECK(rc == MPI_SUCCESS,
+             std::string("dist mpi: ") + what + " failed");
+}
+
+class MpiTransport final : public DistTransport {
+ public:
+  MpiTransport(int rank, int nranks, std::vector<nnz_t> locale_nnz,
+               std::optional<RejoinPoint> preset)
+      : rank_(rank),
+        nranks_(nranks),
+        locale_nnz_(std::move(locale_nnz)),
+        preset_(std::move(preset)) {}
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kMpi;
+  }
+  [[nodiscard]] std::size_t nranks() const override {
+    return static_cast<std::size_t>(nranks_);
+  }
+
+  /// The launcher-style rollback preset: consumed once at loop startup so
+  /// `--resume` restores every rank from the same snapshot.
+  std::optional<RejoinPoint> rejoin() override {
+    std::optional<RejoinPoint> rp = std::move(preset_);
+    preset_.reset();
+    return rp;
+  }
+
+  void allreduce(std::uint64_t op, int mode,
+                 const std::vector<const la::Matrix*>& partials,
+                 la::Matrix& out) override {
+    (void)op;
+    (void)mode;
+    SPTD_CHECK(partials.size() == 1,
+               "dist mpi: one partial per process expected");
+    const std::size_t n = out.size();  // physical doubles, padding zeroed
+    sendbuf_.assign(n, 0.0);
+    if (partials[0] != nullptr) {
+      std::memcpy(sendbuf_.data(), partials[0]->data(),
+                  n * sizeof(double));
+    }
+
+    const auto t0 = Clock::now();
+    if (rank_ == 0) gatherbuf_.resize(n * static_cast<std::size_t>(nranks_));
+    mpi_check(MPI_Gather(sendbuf_.data(), static_cast<int>(n), MPI_DOUBLE,
+                         gatherbuf_.data(), static_cast<int>(n), MPI_DOUBLE,
+                         0, MPI_COMM_WORLD),
+              "MPI_Gather");
+    if (rank_ != 0 && partials[0] != nullptr) {
+      measured_.reduce_bytes += n * sizeof(double);
+    }
+    if (rank_ == 0) {
+      out.fill(0);
+      double* dst = out.data();
+      for (int q = 0; q < nranks_; ++q) {  // locale order: bitwise contract
+        if (locale_nnz_[static_cast<std::size_t>(q)] == 0) continue;
+        const double* src = gatherbuf_.data() + static_cast<std::size_t>(q) * n;
+        for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+        if (q != 0) measured_.reduce_bytes += n * sizeof(double);
+      }
+    }
+    measured_.reduce_seconds +=
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    const auto t1 = Clock::now();
+    mpi_check(MPI_Bcast(out.data(), static_cast<int>(n), MPI_DOUBLE, 0,
+                        MPI_COMM_WORLD),
+              "MPI_Bcast");
+    measured_.broadcast_bytes +=
+        (rank_ == 0 ? static_cast<std::size_t>(nranks_ - 1) : 1) * n *
+        sizeof(double);
+    measured_.broadcast_seconds +=
+        std::chrono::duration<double>(Clock::now() - t1).count();
+  }
+
+  void finalize() override {
+    mpi_check(MPI_Barrier(MPI_COMM_WORLD), "MPI_Barrier");
+  }
+
+ private:
+  int rank_;
+  int nranks_;
+  std::vector<nnz_t> locale_nnz_;
+  std::optional<RejoinPoint> preset_;
+  std::vector<double> sendbuf_;
+  std::vector<double> gatherbuf_;
+};
+
+}  // namespace
+
+DistResult run_mpi_dist(const SparseTensor& x, const DistOptions& options,
+                        DistPartition& part) {
+  int inited = 0;
+  MPI_Initialized(&inited);
+  static bool we_initialized = false;
+  if (inited == 0) {
+    mpi_check(MPI_Init(nullptr, nullptr), "MPI_Init");
+    we_initialized = true;
+    std::atexit([] {
+      if (we_initialized) {
+        int fin = 0;
+        MPI_Finalized(&fin);
+        if (fin == 0) MPI_Finalize();
+      }
+    });
+  }
+  int world = 0;
+  int rank = 0;
+  MPI_Comm_size(MPI_COMM_WORLD, &world);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  SPTD_CHECK(static_cast<std::size_t>(world) == part.nlocales,
+             "dist mpi: world size " + std::to_string(world) +
+                 " != locale grid size " + std::to_string(part.nlocales) +
+                 " (launch with mpirun -n <grid product>)");
+
+  std::optional<RejoinPoint> preset;
+  DistOptions loopopts = options;
+  if (options.resilience.resume) {
+    SPTD_CHECK(!options.resilience.checkpoint_dir.empty(),
+               "--resume requires --checkpoint-dir");
+    const RollbackPlan rb =
+        select_rollback(options.resilience.checkpoint_dir, part.nlocales);
+    if (!rb.checkpoint_path.empty()) {
+      preset = RejoinPoint{rb.iteration, rb.checkpoint_path};
+      if (rank == 0) {
+        log_info("resilience: resuming dist from iteration " +
+                 std::to_string(rb.iteration));
+      }
+    }
+    // The preset replaces per-rank load_latest (which could disagree
+    // across ranks when a write raced a crash).
+    loopopts.resilience.resume = false;
+  }
+
+  MpiTransport tr(rank, world, part.locale_nnz, std::move(preset));
+  LoopConfig cfg;
+  cfg.options = &loopopts;
+  cfg.dims = &x.dims();
+  cfg.tensor_norm_sq = x.norm_sq();
+  cfg.part = &part;
+  cfg.owned = {static_cast<std::size_t>(rank)};
+  cfg.checkpoint_kind = dist_rank_kind(static_cast<std::size_t>(rank));
+  DistResult res = run_dist_loop(cfg, tr);
+  res.comm_measured = tr.measured();
+  return res;
+}
+
+}  // namespace dist
+}  // namespace sptd

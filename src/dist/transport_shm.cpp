@@ -1,0 +1,289 @@
+/// \file transport_shm.cpp
+/// \brief ShmTransport and Doorbells implementation. See
+///        transport_shm.hpp for the protocol description.
+
+#include "dist/transport_shm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#ifdef __linux__
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#endif
+
+namespace sptd {
+
+Doorbells::Doorbells(std::size_t n) : fds_(n, -1) {
+#ifdef __linux__
+  for (int& fd : fds_) {
+    fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  }
+#endif
+}
+
+Doorbells::~Doorbells() {
+#ifdef __linux__
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+#endif
+}
+
+void Doorbells::kick_all() {
+#ifdef __linux__
+  const std::uint64_t one = 1;
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    // EAGAIN means the counter is already nonzero — the waiter will wake
+    // regardless, so every failure mode here is ignorable.
+    [[maybe_unused]] ssize_t rc = ::write(fd, &one, sizeof(one));
+  }
+#endif
+}
+
+void Doorbells::wait(std::size_t r, int timeout_us) {
+#ifdef __linux__
+  if (r < fds_.size() && fds_[r] >= 0) {
+    struct pollfd p;
+    p.fd = fds_[r];
+    p.events = POLLIN;
+    p.revents = 0;
+    const int ms = std::max(1, timeout_us / 1000);
+    (void)::poll(&p, 1, ms);
+    std::uint64_t drain = 0;
+    while (::read(fds_[r], &drain, sizeof(drain)) > 0) {
+    }
+    return;
+  }
+#endif
+  std::this_thread::sleep_for(std::chrono::microseconds(timeout_us));
+}
+
+namespace dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+ShmTransport::ShmTransport(ShmRing ring, std::size_t rank,
+                           std::vector<nnz_t> locale_nnz,
+                           std::uint64_t finish_op, double deadline_s,
+                           Doorbells* bells)
+    : ring_(ring),
+      rank_(rank),
+      locale_nnz_(std::move(locale_nnz)),
+      finish_op_(finish_op),
+      deadline_s_(deadline_s),
+      bells_(bells) {
+  SPTD_CHECK(rank_ < ring_.nranks(), "ShmTransport: rank out of range");
+  SPTD_CHECK(locale_nnz_.size() == ring_.nranks(),
+             "ShmTransport: locale_nnz size mismatch");
+  SPTD_CHECK(finish_op_ <= ShmRing::kMaxOp,
+             "ShmTransport: too many operations for the tag space");
+  beat();  // first liveness signal before any compute
+}
+
+void ShmTransport::beat() {
+  ring_.heartbeat(rank_).fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ShmTransport::claim_kill_token() {
+  // fetch_add, not exchange: the token doubles as a claim-attempt counter
+  // the launcher reads to account the injected fault exactly once.
+  return ring_.header().kill_token.fetch_add(1, std::memory_order_acq_rel) ==
+         0;
+}
+
+template <typename Pred>
+ShmTransport::WaitState ShmTransport::wait_for(Pred&& ready,
+                                               std::uint64_t epoch,
+                                               std::uint64_t op,
+                                               const char* phase) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(deadline_s_);
+  int polls = 0;
+  for (;;) {
+    if (ready()) return WaitState::kReady;
+    beat();
+    if (ring_.header().epoch.load(std::memory_order_acquire) != epoch) {
+      return WaitState::kEpochChanged;
+    }
+    if (ring_.header().abort.load(std::memory_order_acquire) != 0) {
+      throw TransportError(TransportKind::kShm, rank_, op,
+                           std::string(phase) +
+                               ": aborted, a peer rank reported a fatal "
+                               "error");
+    }
+    if (Clock::now() > deadline) {
+      throw TransportError(
+          TransportKind::kShm, rank_, op,
+          std::string(phase) + ": deadline of " +
+              std::to_string(deadline_s_) +
+              "s expired after exponential-backoff retries");
+    }
+    ++polls;
+    if (polls < 256) {
+      std::this_thread::yield();
+    } else {
+      // Exponential backoff 1us..1ms; sleep on the doorbell when we have
+      // one so a publisher's kick ends the wait early.
+      const int shift = std::min(polls - 256, 10);
+      const int us = std::min(1 << shift, 1000);
+      if (bells_ != nullptr) {
+        bells_->wait(rank_, us);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      }
+    }
+  }
+}
+
+void ShmTransport::await_tag(std::atomic<std::uint64_t>& word,
+                             std::uint64_t want, std::uint64_t op,
+                             const char* phase) {
+  const WaitState st = wait_for(
+      [&] { return word.load(std::memory_order_acquire) == want; }, epoch_,
+      op, phase);
+  if (st == WaitState::kEpochChanged) throw RecoveryInterrupt{};
+}
+
+void ShmTransport::allreduce(std::uint64_t op, int /*mode*/,
+                             const std::vector<const la::Matrix*>& partials,
+                             la::Matrix& out) {
+  const std::size_t nranks = ring_.nranks();
+  SPTD_CHECK(op <= ShmRing::kMaxOp,
+             "ShmTransport: operation id exceeds tag space");
+  SPTD_CHECK(partials.size() == nranks,
+             "ShmTransport: partial count does not match rank count");
+  const std::size_t n = out.size();
+  SPTD_CHECK(n <= ring_.slot_doubles(),
+             "ShmTransport: ring slot too small for mode output");
+  const std::uint64_t t = ShmRing::tag(epoch_, op);
+
+  if (rank_ == 0) {
+    const auto reduce_t0 = Clock::now();
+    out.fill(0);
+    val_t* dst = out.data();
+    if (partials[0] != nullptr) {
+      const val_t* src = partials[0]->data();
+      for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+    }
+    // Locale-order sum — identical to SimTransport's, which is the
+    // cross-transport bitwise contract. Every rank publishes its tag each
+    // op (empty locales publish the tag with no payload); awaiting all of
+    // them doubles as the guarantee that everyone consumed the previous
+    // broadcast before we overwrite the broadcast buffer below.
+    for (std::size_t q = 1; q < nranks; ++q) {
+      await_tag(ring_.seq(q), t, op, "layer reduce");
+      if (locale_nnz_[q] == 0) continue;
+      const double* src = ring_.slot(q);
+      for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+      measured_.reduce_bytes += n * sizeof(double);
+    }
+    // A recovery that began mid-sum may have mixed payload epochs into
+    // dst; discard it and let the driver rejoin.
+    if (ring_.header().epoch.load(std::memory_order_acquire) != epoch_) {
+      throw RecoveryInterrupt{};
+    }
+    measured_.reduce_seconds += seconds_since(reduce_t0);
+
+    const auto bcast_t0 = Clock::now();
+    std::memcpy(ring_.bcast(), dst, n * sizeof(double));
+    ring_.bcast_seq().store(t, std::memory_order_release);
+    if (bells_ != nullptr) bells_->kick_all();
+    measured_.broadcast_bytes += (nranks - 1) * n * sizeof(double);
+    measured_.broadcast_seconds += seconds_since(bcast_t0);
+  } else {
+    const auto reduce_t0 = Clock::now();
+    if (partials[rank_] != nullptr) {
+      std::memcpy(ring_.slot(rank_), partials[rank_]->data(),
+                  n * sizeof(double));
+      measured_.reduce_bytes += n * sizeof(double);
+    }
+    ring_.seq(rank_).store(t, std::memory_order_release);
+    if (bells_ != nullptr) bells_->kick_all();
+    measured_.reduce_seconds += seconds_since(reduce_t0);
+
+    const auto bcast_t0 = Clock::now();
+    await_tag(ring_.bcast_seq(), t, op, "layer broadcast");
+    std::memcpy(out.data(), ring_.bcast(), n * sizeof(double));
+    // Seqlock re-check: if a recovery replaced the broadcast mid-copy the
+    // tag no longer matches and the torn copy is discarded.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (ring_.bcast_seq().load(std::memory_order_relaxed) != t) {
+      throw RecoveryInterrupt{};
+    }
+    measured_.broadcast_bytes += n * sizeof(double);
+    measured_.broadcast_seconds += seconds_since(bcast_t0);
+  }
+}
+
+std::optional<RejoinPoint> ShmTransport::rejoin() {
+  for (;;) {
+    const std::uint64_t e =
+        ring_.header().epoch.load(std::memory_order_acquire);
+    const bool have =
+        ring_.header().have_rollback.load(std::memory_order_acquire) != 0;
+    RejoinPoint rp;
+    if (have) {
+      rp.iteration = static_cast<int>(
+          ring_.header().rollback_iter.load(std::memory_order_acquire));
+      char buf[ShmRing::kPathMax];
+      std::memcpy(buf, ring_.header().rollback_path, ShmRing::kPathMax);
+      buf[ShmRing::kPathMax - 1] = '\0';
+      rp.checkpoint_path = buf;
+    }
+    // The launcher writes the rollback point before bumping the epoch; a
+    // stable epoch across the copy means we read a consistent pair.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (ring_.header().epoch.load(std::memory_order_relaxed) != e) continue;
+
+    epoch_ = e;
+    ring_.rank_epoch(rank_).store(e, std::memory_order_release);
+    if (bells_ != nullptr) bells_->kick_all();
+
+    // Quiesce: the epoch is live once every rank (survivors and the
+    // respawned victim alike) has adopted it. If another rank dies while
+    // the barrier forms, start over in the newer epoch.
+    bool superseded = false;
+    for (std::size_t q = 0; q < ring_.nranks() && !superseded; ++q) {
+      const WaitState st = wait_for(
+          [&] {
+            return ring_.rank_epoch(q).load(std::memory_order_acquire) >= e;
+          },
+          e, /*op=*/0, "recovery quiesce");
+      superseded = (st == WaitState::kEpochChanged);
+    }
+    if (superseded) continue;
+
+    if (!have) return std::nullopt;
+    return rp;
+  }
+}
+
+void ShmTransport::finalize() {
+  const std::uint64_t t = ShmRing::tag(epoch_, finish_op_);
+  ring_.finished(rank_).store(t, std::memory_order_release);
+  if (bells_ != nullptr) bells_->kick_all();
+  for (std::size_t q = 0; q < ring_.nranks(); ++q) {
+    const WaitState st = wait_for(
+        [&] { return ring_.finished(q).load(std::memory_order_acquire) == t; },
+        epoch_, finish_op_, "completion barrier");
+    // A rank died after we finished: rejoin and replay so the respawned
+    // rank has peers to reduce with.
+    if (st == WaitState::kEpochChanged) throw RecoveryInterrupt{};
+  }
+}
+
+}  // namespace dist
+}  // namespace sptd

@@ -1,0 +1,93 @@
+#pragma once
+/// \file transport_shm.hpp
+/// \brief ShmTransport — the shared-memory-ring transport.
+///
+/// One instance per participant (a fork'd child under the launcher; a
+/// plain thread under the stress harness — the ring protocol is
+/// process-agnostic, which is what lets TSan see the whole thing).
+///
+/// Reduce+broadcast of operation `op`:
+///   rank != 0  copy partial into own slot, release-store tag(epoch, op)
+///              into seq[rank], kick; acquire-poll bcast_seq for the same
+///              tag, copy the broadcast buffer, re-check bcast_seq
+///              (seqlock) to reject torn cross-epoch reads.
+///   rank == 0  sum own partial plus every non-empty rank's slot in
+///              locale order (awaiting each slot's tag), re-check the
+///              epoch (a torn sum across a recovery is discarded), copy
+///              the sum into the broadcast buffer, release-store
+///              bcast_seq, kick.
+///
+/// Within one epoch a rank cannot start op N+1 before consuming the op N
+/// broadcast, so slot reuse cannot race; across epochs stale tags are
+/// unmatchable (tags pack the epoch) and the seqlock re-check plus rank
+/// 0's pre-publish epoch check reject anything torn.
+///
+/// Every wait polls with exponential backoff (spin, then doorbell sleeps
+/// of 1us..1ms), bumps this rank's heartbeat, and gives up with a
+/// TransportError once the per-operation deadline expires; an epoch bump
+/// observed mid-wait throws RecoveryInterrupt instead, sending the driver
+/// to rejoin().
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dist/shm_ring.hpp"
+#include "dist/transport.hpp"
+#include "common/types.hpp"
+
+namespace sptd::dist {
+
+class ShmTransport final : public DistTransport {
+ public:
+  /// \p finish_op is the operation id of the completion barrier — one past
+  /// every loop operation (max_iterations * order). \p bells may be null
+  /// (pure polling). \p locale_nnz tells which ranks are empty locales
+  /// (they publish no partials and are skipped in the sum).
+  ShmTransport(ShmRing ring, std::size_t rank,
+               std::vector<nnz_t> locale_nnz, std::uint64_t finish_op,
+               double deadline_s, Doorbells* bells);
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kShm;
+  }
+  [[nodiscard]] std::size_t nranks() const override {
+    return ring_.nranks();
+  }
+
+  void allreduce(std::uint64_t op, int mode,
+                 const std::vector<const la::Matrix*>& partials,
+                 la::Matrix& out) override;
+  std::optional<RejoinPoint> rejoin() override;
+  bool claim_kill_token() override;
+  void beat() override;
+  void finalize() override;
+
+  /// The epoch this rank last adopted via rejoin().
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  enum class WaitState { kReady, kEpochChanged };
+
+  /// Polls \p ready with heartbeat + backoff until it returns true
+  /// (kReady), the epoch leaves \p epoch (kEpochChanged), a peer sets the
+  /// abort flag, or the deadline expires (both TransportError).
+  template <typename Pred>
+  WaitState wait_for(Pred&& ready, std::uint64_t epoch, std::uint64_t op,
+                     const char* phase);
+
+  /// wait_for an exact tag in \p word under the adopted epoch; translates
+  /// kEpochChanged into RecoveryInterrupt.
+  void await_tag(std::atomic<std::uint64_t>& word, std::uint64_t want,
+                 std::uint64_t op, const char* phase);
+
+  ShmRing ring_;
+  std::size_t rank_;
+  std::vector<nnz_t> locale_nnz_;
+  std::uint64_t finish_op_;
+  double deadline_s_;
+  Doorbells* bells_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace sptd::dist

@@ -401,19 +401,36 @@ std::optional<Checkpoint> CheckpointManager::load_latest(
   }
   std::sort(candidates.rbegin(), candidates.rend());
 
+  int rejected = 0;
   for (const auto& [iter, path] : candidates) {
     const std::optional<std::string> text = read_file_to_string(path);
-    if (!text) continue;
+    if (!text) {
+      ++rejected;
+      continue;
+    }
     try {
       Checkpoint ck = Checkpoint::deserialize(*text);
       SPTD_CHECK(ck.kind == kind, "checkpoint: kind mismatch");
       SPTD_CHECK(ck.iteration == iter, "checkpoint: iteration mismatch");
       return ck;
     } catch (const Error& e) {
+      ++rejected;
       log_warn("checkpoint: skipping invalid " + path + ": " + e.what());
     }
   }
+  if (rejected > 0) {
+    // Snapshots were written and every one is now unreadable — both
+    // keep-N rotation files failed checksum. Starting fresh here would
+    // silently discard converged work, so refuse with structure.
+    throw CheckpointCorruptError(dir, kind, rejected);
+  }
   return std::nullopt;
+}
+
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path) {
+  const std::optional<std::string> text = read_file_to_string(path);
+  if (!text) return std::nullopt;
+  return Checkpoint::deserialize(*text);
 }
 
 }  // namespace sptd

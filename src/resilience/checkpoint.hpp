@@ -37,9 +37,31 @@ namespace sptd {
 
 class FaultInjector;  // resilience/fault.hpp
 
+/// Thrown by CheckpointManager::load_latest when snapshots of the
+/// requested kind exist but *every* one of them fails validation (torn
+/// write, checksum mismatch, malformed payload). Distinct from the
+/// fresh-start nullopt: state was saved and is now unrecoverable, which a
+/// caller must surface rather than silently restart from scratch.
+class CheckpointCorruptError : public Error {
+ public:
+  CheckpointCorruptError(const std::string& dir, const std::string& kind,
+                         int files_rejected)
+      : Error("checkpoint: all " + std::to_string(files_rejected) + " '" +
+              kind + "' snapshots in " + dir +
+              " failed validation (corrupt or truncated); refusing to "
+              "silently start fresh"),
+        files_rejected_(files_rejected) {}
+
+  [[nodiscard]] int files_rejected() const { return files_rejected_; }
+
+ private:
+  int files_rejected_;
+};
+
 /// Snapshot of one driver's restartable state.
 struct Checkpoint {
-  std::string kind;  ///< "cpals" | "tucker" | "completion" | "dist"
+  /// "cpals" | "tucker" | "completion" | "dist" | "dist-rank<r>"
+  std::string kind;
   int iteration = 0;  ///< completed iterations at snapshot time
   std::array<std::uint64_t, 4> rng_state{};  ///< recovery RNG words
 
@@ -94,7 +116,10 @@ class CheckpointManager {
             ResilienceCounters& counters);
 
   /// Newest checkpoint of \p kind in \p dir that parses and passes its
-  /// checksum; corrupt or torn files are skipped with a warning.
+  /// checksum; corrupt or torn files are skipped with a warning and the
+  /// loader falls back to the next-older snapshot. Returns nullopt when no
+  /// files of the kind exist (fresh start); throws CheckpointCorruptError
+  /// when files exist but all of them fail validation.
   static std::optional<Checkpoint> load_latest(const std::string& dir,
                                                const std::string& kind);
 
@@ -107,5 +132,11 @@ class CheckpointManager {
   int keep_ = 2;
   std::vector<std::pair<int, std::string>> written_;
 };
+
+/// Loads one explicit checkpoint file (the distributed rejoin path, where
+/// the launcher already selected the rollback snapshot by name). Returns
+/// nullopt when the file is missing or unreadable; throws sptd::Error when
+/// it exists but fails validation.
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path);
 
 }  // namespace sptd

@@ -55,15 +55,29 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       SPTD_CHECK(n >= 0.0 && n == static_cast<double>(static_cast<int>(n)),
                  "FaultPlan: io-fail count must be a non-negative integer");
       plan.io_fail_count = static_cast<int>(n);
-    } else if (kind == "locale-fail") {
-      const double k = parse_number(clause, arg);
+    } else if (kind == "locale-fail" || kind == "rank-kill") {
+      // `k` or `k@iter`; the bare spelling keeps the original halfway-
+      // iteration behavior, and rank-kill is an alias (the transport
+      // decides whether the kill is simulated or a real SIGKILL).
+      std::string id_arg = arg;
+      const std::size_t at = arg.find('@');
+      if (at != std::string::npos) {
+        id_arg = arg.substr(0, at);
+        const std::string iter_arg = arg.substr(at + 1);
+        const double i = parse_number(clause, iter_arg);
+        SPTD_CHECK(i >= 0.0 && i == static_cast<double>(static_cast<int>(i)),
+                   "FaultPlan: " + kind +
+                       " iteration must be a non-negative integer");
+        plan.locale_fail_iter = static_cast<int>(i);
+      }
+      const double k = parse_number(clause, id_arg);
       SPTD_CHECK(k >= 0.0 && k == static_cast<double>(static_cast<int>(k)),
-                 "FaultPlan: locale-fail id must be a non-negative integer");
+                 "FaultPlan: " + kind + " id must be a non-negative integer");
       plan.locale_fail = static_cast<int>(k);
     } else {
       throw Error("FaultPlan: unknown fault kind '" + kind +
-                  "' (expected nan-values, corrupt-factor, io-fail, or "
-                  "locale-fail)");
+                  "' (expected nan-values, corrupt-factor, io-fail, "
+                  "locale-fail, or rank-kill)");
     }
   }
   return plan;
@@ -115,15 +129,23 @@ bool FaultInjector::kill_locale(std::size_t locale, std::size_t nlocales,
   if (plan_.locale_fail < 0 || locale_kill_done_ || nlocales == 0) {
     return false;
   }
-  const std::size_t victim =
-      static_cast<std::size_t>(plan_.locale_fail) % nlocales;
-  const int kill_iter = max_iterations / 2;
-  if (locale != victim || it != kill_iter) return false;
+  if (!rank_kill_due(locale, nlocales, it, max_iterations)) return false;
   locale_kill_done_ = true;
   ++faults_injected_;
   log_warn("fault: killed simulated locale " + std::to_string(locale) +
            " at iteration " + std::to_string(it));
   return true;
+}
+
+bool FaultInjector::rank_kill_due(std::size_t locale, std::size_t nlocales,
+                                  int it, int max_iterations) const {
+  if (plan_.locale_fail < 0 || nlocales == 0) return false;
+  const std::size_t victim =
+      static_cast<std::size_t>(plan_.locale_fail) % nlocales;
+  const int kill_iter = plan_.locale_fail_iter >= 0
+                            ? plan_.locale_fail_iter
+                            : max_iterations / 2;
+  return locale == victim && it == kill_iter;
 }
 
 }  // namespace sptd

@@ -15,8 +15,15 @@
 ///                      one random factor row with NaN (one-shot)
 ///   io-fail:n          fail the first n checkpoint writes, leaving a torn
 ///                      file for the loader to reject
-///   locale-fail:k      kill simulated locale k (mod nlocales) halfway
-///                      through a dist run (one-shot)
+///   locale-fail:k      kill locale k (mod nlocales) halfway through a dist
+///                      run (one-shot)
+///   locale-fail:k@it   same, at 0-based iteration `it` instead of halfway
+///   rank-kill:k@it     alias of locale-fail:k@it. Under the sim transport
+///                      the locale's CSF set + plan are dropped and rebuilt
+///                      in-process; under the shm transport the victim rank
+///                      raises SIGKILL on itself mid-iteration and the
+///                      launcher respawns it from checkpoint (the `@it`
+///                      part is optional there too)
 
 #include <cstdint>
 #include <limits>
@@ -34,6 +41,9 @@ struct FaultPlan {
   int corrupt_factor_iter = 0;  ///< 1-based iteration; 0 = off
   int io_fail_count = 0;  ///< checkpoint writes to fail
   int locale_fail = -1;  ///< locale id to kill; -1 = off
+  /// 0-based iteration the locale/rank kill fires at; -1 = the halfway
+  /// iteration (max_iterations / 2), the pre-`@iter` behavior.
+  int locale_fail_iter = -1;
 
   [[nodiscard]] bool empty() const {
     return nan_values_p == 0.0 && corrupt_factor_iter == 0 &&
@@ -59,9 +69,19 @@ class FaultInjector {
 
   /// True when simulated locale \p locale should be killed at the start of
   /// iteration \p it (0-based) of a \p max_iterations-long dist run. Fires
-  /// once, at the halfway iteration, for locale `locale-fail % nlocales`.
+  /// once, at the configured (default: halfway) iteration, for locale
+  /// `locale-fail % nlocales`.
   bool kill_locale(std::size_t locale, std::size_t nlocales, int it,
                    int max_iterations);
+
+  /// Pure predicate form of the kill schedule for the shm transport: true
+  /// when rank \p locale is the victim and \p it is the kill iteration.
+  /// Deliberately does not mutate injector state or count the fault — the
+  /// one-shot guarantee lives in the shared-memory kill token (so a
+  /// respawned victim replaying the kill iteration survives) and the
+  /// launcher accounts the fault exactly once from that token.
+  [[nodiscard]] bool rank_kill_due(std::size_t locale, std::size_t nlocales,
+                                   int it, int max_iterations) const;
 
   [[nodiscard]] std::uint64_t faults_injected() const {
     return faults_injected_;

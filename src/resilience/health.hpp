@@ -47,6 +47,16 @@ class HealthMonitor {
   /// predates the bad steps), keeping the best loss seen.
   void reset_streak();
 
+  /// Forgets everything (best loss and streak). The distributed rejoin
+  /// path calls this on *every* rank and reseeds the trend from the
+  /// restored fit history, so survivors (with stale pre-crash trend state)
+  /// and a freshly respawned rank make identical health decisions during
+  /// replay — a divergent decision would desynchronize the collectives.
+  void reset() {
+    best_loss_ = std::numeric_limits<double>::infinity();
+    bad_streak_ = 0;
+  }
+
  private:
   bool enabled_ = true;
   int patience_ = 3;

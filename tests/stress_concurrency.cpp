@@ -35,6 +35,8 @@
 #include "parallel/backend.hpp"
 #include "parallel/locks.hpp"
 #include "parallel/team.hpp"
+#include "dist/shm_ring.hpp"
+#include "dist/transport_shm.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/schedule.hpp"
 #include "resilience/checkpoint.hpp"
@@ -635,6 +637,125 @@ TEST(PoolBackendStress, NestedRegionsSerializeWithoutDeadlock) {
   }
   EXPECT_EQ(inner_runs.load(), kRounds * kThreads);
   EXPECT_EQ(bad.load(), 0);
+}
+
+// The dist shm ring's release/acquire tag protocol, driven by one
+// transport per "rank" on plain threads (the production shape is one per
+// forked process; TSan can only watch the in-process shape). Every op must
+// produce the identical locale-order sum on every rank, bitwise.
+TEST(ShmRingStress, ConcurrentLayerReducesAreBitwiseAndClean) {
+  const std::size_t nranks = static_cast<std::size_t>(kThreads);
+  const idx_t rows = 12;
+  const idx_t rank = 5;
+  const la::Matrix probe(1, rank);
+  const std::size_t slot_doubles =
+      static_cast<std::size_t>(rows) * probe.ld();
+  const int ops = 3 * kRounds;
+  const std::uint64_t finish_op = static_cast<std::uint64_t>(ops);
+
+  const std::size_t bytes = ShmRing::bytes_needed(nranks, slot_doubles);
+  void* mem = ::operator new(bytes, std::align_val_t{64});
+  ShmRing ring(mem, nranks, slot_doubles, /*init=*/true);
+
+  const auto fill_partial = [&](std::size_t r, int op, la::Matrix& m) {
+    for (idx_t i = 0; i < rows; ++i) {
+      for (idx_t j = 0; j < rank; ++j) {
+        m(i, j) = static_cast<double>(r + 1) * 0.25 +
+                  static_cast<double>(op) * 0.125 +
+                  static_cast<double>(i * rank + j) * 0.0625;
+      }
+    }
+  };
+
+  // outputs[r][op] = rank r's view of the reduced matrix after op.
+  std::vector<std::vector<la::Matrix>> outputs(nranks);
+  const std::vector<nnz_t> locale_nnz(nranks, 1);  // no empty locales
+  run_threads(kThreads, [&](int tid) {
+    const std::size_t r = static_cast<std::size_t>(tid);
+    dist::ShmTransport tr(ring, r, locale_nnz, finish_op,
+                          /*deadline_s=*/30.0, /*bells=*/nullptr);
+    la::Matrix partial(rows, rank);
+    std::vector<const la::Matrix*> partials(nranks, nullptr);
+    for (int op = 0; op < ops; ++op) {
+      fill_partial(r, op, partial);
+      partials[r] = &partial;
+      la::Matrix out(rows, rank);
+      tr.allreduce(static_cast<std::uint64_t>(op), 0, partials, out);
+      outputs[r].push_back(std::move(out));
+    }
+    tr.finalize();
+  });
+
+  // Serial reference: locale-order sum over physical buffers.
+  la::Matrix expect(rows, rank);
+  la::Matrix part(rows, rank);
+  for (int op = 0; op < ops; ++op) {
+    expect.fill(0);
+    for (std::size_t r = 0; r < nranks; ++r) {
+      fill_partial(r, op, part);
+      double* dst = expect.data();
+      const double* src = part.data();
+      for (std::size_t i = 0; i < expect.size(); ++i) dst[i] += src[i];
+    }
+    for (std::size_t r = 0; r < nranks; ++r) {
+      ASSERT_EQ(outputs[r][static_cast<std::size_t>(op)].max_abs_diff(
+                    expect),
+                0.0)
+          << "rank " << r << " op " << op;
+    }
+  }
+  ::operator delete(mem, std::align_val_t{64});
+}
+
+// Empty locales still publish their sequence tags (that publication is
+// what keeps rank 0 from overwriting a broadcast they haven't consumed);
+// their payload must be ignored in the sum.
+TEST(ShmRingStress, EmptyLocalesPublishTagsButAddNothing) {
+  const std::size_t nranks = static_cast<std::size_t>(kThreads);
+  const idx_t rows = 6;
+  const idx_t rank = 3;
+  const la::Matrix probe(1, rank);
+  const std::size_t slot_doubles =
+      static_cast<std::size_t>(rows) * probe.ld();
+  const int ops = kRounds;
+  const std::uint64_t finish_op = static_cast<std::uint64_t>(ops);
+
+  const std::size_t bytes = ShmRing::bytes_needed(nranks, slot_doubles);
+  void* mem = ::operator new(bytes, std::align_val_t{64});
+  ShmRing ring(mem, nranks, slot_doubles, /*init=*/true);
+
+  std::vector<nnz_t> locale_nnz(nranks, 1);
+  for (std::size_t r = 1; r < nranks; r += 2) locale_nnz[r] = 0;
+
+  std::vector<std::vector<la::Matrix>> outputs(nranks);
+  run_threads(kThreads, [&](int tid) {
+    const std::size_t r = static_cast<std::size_t>(tid);
+    dist::ShmTransport tr(ring, r, locale_nnz, finish_op,
+                          /*deadline_s=*/30.0, /*bells=*/nullptr);
+    la::Matrix partial(rows, rank);
+    partial.fill(static_cast<double>(r + 1));
+    std::vector<const la::Matrix*> partials(nranks, nullptr);
+    if (locale_nnz[r] != 0) partials[r] = &partial;
+    for (int op = 0; op < ops; ++op) {
+      la::Matrix out(rows, rank);
+      tr.allreduce(static_cast<std::uint64_t>(op), 0, partials, out);
+      outputs[r].push_back(std::move(out));
+    }
+    tr.finalize();
+  });
+
+  double contributing = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    if (locale_nnz[r] != 0) contributing += static_cast<double>(r + 1);
+  }
+  for (std::size_t r = 0; r < nranks; ++r) {
+    for (int op = 0; op < ops; ++op) {
+      EXPECT_EQ(outputs[r][static_cast<std::size_t>(op)](0, 0),
+                contributing)
+          << "rank " << r << " op " << op;
+    }
+  }
+  ::operator delete(mem, std::align_val_t{64});
 }
 
 }  // namespace

@@ -100,6 +100,48 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("io-fail:x"), Error);
 }
 
+TEST(FaultPlan, ParsesIterationQualifiedKills) {
+  const FaultPlan p = FaultPlan::parse("locale-fail:2@5");
+  EXPECT_EQ(p.locale_fail, 2);
+  EXPECT_EQ(p.locale_fail_iter, 5);
+  // rank-kill is the same clause (the transport decides whether the kill
+  // is an in-process rebuild or a real SIGKILL).
+  const FaultPlan q = FaultPlan::parse("rank-kill:1@3");
+  EXPECT_EQ(q.locale_fail, 1);
+  EXPECT_EQ(q.locale_fail_iter, 3);
+  // No @iter keeps the halfway default.
+  const FaultPlan r = FaultPlan::parse("rank-kill:0");
+  EXPECT_EQ(r.locale_fail, 0);
+  EXPECT_EQ(r.locale_fail_iter, -1);
+}
+
+TEST(FaultPlan, RejectsMalformedKillIterations) {
+  EXPECT_THROW(FaultPlan::parse("rank-kill:1@"), Error);
+  EXPECT_THROW(FaultPlan::parse("rank-kill:1@x"), Error);
+  EXPECT_THROW(FaultPlan::parse("rank-kill:1@-2"), Error);
+  EXPECT_THROW(FaultPlan::parse("rank-kill:@3"), Error);
+}
+
+TEST(FaultInjector, RankKillDueIsAPurePredicate) {
+  // The due-check must not mutate (no one-shot latch, no fault counting):
+  // a respawned victim replaying the kill iteration re-evaluates it and
+  // relies on the shared-memory token for one-shot semantics.
+  FaultInjector inj(FaultPlan::parse("rank-kill:1@3"), 1);
+  EXPECT_FALSE(inj.rank_kill_due(1, 4, 2, 8));
+  EXPECT_TRUE(inj.rank_kill_due(1, 4, 3, 8));
+  EXPECT_TRUE(inj.rank_kill_due(1, 4, 3, 8));  // still true: no latch
+  EXPECT_FALSE(inj.rank_kill_due(0, 4, 3, 8));
+  EXPECT_EQ(inj.faults_injected(), 0u);
+}
+
+TEST(FaultInjector, KillLocaleHonorsExplicitIteration) {
+  FaultInjector inj(FaultPlan::parse("locale-fail:2@1"), 1);
+  EXPECT_FALSE(inj.kill_locale(2, 4, 0, 8));
+  EXPECT_TRUE(inj.kill_locale(2, 4, 1, 8));
+  EXPECT_FALSE(inj.kill_locale(2, 4, 1, 8));  // one-shot in-process
+  EXPECT_EQ(inj.faults_injected(), 1u);
+}
+
 // --------------------------------------------------------- injector firing
 
 TEST(FaultInjector, CorruptFactorFiresExactlyOnce) {

@@ -185,6 +185,46 @@ TEST(CheckpointManager, SkipsCorruptNewestFallsBackToOlder) {
   EXPECT_EQ(latest->iteration, 1);
 }
 
+TEST(CheckpointManager, AllSnapshotsCorruptIsAStructuredError) {
+  // When every rotation snapshot fails validation the caller must get a
+  // loud CheckpointCorruptError — saved state exists but is unrecoverable,
+  // which is not the same thing as a fresh start.
+  ScratchDir dir("allbad");
+  CheckpointManager mgr(dir.path(), "cpals", 1, /*keep=*/2);
+  ResilienceCounters counters;
+  for (int it = 1; it <= 2; ++it) {
+    Checkpoint ck = sample_checkpoint();
+    ck.iteration = it;
+    EXPECT_TRUE(mgr.save(ck, nullptr, counters));
+  }
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    const auto full = read_file_to_string(e.path().string());
+    ASSERT_TRUE(full.has_value());
+    atomic_write_file(e.path().string(), full->substr(0, full->size() / 2));
+  }
+  try {
+    (void)CheckpointManager::load_latest(dir.path(), "cpals");
+    FAIL() << "expected CheckpointCorruptError";
+  } catch (const CheckpointCorruptError& e) {
+    EXPECT_EQ(e.files_rejected(), 2);
+  }
+}
+
+TEST(CheckpointManager, LoadCheckpointFileByPath) {
+  ScratchDir dir("bypath");
+  Checkpoint ck = sample_checkpoint();
+  ck.iteration = 7;
+  const std::string path = dir.path() + "/one.ckpt";
+  atomic_write_file(path, ck.serialize());
+  const auto loaded = load_checkpoint_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->iteration, 7);
+  // Missing file: nullopt. Corrupt file: throws.
+  EXPECT_FALSE(load_checkpoint_file(dir.path() + "/nope.ckpt").has_value());
+  atomic_write_file(path, ck.serialize().substr(0, 40));
+  EXPECT_THROW((void)load_checkpoint_file(path), Error);
+}
+
 TEST(CheckpointManager, IgnoresOtherKinds) {
   ScratchDir dir("kinds");
   CheckpointManager mgr(dir.path(), "tucker", 1);

@@ -59,6 +59,10 @@ DEFAULT_METRICS = [
     "coo_seconds",
     "csf_seconds",
     "comm_bytes",
+    # Bytes the shm/mpi transports physically moved through their rings
+    # (zero under sim, deterministic for a clean run — replay after an
+    # injected kill adds to it, but bench runs never inject).
+    "comm_bytes_measured",
 ]
 
 # Higher-is-better quality metrics, gated on their deficit from the ideal
@@ -86,6 +90,8 @@ DEFAULT_COUNTERS = [
     "rollbacks",
     "checkpoint_bytes",
     "checkpoint_time",
+    # Wall seconds inside transport collectives: diagnostic, noisy.
+    "comm_seconds_measured",
 ]
 
 # Identity fields: everything a bench may emit that is neither a metric
@@ -122,6 +128,7 @@ KNOWN_IDENTITY_FIELDS = [
     "strategies",
     "threads",
     "tile_policy",
+    "transport",
     "zipf",
 ]
 

@@ -121,6 +121,37 @@ grep -q "resumed from iteration" <<< "$IOFAIL_RESUME_OUT" \
   || { echo "ci: resume after torn checkpoint failed" >&2; exit 1; }
 echo "ci: fault-injection matrix recovered on every class"
 
+echo "== dist smoke: shm transport matches sim bitwise =="
+# The fork-per-locale shared-memory transport must reproduce the
+# in-process simulation exactly (both sum partials in locale order, one
+# thread per locale, f64).
+"$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 --iters 6 \
+  --dist-grid 2,2,1 --transport sim \
+  --output "$RES_DIR/dist_sim.model" > /dev/null
+"$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 --iters 6 \
+  --dist-grid 2,2,1 --transport shm \
+  --output "$RES_DIR/dist_shm.model" > /dev/null
+cmp "$RES_DIR/dist_sim.model" "$RES_DIR/dist_shm.model"
+echo "ci: shm transport model is bitwise identical to sim"
+
+echo "== dist recovery smoke: SIGKILL a real rank, recover, bitwise =="
+# rank-kill:1@3 makes the rank-1 child SIGKILL itself mid-iteration; the
+# launcher must detect the death, roll every rank back to the newest
+# per-rank checkpoint, respawn the locale, and still produce a model
+# byte-identical to the uninjected shm run.
+rm -rf "$RES_DIR/dist_ckpt"
+DIST_KILL_OUT="$("$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 \
+  --iters 6 --dist-grid 2,2,1 --transport shm \
+  --inject rank-kill:1@3 --checkpoint-dir "$RES_DIR/dist_ckpt" \
+  --checkpoint-every 2 --output "$RES_DIR/dist_killed.model")"
+grep -q "locale restarts" <<< "$DIST_KILL_OUT" \
+  || { echo "ci: rank-kill recovery not reported" >&2; exit 1; }
+grep -q "resumed from iteration" <<< "$DIST_KILL_OUT" \
+  || { echo "ci: rank-kill rollback did not restore a checkpoint" >&2
+       exit 1; }
+cmp "$RES_DIR/dist_shm.model" "$RES_DIR/dist_killed.model"
+echo "ci: rank-kill recovery model is bitwise identical"
+
 echo "== bench_compare unit: mixed-type identity fields =="
 # One field ("flag") carries a bool in one record and a string in the
 # next, and "steals" varies between runs: the identity key must stay
@@ -220,15 +251,28 @@ for BK in omp pool; do
     --concurrent 2 --backend "$BK" --json "$SMOKE_JSON"
 done
 
+echo "== dist smoke: bench_ablation_distgrid (sim + shm transports) =="
+# Five grid shapes per transport. The sim rows carry the modeled halo
+# volume only; the shm rows fork one real process per locale over the
+# shared-memory ring and carry comm_bytes_measured /
+# comm_seconds_measured next to the model. transport is an identity
+# field, so the two sets pair against their own baseline rows.
+for TR in sim shm; do
+  "$BUILD_DIR/bench_ablation_distgrid" \
+    --preset yelp --scale 0.002 --rank 8 --iters 3 \
+    --transport "$TR" --json "$SMOKE_JSON"
+done
+
 # The smoke runs must have produced one JSON record per configuration:
 # 8 weighted fig5 + 4 wide-layout fig5 + 4 workstealing fig5 + 8
 # narrow-precision fig5 (mixed + f32) + 2 checkpointed fig5 + 4
 # workstealing fig4 (lock kinds) + 4 pool-backend fig5 + 6 completion
 # (3 solvers x 2 thread counts) + 3 precision ablation + 6
-# oversubscribe (2 backends x (2 phase rows + 1 concurrent)).
+# oversubscribe (2 backends x (2 phase rows + 1 concurrent)) + 10
+# distgrid (5 grids x 2 transports).
 RECORDS="$(wc -l < "$SMOKE_JSON")"
-if [ "$RECORDS" -lt 49 ]; then
-  echo "ci: expected >= 49 bench JSON records, got $RECORDS" >&2
+if [ "$RECORDS" -lt 59 ]; then
+  echo "ci: expected >= 59 bench JSON records, got $RECORDS" >&2
   exit 1
 fi
 
@@ -529,6 +573,32 @@ if [ "${SPTD_CI_SKIP_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_BUILD" --target stress_concurrency -j"$JOBS"
   TSAN_OPTIONS="suppressions=$PWD/tools/tsan.supp" \
     "$TSAN_BUILD/stress_concurrency"
+fi
+
+# MPI transport job, gated on an MPI toolchain actually being installed
+# (this repo's usual container has none — the build then compiles the
+# stubs and `--transport mpi` is rejected upfront, which ctest covers).
+if command -v mpicxx > /dev/null 2>&1 && command -v mpirun > /dev/null 2>&1
+then
+  echo "== MPI build + dist smoke (one rank per locale) =="
+  MPI_BUILD="${BUILD_DIR}-mpi"
+  cmake -B "$MPI_BUILD" -S . -DSPTD_BUILD_BENCH=OFF \
+    -DSPTD_BUILD_EXAMPLES=OFF
+  cmake --build "$MPI_BUILD" -j"$JOBS"
+  ctest --test-dir "$MPI_BUILD" --output-on-failure -j"$JOBS"
+  mpirun -n 4 "$MPI_BUILD/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 \
+    --iters 4 --dist-grid 2,2,1 --transport mpi \
+    --output "$RES_DIR/dist_mpi.model"
+  # Same contract as shm: bitwise-identical to the sim run (4 iters of
+  # the sim reference would differ from the 6-iter model above, so
+  # regenerate the sim side at the same length).
+  "$BUILD_DIR/sptd" cpd "$RES_DIR/smoke.tns" --rank 8 --iters 4 \
+    --dist-grid 2,2,1 --transport sim \
+    --output "$RES_DIR/dist_sim4.model" > /dev/null
+  cmp "$RES_DIR/dist_sim4.model" "$RES_DIR/dist_mpi.model"
+  echo "ci: mpi transport model is bitwise identical to sim"
+else
+  echo "== MPI toolchain not installed; skipping the MPI transport job =="
 fi
 
 echo "== ok ($RECORDS bench records) =="

@@ -248,11 +248,64 @@ int cmd_cpd(int argc, const char* const* argv) {
           "parallel backend: omp | pool (persistent std::thread "
           "workers; composes across concurrent runs)");
   cli.add("output", "", "write the Kruskal model to this path");
+  cli.add("dist-grid", "",
+          "locale grid extents per mode (e.g. 2,2,1): run the "
+          "medium-grained distributed driver instead of shared-memory "
+          "CP-ALS");
+  cli.add("transport", "sim",
+          "distributed communication backend: sim (in-process "
+          "simulation) | shm (fork-per-locale, real processes) | mpi "
+          "(requires an MPI build)");
   cli.add_flag("nonneg", "non-negative CP");
   add_resilience_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   SPTD_CHECK(!cli.positional().empty(), "cpd: need a tensor file");
   SparseTensor t = load(cli.positional().front());
+
+  if (!cli.get_string("dist-grid").empty()) {
+    DistOptions dopts;
+    for (const int g : cli.get_int_list("dist-grid")) {
+      SPTD_CHECK(g >= 1, "cpd: --dist-grid extents must be >= 1");
+      dopts.grid.push_back(static_cast<idx_t>(g));
+    }
+    dopts.rank = static_cast<idx_t>(cli.get_int("rank"));
+    dopts.max_iterations = static_cast<int>(cli.get_int("iters"));
+    dopts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    dopts.schedule = parse_schedule_policy(cli.get_string("schedule"));
+    dopts.chunk_target = static_cast<int>(cli.get_int("chunk"));
+    dopts.use_fixed_kernels = cli.get_string("kernels") == "fixed";
+    dopts.csf_layout = parse_csf_layout(cli.get_string("csf-layout"));
+    dopts.precision = parse_precision(cli.get_string("precision"));
+    dopts.backend = parse_parallel_backend(cli.get_string("backend"));
+    dopts.transport = parse_transport(cli.get_string("transport"));
+    dopts.resilience = resilience_from_flags(cli);
+    const DistResult r = dist_cp_als(t, dopts);
+    // Under mpi every rank runs this path; only rank 0 reports.
+    if (dopts.transport == TransportKind::kMpi && mpi_world_rank() != 0) {
+      return 0;
+    }
+    std::printf("fit %.6f after %d iterations (%s transport, %zu "
+                "locales)\n",
+                r.fit_history.back(), r.iterations,
+                transport_name(dopts.transport), r.locale_nnz.size());
+    std::printf("  comm model %s", format_bytes(r.comm.total()).c_str());
+    if (r.comm_measured.total_bytes() > 0) {
+      std::printf(", measured %s (reduce %.3fs, broadcast %.3fs)",
+                  format_bytes(r.comm_measured.total_bytes()).c_str(),
+                  r.comm_measured.reduce_seconds,
+                  r.comm_measured.broadcast_seconds);
+    }
+    std::printf("\n");
+    if (const std::string rs = resilience_summary(r.resilience);
+        !rs.empty()) {
+      std::printf("  %s\n", rs.c_str());
+    }
+    if (const std::string out = cli.get_string("output"); !out.empty()) {
+      write_model_file(r.model, out);
+      std::printf("model written to %s\n", out.c_str());
+    }
+    return 0;
+  }
 
   CpalsOptions opts;
   opts.rank = static_cast<idx_t>(cli.get_int("rank"));
